@@ -1,0 +1,34 @@
+//! Ablation (§5.4): the sePCR bank size caps concurrent PALs.
+//!
+//! "The number of sePCRs present in a TPM establishes the limit for the
+//! number of concurrently executing PALs, as measurements of additional
+//! PALs do not have a secure place to reside."
+
+use sea_bench::ablation_sepcr;
+use sea_bench::format::render_table;
+
+const ATTEMPTED: usize = 12;
+
+fn main() {
+    println!("Ablation: launching {ATTEMPTED} concurrent PALs vs sePCR bank size\n");
+    let points = ablation_sepcr(ATTEMPTED, &[1, 2, 4, 8, 12, 16]);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.sepcrs.to_string(),
+                p.launched.to_string(),
+                p.rejected.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["sePCRs", "launched", "rejected (NoFreeSePcr)"], &rows)
+    );
+    println!(
+        "\nEvery rejected launch failed cleanly per Figure 7: pages returned to\n\
+         ALL, failure code to the OS. Sizing guidance follows directly: provision\n\
+         at least as many sePCRs as the peak number of live PALs."
+    );
+}

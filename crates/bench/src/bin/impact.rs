@@ -1,0 +1,26 @@
+//! Regenerates the §5.7 impact analysis: PAL context-switch cost on
+//! today's hardware versus the paper's recommended hardware.
+
+use sea_bench::impact;
+
+fn main() {
+    println!("§5.7 Expected impact: PAL context-switch cost\n");
+    let r = impact();
+    println!(
+        "baseline (TPM-based):   switch-in  (SKINIT + Unseal) = {:9.2} ms",
+        r.baseline_switch_in_ms
+    );
+    println!(
+        "                        switch-out (Seal)            = {:9.2} ms",
+        r.baseline_switch_out_ms
+    );
+    println!(
+        "proposed (SLAUNCH):     suspend + resume pair        = {:9.2} µs",
+        r.proposed_pair_us
+    );
+    println!(
+        "\nimprovement: {:.1e}x (paper: \"six orders of magnitude\")",
+        r.improvement
+    );
+    assert!(r.improvement > 1e5);
+}

@@ -1,0 +1,50 @@
+//! Responsiveness under load (§4.2): PAL service response times when
+//! requests arrive randomly, baseline vs proposed hardware.
+
+use sea_bench::format::{ms, render_table};
+use sea_bench::latency;
+use sea_hw::SimDuration;
+
+const N_CPUS: u16 = 4;
+const WORK_MS: u64 = 5;
+
+fn main() {
+    let horizon = SimDuration::from_secs(120);
+    println!(
+        "Responsiveness: PAL service response time under Poisson load\n\
+         ({N_CPUS} cores, {WORK_MS} ms of work per request, {horizon} horizon;\n\
+         per-request service times measured with real sessions)\n"
+    );
+    let points = latency(N_CPUS, &[10_000, 5_000, 2_000, 1_500], WORK_MS, horizon);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1} s", p.interarrival_ms / 1000.0),
+                ms(p.baseline_mean_ms),
+                ms(p.baseline_p95_ms),
+                ms(p.proposed_mean_ms),
+                ms(p.proposed_p95_ms),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "mean inter-arrival",
+                "baseline mean (ms)",
+                "baseline p95 (ms)",
+                "proposed mean (ms)",
+                "proposed p95 (ms)",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nEvery baseline request waits out a >1.1 s whole-platform session —\n\
+         and queues behind its predecessors as load rises — while the proposed\n\
+         hardware answers in milliseconds. \"Responsiveness vanish[es] for over\n\
+         a second\" (§4.2) is an understatement once there is a queue."
+    );
+}

@@ -1,0 +1,80 @@
+//! Plain-text table rendering for the experiment binaries.
+
+/// Renders an aligned text table with a header row.
+///
+/// # Example
+///
+/// ```
+/// let s = sea_bench::format::render_table(
+///     &["op", "ms"],
+///     &[vec!["seal".into(), "20.01".into()]],
+/// );
+/// assert!(s.contains("seal"));
+/// assert!(s.contains("20.01"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{cell:>w$}  "));
+        }
+        line.trim_end().to_string()
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a millisecond quantity the way the paper's tables do.
+pub fn ms(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a microsecond quantity the way Table 2 does.
+pub fn us(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let s = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer-name".into(), "2.50".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].contains('a'));
+        assert!(lines[3].contains("longer-name"));
+    }
+
+    #[test]
+    fn numeric_formats() {
+        assert_eq!(ms(177.519), "177.52");
+        assert_eq!(us(0.558), "0.5580");
+    }
+}

@@ -1,0 +1,91 @@
+//! Small summary-statistics helpers for the experiment harness.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (the paper reports stddev over its
+    /// 20 trials, not a sample-corrected estimate).
+    pub stddev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Number of observations.
+    pub n: usize,
+}
+
+impl Summary {
+    /// Computes summary statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sample.
+    pub fn of(samples: &[f64]) -> Summary {
+        assert!(!samples.is_empty(), "summary of an empty sample");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &s in samples {
+            min = min.min(s);
+            max = max.max(s);
+        }
+        Summary {
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+            n,
+        }
+    }
+
+    /// Relative standard deviation (stddev / mean), `0` for a zero mean.
+    pub fn rel_stddev(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.stddev / self.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_sample() {
+        let s = Summary::of(&[5.0, 5.0, 5.0]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.n, 3);
+        assert_eq!(s.rel_stddev(), 0.0);
+    }
+
+    #[test]
+    fn known_values() {
+        // Population stddev of [2, 4, 4, 4, 5, 5, 7, 9] is exactly 2.
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.stddev - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.rel_stddev() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_mean_rel_stddev() {
+        let s = Summary::of(&[0.0, 0.0]);
+        assert_eq!(s.rel_stddev(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

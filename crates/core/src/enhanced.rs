@@ -1,0 +1,1076 @@
+//! SEA on the paper's recommended hardware (§5).
+//!
+//! [`EnhancedSea`] implements the full PAL life cycle of Figures 6–7:
+//!
+//! * **`SLAUNCH`** ([`EnhancedSea::slaunch`]): the OS allocates a SECB and
+//!   memory, the memory controller flips the pages to `CPUᵢ` (failing on
+//!   conflict), the TPM measures the PAL **once** into a freshly
+//!   allocated sePCR, and execution begins.
+//! * **`SYIELD` / preemption** ([`EnhancedSea::step`]): context switches
+//!   cost a VM exit + entry (~1 µs, Table 2) instead of the baseline's
+//!   TPM Seal + SKINIT + Unseal (~200–1100 ms) — the six-orders-of-
+//!   magnitude improvement §5.7 projects.
+//! * **Resume** ([`EnhancedSea::resume`]): honors the Measured Flag only
+//!   when the pages are `NONE`, can land on a *different* CPU, and fails
+//!   while the PAL runs elsewhere.
+//! * **`SFREE`** (automatic on PAL exit): pages erased of secrets and
+//!   returned to `ALL`; the sePCR moves to the Quote state.
+//! * **`SKILL`** ([`EnhancedSea::skill`]): erases a misbehaving PAL's
+//!   pages and brands its sePCR with the kill constant.
+//! * **Attestation** ([`EnhancedSea::quote_and_free`]): *untrusted* code
+//!   quotes the sePCR and recycles it (§5.4.3).
+
+use std::collections::HashMap;
+
+use sea_hw::{CpuId, PageIndex, PageRange, SimDuration, PAGE_SIZE};
+use sea_tpm::{Quote, Timed};
+
+use crate::error::SeaError;
+use crate::pal::{PalCtx, PalLogic, PalOutcome, SealBinding};
+use crate::platform::SecurePlatform;
+use crate::report::SessionReport;
+use crate::secb::{InterruptPolicy, PalLifecycle, Secb};
+
+/// Cost of reprogramming the interrupt routing logic when scheduling a
+/// PAL with [`InterruptPolicy::Forward`] (§6: doing this "every time a
+/// PAL is scheduled ... may create undesirable overhead").
+const INTERRUPT_ROUTING_COST: SimDuration = SimDuration::from_us(2);
+
+/// Identifier of a launched PAL within an [`EnhancedSea`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PalId(pub u64);
+
+/// Result of driving one PAL scheduling step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PalStep {
+    /// The PAL yielded (`SYIELD`) or was preempted; it is suspended with
+    /// its pages in the `NONE` state, awaiting [`EnhancedSea::resume`].
+    Yielded,
+    /// The PAL exited (`SFREE`); its resources are released and its
+    /// sePCR awaits [`EnhancedSea::quote_and_free`].
+    Exited {
+        /// The PAL's output, now readable by untrusted code.
+        output: Vec<u8>,
+    },
+}
+
+/// Summary of a completed PAL run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PalDone {
+    /// The PAL's output.
+    pub output: Vec<u8>,
+    /// Accumulated cost breakdown across launch, steps, and switches.
+    pub report: SessionReport,
+}
+
+/// Bookkeeping for one live PAL.
+#[derive(Debug)]
+struct PalRun {
+    secb: Secb,
+    input_len: usize,
+    state_capacity: usize,
+    current_cpu: Option<CpuId>,
+    /// §6 Multicore PALs: additional cores joined to this PAL while it
+    /// executes. Cleared on every suspend — helpers must re-join.
+    helper_cpus: Vec<CpuId>,
+    report: SessionReport,
+    output: Option<Vec<u8>>,
+}
+
+/// First page handed out by the built-in bump allocator (the low pages
+/// belong to the "OS image").
+const FIRST_PAL_PAGE: u32 = 64;
+
+/// Bytes reserved in each PAL region for persistent state beyond image
+/// and input.
+const STATE_HEADROOM: usize = 2 * PAGE_SIZE;
+
+/// SEA on the proposed hardware. See the crate-level example.
+#[derive(Debug)]
+pub struct EnhancedSea {
+    platform: SecurePlatform,
+    pals: HashMap<u64, PalRun>,
+    next_id: u64,
+    next_page: u32,
+}
+
+impl EnhancedSea {
+    /// Creates the runtime.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::SlaunchUnsupported`] on baseline platforms and
+    /// [`SeaError::NoTpm`] on TPM-less ones.
+    pub fn new(platform: SecurePlatform) -> Result<Self, SeaError> {
+        if !platform.supports_slaunch() {
+            return Err(SeaError::SlaunchUnsupported);
+        }
+        if platform.tpm().is_none() {
+            return Err(SeaError::NoTpm);
+        }
+        Ok(EnhancedSea {
+            platform,
+            pals: HashMap::new(),
+            next_id: 0,
+            next_page: FIRST_PAL_PAGE,
+        })
+    }
+
+    /// The underlying platform.
+    pub fn platform(&self) -> &SecurePlatform {
+        &self.platform
+    }
+
+    /// Mutable access to the underlying platform.
+    pub fn platform_mut(&mut self) -> &mut SecurePlatform {
+        &mut self.platform
+    }
+
+    /// Cost of one suspend/resume pair on this platform (§5.7 expects
+    /// the proposed context switch to cost about this much).
+    pub fn context_switch_cost(&self) -> SimDuration {
+        let virt = self.platform.machine().platform().virt;
+        virt.vm_exit + virt.vm_enter
+    }
+
+    /// The SECB of a live PAL (diagnostics and tests).
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NoSuchPal`] for unknown identifiers.
+    pub fn secb(&self, id: PalId) -> Result<&Secb, SeaError> {
+        Ok(&self.pals.get(&id.0).ok_or(SeaError::NoSuchPal(id.0))?.secb)
+    }
+
+    /// Accumulated cost report for a PAL.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NoSuchPal`] for unknown identifiers.
+    pub fn report(&self, id: PalId) -> Result<SessionReport, SeaError> {
+        Ok(self
+            .pals
+            .get(&id.0)
+            .ok_or(SeaError::NoSuchPal(id.0))?
+            .report)
+    }
+
+    /// `SLAUNCH` with `MF = 0` (Figure 7): allocates memory and a sePCR,
+    /// installs isolation, measures the PAL, and leaves it in the
+    /// `Execute` state ready for [`EnhancedSea::step`].
+    ///
+    /// The clock advances by the measurement cost (paid **once** per PAL,
+    /// not per context switch — the heart of recommendation §5.3).
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::Hw`] with [`sea_hw::HwError::PageConflict`] if the
+    /// region overlaps another PAL; [`SeaError::Tpm`] with
+    /// [`sea_tpm::TpmError::NoFreeSePcr`] when the sePCR bank is
+    /// exhausted (the pages are returned to `ALL` first, per Figure 7).
+    pub fn slaunch(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        preemption_timer: Option<SimDuration>,
+    ) -> Result<PalId, SeaError> {
+        self.slaunch_with_interrupts(pal, input, cpu, preemption_timer, InterruptPolicy::Disabled)
+    }
+
+    /// [`EnhancedSea::slaunch`] with an explicit interrupt policy (§6).
+    /// A `Forward` policy charges the interrupt-routing cost (2 µs) at launch
+    /// and again on every resume.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EnhancedSea::slaunch`].
+    pub fn slaunch_with_interrupts(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        preemption_timer: Option<SimDuration>,
+        interrupts: InterruptPolicy,
+    ) -> Result<PalId, SeaError> {
+        let image = pal.image();
+        let region_bytes = image.len() + input.len() + STATE_HEADROOM;
+        let pages = (region_bytes as u32).div_ceil(PAGE_SIZE as u32);
+        let range = PageRange::new(PageIndex(self.next_page), pages);
+        let installed = self.platform.machine().memory().num_pages();
+        if range.start.0 + range.count > installed {
+            return Err(SeaError::RegionTooSmall {
+                needed: region_bytes,
+                available: 0,
+            });
+        }
+
+        // OS stages image and input into the (still-open) region.
+        let machine = self.platform.machine_mut();
+        machine.memory_mut().write_raw(range.base_addr(), &image)?;
+        machine
+            .memory_mut()
+            .write_raw(range.base_addr().offset(image.len() as u64), input)?;
+
+        let mut secb = Secb::new(pal.name(), range, image.len(), preemption_timer)
+            .with_interrupt_policy(interrupts);
+        assert!(secb.transition(PalLifecycle::Protect));
+
+        // Memory controller: ALL → CPUᵢ (atomic; fails on conflict).
+        machine.controller_mut().protect_for_cpu(range, cpu)?;
+
+        assert!(secb.transition(PalLifecycle::Measure));
+        // TPM: allocate + measure into a sePCR. On failure, return the
+        // pages to ALL (Figure 7's failure path).
+        let (machine, tpm) = self.platform.parts_mut();
+        let tpm = tpm.expect("checked in new()");
+        let timed = match tpm.slaunch_measure(&image, cpu) {
+            Ok(timed) => timed,
+            Err(e) => {
+                machine.controller_mut().release_pages(range)?;
+                return Err(e.into());
+            }
+        };
+        machine.advance(timed.elapsed);
+        let routing_cost = if matches!(secb.interrupt_policy(), InterruptPolicy::Forward(_)) {
+            machine.advance(INTERRUPT_ROUTING_COST);
+            INTERRUPT_ROUTING_COST
+        } else {
+            SimDuration::ZERO
+        };
+        secb.bind_sepcr(timed.value);
+        secb.set_measured();
+        machine.cpu_mut(cpu)?.enter_secure(range.base_addr());
+        machine.cpu_mut(cpu)?.set_preemption_timer(preemption_timer);
+        assert!(secb.transition(PalLifecycle::Execute));
+
+        let id = self.next_id;
+        self.next_id += 1;
+        self.next_page = range.start.0 + range.count;
+        self.pals.insert(
+            id,
+            PalRun {
+                secb,
+                input_len: input.len(),
+                state_capacity: STATE_HEADROOM - 16,
+                current_cpu: Some(cpu),
+                helper_cpus: Vec::new(),
+                report: SessionReport {
+                    late_launch: timed.elapsed,
+                    context_switch: routing_cost,
+                    ..SessionReport::default()
+                },
+                output: None,
+            },
+        );
+        Ok(PalId(id))
+    }
+
+    /// Runs one scheduling quantum of a PAL in the `Execute` state.
+    ///
+    /// If the logic yields, the PAL suspends (pages → `NONE`, CPU state
+    /// cleared) at VM-exit cost. If it exits, `SFREE` runs: state erased,
+    /// pages → `ALL`, sePCR → Quote. If the step's work exceeds the
+    /// preemption timer, the involuntary context switches are charged at
+    /// VM-exit + VM-entry cost each.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] outside `Execute`; PAL-logic and
+    /// hardware errors propagate.
+    pub fn step(&mut self, pal: &mut dyn PalLogic, id: PalId) -> Result<PalStep, SeaError> {
+        let run = self.pals.get(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Execute {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "step",
+            });
+        }
+        let cpu = run.current_cpu.expect("Execute implies a CPU");
+        let range = run.secb.pages();
+        let handle = run.secb.sepcr().expect("measured at launch");
+        let state_off = (run.secb.image_len() + run.input_len) as u64;
+        let input_off = run.secb.image_len() as u64;
+        let input_len = run.input_len;
+        let state_cap = run.state_capacity;
+        let timer = run.secb.preemption_timer();
+
+        // The PAL reads its input and persistent state from its pages.
+        let machine = self.platform.machine();
+        let input = machine.read(
+            sea_hw::Requester::Cpu(cpu),
+            range.base_addr().offset(input_off),
+            input_len,
+        )?;
+        let state = read_state(machine, range, state_off, state_cap, cpu)?;
+
+        // Run the logic with sePCR-bound seals.
+        let (machine, tpm) = self.platform.parts_mut();
+        let tpm = tpm.expect("checked in new()");
+        let mut ctx = PalCtx::new(
+            Some(&mut *tpm),
+            Some(SealBinding::SePcr { handle, cpu }),
+            &input,
+            state,
+        );
+        let outcome = pal.run(&mut ctx);
+        let seal = ctx.seal_cost;
+        let unseal = ctx.unseal_cost;
+        let tpm_other = ctx.tpm_other_cost;
+        let work = ctx.work_done;
+        let new_state = ctx.into_state();
+        let outcome = outcome?;
+
+        // Involuntary preemptions: the timer slices long-running work.
+        let virt = machine.platform().virt;
+        let switch_cost = virt.vm_exit + virt.vm_enter;
+        let preemptions = match timer {
+            Some(t) if t > SimDuration::ZERO && work > t => {
+                (work.as_ns().div_ceil(t.as_ns()) - 1) as u32
+            }
+            _ => 0,
+        };
+        let step_switches = switch_cost * preemptions as u64;
+        machine.advance(seal + unseal + tpm_other + work + step_switches);
+
+        // Write back state (this CPU still owns the pages).
+        write_state(machine, range, state_off, state_cap, cpu, &new_state)?;
+
+        let run = self.pals.get_mut(&id.0).expect("present above");
+        run.report.seal += seal;
+        run.report.unseal += unseal;
+        run.report.tpm_other += tpm_other;
+        run.report.pal_work += work;
+        run.report.context_switch += step_switches;
+
+        match outcome {
+            PalOutcome::Yield => {
+                // SYIELD: pages → NONE, secure state clear, VM-exit cost.
+                assert!(run.secb.transition(PalLifecycle::Suspend));
+                run.current_cpu = None;
+                let helpers = std::mem::take(&mut run.helper_cpus);
+                run.report.context_switch += virt.vm_exit;
+                machine.controller_mut().suspend_pages(range, cpu)?;
+                machine.cpu_mut(cpu)?.leave_secure();
+                for h in helpers {
+                    machine.cpu_mut(h)?.leave_secure();
+                }
+                machine.advance(virt.vm_exit);
+                Ok(PalStep::Yielded)
+            }
+            PalOutcome::Exit(output) => {
+                // SFREE: erase secrets, release pages, sePCR → Quote.
+                assert!(run.secb.transition(PalLifecycle::Done));
+                run.current_cpu = None;
+                let helpers = std::mem::take(&mut run.helper_cpus);
+                run.output = Some(output.clone());
+                // Erase the state area (the PAL's secret-clear duty).
+                let state_pages_start = range.start.0 + (state_off / PAGE_SIZE as u64) as u32;
+                for p in state_pages_start..range.start.0 + range.count {
+                    machine.memory_mut().zero_page(PageIndex(p))?;
+                }
+                tpm.sepcr_release_to_quote(handle, cpu)?;
+                machine.controller_mut().release_pages(range)?;
+                machine.cpu_mut(cpu)?.leave_secure();
+                machine.cpu_mut(cpu)?.set_preemption_timer(None);
+                for h in helpers {
+                    machine.cpu_mut(h)?.leave_secure();
+                }
+                Ok(PalStep::Exited { output })
+            }
+        }
+    }
+
+    /// `SLAUNCH` with `MF = 1`: resumes a suspended PAL, possibly on a
+    /// different CPU. Costs one VM entry (§5.7).
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] outside `Suspend`; [`SeaError::Hw`]
+    /// with [`sea_hw::HwError::InvalidPageTransition`] if the pages are
+    /// not `NONE` (e.g. the PAL is somehow running elsewhere — "any other
+    /// CPU that tries to resume the same PAL will fail", §5.3.1).
+    pub fn resume(&mut self, id: PalId, cpu: CpuId) -> Result<(), SeaError> {
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Suspend {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "resume",
+            });
+        }
+        let range = run.secb.pages();
+        let handle = run.secb.sepcr().expect("measured");
+        let routing = matches!(run.secb.interrupt_policy(), InterruptPolicy::Forward(_));
+        assert!(run.secb.transition(PalLifecycle::Protect));
+
+        let (machine, tpm) = self.platform.parts_mut();
+        machine.controller_mut().resume_pages(range, cpu)?;
+        tpm.expect("checked").sepcr_rebind(handle, cpu)?;
+        machine.cpu_mut(cpu)?.enter_secure(range.base_addr());
+        let vm_enter = machine.platform().virt.vm_enter;
+        let mut resume_cost = vm_enter;
+        if routing {
+            resume_cost += INTERRUPT_ROUTING_COST;
+        }
+        machine.advance(resume_cost);
+
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        assert!(run.secb.transition(PalLifecycle::Execute));
+        run.current_cpu = Some(cpu);
+        run.report.context_switch += resume_cost;
+        Ok(())
+    }
+
+    /// `SKILL` (§5.5): kills a suspended, misbehaving PAL — erases its
+    /// pages, returns them to `ALL`, extends the kill constant into its
+    /// sePCR, and frees the slot.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] unless the PAL is `Suspend`ed.
+    pub fn skill(&mut self, id: PalId) -> Result<(), SeaError> {
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Suspend {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "skill",
+            });
+        }
+        let range = run.secb.pages();
+        let handle = run.secb.sepcr().expect("measured");
+        assert!(run.secb.transition(PalLifecycle::Done));
+        run.current_cpu = None;
+
+        let (machine, tpm) = self.platform.parts_mut();
+        for p in range.iter() {
+            machine.memory_mut().zero_page(p)?;
+        }
+        machine.controller_mut().release_pages(range)?;
+        let timed = tpm.expect("checked").sepcr_skill(handle)?;
+        machine.advance(timed.elapsed);
+        Ok(())
+    }
+
+    /// Untrusted post-termination attestation (§5.4.3): quotes the PAL's
+    /// sePCR and frees it for reuse. Advances the clock by the quote
+    /// cost.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] unless the PAL exited normally (a
+    /// `SKILL`ed PAL's sePCR is already free, carrying no quote).
+    pub fn quote_and_free(&mut self, id: PalId, nonce: &[u8]) -> Result<Timed<Quote>, SeaError> {
+        let run = self.pals.get(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Done {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "quote_and_free",
+            });
+        }
+        let handle = run.secb.sepcr().expect("measured");
+        let (machine, tpm) = self.platform.parts_mut();
+        let tpm = tpm.expect("checked");
+        let quote = tpm.sepcr_quote(handle, nonce)?;
+        tpm.sepcr_free(handle)?;
+        machine.advance(quote.elapsed);
+        Ok(quote)
+    }
+
+    /// §6 *Multicore PALs*: joins `new_cpu` to a PAL currently in the
+    /// `Execute` state, granting it access to the PAL's pages so the
+    /// application can parallelize internally ("a mechanism is needed to
+    /// join a CPU to an existing PAL. The join operation serves to add
+    /// the new CPU to the memory controller's access control table for
+    /// the PAL's pages").
+    ///
+    /// Joined cores are revoked at every suspend and exit; they must
+    /// re-join after each resume.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] outside `Execute`; [`SeaError::Hw`]
+    /// if the controller refuses the join.
+    pub fn join(&mut self, id: PalId, new_cpu: CpuId) -> Result<(), SeaError> {
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Execute {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "join",
+            });
+        }
+        let primary = run.current_cpu.expect("Execute implies a CPU");
+        let range = run.secb.pages();
+        let machine = self.platform.machine_mut();
+        machine.controller_mut().join_cpu(range, primary, new_cpu)?;
+        machine.cpu_mut(new_cpu)?.enter_secure(range.base_addr());
+        let run = self.pals.get_mut(&id.0).expect("present above");
+        run.helper_cpus.push(new_cpu);
+        Ok(())
+    }
+
+    /// Recycles a terminated PAL's sePCR *without* generating a quote —
+    /// `TPM_SEPCR_Free` is "executable from untrusted code" (§5.4.3) and
+    /// an OS that does not need an attestation calls it directly.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] unless the PAL exited normally.
+    pub fn release_sepcr(&mut self, id: PalId) -> Result<(), SeaError> {
+        let run = self.pals.get(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Done {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "release_sepcr",
+            });
+        }
+        let handle = run.secb.sepcr().expect("measured");
+        let (_, tpm) = self.platform.parts_mut();
+        tpm.expect("checked").sepcr_free(handle)?;
+        Ok(())
+    }
+
+    /// Convenience driver: steps and resumes (on `cpu`) until the PAL
+    /// exits, then returns its output and accumulated report.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EnhancedSea::step`] and [`EnhancedSea::resume`].
+    pub fn run_to_exit(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        id: PalId,
+        cpu: CpuId,
+    ) -> Result<PalDone, SeaError> {
+        loop {
+            match self.step(pal, id)? {
+                PalStep::Exited { output } => {
+                    return Ok(PalDone {
+                        output,
+                        report: self.report(id)?,
+                    });
+                }
+                PalStep::Yielded => self.resume(id, cpu)?,
+            }
+        }
+    }
+}
+
+/// Reads the PAL's persistent state (8-byte length prefix + payload) from
+/// its protected region, as the PAL itself would on its owning CPU.
+fn read_state(
+    machine: &sea_hw::Machine,
+    range: PageRange,
+    state_off: u64,
+    capacity: usize,
+    cpu: CpuId,
+) -> Result<Vec<u8>, SeaError> {
+    let base = range.base_addr().offset(state_off);
+    let header = machine.read(sea_hw::Requester::Cpu(cpu), base, 8)?;
+    let len = u64::from_le_bytes(header.try_into().expect("8 bytes")) as usize;
+    if len == 0 {
+        return Ok(Vec::new());
+    }
+    let len = len.min(capacity);
+    Ok(machine.read(sea_hw::Requester::Cpu(cpu), base.offset(8), len)?)
+}
+
+/// Writes the PAL's persistent state back into its protected region.
+fn write_state(
+    machine: &mut sea_hw::Machine,
+    range: PageRange,
+    state_off: u64,
+    capacity: usize,
+    cpu: CpuId,
+    state: &[u8],
+) -> Result<(), SeaError> {
+    if state.len() > capacity {
+        return Err(SeaError::RegionTooSmall {
+            needed: state.len(),
+            available: capacity,
+        });
+    }
+    let base = range.base_addr().offset(state_off);
+    machine.write(
+        sea_hw::Requester::Cpu(cpu),
+        base,
+        &(state.len() as u64).to_le_bytes(),
+    )?;
+    machine.write(sea_hw::Requester::Cpu(cpu), base.offset(8), state)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pal::FnPal;
+    use sea_hw::{HwError, Platform, Requester};
+    use sea_tpm::{KeyStrength, SePcrState, TpmError};
+
+    fn sea(n_cpus: u16) -> EnhancedSea {
+        EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(n_cpus),
+            KeyStrength::Demo512,
+            b"enhanced test",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn requires_proposed_hardware() {
+        let baseline = SecurePlatform::new(Platform::hp_dc5750(), KeyStrength::Demo512, b"x");
+        assert!(matches!(
+            EnhancedSea::new(baseline),
+            Err(SeaError::SlaunchUnsupported)
+        ));
+    }
+
+    #[test]
+    fn launch_step_exit_quote_lifecycle() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("simple", |ctx| {
+            ctx.work(SimDuration::from_us(100));
+            Ok(PalOutcome::Exit(b"result".to_vec()))
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        assert_eq!(sea.secb(id).unwrap().lifecycle(), PalLifecycle::Execute);
+        assert!(sea.secb(id).unwrap().measured());
+
+        let step = sea.step(&mut pal, id).unwrap();
+        assert_eq!(
+            step,
+            PalStep::Exited {
+                output: b"result".to_vec()
+            }
+        );
+        assert_eq!(sea.secb(id).unwrap().lifecycle(), PalLifecycle::Done);
+
+        let quote = sea.quote_and_free(id, b"nonce").unwrap();
+        let aik = sea.platform().tpm().unwrap().aik_public().clone();
+        assert!(quote.value.verify_signature(&aik));
+        // The sePCR is recycled.
+        assert_eq!(
+            sea.platform().tpm().unwrap().sepcrs().free_count(),
+            sea.platform().machine().platform().sepcr_count
+        );
+    }
+
+    #[test]
+    fn measurement_happens_once_not_per_switch() {
+        let mut sea = sea(2);
+        let mut remaining = 3u32;
+        let mut pal = FnPal::new("yielder", move |ctx| {
+            ctx.work(SimDuration::from_us(10));
+            remaining -= 1;
+            if remaining == 0 {
+                Ok(PalOutcome::Exit(vec![]))
+            } else {
+                Ok(PalOutcome::Yield)
+            }
+        })
+        .with_image_size(64 * 1024);
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut pal, id, CpuId(1)).unwrap();
+        // Late launch charged exactly once (≈ 8.8 ms at bus speed).
+        assert!((done.report.late_launch.as_ms_f64() - 8.82).abs() < 0.1);
+        // Two suspend/resume pairs at ~1 µs each — not 1100 ms each.
+        assert!(done.report.context_switch < SimDuration::from_us(5));
+        assert!(done.report.context_switch >= SimDuration::from_us(2));
+    }
+
+    #[test]
+    fn state_persists_across_suspend_resume_without_tpm_seal() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("counter", |ctx| {
+            let count = ctx.state().first().copied().unwrap_or(0);
+            ctx.set_state(vec![count + 1]);
+            if count + 1 == 3 {
+                Ok(PalOutcome::Exit(vec![count + 1]))
+            } else {
+                Ok(PalOutcome::Yield)
+            }
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap();
+        assert_eq!(done.output, vec![3]);
+        // No TPM sealing was needed to persist state across switches.
+        assert_eq!(done.report.seal, SimDuration::ZERO);
+        assert_eq!(done.report.unseal, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn suspended_pal_pages_unreadable_by_anyone() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("secretive", |ctx| {
+            ctx.set_state(b"top secret".to_vec());
+            Ok(PalOutcome::Yield)
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        sea.step(&mut pal, id).unwrap();
+        assert_eq!(sea.secb(id).unwrap().lifecycle(), PalLifecycle::Suspend);
+        let base = sea.secb(id).unwrap().pages().base_addr();
+        for c in [CpuId(0), CpuId(1)] {
+            assert!(matches!(
+                sea.platform().machine().read(Requester::Cpu(c), base, 16),
+                Err(HwError::AccessDenied { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn running_pal_pages_unreadable_by_other_cpu() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("private", |_| Ok(PalOutcome::Yield));
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let base = sea.secb(id).unwrap().pages().base_addr();
+        // While in Execute on CPU 0, CPU 1 is denied.
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(1)), base, 4)
+            .is_err());
+        // The owner may read.
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(0)), base, 4)
+            .is_ok());
+    }
+
+    #[test]
+    fn resume_can_move_cpus_and_double_resume_fails() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("mover", |ctx| {
+            if ctx.state().is_empty() {
+                ctx.set_state(vec![1]);
+                Ok(PalOutcome::Yield)
+            } else {
+                Ok(PalOutcome::Exit(b"moved".to_vec()))
+            }
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        sea.step(&mut pal, id).unwrap();
+        // Resume on the *other* CPU.
+        sea.resume(id, CpuId(1)).unwrap();
+        // A second resume must fail (pages are CpuOnly(1), not NONE).
+        assert!(sea.resume(id, CpuId(0)).is_err());
+        let step = sea.step(&mut pal, id).unwrap();
+        assert_eq!(
+            step,
+            PalStep::Exited {
+                output: b"moved".to_vec()
+            }
+        );
+    }
+
+    #[test]
+    fn sfree_releases_pages_and_erases_state() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("cleaner", |ctx| {
+            ctx.set_state(b"ephemeral secret".to_vec());
+            Ok(PalOutcome::Exit(vec![]))
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        sea.step(&mut pal, id).unwrap();
+        let range = sea.secb(id).unwrap().pages();
+        // Pages are ALL again: the OS can allocate them...
+        let data = sea
+            .platform()
+            .machine()
+            .read(
+                Requester::Cpu(CpuId(1)),
+                range.base_addr(),
+                range.byte_len(),
+            )
+            .unwrap();
+        // ...and the state area contains no trace of the secret.
+        let needle = b"ephemeral secret";
+        assert!(
+            !data.windows(needle.len()).any(|w| w == needle),
+            "secret must be erased at SFREE"
+        );
+    }
+
+    #[test]
+    fn skill_erases_brands_and_frees() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("runaway", |ctx| {
+            ctx.set_state(b"malware state".to_vec());
+            Ok(PalOutcome::Yield)
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let handle = sea.secb(id).unwrap().sepcr().unwrap();
+        sea.step(&mut pal, id).unwrap();
+        // SKILL only valid from Suspend; it was suspended by the yield.
+        sea.skill(id).unwrap();
+        assert_eq!(sea.secb(id).unwrap().lifecycle(), PalLifecycle::Done);
+        // Pages wiped and public again.
+        let range = sea.secb(id).unwrap().pages();
+        let data = sea
+            .platform()
+            .machine()
+            .read(
+                Requester::Cpu(CpuId(0)),
+                range.base_addr(),
+                range.byte_len(),
+            )
+            .unwrap();
+        assert!(data.iter().all(|&b| b == 0));
+        // sePCR slot freed (branded value was pushed through the chain).
+        assert_eq!(
+            sea.platform()
+                .tpm()
+                .unwrap()
+                .sepcrs()
+                .state(handle)
+                .unwrap(),
+            SePcrState::Free
+        );
+        // No quote is available for a killed PAL.
+        assert!(sea.quote_and_free(id, b"n").is_err());
+    }
+
+    #[test]
+    fn skill_requires_suspend() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("x", |_| Ok(PalOutcome::Yield));
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        // Still Execute: SKILL refused.
+        assert!(matches!(
+            sea.skill(id),
+            Err(SeaError::WrongLifecycle { .. })
+        ));
+    }
+
+    #[test]
+    fn concurrent_pals_have_disjoint_pages_and_sepcrs() {
+        let mut sea = sea(4);
+        let mut a = FnPal::new("a", |_| Ok(PalOutcome::Yield));
+        let mut b = FnPal::new("b", |_| Ok(PalOutcome::Yield));
+        let ia = sea.slaunch(&mut a, b"", CpuId(0), None).unwrap();
+        let ib = sea.slaunch(&mut b, b"", CpuId(1), None).unwrap();
+        let ra = sea.secb(ia).unwrap().pages();
+        let rb = sea.secb(ib).unwrap().pages();
+        assert!(!ra.overlaps(&rb));
+        assert_ne!(sea.secb(ia).unwrap().sepcr(), sea.secb(ib).unwrap().sepcr());
+        // PAL A's pages are closed to PAL B's CPU and vice versa.
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(1)), ra.base_addr(), 4)
+            .is_err());
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(0)), rb.base_addr(), 4)
+            .is_err());
+    }
+
+    #[test]
+    fn sepcr_exhaustion_fails_launch_and_releases_pages() {
+        let mut sea = EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(2).with_sepcr_count(1),
+            KeyStrength::Demo512,
+            b"exhaust",
+        ))
+        .unwrap();
+        let mut a = FnPal::new("a", |_| Ok(PalOutcome::Yield));
+        let mut b = FnPal::new("b", |_| Ok(PalOutcome::Yield));
+        sea.slaunch(&mut a, b"", CpuId(0), None).unwrap();
+        let err = sea.slaunch(&mut b, b"", CpuId(1), None).unwrap_err();
+        assert_eq!(err, SeaError::Tpm(TpmError::NoFreeSePcr));
+        // Figure 7 failure path: B's pages were returned to ALL.
+        let (all, cpu_only, none) = sea.platform().machine().controller().state_census();
+        assert_eq!(none, 0);
+        assert!(cpu_only > 0, "A's pages stay protected");
+        assert!(all > 0);
+        let _ = all;
+    }
+
+    #[test]
+    fn preemption_timer_charges_context_switches() {
+        let mut sea = sea(2);
+        // 10 ms of work under a 1 ms timer → 9 involuntary switches.
+        let mut pal = FnPal::new("longrunner", |ctx| {
+            ctx.work(SimDuration::from_ms(10));
+            Ok(PalOutcome::Exit(vec![]))
+        });
+        let id = sea
+            .slaunch(&mut pal, b"", CpuId(0), Some(SimDuration::from_ms(1)))
+            .unwrap();
+        let done = sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap();
+        let expected = sea.context_switch_cost() * 9;
+        assert_eq!(done.report.context_switch, expected);
+    }
+
+    #[test]
+    fn inputs_flow_through_protected_pages() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("echo", |ctx| Ok(PalOutcome::Exit(ctx.input().to_vec())));
+        let id = sea.slaunch(&mut pal, b"hello pal", CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap();
+        assert_eq!(done.output, b"hello pal");
+    }
+
+    #[test]
+    fn step_in_wrong_state_rejected() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("once", |_| Ok(PalOutcome::Exit(vec![])));
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        sea.step(&mut pal, id).unwrap();
+        assert!(matches!(
+            sea.step(&mut pal, id),
+            Err(SeaError::WrongLifecycle { .. })
+        ));
+        assert!(matches!(
+            sea.resume(id, CpuId(0)),
+            Err(SeaError::WrongLifecycle { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_pal_id_errors() {
+        let mut sea = sea(2);
+        assert!(matches!(
+            sea.resume(PalId(99), CpuId(0)),
+            Err(SeaError::NoSuchPal(99))
+        ));
+        assert!(sea.secb(PalId(99)).is_err());
+        assert!(sea.report(PalId(99)).is_err());
+        assert!(sea.quote_and_free(PalId(99), b"n").is_err());
+    }
+
+    #[test]
+    fn multicore_join_grants_and_revokes_access() {
+        let mut sea = sea(4);
+        let mut pal = FnPal::new("parallel", |ctx| {
+            if ctx.state().is_empty() {
+                ctx.set_state(vec![1]);
+                Ok(PalOutcome::Yield)
+            } else {
+                Ok(PalOutcome::Exit(vec![]))
+            }
+        });
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let base = sea.secb(id).unwrap().pages().base_addr();
+
+        // Before join: CPU 2 is locked out.
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(2)), base, 4)
+            .is_err());
+        sea.join(id, CpuId(2)).unwrap();
+        // After join: CPU 2 shares the PAL's pages; CPU 3 still out.
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(2)), base, 4)
+            .is_ok());
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(3)), base, 4)
+            .is_err());
+        assert!(sea
+            .platform()
+            .machine()
+            .cpu(CpuId(2))
+            .unwrap()
+            .in_secure_exec());
+
+        // Suspend revokes the helper; it must re-join after resume.
+        sea.step(&mut pal, id).unwrap();
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(2)), base, 4)
+            .is_err());
+        assert!(!sea
+            .platform()
+            .machine()
+            .cpu(CpuId(2))
+            .unwrap()
+            .in_secure_exec());
+
+        sea.resume(id, CpuId(1)).unwrap();
+        // Join is primary-initiated: the new primary is CPU 1.
+        sea.join(id, CpuId(3)).unwrap();
+        assert!(sea
+            .platform()
+            .machine()
+            .read(Requester::Cpu(CpuId(3)), base, 4)
+            .is_ok());
+        // Exit clears everything.
+        sea.step(&mut pal, id).unwrap();
+        assert!(!sea
+            .platform()
+            .machine()
+            .cpu(CpuId(3))
+            .unwrap()
+            .in_secure_exec());
+    }
+
+    #[test]
+    fn join_requires_execute_state() {
+        let mut sea = sea(2);
+        let mut pal = FnPal::new("j", |_| Ok(PalOutcome::Yield));
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        sea.step(&mut pal, id).unwrap(); // suspended
+        assert!(matches!(
+            sea.join(id, CpuId(1)),
+            Err(SeaError::WrongLifecycle { .. })
+        ));
+        assert!(sea.join(PalId(99), CpuId(1)).is_err());
+    }
+
+    #[test]
+    fn interrupt_forwarding_costs_per_schedule() {
+        use crate::secb::InterruptPolicy;
+        let run_with = |policy: InterruptPolicy| {
+            let mut sea = sea(2);
+            let mut yields = 2u8;
+            let mut pal = FnPal::new("idt", move |_| {
+                if yields == 0 {
+                    Ok(PalOutcome::Exit(vec![]))
+                } else {
+                    yields -= 1;
+                    Ok(PalOutcome::Yield)
+                }
+            });
+            let id = sea
+                .slaunch_with_interrupts(&mut pal, b"", CpuId(0), None, policy)
+                .unwrap();
+            sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap().report
+        };
+        let off = run_with(InterruptPolicy::Disabled);
+        let on = run_with(InterruptPolicy::Forward(vec![0x21, 0x2E]));
+        // Launch + 2 resumes → 3 reprogrammings of 2 µs each.
+        let delta = on.context_switch - off.context_switch;
+        assert_eq!(delta, INTERRUPT_ROUTING_COST * 3);
+    }
+
+    #[test]
+    fn sealed_state_survives_whole_pal_lifetimes() {
+        // Cross-lifetime persistence still uses the TPM (§5.4.4), but
+        // within a lifetime no sealing is needed.
+        let mut sea = sea(2);
+        let mut holder = None;
+        {
+            let h = &mut holder;
+            let mut first = FnPal::new("persistent", move |ctx| {
+                *h = Some(ctx.seal(b"across lifetimes")?);
+                Ok(PalOutcome::Exit(vec![]))
+            });
+            let id = sea.slaunch(&mut first, b"", CpuId(0), None).unwrap();
+            sea.run_to_exit(&mut first, id, CpuId(0)).unwrap();
+            sea.quote_and_free(id, b"n").unwrap();
+        }
+        let blob = holder.unwrap();
+        let mut second = FnPal::new("persistent", move |ctx| {
+            Ok(PalOutcome::Exit(ctx.unseal(&blob)?))
+        });
+        let id = sea.slaunch(&mut second, b"", CpuId(1), None).unwrap();
+        let done = sea.run_to_exit(&mut second, id, CpuId(1)).unwrap();
+        assert_eq!(done.output, b"across lifetimes");
+    }
+}

@@ -1,0 +1,126 @@
+//! SEA-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use sea_hw::HwError;
+use sea_tpm::TpmError;
+
+use crate::secb::PalLifecycle;
+
+/// Errors returned by the SEA runtimes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SeaError {
+    /// A hardware operation failed (memory protection, missing CPU, …).
+    Hw(HwError),
+    /// A TPM command failed (sealing policy, sePCR state, …).
+    Tpm(TpmError),
+    /// The operation requires a TPM and this platform has none (e.g. the
+    /// Tyan n3600R test machine).
+    NoTpm,
+    /// The platform lacks the proposed `SLAUNCH` hardware; only
+    /// [`crate::LegacySea`] runs here.
+    SlaunchUnsupported,
+    /// A PAL life-cycle operation arrived in the wrong state (Figure 6
+    /// has no such edge).
+    WrongLifecycle {
+        /// State the PAL was actually in.
+        actual: PalLifecycle,
+        /// The operation that was attempted.
+        operation: &'static str,
+    },
+    /// No PAL with the given identifier is registered.
+    NoSuchPal(u64),
+    /// The memory region allocated to a PAL is too small for its image,
+    /// input, and state.
+    RegionTooSmall {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available in the allocated region.
+        available: usize,
+    },
+    /// The PAL's application logic reported a failure.
+    PalFailed(String),
+}
+
+impl fmt::Display for SeaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SeaError::Hw(e) => write!(f, "hardware error: {e}"),
+            SeaError::Tpm(e) => write!(f, "TPM error: {e}"),
+            SeaError::NoTpm => write!(f, "platform has no TPM"),
+            SeaError::SlaunchUnsupported => {
+                write!(f, "platform does not implement SLAUNCH (baseline hardware)")
+            }
+            SeaError::WrongLifecycle { actual, operation } => {
+                write!(f, "{operation} is not valid in the {actual:?} state")
+            }
+            SeaError::NoSuchPal(id) => write!(f, "no such PAL: {id}"),
+            SeaError::RegionTooSmall { needed, available } => {
+                write!(
+                    f,
+                    "PAL region too small: need {needed} bytes, have {available}"
+                )
+            }
+            SeaError::PalFailed(msg) => write!(f, "PAL logic failed: {msg}"),
+        }
+    }
+}
+
+impl Error for SeaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SeaError::Hw(e) => Some(e),
+            SeaError::Tpm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HwError> for SeaError {
+    fn from(e: HwError) -> Self {
+        SeaError::Hw(e)
+    }
+}
+
+impl From<TpmError> for SeaError {
+    fn from(e: TpmError) -> Self {
+        SeaError::Tpm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_hw::CpuId;
+
+    #[test]
+    fn display_and_sources() {
+        let hw: SeaError = HwError::NoSuchCpu(CpuId(4)).into();
+        assert!(hw.to_string().contains("cpu4"));
+        assert!(Error::source(&hw).is_some());
+
+        let tpm: SeaError = TpmError::NoFreeSePcr.into();
+        assert!(tpm.to_string().contains("sePCR"));
+        assert!(Error::source(&tpm).is_some());
+
+        for e in [
+            SeaError::NoTpm,
+            SeaError::SlaunchUnsupported,
+            SeaError::WrongLifecycle {
+                actual: PalLifecycle::Done,
+                operation: "resume",
+            },
+            SeaError::NoSuchPal(3),
+            SeaError::RegionTooSmall {
+                needed: 10,
+                available: 5,
+            },
+            SeaError::PalFailed("boom".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(Error::source(&e).is_none());
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The remote-attestation challenge/response protocol.
+//!
+//! §2.1.1 sketches the flow: the verifier supplies a nonce, receives a
+//! signed quote, validates the AIK chain and the reported state, and
+//! decides. [`AttestationService`] packages that flow with the nonce
+//! hygiene a real deployment needs — unpredictable challenges, single
+//! use, and bounded lifetime — on top of [`crate::Verifier`] /
+//! [`crate::TrustPolicy`].
+
+use sea_crypto::Drbg;
+use sea_hw::{SimDuration, SimTime};
+use sea_tpm::Quote;
+
+use crate::attest::{TrustPolicy, VerifyError};
+
+/// Length of challenge nonces in bytes.
+const NONCE_LEN: usize = 20;
+
+/// An outstanding challenge issued by the service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Challenge {
+    nonce: Vec<u8>,
+    issued_at: SimTime,
+}
+
+impl Challenge {
+    /// The nonce to pass to the platform's quote operation.
+    pub fn nonce(&self) -> &[u8] {
+        &self.nonce
+    }
+}
+
+/// Why the service rejected an attestation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ProtocolError {
+    /// The response's nonce matches no outstanding challenge — replayed,
+    /// expired, already consumed, or fabricated.
+    UnknownChallenge,
+    /// The challenge was issued too long ago.
+    ChallengeExpired,
+    /// The quote failed cryptographic or policy verification.
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::UnknownChallenge => {
+                write!(f, "response matches no outstanding challenge")
+            }
+            ProtocolError::ChallengeExpired => write!(f, "challenge expired"),
+            ProtocolError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A remote attestation service: issues challenges, consumes sePCR
+/// quotes, and answers "which trusted service just ran?".
+///
+/// See the module tests for the full issue → quote → consume flow.
+#[derive(Debug)]
+pub struct AttestationService {
+    policy: TrustPolicy,
+    rng: Drbg,
+    max_age: SimDuration,
+    outstanding: Vec<Challenge>,
+}
+
+impl AttestationService {
+    /// Creates a service over `policy`, accepting responses within
+    /// `max_age` of their challenge. Nonces derive from `seed`
+    /// deterministically (the simulation's replayability rule).
+    pub fn new(policy: TrustPolicy, max_age: SimDuration, seed: &[u8]) -> Self {
+        AttestationService {
+            policy,
+            rng: Drbg::new(&[seed, b"/attestation-nonces"].concat()),
+            max_age,
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// The underlying trust policy (e.g. for revocations).
+    pub fn policy_mut(&mut self) -> &mut TrustPolicy {
+        &mut self.policy
+    }
+
+    /// Number of challenges awaiting responses.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Issues a fresh single-use challenge at time `now`.
+    pub fn issue(&mut self, now: SimTime) -> Challenge {
+        let challenge = Challenge {
+            nonce: self.rng.fill(NONCE_LEN),
+            issued_at: now,
+        };
+        self.outstanding.push(challenge.clone());
+        challenge
+    }
+
+    /// Consumes a response: checks the nonce against outstanding
+    /// challenges (single use, bounded age) and then verifies the quote
+    /// against the trust policy, returning the identified service name.
+    ///
+    /// # Errors
+    ///
+    /// See [`ProtocolError`]. On any error the challenge (if found) is
+    /// still consumed — a failed response burns its nonce.
+    pub fn consume(&mut self, quote: &Quote, now: SimTime) -> Result<String, ProtocolError> {
+        let idx = self
+            .outstanding
+            .iter()
+            .position(|c| c.nonce == quote.nonce())
+            .ok_or(ProtocolError::UnknownChallenge)?;
+        let challenge = self.outstanding.swap_remove(idx);
+        if now.duration_since(challenge.issued_at) > self.max_age {
+            return Err(ProtocolError::ChallengeExpired);
+        }
+        self.policy
+            .identify_sepcr_quote(quote, &challenge.nonce, &[])
+            .map(|s| s.to_owned())
+            .map_err(ProtocolError::Verify)
+    }
+
+    /// Drops challenges older than the acceptance window (housekeeping).
+    pub fn expire(&mut self, now: SimTime) {
+        let max_age = self.max_age;
+        self.outstanding
+            .retain(|c| now.duration_since(c.issued_at) <= max_age);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::Verifier;
+    use crate::enhanced::EnhancedSea;
+    use crate::pal::{FnPal, PalLogic, PalOutcome};
+    use crate::platform::SecurePlatform;
+    use sea_hw::{CpuId, Platform};
+    use sea_tpm::KeyStrength;
+
+    fn setup() -> (EnhancedSea, AttestationService) {
+        let sea = EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(2),
+            KeyStrength::Demo512,
+            b"protocol",
+        ))
+        .unwrap();
+        let policy = TrustPolicy::new(Verifier::new(
+            sea.platform().tpm().unwrap().aik_public().clone(),
+        ));
+        let service = AttestationService::new(policy, SimDuration::from_secs(60), b"svc");
+        (sea, service)
+    }
+
+    fn run_and_quote(sea: &mut EnhancedSea, pal: &mut dyn PalLogic, nonce: &[u8]) -> Quote {
+        let id = sea.slaunch(pal, b"", CpuId(0), None).unwrap();
+        sea.run_to_exit(pal, id, CpuId(0)).unwrap();
+        sea.quote_and_free(id, nonce).unwrap().value
+    }
+
+    #[test]
+    fn happy_path_identifies_service() {
+        let (mut sea, mut service) = setup();
+        let mut pal = FnPal::new("ledger", |_| Ok(PalOutcome::Exit(vec![])));
+        service.policy_mut().trust("ledger", &pal.image());
+
+        let now = sea.platform().machine().now();
+        let challenge = service.issue(now);
+        assert_eq!(service.outstanding(), 1);
+        let quote = run_and_quote(&mut sea, &mut pal, challenge.nonce());
+        let later = sea.platform().machine().now();
+        assert_eq!(service.consume(&quote, later), Ok("ledger".to_owned()));
+        assert_eq!(service.outstanding(), 0);
+    }
+
+    #[test]
+    fn replayed_response_rejected() {
+        let (mut sea, mut service) = setup();
+        let mut pal = FnPal::new("ledger", |_| Ok(PalOutcome::Exit(vec![])));
+        service.policy_mut().trust("ledger", &pal.image());
+        let now = sea.platform().machine().now();
+        let challenge = service.issue(now);
+        let quote = run_and_quote(&mut sea, &mut pal, challenge.nonce());
+        let later = sea.platform().machine().now();
+        assert!(service.consume(&quote, later).is_ok());
+        // Second use of the same quote: the nonce is burned.
+        assert_eq!(
+            service.consume(&quote, later),
+            Err(ProtocolError::UnknownChallenge)
+        );
+    }
+
+    #[test]
+    fn stale_challenge_rejected() {
+        let (mut sea, mut service) = setup();
+        let mut pal = FnPal::new("ledger", |_| Ok(PalOutcome::Exit(vec![])));
+        service.policy_mut().trust("ledger", &pal.image());
+        let now = sea.platform().machine().now();
+        let challenge = service.issue(now);
+        let quote = run_and_quote(&mut sea, &mut pal, challenge.nonce());
+        // The response arrives two minutes later (window: 60 s).
+        let too_late = now + SimDuration::from_secs(120);
+        assert_eq!(
+            service.consume(&quote, too_late),
+            Err(ProtocolError::ChallengeExpired)
+        );
+    }
+
+    #[test]
+    fn untrusted_pal_rejected_and_nonce_burned() {
+        let (mut sea, mut service) = setup();
+        let mut impostor = FnPal::new("impostor", |_| Ok(PalOutcome::Exit(vec![])));
+        // Policy trusts nothing.
+        let now = sea.platform().machine().now();
+        let challenge = service.issue(now);
+        let quote = run_and_quote(&mut sea, &mut impostor, challenge.nonce());
+        let later = sea.platform().machine().now();
+        assert!(matches!(
+            service.consume(&quote, later),
+            Err(ProtocolError::Verify(VerifyError::MeasurementMismatch))
+        ));
+        // The failed attempt consumed the challenge.
+        assert_eq!(service.outstanding(), 0);
+    }
+
+    #[test]
+    fn fabricated_nonce_rejected() {
+        let (mut sea, mut service) = setup();
+        let mut pal = FnPal::new("ledger", |_| Ok(PalOutcome::Exit(vec![])));
+        service.policy_mut().trust("ledger", &pal.image());
+        // Quote against a nonce the service never issued.
+        let quote = run_and_quote(&mut sea, &mut pal, b"attacker-chosen");
+        let now = sea.platform().machine().now();
+        assert_eq!(
+            service.consume(&quote, now),
+            Err(ProtocolError::UnknownChallenge)
+        );
+    }
+
+    #[test]
+    fn expire_drops_old_challenges() {
+        let (sea, mut service) = setup();
+        let t0 = sea.platform().machine().now();
+        service.issue(t0);
+        service.issue(t0 + SimDuration::from_secs(90));
+        service.expire(t0 + SimDuration::from_secs(100));
+        // First challenge (age 100 s) dropped; second (age 10 s) kept.
+        assert_eq!(service.outstanding(), 1);
+    }
+
+    #[test]
+    fn nonces_are_unique() {
+        let (sea, mut service) = setup();
+        let now = sea.platform().machine().now();
+        let a = service.issue(now);
+        let b = service.issue(now);
+        assert_ne!(a.nonce(), b.nonce());
+        assert_eq!(a.nonce().len(), NONCE_LEN);
+    }
+
+    #[test]
+    fn error_display() {
+        for e in [
+            ProtocolError::UnknownChallenge,
+            ProtocolError::ChallengeExpired,
+            ProtocolError::Verify(VerifyError::BadSignature),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(
+            std::error::Error::source(&ProtocolError::Verify(VerifyError::BadSignature)).is_some()
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Session cost breakdowns — the quantities Figure 2 plots.
+
+use std::fmt;
+
+use sea_hw::SimDuration;
+
+/// Cost breakdown of one PAL session, mirroring the stacked components of
+/// Figure 2 (`SKINIT`, `Seal`, `Unseal`, `Quote`) plus application work.
+///
+/// # Example
+///
+/// ```
+/// use sea_core::SessionReport;
+/// use sea_hw::SimDuration;
+///
+/// let mut r = SessionReport::default();
+/// r.late_launch = SimDuration::from_ms(177);
+/// r.seal = SimDuration::from_ms(20);
+/// assert_eq!(r.overhead(), SimDuration::from_ms(197));
+/// assert_eq!(r.total(), r.overhead()); // no app work recorded
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionReport {
+    /// Late launch (`SKINIT`/`SENTER`) or `SLAUNCH` measurement cost.
+    pub late_launch: SimDuration,
+    /// Time in `TPM_Seal`.
+    pub seal: SimDuration,
+    /// Time in `TPM_Unseal`.
+    pub unseal: SimDuration,
+    /// Time in `TPM_Quote`.
+    pub quote: SimDuration,
+    /// Other TPM commands (extends, random) issued by the PAL.
+    pub tpm_other: SimDuration,
+    /// Context-switch costs (suspend/resume; VM-entry scale on proposed
+    /// hardware, §5.7).
+    pub context_switch: SimDuration,
+    /// Application-specific work — *not* overhead ("these numbers
+    /// represent pure overhead — the time necessary for
+    /// application-specific work would be added on top", §4.2).
+    pub pal_work: SimDuration,
+}
+
+impl SessionReport {
+    /// Total architectural overhead (everything except PAL work).
+    pub fn overhead(&self) -> SimDuration {
+        self.late_launch
+            + self.seal
+            + self.unseal
+            + self.quote
+            + self.tpm_other
+            + self.context_switch
+    }
+
+    /// End-to-end session time including application work.
+    pub fn total(&self) -> SimDuration {
+        self.overhead() + self.pal_work
+    }
+
+    /// Component-wise sum of two reports.
+    pub fn merged(&self, other: &SessionReport) -> SessionReport {
+        SessionReport {
+            late_launch: self.late_launch + other.late_launch,
+            seal: self.seal + other.seal,
+            unseal: self.unseal + other.unseal,
+            quote: self.quote + other.quote,
+            tpm_other: self.tpm_other + other.tpm_other,
+            context_switch: self.context_switch + other.context_switch,
+            pal_work: self.pal_work + other.pal_work,
+        }
+    }
+}
+
+impl fmt::Display for SessionReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "late-launch {} | seal {} | unseal {} | quote {} | tpm-other {} | ctx-switch {} | work {} || total {}",
+            self.late_launch,
+            self.seal,
+            self.unseal,
+            self.quote,
+            self.tpm_other,
+            self.context_switch,
+            self.pal_work,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_excludes_pal_work() {
+        let r = SessionReport {
+            late_launch: SimDuration::from_ms(177),
+            seal: SimDuration::from_ms(20),
+            unseal: SimDuration::from_ms(905),
+            quote: SimDuration::from_ms(880),
+            tpm_other: SimDuration::from_ms(1),
+            context_switch: SimDuration::from_us(1),
+            pal_work: SimDuration::from_ms(50),
+        };
+        assert_eq!(
+            r.overhead(),
+            SimDuration::from_ms(1983) + SimDuration::from_us(1)
+        );
+        assert_eq!(r.total(), r.overhead() + SimDuration::from_ms(50));
+    }
+
+    #[test]
+    fn merged_adds_componentwise() {
+        let a = SessionReport {
+            seal: SimDuration::from_ms(1),
+            pal_work: SimDuration::from_ms(2),
+            ..SessionReport::default()
+        };
+        let b = SessionReport {
+            seal: SimDuration::from_ms(3),
+            quote: SimDuration::from_ms(4),
+            ..SessionReport::default()
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.seal, SimDuration::from_ms(4));
+        assert_eq!(m.quote, SimDuration::from_ms(4));
+        assert_eq!(m.pal_work, SimDuration::from_ms(2));
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let s = SessionReport::default().to_string();
+        for key in [
+            "late-launch",
+            "seal",
+            "unseal",
+            "quote",
+            "ctx-switch",
+            "total",
+        ] {
+            assert!(s.contains(key), "missing {key} in {s}");
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The [`Digest`] trait abstracting over the hash functions in this crate.
+
+/// An incremental cryptographic hash function.
+///
+/// Both [`crate::Sha1`] and [`crate::Sha256`] implement this trait, which
+/// lets [`crate::Hmac`] and the OAEP mask-generation function work over
+/// either. The trait is deliberately minimal: `update` absorbs bytes,
+/// `finalize` produces the digest as a `Vec<u8>` of [`Digest::OUTPUT_LEN`]
+/// bytes.
+///
+/// # Example
+///
+/// ```
+/// use sea_crypto::{Digest, Sha1};
+///
+/// let mut h = Sha1::new();
+/// h.update(b"hello ");
+/// h.update(b"world");
+/// let once = Sha1::digest(b"hello world");
+/// assert_eq!(h.finalize().as_slice(), once.as_slice());
+/// ```
+pub trait Digest: Clone {
+    /// Length of the digest produced by [`Digest::finalize`], in bytes.
+    const OUTPUT_LEN: usize;
+
+    /// Internal block size in bytes (used by HMAC key padding).
+    const BLOCK_LEN: usize;
+
+    /// Creates a fresh hasher in its initial state.
+    fn new() -> Self;
+
+    /// Absorbs `data` into the hash state.
+    fn update(&mut self, data: &[u8]);
+
+    /// Consumes the hasher and returns the digest
+    /// (`Self::OUTPUT_LEN` bytes).
+    fn finalize(self) -> Vec<u8>;
+
+    /// One-shot convenience: hash `data` in a single call.
+    fn digest_oneshot(data: &[u8]) -> Vec<u8> {
+        let mut h = Self::new();
+        h.update(data);
+        h.finalize()
+    }
+}

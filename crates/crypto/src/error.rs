@@ -1,0 +1,82 @@
+//! Error type shared by all cryptographic operations in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cryptographic operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// A message was too large for the RSA modulus it was to be processed
+    /// under (e.g. an OAEP plaintext longer than `k - 2*hLen - 2`).
+    MessageTooLong {
+        /// Length of the offending message in bytes.
+        len: usize,
+        /// Maximum length permitted by the key size and padding scheme.
+        max: usize,
+    },
+    /// A ciphertext, signature, or encoded message failed structural or
+    /// integrity validation during decoding.
+    InvalidCiphertext,
+    /// A signature failed verification.
+    BadSignature,
+    /// Key generation parameters were invalid (e.g. a modulus size too
+    /// small to hold the padding overhead).
+    InvalidKeySize {
+        /// The requested modulus size in bits.
+        bits: usize,
+    },
+    /// Prime generation failed to converge within its iteration budget.
+    PrimeGenerationFailed,
+    /// An operand was out of range (e.g. RSA input not below the modulus).
+    ValueOutOfRange,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { len, max } => {
+                write!(f, "message of {len} bytes exceeds maximum of {max} bytes")
+            }
+            CryptoError::InvalidCiphertext => write!(f, "ciphertext failed validation"),
+            CryptoError::BadSignature => write!(f, "signature verification failed"),
+            CryptoError::InvalidKeySize { bits } => {
+                write!(f, "invalid RSA key size: {bits} bits")
+            }
+            CryptoError::PrimeGenerationFailed => {
+                write!(f, "prime generation did not converge")
+            }
+            CryptoError::ValueOutOfRange => write!(f, "operand out of range"),
+        }
+    }
+}
+
+impl Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            CryptoError::MessageTooLong { len: 10, max: 5 },
+            CryptoError::InvalidCiphertext,
+            CryptoError::BadSignature,
+            CryptoError::InvalidKeySize { bits: 8 },
+            CryptoError::PrimeGenerationFailed,
+            CryptoError::ValueOutOfRange,
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CryptoError>();
+    }
+}

@@ -1,0 +1,105 @@
+//! Hardware-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{CpuId, PageIndex, PhysAddr, Requester};
+
+/// Errors raised by the hardware model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// The memory controller denied a request: the page is protected
+    /// against this requester by the access-control table or the DEV.
+    AccessDenied {
+        /// Who issued the request.
+        requester: Requester,
+        /// The page that was protected.
+        page: PageIndex,
+    },
+    /// A physical address (or address + length) fell outside installed
+    /// memory.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: PhysAddr,
+    },
+    /// `SLAUNCH`-style protection failed because a page is already in use
+    /// by another protected execution (its table entry is not `ALL`).
+    PageConflict {
+        /// The already-protected page.
+        page: PageIndex,
+    },
+    /// A page-state transition was attempted from the wrong state (e.g.
+    /// resuming pages that are not `NONE`, or suspending pages not owned
+    /// by the requesting CPU).
+    InvalidPageTransition {
+        /// The page whose transition was rejected.
+        page: PageIndex,
+    },
+    /// A CPU index does not exist on this platform.
+    NoSuchCpu(CpuId),
+    /// The requested operation needs a late-launch-capable CPU and this
+    /// platform does not provide one (or does not provide `SLAUNCH`).
+    UnsupportedOnPlatform {
+        /// Human-readable name of the missing capability.
+        capability: &'static str,
+    },
+    /// The CPU is in a state that forbids the requested operation (e.g.
+    /// `SLAUNCH` on a CPU already executing a PAL).
+    CpuBusy(CpuId),
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::AccessDenied { requester, page } => {
+                write!(f, "memory controller denied {requester} access to {page}")
+            }
+            HwError::AddressOutOfRange { addr } => {
+                write!(f, "address {addr} is outside installed memory")
+            }
+            HwError::PageConflict { page } => {
+                write!(f, "{page} is already protected for another PAL")
+            }
+            HwError::InvalidPageTransition { page } => {
+                write!(f, "invalid access-table state transition for {page}")
+            }
+            HwError::NoSuchCpu(c) => write!(f, "no such CPU: {c}"),
+            HwError::UnsupportedOnPlatform { capability } => {
+                write!(f, "platform does not support {capability}")
+            }
+            HwError::CpuBusy(c) => write!(f, "{c} is busy with a protected execution"),
+        }
+    }
+}
+
+impl Error for HwError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DeviceId;
+
+    #[test]
+    fn display_covers_all_variants() {
+        let cases = [
+            HwError::AccessDenied {
+                requester: Requester::Device(DeviceId(0)),
+                page: PageIndex(7),
+            },
+            HwError::AddressOutOfRange {
+                addr: PhysAddr(0xffff_ffff),
+            },
+            HwError::PageConflict { page: PageIndex(1) },
+            HwError::InvalidPageTransition { page: PageIndex(2) },
+            HwError::NoSuchCpu(CpuId(9)),
+            HwError::UnsupportedOnPlatform {
+                capability: "SLAUNCH",
+            },
+            HwError::CpuBusy(CpuId(1)),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! First-fit physical page allocator.
+//!
+//! The OS hands contiguous page runs to PALs (the paper requires PAL +
+//! SECB contiguity, §5.1.1) and reclaims them at `SFREE`/`SKILL`. While
+//! a PAL holds pages, the OS itself cannot touch them — the resulting
+//! holes are exactly the "discontiguous physical memory" §5.2.2 says the
+//! OS must tolerate, like an AGP graphics aperture.
+
+use sea_hw::{PageIndex, PageRange};
+
+use crate::error::OsError;
+
+/// A first-fit allocator over a fixed arena of physical pages.
+#[derive(Debug, Clone)]
+pub struct PageAllocator {
+    arena: PageRange,
+    /// Sorted, disjoint, non-adjacent free runs.
+    free: Vec<PageRange>,
+}
+
+impl PageAllocator {
+    /// Creates an allocator owning `arena`.
+    pub fn new(arena: PageRange) -> Self {
+        PageAllocator {
+            arena,
+            free: vec![arena],
+        }
+    }
+
+    /// The arena this allocator manages.
+    pub fn arena(&self) -> PageRange {
+        self.arena
+    }
+
+    /// Total free pages (possibly fragmented).
+    pub fn free_pages(&self) -> u32 {
+        self.free.iter().map(|r| r.count).sum()
+    }
+
+    /// Size of the largest contiguous free run.
+    pub fn largest_free_run(&self) -> u32 {
+        self.free.iter().map(|r| r.count).max().unwrap_or(0)
+    }
+
+    /// Allocates `count` contiguous pages, first-fit.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::OutOfMemory`] if no free run is large enough (even if
+    /// the *total* free space would suffice — fragmentation is real).
+    pub fn alloc(&mut self, count: u32) -> Result<PageRange, OsError> {
+        if count == 0 {
+            return Err(OsError::OutOfMemory {
+                requested: 0,
+                largest_free: self.largest_free_run(),
+            });
+        }
+        let slot = self
+            .free
+            .iter()
+            .position(|r| r.count >= count)
+            .ok_or(OsError::OutOfMemory {
+                requested: count,
+                largest_free: self.largest_free_run(),
+            })?;
+        let run = self.free[slot];
+        let allocated = PageRange::new(run.start, count);
+        if run.count == count {
+            self.free.remove(slot);
+        } else {
+            self.free[slot] = PageRange::new(PageIndex(run.start.0 + count), run.count - count);
+        }
+        Ok(allocated)
+    }
+
+    /// Returns `range` to the free pool, coalescing with neighbours.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NotAllocated`] if `range` lies outside the arena or
+    /// overlaps a free run (double free).
+    pub fn free(&mut self, range: PageRange) -> Result<(), OsError> {
+        let arena_end = self.arena.start.0 + self.arena.count;
+        if range.count == 0
+            || range.start.0 < self.arena.start.0
+            || range.start.0 + range.count > arena_end
+        {
+            return Err(OsError::NotAllocated);
+        }
+        if self.free.iter().any(|r| r.overlaps(&range)) {
+            return Err(OsError::NotAllocated);
+        }
+        // Insert in sorted position and coalesce.
+        let pos = self
+            .free
+            .iter()
+            .position(|r| r.start.0 > range.start.0)
+            .unwrap_or(self.free.len());
+        self.free.insert(pos, range);
+        self.coalesce();
+        Ok(())
+    }
+
+    fn coalesce(&mut self) {
+        let mut merged: Vec<PageRange> = Vec::with_capacity(self.free.len());
+        for &r in &self.free {
+            match merged.last_mut() {
+                Some(last) if last.start.0 + last.count == r.start.0 => {
+                    last.count += r.count;
+                }
+                _ => merged.push(r),
+            }
+        }
+        self.free = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alloc64() -> PageAllocator {
+        PageAllocator::new(PageRange::new(PageIndex(100), 64))
+    }
+
+    #[test]
+    fn alloc_is_first_fit_and_disjoint() {
+        let mut a = alloc64();
+        let r1 = a.alloc(8).unwrap();
+        let r2 = a.alloc(8).unwrap();
+        assert_eq!(r1.start, PageIndex(100));
+        assert_eq!(r2.start, PageIndex(108));
+        assert!(!r1.overlaps(&r2));
+        assert_eq!(a.free_pages(), 48);
+    }
+
+    #[test]
+    fn exhaustion_reports_largest_run() {
+        let mut a = alloc64();
+        let _ = a.alloc(60).unwrap();
+        match a.alloc(8) {
+            Err(OsError::OutOfMemory {
+                requested: 8,
+                largest_free: 4,
+            }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_page_request_rejected() {
+        let mut a = alloc64();
+        assert!(matches!(a.alloc(0), Err(OsError::OutOfMemory { .. })));
+    }
+
+    #[test]
+    fn free_coalesces_adjacent_runs() {
+        let mut a = alloc64();
+        let r1 = a.alloc(8).unwrap();
+        let r2 = a.alloc(8).unwrap();
+        let r3 = a.alloc(8).unwrap();
+        a.free(r1).unwrap();
+        a.free(r3).unwrap();
+        // Fragmented: r2 still held; r3's run coalesced with the tail
+        // (pages 116..164 = 48), while r1's 8 pages sit alone.
+        assert_eq!(a.free_pages(), 56);
+        assert_eq!(a.largest_free_run(), 48);
+        a.free(r2).unwrap();
+        // Fully coalesced again.
+        assert_eq!(a.largest_free_run(), 64);
+        let big = a.alloc(64).unwrap();
+        assert_eq!(big, PageRange::new(PageIndex(100), 64));
+    }
+
+    #[test]
+    fn fragmentation_blocks_large_requests() {
+        let mut a = alloc64();
+        let r1 = a.alloc(32).unwrap();
+        let _r2 = a.alloc(32).unwrap();
+        a.free(r1).unwrap();
+        // 32 free but split? No — one run of 32. Request 33 fails.
+        assert!(matches!(a.alloc(33), Err(OsError::OutOfMemory { .. })));
+        assert!(a.alloc(32).is_ok());
+    }
+
+    #[test]
+    fn double_free_rejected() {
+        let mut a = alloc64();
+        let r = a.alloc(8).unwrap();
+        a.free(r).unwrap();
+        assert_eq!(a.free(r), Err(OsError::NotAllocated));
+    }
+
+    #[test]
+    fn foreign_range_rejected() {
+        let mut a = alloc64();
+        assert_eq!(
+            a.free(PageRange::new(PageIndex(0), 4)),
+            Err(OsError::NotAllocated)
+        );
+        assert_eq!(
+            a.free(PageRange::new(PageIndex(160), 8)),
+            Err(OsError::NotAllocated)
+        );
+        assert_eq!(
+            a.free(PageRange::new(PageIndex(100), 0)),
+            Err(OsError::NotAllocated)
+        );
+    }
+
+    #[test]
+    fn out_of_order_frees_coalesce() {
+        let mut a = alloc64();
+        let rs: Vec<_> = (0..8).map(|_| a.alloc(8).unwrap()).collect();
+        // Free in scrambled order.
+        for i in [3usize, 0, 7, 1, 5, 2, 6, 4] {
+            a.free(rs[i]).unwrap();
+        }
+        assert_eq!(a.largest_free_run(), 64);
+        assert_eq!(a.free_pages(), 64);
+    }
+}

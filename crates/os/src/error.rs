@@ -1,0 +1,77 @@
+//! OS-level error type.
+
+use std::error::Error;
+use std::fmt;
+
+use sea_core::SeaError;
+
+/// Errors raised by the untrusted-OS simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OsError {
+    /// The allocator has no contiguous run of the requested size.
+    OutOfMemory {
+        /// Pages requested.
+        requested: u32,
+        /// Largest contiguous run currently available.
+        largest_free: u32,
+    },
+    /// A range passed to `free` was not (entirely) allocated by this
+    /// allocator.
+    NotAllocated,
+    /// A SEA operation performed on the OS's behalf failed.
+    Sea(SeaError),
+    /// The scheduler was asked to run with no work registered.
+    NothingToRun,
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::OutOfMemory {
+                requested,
+                largest_free,
+            } => write!(
+                f,
+                "out of memory: requested {requested} contiguous pages, largest free run is {largest_free}"
+            ),
+            OsError::NotAllocated => write!(f, "range was not allocated"),
+            OsError::Sea(e) => write!(f, "SEA operation failed: {e}"),
+            OsError::NothingToRun => write!(f, "scheduler has no jobs"),
+        }
+    }
+}
+
+impl Error for OsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OsError::Sea(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SeaError> for OsError {
+    fn from(e: SeaError) -> Self {
+        OsError::Sea(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = OsError::OutOfMemory {
+            requested: 10,
+            largest_free: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(Error::source(&e).is_none());
+        let s: OsError = SeaError::NoTpm.into();
+        assert!(Error::source(&s).is_some());
+        assert!(!OsError::NotAllocated.to_string().is_empty());
+        assert!(!OsError::NothingToRun.to_string().is_empty());
+    }
+}

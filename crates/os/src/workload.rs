@@ -1,0 +1,219 @@
+//! Workload generation and response-time simulation.
+//!
+//! §4.2's qualitative claim — "most of the computer's processing power
+//! and *responsiveness* vanish for over a second during PAL execution"
+//! — becomes quantitative here: PAL service requests arrive randomly
+//! over a horizon, and a small queueing simulation computes response
+//! times under the two architectures' service disciplines:
+//!
+//! * **baseline**: one session at a time, each stalling the whole
+//!   platform (a single server whose service time is the full >1 s
+//!   session);
+//! * **proposed**: any idle core serves a request (c servers, each
+//!   paying only the ~µs-scale switch overheads).
+
+use sea_crypto::Drbg;
+use sea_hw::{SimDuration, SimTime};
+
+/// A generated trace of PAL service-request arrival times.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrivalTrace {
+    arrivals: Vec<SimTime>,
+}
+
+impl ArrivalTrace {
+    /// Generates Poisson-ish arrivals over `[0, horizon)` with the given
+    /// mean inter-arrival time, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_interarrival` is zero.
+    pub fn poisson(horizon: SimDuration, mean_interarrival: SimDuration, seed: &[u8]) -> Self {
+        assert!(
+            mean_interarrival > SimDuration::ZERO,
+            "mean inter-arrival must be positive"
+        );
+        let mut rng = Drbg::new(seed);
+        let mut arrivals = Vec::new();
+        let mut t = 0f64;
+        let horizon_ns = horizon.as_ns() as f64;
+        let mean_ns = mean_interarrival.as_ns() as f64;
+        loop {
+            // Exponential inter-arrival via inverse CDF.
+            let u = (rng.next_u64() as f64 + 1.0) / (u64::MAX as f64 + 2.0);
+            t += -mean_ns * u.ln();
+            if t >= horizon_ns {
+                break;
+            }
+            arrivals.push(SimTime::from_ns(t as u64));
+        }
+        ArrivalTrace { arrivals }
+    }
+
+    /// The arrival instants, ascending.
+    pub fn arrivals(&self) -> &[SimTime] {
+        &self.arrivals
+    }
+
+    /// Number of requests in the trace.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+}
+
+/// Response-time statistics from a service simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponseStats {
+    /// Mean response time (arrival → completion).
+    pub mean: SimDuration,
+    /// 95th-percentile response time.
+    pub p95: SimDuration,
+    /// Worst response time.
+    pub max: SimDuration,
+    /// Requests served.
+    pub served: usize,
+}
+
+/// Simulates serving `trace` on `servers` parallel servers with fixed
+/// per-request `service_time` (earliest-free-server discipline) and
+/// returns the response-time statistics.
+///
+/// `servers = 1` with a session-scale service time models the baseline's
+/// whole-platform serialization; `servers = n_cpus` with a work-scale
+/// service time models the proposed hardware.
+///
+/// # Panics
+///
+/// Panics if `servers == 0` or the trace is empty.
+pub fn simulate_service(
+    trace: &ArrivalTrace,
+    servers: usize,
+    service_time: SimDuration,
+) -> ResponseStats {
+    assert!(servers > 0, "need at least one server");
+    assert!(!trace.is_empty(), "empty arrival trace");
+    let mut free_at = vec![SimTime::ZERO; servers];
+    let mut responses: Vec<SimDuration> = Vec::with_capacity(trace.len());
+    for &arrival in trace.arrivals() {
+        // Earliest-free server.
+        let (idx, &earliest) = free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, t)| **t)
+            .expect("at least one server");
+        let start = if earliest > arrival {
+            earliest
+        } else {
+            arrival
+        };
+        let completion = start + service_time;
+        free_at[idx] = completion;
+        responses.push(completion.duration_since(arrival));
+    }
+    responses.sort_unstable();
+    let total: SimDuration = responses.iter().copied().sum();
+    let p95_idx = ((responses.len() as f64) * 0.95).ceil() as usize - 1;
+    ResponseStats {
+        mean: total / responses.len() as u64,
+        p95: responses[p95_idx.min(responses.len() - 1)],
+        max: *responses.last().expect("nonempty"),
+        served: responses.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_trace_is_deterministic_and_in_horizon() {
+        let h = SimDuration::from_secs(10);
+        let a = ArrivalTrace::poisson(h, SimDuration::from_ms(100), b"seed");
+        let b = ArrivalTrace::poisson(h, SimDuration::from_ms(100), b"seed");
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Roughly horizon/mean arrivals (±50% for the short horizon).
+        assert!(a.len() > 50 && a.len() < 200, "{} arrivals", a.len());
+        for w in a.arrivals().windows(2) {
+            assert!(w[1] >= w[0], "sorted");
+        }
+        assert!(a.arrivals().last().unwrap().as_ns() < h.as_ns());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let h = SimDuration::from_secs(5);
+        let a = ArrivalTrace::poisson(h, SimDuration::from_ms(100), b"seed-a");
+        let b = ArrivalTrace::poisson(h, SimDuration::from_ms(100), b"seed-b");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn unloaded_service_response_equals_service_time() {
+        // Arrivals far apart: every request is served immediately.
+        let trace = ArrivalTrace::poisson(
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            b"sparse",
+        );
+        let svc = SimDuration::from_ms(5);
+        let stats = simulate_service(&trace, 1, svc);
+        assert_eq!(stats.mean, svc);
+        assert_eq!(stats.max, svc);
+    }
+
+    #[test]
+    fn single_slow_server_queues_badly() {
+        // 1.1 s sessions arriving every ~500 ms on one server: the queue
+        // grows without bound; mean response far exceeds service time.
+        let trace = ArrivalTrace::poisson(
+            SimDuration::from_secs(30),
+            SimDuration::from_ms(500),
+            b"storm",
+        );
+        let baseline = simulate_service(&trace, 1, SimDuration::from_ms(1100));
+        assert!(
+            baseline.mean > SimDuration::from_secs(5),
+            "mean {}",
+            baseline.mean
+        );
+
+        // The same storm on 4 fast servers barely queues.
+        let proposed = simulate_service(&trace, 4, SimDuration::from_ms(12));
+        assert!(
+            proposed.mean < SimDuration::from_ms(20),
+            "mean {}",
+            proposed.mean
+        );
+        assert_eq!(baseline.served, proposed.served);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let trace =
+            ArrivalTrace::poisson(SimDuration::from_secs(20), SimDuration::from_ms(200), b"p");
+        let s = simulate_service(&trace, 2, SimDuration::from_ms(300));
+        assert!(s.mean <= s.p95 || s.p95 == s.max);
+        assert!(s.p95 <= s.max);
+        assert_eq!(s.served, trace.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let trace =
+            ArrivalTrace::poisson(SimDuration::from_secs(1), SimDuration::from_ms(100), b"x");
+        let _ = simulate_service(&trace, 0, SimDuration::from_ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interarrival_panics() {
+        let _ = ArrivalTrace::poisson(SimDuration::from_secs(1), SimDuration::ZERO, b"x");
+    }
+}

@@ -1,0 +1,235 @@
+//! The certificate-authority PAL (§4.1).
+//!
+//! "We also use the architecture to protect the confidentiality of a
+//! certificate authority's private signing key." The CA keypair is
+//! generated *inside* a protected session, its private half is sealed to
+//! the PAL's measurement, and signing happens inside later sessions —
+//! the private key never exists in memory the OS can read.
+//!
+//! This is the paper's canonical PAL-Gen / PAL-Use pair: `Generate` is
+//! the Gen session (ends with a Seal), `Sign` is the Use session (starts
+//! with an Unseal; "this example would not require a subsequent seal,
+//! since the unsealed key could simply be erased", §4.1).
+
+use sea_core::{PalCtx, PalLogic, PalOutcome, SeaError};
+use sea_crypto::{BigUint, Drbg, RsaPrivateKey, RsaPublicKey, Sha1, Signature};
+use sea_hw::SimDuration;
+use sea_tpm::SealedBlob;
+
+/// A request to the CA PAL, encoded into the session input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaRequest {
+    /// Generate the CA keypair; output is the encoded public key.
+    Generate,
+    /// Sign a certificate-signing request (arbitrary bytes); output is
+    /// the signature.
+    Sign(Vec<u8>),
+}
+
+impl CaRequest {
+    /// Wire encoding passed as PAL input.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            CaRequest::Generate => vec![0x00],
+            CaRequest::Sign(csr) => {
+                let mut v = vec![0x01];
+                v.extend_from_slice(csr);
+                v
+            }
+        }
+    }
+
+    fn parse(input: &[u8]) -> Result<CaRequest, SeaError> {
+        match input.split_first() {
+            Some((0x00, [])) => Ok(CaRequest::Generate),
+            Some((0x01, csr)) => Ok(CaRequest::Sign(csr.to_vec())),
+            _ => Err(SeaError::PalFailed("malformed CA request".into())),
+        }
+    }
+}
+
+/// Encodes an RSA public key as length-prefixed `n`, `e`.
+pub(crate) fn encode_public_key(key: &RsaPublicKey) -> Vec<u8> {
+    let n = key.modulus().to_bytes_be();
+    // The public exponent is always 65537 in this implementation.
+    let e = BigUint::from_u64(65_537).to_bytes_be();
+    let mut out = (n.len() as u32).to_be_bytes().to_vec();
+    out.extend_from_slice(&n);
+    out.extend_from_slice(&(e.len() as u32).to_be_bytes());
+    out.extend_from_slice(&e);
+    out
+}
+
+/// Decodes a public key produced by a `Generate` session.
+pub fn decode_public_key(bytes: &[u8]) -> Option<RsaPublicKey> {
+    let n_len = u32::from_be_bytes(bytes.get(..4)?.try_into().ok()?) as usize;
+    let n = BigUint::from_bytes_be(bytes.get(4..4 + n_len)?);
+    let rest = bytes.get(4 + n_len..)?;
+    let e_len = u32::from_be_bytes(rest.get(..4)?.try_into().ok()?) as usize;
+    let e = BigUint::from_bytes_be(rest.get(4..4 + e_len)?);
+    Some(RsaPublicKey::new(n, e))
+}
+
+/// RSA modulus size for CA keys. 512 bits keeps simulated sessions fast;
+/// the virtual-time cost of the Seal/Unseal is what the paper measures
+/// and comes from the TPM timing model regardless.
+const CA_KEY_BITS: usize = 512;
+
+/// Modelled compute time for in-PAL RSA key generation.
+const KEYGEN_WORK: SimDuration = SimDuration::from_ms(150);
+
+/// Modelled compute time for one in-PAL RSA signature.
+const SIGN_WORK: SimDuration = SimDuration::from_ms(5);
+
+/// The certificate-authority PAL.
+///
+/// The sealed private key is held (opaquely) by this struct between
+/// sessions, playing the untrusted OS's role of blob custodian.
+#[derive(Debug, Default)]
+pub struct CertAuthority {
+    sealed_key: Option<SealedBlob>,
+}
+
+impl CertAuthority {
+    /// Creates a CA with no key material yet.
+    pub fn new() -> Self {
+        CertAuthority { sealed_key: None }
+    }
+
+    /// Whether a sealed signing key exists.
+    pub fn has_key(&self) -> bool {
+        self.sealed_key.is_some()
+    }
+}
+
+impl PalLogic for CertAuthority {
+    fn name(&self) -> &str {
+        "certificate-authority"
+    }
+
+    fn image(&self) -> Vec<u8> {
+        b"PAL:certificate-authority:v1".to_vec()
+    }
+
+    fn run(&mut self, ctx: &mut PalCtx<'_>) -> Result<PalOutcome, SeaError> {
+        match CaRequest::parse(ctx.input())? {
+            CaRequest::Generate => {
+                // Key generation from TPM randomness, inside the TCB.
+                let seed = ctx.random(32)?;
+                let mut rng = Drbg::new(&seed);
+                let key = RsaPrivateKey::generate(CA_KEY_BITS, &mut rng)
+                    .map_err(|e| SeaError::PalFailed(format!("keygen failed: {e}")))?;
+                ctx.work(KEYGEN_WORK);
+                self.sealed_key = Some(ctx.seal(&key.to_bytes())?);
+                Ok(PalOutcome::Exit(encode_public_key(key.public_key())))
+            }
+            CaRequest::Sign(csr) => {
+                let blob = self
+                    .sealed_key
+                    .as_ref()
+                    .ok_or_else(|| SeaError::PalFailed("CA key not generated".into()))?;
+                let key_bytes = ctx.unseal(blob)?;
+                let key = RsaPrivateKey::from_bytes(&key_bytes)
+                    .map_err(|e| SeaError::PalFailed(format!("corrupt sealed key: {e}")))?;
+                let digest = Sha1::digest(&csr);
+                let sig = key
+                    .sign_pkcs1v15(&digest)
+                    .map_err(|e| SeaError::PalFailed(format!("signing failed: {e}")))?;
+                ctx.work(SIGN_WORK);
+                // The unsealed key is simply erased on exit (it lives
+                // only in the protected session); no reseal needed.
+                Ok(PalOutcome::Exit(sig.0))
+            }
+        }
+    }
+}
+
+/// Verifies a CA signature produced by a `Sign` session.
+pub fn verify_ca_signature(public: &RsaPublicKey, csr: &[u8], signature: &[u8]) -> bool {
+    public.verify_pkcs1v15(&Sha1::digest(csr), &Signature(signature.to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_core::{LegacySea, SecurePlatform, SessionReport};
+    use sea_hw::Platform;
+    use sea_tpm::KeyStrength;
+
+    fn sea() -> LegacySea {
+        LegacySea::new(SecurePlatform::new(
+            Platform::hp_dc5750(),
+            KeyStrength::Demo512,
+            b"ca",
+        ))
+        .unwrap()
+    }
+
+    fn run(
+        sea: &mut LegacySea,
+        ca: &mut CertAuthority,
+        req: &CaRequest,
+    ) -> (Vec<u8>, SessionReport) {
+        let r = sea.run_session(ca, &req.to_bytes()).unwrap();
+        (r.output.unwrap(), r.report)
+    }
+
+    #[test]
+    fn generate_then_sign_end_to_end() {
+        let mut sea = sea();
+        let mut ca = CertAuthority::new();
+        let (pub_bytes, gen_report) = run(&mut sea, &mut ca, &CaRequest::Generate);
+        assert!(ca.has_key());
+        // Gen session: Seal but no Unseal (Figure 2's PAL Gen shape).
+        assert!(gen_report.seal > SimDuration::ZERO);
+        assert_eq!(gen_report.unseal, SimDuration::ZERO);
+
+        let public = decode_public_key(&pub_bytes).expect("valid public key");
+        let csr = b"CN=example.org";
+        let (sig, use_report) = run(&mut sea, &mut ca, &CaRequest::Sign(csr.to_vec()));
+        // Use session: Unseal but no re-Seal (§4.1).
+        assert!(use_report.unseal > SimDuration::ZERO);
+        assert_eq!(use_report.seal, SimDuration::ZERO);
+
+        assert!(verify_ca_signature(&public, csr, &sig));
+        assert!(!verify_ca_signature(&public, b"CN=evil.org", &sig));
+    }
+
+    #[test]
+    fn sign_before_generate_fails() {
+        let mut sea = sea();
+        let mut ca = CertAuthority::new();
+        let err = sea
+            .run_session(&mut ca, &CaRequest::Sign(b"csr".to_vec()).to_bytes())
+            .unwrap_err();
+        assert!(matches!(err, SeaError::PalFailed(_)));
+    }
+
+    #[test]
+    fn malformed_request_rejected() {
+        let mut sea = sea();
+        let mut ca = CertAuthority::new();
+        for bad in [&b""[..], &[0x02][..], &[0x00, 0xFF][..]] {
+            assert!(sea.run_session(&mut ca, bad).is_err());
+        }
+    }
+
+    #[test]
+    fn request_encoding_roundtrip() {
+        assert_eq!(
+            CaRequest::parse(&CaRequest::Generate.to_bytes()).unwrap(),
+            CaRequest::Generate
+        );
+        let sign = CaRequest::Sign(b"hello".to_vec());
+        assert_eq!(CaRequest::parse(&sign.to_bytes()).unwrap(), sign);
+    }
+
+    #[test]
+    fn public_key_encoding_roundtrip() {
+        let key = RsaPrivateKey::generate(512, &mut Drbg::new(b"pk")).unwrap();
+        let enc = encode_public_key(key.public_key());
+        let dec = decode_public_key(&enc).unwrap();
+        assert_eq!(&dec, key.public_key());
+        assert!(decode_public_key(b"junk").is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! # sea-pals
+//!
+//! The four SEA applications of §4.1 of McCune et al., *"How Low Can You
+//! Go?"* (ASPLOS 2008), implemented as PALs over the `sea-core` API:
+//!
+//! > "We implemented a kernel rootkit detector and a distributed
+//! > factoring program that use our architecture to provide isolation
+//! > and integrity protection. We also use the architecture to protect
+//! > the confidentiality of a certificate authority's private signing
+//! > key, and to secure an SSH server's password handling routines."
+//!
+//! * [`RootkitDetector`] — hashes a kernel-text snapshot against a
+//!   whitelist, measuring the scanned snapshot into the attestation so a
+//!   verifier knows *what* was deemed clean.
+//! * [`FactoringPal`] — resumable trial-division factoring: a distributed-
+//!   computing worker (the paper's SETI@Home analogy) that persists its
+//!   progress between quanta — by TPM sealing on baseline hardware, or
+//!   in its protected pages on the proposed hardware.
+//! * [`CertAuthority`] — generates an RSA signing key inside the TCB,
+//!   seals the private half, and signs certificate requests on demand;
+//!   the private key never exists outside TPM-protected storage.
+//! * [`SshPassword`] — stores a salted password digest under seal and
+//!   verifies login attempts inside the TCB.
+//!
+//! Each PAL works under both [`sea_core::LegacySea`] and
+//! [`sea_core::EnhancedSea`]; the performance difference between those
+//! two runs *is* the paper's argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ca;
+mod factoring;
+mod rootkit;
+mod ssh;
+
+pub use ca::{decode_public_key, verify_ca_signature, CaRequest, CertAuthority};
+pub use factoring::{decode_factors, FactoringPal, PersistMode};
+pub use rootkit::{RootkitDetector, RootkitVerdict};
+pub use ssh::{SshPassword, SshRequest};

@@ -1,0 +1,111 @@
+//! Hardware TPM arbitration (§5.4.5).
+//!
+//! "Today's TPM-to-CPU communication architecture assumes the use of
+//! software locking ... With the introduction of SLAUNCH, we require a
+//! hardware mechanism to arbitrate TPM access from PALs executing on
+//! multiple CPUs. A simple arbitration mechanism is hardware locking."
+
+use sea_hw::CpuId;
+
+use crate::error::TpmError;
+
+/// The proposed hardware TPM lock.
+///
+/// # Example
+///
+/// ```
+/// use sea_tpm::TpmLock;
+/// use sea_hw::CpuId;
+///
+/// let mut lock = TpmLock::new();
+/// lock.acquire(CpuId(0)).unwrap();
+/// assert!(lock.acquire(CpuId(1)).is_err()); // other CPUs must wait
+/// lock.release(CpuId(0)).unwrap();
+/// assert!(lock.acquire(CpuId(1)).is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TpmLock {
+    holder: Option<CpuId>,
+}
+
+impl TpmLock {
+    /// Creates an unheld lock.
+    pub fn new() -> Self {
+        TpmLock { holder: None }
+    }
+
+    /// The CPU currently holding the lock, if any.
+    pub fn holder(&self) -> Option<CpuId> {
+        self.holder
+    }
+
+    /// Attempts to take the lock for `cpu`. Re-acquisition by the current
+    /// holder is a no-op (the hardware sees one requester).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::LockHeld`] if another CPU holds the lock — the caller
+    /// "wait\[s\] until the TPM is free to attempt communication".
+    pub fn acquire(&mut self, cpu: CpuId) -> Result<(), TpmError> {
+        match self.holder {
+            None => {
+                self.holder = Some(cpu);
+                Ok(())
+            }
+            Some(h) if h == cpu => Ok(()),
+            Some(h) => Err(TpmError::LockHeld { holder: h }),
+        }
+    }
+
+    /// Releases the lock.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::LockHeld`] if `cpu` is not the holder (a CPU cannot
+    /// release another CPU's lock).
+    pub fn release(&mut self, cpu: CpuId) -> Result<(), TpmError> {
+        match self.holder {
+            Some(h) if h == cpu => {
+                self.holder = None;
+                Ok(())
+            }
+            Some(h) => Err(TpmError::LockHeld { holder: h }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_acquisition() {
+        let mut lock = TpmLock::new();
+        assert_eq!(lock.holder(), None);
+        lock.acquire(CpuId(0)).unwrap();
+        assert_eq!(lock.holder(), Some(CpuId(0)));
+        assert_eq!(
+            lock.acquire(CpuId(1)),
+            Err(TpmError::LockHeld { holder: CpuId(0) })
+        );
+    }
+
+    #[test]
+    fn reentrant_for_holder() {
+        let mut lock = TpmLock::new();
+        lock.acquire(CpuId(2)).unwrap();
+        assert!(lock.acquire(CpuId(2)).is_ok());
+    }
+
+    #[test]
+    fn only_holder_releases() {
+        let mut lock = TpmLock::new();
+        lock.acquire(CpuId(0)).unwrap();
+        assert!(lock.release(CpuId(1)).is_err());
+        lock.release(CpuId(0)).unwrap();
+        assert_eq!(lock.holder(), None);
+        // Releasing an unheld lock is harmless.
+        assert!(lock.release(CpuId(0)).is_ok());
+    }
+}

@@ -1,0 +1,305 @@
+//! TPM attestation: `TPM_Quote` structures and verification.
+//!
+//! §2.1.1: a quote is "essentially a digital signature on the current
+//! platform state" under an Attestation Identity Key. The external
+//! verifier checks the AIK signature, recomputes the PCR composite, and
+//! decides whether the reported values correspond to a genuine late
+//! launch of the expected PAL.
+
+use sea_crypto::{RsaPublicKey, Sha1, Sha1Digest, Signature};
+
+use crate::error::TpmError;
+use crate::pcr::{PcrIndex, PcrValue};
+
+/// What a quote reports: ordinary PCRs or a secure-execution PCR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuoteSource {
+    /// A selection of ordinary PCRs with their values at quote time.
+    Pcrs {
+        /// The quoted PCR indices.
+        selection: Vec<PcrIndex>,
+        /// The corresponding values, in selection order.
+        values: Vec<PcrValue>,
+    },
+    /// A secure-execution PCR (proposed hardware, §5.4.3). The handle is
+    /// deliberately *not* part of the signed state: the identity of a PAL
+    /// is its measurement chain, not which slot it happened to occupy.
+    SePcr {
+        /// The sePCR value at quote time.
+        value: PcrValue,
+    },
+}
+
+impl QuoteSource {
+    /// Decodes the canonical encoding produced by `encode`.
+    fn decode(bytes: &[u8]) -> Result<Self, TpmError> {
+        match bytes.split_first() {
+            Some((0x00, rest)) => {
+                let n = *rest.first().ok_or(TpmError::InvalidBlob)? as usize;
+                let mut selection = Vec::with_capacity(n);
+                let mut values = Vec::with_capacity(n);
+                let mut cursor = &rest[1..];
+                for _ in 0..n {
+                    if cursor.len() < 21 {
+                        return Err(TpmError::InvalidBlob);
+                    }
+                    selection.push(PcrIndex(cursor[0]));
+                    let digest: [u8; 20] = cursor[1..21].try_into().expect("20 bytes");
+                    values.push(PcrValue(digest));
+                    cursor = &cursor[21..];
+                }
+                if !cursor.is_empty() {
+                    return Err(TpmError::InvalidBlob);
+                }
+                Ok(QuoteSource::Pcrs { selection, values })
+            }
+            Some((0x01, rest)) => {
+                let digest: [u8; 20] = rest.try_into().map_err(|_| TpmError::InvalidBlob)?;
+                Ok(QuoteSource::SePcr {
+                    value: PcrValue(digest),
+                })
+            }
+            _ => Err(TpmError::InvalidBlob),
+        }
+    }
+
+    /// Canonical byte encoding covered by the quote signature.
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            QuoteSource::Pcrs { selection, values } => {
+                let mut out = vec![0x00, selection.len() as u8];
+                for (idx, val) in selection.iter().zip(values) {
+                    out.push(idx.0);
+                    out.extend_from_slice(val.as_bytes());
+                }
+                out
+            }
+            QuoteSource::SePcr { value } => {
+                let mut out = vec![0x01];
+                out.extend_from_slice(value.as_bytes());
+                out
+            }
+        }
+    }
+}
+
+/// A signed attestation of platform state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    source: QuoteSource,
+    nonce: Vec<u8>,
+    signature: Signature,
+}
+
+const QUOTE_TAG: &[u8] = b"TPM_QUOTE_v1";
+
+/// The digest an AIK signs for a quote.
+pub(crate) fn quote_digest(source: &QuoteSource, nonce: &[u8]) -> Sha1Digest {
+    let mut h = Sha1::new();
+    h.update_bytes(QUOTE_TAG);
+    h.update_bytes(&source.encode());
+    h.update_bytes(&(nonce.len() as u32).to_be_bytes());
+    h.update_bytes(nonce);
+    h.finalize_fixed()
+}
+
+impl Quote {
+    /// Assembles a quote from its parts (called by the TPM).
+    pub(crate) fn new(source: QuoteSource, nonce: Vec<u8>, signature: Signature) -> Self {
+        Quote {
+            source,
+            nonce,
+            signature,
+        }
+    }
+
+    /// The reported platform state.
+    pub fn source(&self) -> &QuoteSource {
+        &self.source
+    }
+
+    /// The verifier-supplied anti-replay nonce.
+    pub fn nonce(&self) -> &[u8] {
+        &self.nonce
+    }
+
+    /// The raw AIK signature.
+    pub fn signature(&self) -> &Signature {
+        &self.signature
+    }
+
+    /// Verifies the AIK signature over the reported state and nonce.
+    ///
+    /// This is only the *cryptographic* check; deciding whether the
+    /// reported values correspond to a trusted PAL is the verifier's
+    /// policy (see `sea-core`'s `Verifier`).
+    pub fn verify_signature(&self, aik: &RsaPublicKey) -> bool {
+        let digest = quote_digest(&self.source, &self.nonce);
+        aik.verify_pkcs1v15(&digest, &self.signature)
+    }
+
+    /// Serializes the quote for transmission to a remote verifier.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = b"QUOTv1".to_vec();
+        let src = self.source.encode();
+        for part in [&src[..], &self.nonce, &self.signature.0] {
+            out.extend_from_slice(&(part.len() as u32).to_be_bytes());
+            out.extend_from_slice(part);
+        }
+        out
+    }
+
+    /// Deserializes a quote written by [`Quote::to_bytes`]. Structural
+    /// validity only — authenticity comes from
+    /// [`Quote::verify_signature`].
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::InvalidBlob`] for malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TpmError> {
+        let rest = bytes.strip_prefix(b"QUOTv1").ok_or(TpmError::InvalidBlob)?;
+        let mut cursor = rest;
+        let mut next = || -> Result<Vec<u8>, TpmError> {
+            if cursor.len() < 4 {
+                return Err(TpmError::InvalidBlob);
+            }
+            let len = u32::from_be_bytes(cursor[..4].try_into().expect("4 bytes")) as usize;
+            cursor = &cursor[4..];
+            if cursor.len() < len {
+                return Err(TpmError::InvalidBlob);
+            }
+            let part = cursor[..len].to_vec();
+            cursor = &cursor[len..];
+            Ok(part)
+        };
+        let src = next()?;
+        let nonce = next()?;
+        let signature = Signature(next()?);
+        let source = QuoteSource::decode(&src)?;
+        Ok(Quote {
+            source,
+            nonce,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_crypto::{Drbg, RsaPrivateKey};
+
+    fn aik() -> RsaPrivateKey {
+        RsaPrivateKey::generate(512, &mut Drbg::new(b"test aik")).unwrap()
+    }
+
+    fn sample_source() -> QuoteSource {
+        QuoteSource::Pcrs {
+            selection: vec![PcrIndex(17)],
+            values: vec![PcrValue::ZERO],
+        }
+    }
+
+    fn signed(aik: &RsaPrivateKey, source: QuoteSource, nonce: &[u8]) -> Quote {
+        let digest = quote_digest(&source, nonce);
+        let sig = aik.sign_pkcs1v15(&digest).unwrap();
+        Quote::new(source, nonce.to_vec(), sig)
+    }
+
+    #[test]
+    fn valid_quote_verifies() {
+        let key = aik();
+        let q = signed(&key, sample_source(), b"nonce-1");
+        assert!(q.verify_signature(key.public_key()));
+        assert_eq!(q.nonce(), b"nonce-1");
+    }
+
+    #[test]
+    fn wrong_aik_rejected() {
+        let key = aik();
+        let other = RsaPrivateKey::generate(512, &mut Drbg::new(b"other")).unwrap();
+        let q = signed(&key, sample_source(), b"nonce-1");
+        assert!(!q.verify_signature(other.public_key()));
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let key = aik();
+        let mut q = signed(&key, sample_source(), b"nonce-1");
+        q.nonce = b"nonce-2".to_vec();
+        assert!(!q.verify_signature(key.public_key()));
+    }
+
+    #[test]
+    fn tampered_values_rejected() {
+        let key = aik();
+        let mut q = signed(&key, sample_source(), b"nonce-1");
+        if let QuoteSource::Pcrs { values, .. } = &mut q.source {
+            values[0] = PcrValue::MINUS_ONE;
+        }
+        assert!(!q.verify_signature(key.public_key()));
+    }
+
+    #[test]
+    fn serialization_roundtrip_preserves_verifiability() {
+        let key = aik();
+        for source in [
+            sample_source(),
+            QuoteSource::SePcr {
+                value: PcrValue::MINUS_ONE,
+            },
+            QuoteSource::Pcrs {
+                selection: vec![PcrIndex(17), PcrIndex(18)],
+                values: vec![PcrValue::ZERO, PcrValue::MINUS_ONE],
+            },
+        ] {
+            let q = signed(&key, source, b"wire-nonce");
+            let bytes = q.to_bytes();
+            let back = Quote::from_bytes(&bytes).unwrap();
+            assert_eq!(back, q);
+            assert!(back.verify_signature(key.public_key()));
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_malformed_input() {
+        assert!(Quote::from_bytes(b"").is_err());
+        assert!(Quote::from_bytes(b"QUOTv1").is_err());
+        assert!(Quote::from_bytes(b"NOPEv1xxxx").is_err());
+        let key = aik();
+        let bytes = signed(&key, sample_source(), b"n").to_bytes();
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Quote::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+        // A wire-tampered quote still parses (structure intact) but the
+        // signature no longer verifies.
+        let mut tampered = bytes.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        let parsed = Quote::from_bytes(&tampered).unwrap();
+        assert!(!parsed.verify_signature(key.public_key()));
+    }
+
+    #[test]
+    fn sepcr_and_pcr_sources_are_domain_separated() {
+        // A PCR-source quote cannot be reinterpreted as a sePCR quote of
+        // the same bytes: the encodings carry distinct tags.
+        let a = QuoteSource::Pcrs {
+            selection: vec![PcrIndex(0)],
+            values: vec![PcrValue::ZERO],
+        };
+        let b = QuoteSource::SePcr {
+            value: PcrValue::ZERO,
+        };
+        assert_ne!(quote_digest(&a, b"n"), quote_digest(&b, b"n"));
+    }
+
+    #[test]
+    fn nonce_length_is_bound() {
+        // Shifting bytes between nonce and state must change the digest.
+        let s = QuoteSource::SePcr {
+            value: PcrValue::ZERO,
+        };
+        assert_ne!(quote_digest(&s, b"ab"), quote_digest(&s, b"a"));
+    }
+}

@@ -1,0 +1,475 @@
+//! TPM sealed storage: the construction behind `TPM_Seal`/`TPM_Unseal`.
+//!
+//! §2.1.2 of the paper: "data can be encrypted using an asymmetric key
+//! whose private component never leaves the TPM ... The TPM will only
+//! unseal (decrypt) the data when the PCRs contain the same values
+//! specified by the seal command."
+//!
+//! The model uses the standard hybrid construction real TPM stacks use:
+//! a fresh symmetric key is RSA-OAEP-encrypted under the Storage Root Key
+//! and the payload is stream-encrypted and MACed under keys derived from
+//! it. The PCR *composite digest* at seal time is bound into the MAC, and
+//! `TPM_Unseal` recomputes the composite from the live PCR bank before
+//! releasing the plaintext.
+
+use sea_crypto::{
+    CryptoError, Drbg, Hmac, OaepLabel, RsaPrivateKey, RsaPublicKey, Sha1Digest, Sha256,
+};
+
+use crate::error::TpmError;
+use crate::pcr::PcrIndex;
+
+/// Length of the per-blob symmetric key. Sized to fit the OAEP capacity
+/// of even the demo 512-bit SRK (`k − 2·hLen − 2 = 22` bytes).
+const SYM_KEY_LEN: usize = 16;
+
+/// What a sealed blob is bound to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum SealSelection {
+    /// Bound to a selection of ordinary PCRs.
+    Pcrs(Vec<PcrIndex>),
+    /// Bound to the sealing PAL's secure-execution PCR (§5.4.4): the blob
+    /// records the *measurement-derived value*, not the handle, so the
+    /// PAL can unseal under a different handle on its next execution.
+    SePcr,
+}
+
+impl SealSelection {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            SealSelection::Pcrs(idx) => {
+                let mut out = vec![0x00, idx.len() as u8];
+                out.extend(idx.iter().map(|i| i.0));
+                out
+            }
+            SealSelection::SePcr => vec![0x01],
+        }
+    }
+}
+
+/// An opaque blob produced by `TPM_Seal`.
+///
+/// The blob is bound to (a) the sealing TPM's SRK, (b) the PCR composite
+/// at seal time, and (c) the seal "label" distinguishing ordinary from
+/// sePCR-bound blobs. Any mismatch at unseal time yields
+/// [`TpmError::WrongPcrState`] or [`TpmError::InvalidBlob`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBlob {
+    pub(crate) selection: SealSelection,
+    pub(crate) composite: Sha1Digest,
+    pub(crate) enc_key: Vec<u8>,
+    pub(crate) ciphertext: Vec<u8>,
+    pub(crate) mac: Vec<u8>,
+}
+
+impl SealedBlob {
+    /// Size of the blob in bytes (for trace/bench reporting).
+    pub fn byte_len(&self) -> usize {
+        self.selection.encode().len()
+            + self.composite.len()
+            + self.enc_key.len()
+            + self.ciphertext.len()
+            + self.mac.len()
+    }
+
+    /// Whether this blob is bound to a sePCR rather than ordinary PCRs.
+    pub fn is_sepcr_bound(&self) -> bool {
+        self.selection == SealSelection::SePcr
+    }
+
+    /// The PCR indices this blob is bound to (empty for sePCR blobs).
+    pub fn pcr_selection(&self) -> &[PcrIndex] {
+        match &self.selection {
+            SealSelection::Pcrs(v) => v,
+            SealSelection::SePcr => &[],
+        }
+    }
+
+    /// Serializes the blob for storage by the untrusted OS (disk,
+    /// network, …). The format is length-prefixed and versioned; any
+    /// mutation is caught either here or by the unseal-time MAC.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = b"SEALv1".to_vec();
+        let sel = self.selection.encode();
+        for part in [
+            &sel[..],
+            &self.composite[..],
+            &self.enc_key,
+            &self.ciphertext,
+            &self.mac,
+        ] {
+            out.extend_from_slice(&(part.len() as u32).to_be_bytes());
+            out.extend_from_slice(part);
+        }
+        out
+    }
+
+    /// Deserializes a blob written by [`SealedBlob::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::InvalidBlob`] for malformed input. (Structural
+    /// validity does not imply authenticity — that is the unseal-time
+    /// MAC's job.)
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, TpmError> {
+        let rest = bytes.strip_prefix(b"SEALv1").ok_or(TpmError::InvalidBlob)?;
+        let mut cursor = rest;
+        let mut next = || -> Result<Vec<u8>, TpmError> {
+            if cursor.len() < 4 {
+                return Err(TpmError::InvalidBlob);
+            }
+            let len = u32::from_be_bytes(cursor[..4].try_into().expect("4 bytes")) as usize;
+            cursor = &cursor[4..];
+            if cursor.len() < len {
+                return Err(TpmError::InvalidBlob);
+            }
+            let part = cursor[..len].to_vec();
+            cursor = &cursor[len..];
+            Ok(part)
+        };
+        let sel_bytes = next()?;
+        let composite_bytes = next()?;
+        let enc_key = next()?;
+        let ciphertext = next()?;
+        let mac = next()?;
+
+        let selection = match sel_bytes.split_first() {
+            Some((0x00, rest)) => {
+                let n = *rest.first().ok_or(TpmError::InvalidBlob)? as usize;
+                let idx = rest.get(1..1 + n).ok_or(TpmError::InvalidBlob)?;
+                SealSelection::Pcrs(idx.iter().map(|&i| PcrIndex(i)).collect())
+            }
+            Some((0x01, [])) => SealSelection::SePcr,
+            _ => return Err(TpmError::InvalidBlob),
+        };
+        let composite: Sha1Digest = composite_bytes
+            .try_into()
+            .map_err(|_| TpmError::InvalidBlob)?;
+        Ok(SealedBlob {
+            selection,
+            composite,
+            enc_key,
+            ciphertext,
+            mac,
+        })
+    }
+}
+
+const OAEP_LABEL: &[u8] = b"TPM_SEAL";
+
+fn derive(key: &[u8], purpose: &[u8]) -> Vec<u8> {
+    Hmac::<Sha256>::mac(key, purpose)
+}
+
+fn keystream(key: &[u8], len: usize) -> Vec<u8> {
+    let mut stream_rng = Drbg::new(&derive(key, b"stream"));
+    stream_rng.fill(len)
+}
+
+fn mac_input(selection: &SealSelection, composite: &Sha1Digest, ciphertext: &[u8]) -> Vec<u8> {
+    let mut m = selection.encode();
+    m.extend_from_slice(composite);
+    m.extend_from_slice(ciphertext);
+    m
+}
+
+/// Builds a sealed blob binding `data` to `composite` under the SRK's
+/// public half.
+pub(crate) fn seal_payload(
+    srk_public: &RsaPublicKey,
+    rng: &mut Drbg,
+    selection: SealSelection,
+    composite: Sha1Digest,
+    data: &[u8],
+) -> Result<SealedBlob, CryptoError> {
+    let sym_key = rng.fill(SYM_KEY_LEN);
+    let enc_key = srk_public.encrypt_oaep(&sym_key, &OaepLabel(OAEP_LABEL.to_vec()), rng)?;
+    let stream = keystream(&sym_key, data.len());
+    let ciphertext: Vec<u8> = data.iter().zip(&stream).map(|(d, s)| d ^ s).collect();
+    let mac = Hmac::<Sha256>::mac(
+        &derive(&sym_key, b"mac"),
+        &mac_input(&selection, &composite, &ciphertext),
+    );
+    Ok(SealedBlob {
+        selection,
+        composite,
+        enc_key,
+        ciphertext,
+        mac,
+    })
+}
+
+/// Opens a sealed blob, verifying its MAC and that `current_composite`
+/// (recomputed by the caller from the live PCR bank or sePCR) matches
+/// the composite recorded at seal time.
+pub(crate) fn unseal_payload(
+    srk: &RsaPrivateKey,
+    blob: &SealedBlob,
+    current_composite: &Sha1Digest,
+) -> Result<Vec<u8>, TpmError> {
+    let sym_key = srk
+        .decrypt_oaep(&blob.enc_key, &OaepLabel(OAEP_LABEL.to_vec()))
+        .map_err(|_| TpmError::InvalidBlob)?;
+    if sym_key.len() != SYM_KEY_LEN {
+        return Err(TpmError::InvalidBlob);
+    }
+    let ok = Hmac::<Sha256>::verify(
+        &derive(&sym_key, b"mac"),
+        &mac_input(&blob.selection, &blob.composite, &blob.ciphertext),
+        &blob.mac,
+    );
+    if !ok {
+        return Err(TpmError::InvalidBlob);
+    }
+    // The integrity check passed, so the stored composite is authentic;
+    // now enforce the sealed-storage policy.
+    if &blob.composite != current_composite {
+        return Err(TpmError::WrongPcrState);
+    }
+    let stream = keystream(&sym_key, blob.ciphertext.len());
+    Ok(blob
+        .ciphertext
+        .iter()
+        .zip(&stream)
+        .map(|(c, s)| c ^ s)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn srk() -> RsaPrivateKey {
+        RsaPrivateKey::generate(512, &mut Drbg::new(b"test srk")).unwrap()
+    }
+
+    fn composite(tag: u8) -> Sha1Digest {
+        let mut c = [0u8; 20];
+        c[0] = tag;
+        c
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let sel = SealSelection::Pcrs(vec![PcrIndex(17)]);
+        let blob =
+            seal_payload(key.public_key(), &mut rng, sel, composite(1), b"pal state").unwrap();
+        let out = unseal_payload(&key, &blob, &composite(1)).unwrap();
+        assert_eq!(out, b"pal state");
+    }
+
+    #[test]
+    fn wrong_composite_is_policy_failure() {
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::Pcrs(vec![PcrIndex(17)]),
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        assert_eq!(
+            unseal_payload(&key, &blob, &composite(2)),
+            Err(TpmError::WrongPcrState)
+        );
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let mut blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::SePcr,
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        blob.ciphertext[0] ^= 1;
+        assert_eq!(
+            unseal_payload(&key, &blob, &composite(1)),
+            Err(TpmError::InvalidBlob)
+        );
+    }
+
+    #[test]
+    fn tampered_composite_rejected_by_mac() {
+        // An attacker cannot retarget a blob at a different platform
+        // state by editing the recorded composite: the MAC covers it.
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let mut blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::Pcrs(vec![PcrIndex(17)]),
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        blob.composite = composite(2);
+        assert_eq!(
+            unseal_payload(&key, &blob, &composite(2)),
+            Err(TpmError::InvalidBlob)
+        );
+    }
+
+    #[test]
+    fn wrong_srk_rejected() {
+        let key = srk();
+        let other = RsaPrivateKey::generate(512, &mut Drbg::new(b"other srk")).unwrap();
+        let mut rng = Drbg::new(b"rng");
+        let blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::SePcr,
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        assert_eq!(
+            unseal_payload(&other, &blob, &composite(1)),
+            Err(TpmError::InvalidBlob)
+        );
+    }
+
+    #[test]
+    fn selection_is_bound_into_mac() {
+        // Rewriting a PCR-bound blob as sePCR-bound must fail even with a
+        // matching composite value.
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let mut blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::Pcrs(vec![PcrIndex(17)]),
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        blob.selection = SealSelection::SePcr;
+        assert_eq!(
+            unseal_payload(&key, &blob, &composite(1)),
+            Err(TpmError::InvalidBlob)
+        );
+    }
+
+    #[test]
+    fn large_payload_roundtrips() {
+        // The hybrid construction has no size limit, unlike raw OAEP.
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let data: Vec<u8> = (0..10_000u32).map(|i| i as u8).collect();
+        let blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::SePcr,
+            composite(1),
+            &data,
+        )
+        .unwrap();
+        assert_eq!(unseal_payload(&key, &blob, &composite(1)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::SePcr,
+            composite(1),
+            b"",
+        )
+        .unwrap();
+        assert_eq!(
+            unseal_payload(&key, &blob, &composite(1)).unwrap(),
+            Vec::<u8>::new()
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrip_both_flavours() {
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        for sel in [
+            SealSelection::Pcrs(vec![PcrIndex(17), PcrIndex(18)]),
+            SealSelection::SePcr,
+        ] {
+            let blob =
+                seal_payload(key.public_key(), &mut rng, sel, composite(3), b"payload").unwrap();
+            let bytes = blob.to_bytes();
+            let back = SealedBlob::from_bytes(&bytes).unwrap();
+            assert_eq!(back, blob);
+            // And it still unseals after the disk round trip.
+            assert_eq!(
+                unseal_payload(&key, &back, &composite(3)).unwrap(),
+                b"payload"
+            );
+        }
+    }
+
+    #[test]
+    fn deserialization_rejects_garbage() {
+        assert_eq!(SealedBlob::from_bytes(b""), Err(TpmError::InvalidBlob));
+        assert_eq!(
+            SealedBlob::from_bytes(b"SEALv1"),
+            Err(TpmError::InvalidBlob)
+        );
+        assert_eq!(
+            SealedBlob::from_bytes(b"WRONGMAGIC..."),
+            Err(TpmError::InvalidBlob)
+        );
+        // Truncation anywhere is caught.
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::SePcr,
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        let bytes = blob.to_bytes();
+        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+            assert_eq!(
+                SealedBlob::from_bytes(&bytes[..cut]),
+                Err(TpmError::InvalidBlob),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn blob_accessors() {
+        let key = srk();
+        let mut rng = Drbg::new(b"rng");
+        let blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::Pcrs(vec![PcrIndex(17), PcrIndex(18)]),
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        assert!(!blob.is_sepcr_bound());
+        assert_eq!(blob.pcr_selection(), &[PcrIndex(17), PcrIndex(18)]);
+        assert!(blob.byte_len() > 4 + 20 + 32);
+        let sepcr_blob = seal_payload(
+            key.public_key(),
+            &mut rng,
+            SealSelection::SePcr,
+            composite(1),
+            b"data",
+        )
+        .unwrap();
+        assert!(sepcr_blob.is_sepcr_bound());
+        assert!(sepcr_blob.pcr_selection().is_empty());
+    }
+}

@@ -1,0 +1,343 @@
+//! sePCR *sets* — the second §6 extension.
+//!
+//! "It is a straightforward extension to group sePCRs into sets and bind
+//! a set of sePCRs to each PAL. The TPM operations that accept an sePCR
+//! as an argument will need to be modified appropriately. Some will be
+//! indexed by the sePCR set itself (e.g., SLAUNCH will need to cause all
+//! sePCRs in a set to reset), some by a subset of the sePCRs in a set
+//! (e.g., TPM Quote), and others by the individual sePCRs inside a set
+//! (e.g., TPM Extend)."
+//!
+//! A set gives a PAL several parallel measurement chains — e.g. one for
+//! its code, one for configuration, one for input batches — and lets a
+//! quote cover any subset, exactly as multi-PCR quotes do for the static
+//! bank.
+
+use sea_crypto::{Sha1, Sha1Digest};
+use sea_hw::CpuId;
+
+use crate::error::TpmError;
+use crate::pcr::PcrValue;
+use crate::sepcr::{SePcrBank, SePcrHandle, SePcrState};
+
+/// Handle naming an allocated sePCR set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SePcrSetHandle(pub u16);
+
+/// A bank of sePCRs grouped into fixed-size sets.
+///
+/// # Example
+///
+/// ```
+/// use sea_tpm::SePcrSetBank;
+/// use sea_crypto::Sha1;
+/// use sea_hw::CpuId;
+///
+/// // 8 sePCRs grouped into sets of 2 → up to 4 concurrent PALs.
+/// let mut bank = SePcrSetBank::new(8, 2);
+/// let set = bank.allocate(&Sha1::digest(b"pal"), CpuId(0)).unwrap();
+/// // Member 0 carries the launch measurement; member 1 is a fresh chain.
+/// bank.extend_member(set, 1, CpuId(0), &Sha1::digest(b"config")).unwrap();
+/// ```
+#[derive(Debug, Clone)]
+pub struct SePcrSetBank {
+    inner: SePcrBank,
+    set_size: u16,
+    /// `sets[s]` = member handles of set `s`, if allocated.
+    sets: Vec<Option<Vec<SePcrHandle>>>,
+}
+
+impl SePcrSetBank {
+    /// Creates a bank of `total` sePCRs grouped into sets of `set_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `set_size > 0` and `set_size` divides `total`.
+    pub fn new(total: u16, set_size: u16) -> Self {
+        assert!(set_size > 0, "sets need at least one member");
+        assert!(
+            total.is_multiple_of(set_size),
+            "total sePCRs must be a multiple of the set size"
+        );
+        SePcrSetBank {
+            inner: SePcrBank::new(total),
+            set_size,
+            sets: vec![None; (total / set_size) as usize],
+        }
+    }
+
+    /// Number of sets this bank can hold concurrently.
+    pub fn set_capacity(&self) -> u16 {
+        self.sets.len() as u16
+    }
+
+    /// Number of members per set.
+    pub fn set_size(&self) -> u16 {
+        self.set_size
+    }
+
+    /// Number of currently unallocated sets.
+    pub fn free_sets(&self) -> u16 {
+        self.sets.iter().filter(|s| s.is_none()).count() as u16
+    }
+
+    /// `SLAUNCH` path: allocates a whole set, resetting every member and
+    /// extending the PAL `measurement` into member 0.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::NoFreeSePcr`] when no complete set is free.
+    pub fn allocate(
+        &mut self,
+        measurement: &Sha1Digest,
+        owner: CpuId,
+    ) -> Result<SePcrSetHandle, TpmError> {
+        let slot = self
+            .sets
+            .iter()
+            .position(|s| s.is_none())
+            .ok_or(TpmError::NoFreeSePcr)?;
+        if self.inner.free_count() < self.set_size {
+            return Err(TpmError::NoFreeSePcr);
+        }
+        let mut members = Vec::with_capacity(self.set_size as usize);
+        // Member 0 carries the launch measurement; the rest start as
+        // fresh zero chains (allocated with an identity measurement of
+        // the member index so chains are domain-separated).
+        members.push(self.inner.allocate(measurement, owner)?);
+        for i in 1..self.set_size {
+            let tag = Sha1::digest(&[b"sePCR-set-member".as_slice(), &[i as u8]].concat());
+            members.push(self.inner.allocate(&tag, owner)?);
+        }
+        self.sets[slot] = Some(members);
+        Ok(SePcrSetHandle(slot as u16))
+    }
+
+    fn members(&self, set: SePcrSetHandle) -> Result<&[SePcrHandle], TpmError> {
+        self.sets
+            .get(set.0 as usize)
+            .and_then(|s| s.as_deref())
+            .ok_or(TpmError::NoSuchSePcr(SePcrHandle(set.0)))
+    }
+
+    fn member(&self, set: SePcrSetHandle, idx: u16) -> Result<SePcrHandle, TpmError> {
+        self.members(set)?
+            .get(idx as usize)
+            .copied()
+            .ok_or(TpmError::NoSuchSePcr(SePcrHandle(idx)))
+    }
+
+    /// `TPM_Extend`, indexed by an individual member.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SePcrBank::extend`], plus invalid set/member handles.
+    pub fn extend_member(
+        &mut self,
+        set: SePcrSetHandle,
+        idx: u16,
+        cpu: CpuId,
+        measurement: &Sha1Digest,
+    ) -> Result<PcrValue, TpmError> {
+        let handle = self.member(set, idx)?;
+        self.inner.extend(handle, cpu, measurement)
+    }
+
+    /// Reads one member's value from the owning CPU.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SePcrBank::read_exclusive`].
+    pub fn read_member(
+        &self,
+        set: SePcrSetHandle,
+        idx: u16,
+        cpu: CpuId,
+    ) -> Result<PcrValue, TpmError> {
+        let handle = self.member(set, idx)?;
+        self.inner.read_exclusive(handle, cpu)
+    }
+
+    /// `SFREE` path: moves every member to the Quote state.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SePcrBank::release_to_quote`].
+    pub fn release_to_quote(&mut self, set: SePcrSetHandle, cpu: CpuId) -> Result<(), TpmError> {
+        let members = self.members(set)?.to_vec();
+        for h in members {
+            self.inner.release_to_quote(h, cpu)?;
+        }
+        Ok(())
+    }
+
+    /// Composite digest over a *subset* of the set's members, in the
+    /// Quote state — the value a set-aware `TPM_Quote` would sign.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::SePcrWrongState`] if any selected member is not in
+    /// the Quote state; invalid handles as above.
+    pub fn quote_composite(
+        &self,
+        set: SePcrSetHandle,
+        subset: &[u16],
+    ) -> Result<Sha1Digest, TpmError> {
+        let mut h = Sha1::new();
+        h.update_bytes(b"sePCR-set-quote");
+        for &idx in subset {
+            let handle = self.member(set, idx)?;
+            let value = self.inner.read_for_quote(handle)?;
+            h.update_bytes(&[idx as u8]);
+            h.update_bytes(value.as_bytes());
+        }
+        Ok(h.finalize_fixed())
+    }
+
+    /// `TPM_SEPCR_Free` for the whole set.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SePcrBank::free`].
+    pub fn free(&mut self, set: SePcrSetHandle) -> Result<(), TpmError> {
+        let members = self.members(set)?.to_vec();
+        for h in &members {
+            self.inner.free(*h)?;
+        }
+        self.sets[set.0 as usize] = None;
+        Ok(())
+    }
+
+    /// `SKILL` for the whole set: every member is branded and freed.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SePcrBank::skill`].
+    pub fn skill(&mut self, set: SePcrSetHandle) -> Result<(), TpmError> {
+        let members = self.members(set)?.to_vec();
+        for h in &members {
+            self.inner.skill(*h)?;
+        }
+        self.sets[set.0 as usize] = None;
+        Ok(())
+    }
+
+    /// State of a member (diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Invalid handles as above.
+    pub fn member_state(&self, set: SePcrSetHandle, idx: u16) -> Result<SePcrState, TpmError> {
+        let handle = self.member(set, idx)?;
+        self.inner.state(handle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(label: &[u8]) -> Sha1Digest {
+        Sha1::digest(label)
+    }
+
+    #[test]
+    fn allocate_binds_whole_set() {
+        let mut bank = SePcrSetBank::new(8, 2);
+        assert_eq!(bank.set_capacity(), 4);
+        assert_eq!(bank.free_sets(), 4);
+        let set = bank.allocate(&m(b"pal"), CpuId(0)).unwrap();
+        assert_eq!(bank.free_sets(), 3);
+        // Member 0 carries the PAL chain; member 1 a distinct fresh one.
+        let v0 = bank.read_member(set, 0, CpuId(0)).unwrap();
+        let v1 = bank.read_member(set, 1, CpuId(0)).unwrap();
+        assert_eq!(v0, PcrValue::ZERO.extended(&m(b"pal")));
+        assert_ne!(v0, v1);
+        assert_eq!(bank.member_state(set, 0).unwrap(), SePcrState::Exclusive);
+    }
+
+    #[test]
+    fn members_extend_independently() {
+        let mut bank = SePcrSetBank::new(4, 2);
+        let set = bank.allocate(&m(b"pal"), CpuId(0)).unwrap();
+        let before1 = bank.read_member(set, 1, CpuId(0)).unwrap();
+        bank.extend_member(set, 1, CpuId(0), &m(b"config")).unwrap();
+        assert_ne!(bank.read_member(set, 1, CpuId(0)).unwrap(), before1);
+        // Member 0 untouched.
+        assert_eq!(
+            bank.read_member(set, 0, CpuId(0)).unwrap(),
+            PcrValue::ZERO.extended(&m(b"pal"))
+        );
+    }
+
+    #[test]
+    fn owner_enforcement_applies_per_member() {
+        let mut bank = SePcrSetBank::new(4, 2);
+        let set = bank.allocate(&m(b"pal"), CpuId(0)).unwrap();
+        assert!(matches!(
+            bank.extend_member(set, 0, CpuId(1), &m(b"x")),
+            Err(TpmError::SePcrAccessDenied { .. })
+        ));
+        assert!(bank.read_member(set, 1, CpuId(1)).is_err());
+    }
+
+    #[test]
+    fn quote_covers_subsets() {
+        let mut bank = SePcrSetBank::new(6, 3);
+        let set = bank.allocate(&m(b"pal"), CpuId(0)).unwrap();
+        bank.extend_member(set, 1, CpuId(0), &m(b"cfg")).unwrap();
+        // Quoting before release fails.
+        assert!(bank.quote_composite(set, &[0]).is_err());
+        bank.release_to_quote(set, CpuId(0)).unwrap();
+        let q01 = bank.quote_composite(set, &[0, 1]).unwrap();
+        let q0 = bank.quote_composite(set, &[0]).unwrap();
+        let q10 = bank.quote_composite(set, &[1, 0]).unwrap();
+        assert_ne!(q01, q0);
+        assert_ne!(q01, q10, "subset order is part of the composite");
+        // Bad member index rejected.
+        assert!(bank.quote_composite(set, &[3]).is_err());
+    }
+
+    #[test]
+    fn capacity_is_in_sets_not_sepcrs() {
+        let mut bank = SePcrSetBank::new(4, 2);
+        let a = bank.allocate(&m(b"a"), CpuId(0)).unwrap();
+        let _b = bank.allocate(&m(b"b"), CpuId(1)).unwrap();
+        assert_eq!(
+            bank.allocate(&m(b"c"), CpuId(2)),
+            Err(TpmError::NoFreeSePcr)
+        );
+        // Free one set and the slot becomes available again.
+        bank.release_to_quote(a, CpuId(0)).unwrap();
+        bank.free(a).unwrap();
+        assert!(bank.allocate(&m(b"c"), CpuId(2)).is_ok());
+    }
+
+    #[test]
+    fn skill_brands_and_frees_whole_set() {
+        let mut bank = SePcrSetBank::new(4, 2);
+        let set = bank.allocate(&m(b"pal"), CpuId(0)).unwrap();
+        bank.skill(set).unwrap();
+        assert_eq!(bank.free_sets(), 2);
+        // The set handle is dead.
+        assert!(bank.read_member(set, 0, CpuId(0)).is_err());
+        assert!(bank.free(set).is_err());
+    }
+
+    #[test]
+    fn invalid_handles_rejected() {
+        let mut bank = SePcrSetBank::new(4, 2);
+        let ghost = SePcrSetHandle(9);
+        assert!(bank.release_to_quote(ghost, CpuId(0)).is_err());
+        assert!(bank.quote_composite(ghost, &[0]).is_err());
+        assert!(bank.skill(ghost).is_err());
+        let set = bank.allocate(&m(b"pal"), CpuId(0)).unwrap();
+        assert!(bank.extend_member(set, 7, CpuId(0), &m(b"x")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the set size")]
+    fn ragged_bank_panics() {
+        let _ = SePcrSetBank::new(5, 2);
+    }
+}

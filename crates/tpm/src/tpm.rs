@@ -1,0 +1,732 @@
+//! The assembled TPM device.
+//!
+//! [`Tpm`] wires together the PCR bank, sealed storage, quoting, the
+//! `TPM_HASH_*` interface driven by `SKINIT`, the proposed sePCR bank,
+//! and the per-vendor timing model. Every command returns a [`Timed`]
+//! value so callers account its cost on the virtual clock.
+
+use sea_crypto::{Drbg, RsaPrivateKey, RsaPublicKey, Sha1, Sha1Digest};
+use sea_hw::{CpuId, SimDuration, TpmKind};
+
+use crate::error::TpmError;
+use crate::lock::TpmLock;
+use crate::pcr::{PcrBank, PcrIndex, PcrValue};
+use crate::quote::{quote_digest, Quote, QuoteSource};
+use crate::seal::{seal_payload, unseal_payload, SealSelection, SealedBlob};
+use crate::sepcr::{SePcrBank, SePcrHandle};
+use crate::timing::{TpmOp, TpmTimingModel};
+
+/// A command result annotated with its virtual-time cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timed<T> {
+    /// The command's result value.
+    pub value: T,
+    /// Virtual time the command occupied the TPM (and, for `TPM_HASH_*`,
+    /// the LPC bus and issuing CPU).
+    pub elapsed: SimDuration,
+}
+
+impl<T> Timed<T> {
+    fn new(value: T, elapsed: SimDuration) -> Self {
+        Timed { value, elapsed }
+    }
+
+    /// Maps the inner value, preserving the cost.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
+        Timed {
+            value: f(self.value),
+            elapsed: self.elapsed,
+        }
+    }
+}
+
+/// Who is issuing a locality-sensitive command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Locality {
+    /// Ordinary software (any ring) — cannot reset dynamic PCRs.
+    Software,
+    /// The CPU itself (`SKINIT`/`SENTER`/`SLAUNCH` microcode). The paper:
+    /// "Only a hardware command from the CPU can reset PCR 17" (§2.1.3).
+    Cpu,
+}
+
+/// RSA strength of the TPM's SRK and AIK.
+///
+/// Virtual-time costs come from [`TpmTimingModel`] regardless of the key
+/// size, so tests can use [`KeyStrength::Demo512`] for speed while the
+/// sealed-storage and attestation semantics stay fully real.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KeyStrength {
+    /// 512-bit keys: fast test configuration.
+    #[default]
+    Demo512,
+    /// 1024-bit keys.
+    Standard1024,
+    /// 2048-bit keys, as the TPM v1.2 specification mandates for the SRK.
+    Spec2048,
+}
+
+impl KeyStrength {
+    fn bits(self) -> usize {
+        match self {
+            KeyStrength::Demo512 => 512,
+            KeyStrength::Standard1024 => 1024,
+            KeyStrength::Spec2048 => 2048,
+        }
+    }
+}
+
+/// An in-progress `TPM_HASH_START … TPM_HASH_DATA … TPM_HASH_END`
+/// sequence.
+#[derive(Debug, Clone)]
+struct HashSession {
+    hasher: Sha1,
+    bytes: usize,
+}
+
+/// The TPM device.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug, Clone)]
+pub struct Tpm {
+    kind: TpmKind,
+    pcrs: PcrBank,
+    sepcrs: SePcrBank,
+    srk: RsaPrivateKey,
+    aik: RsaPrivateKey,
+    rng: Drbg,
+    noise: Drbg,
+    timing: TpmTimingModel,
+    lock: TpmLock,
+    hash_session: Option<HashSession>,
+}
+
+impl Tpm {
+    /// Creates a TPM of the given chip `kind`, generating fresh SRK and
+    /// AIK keypairs deterministically from `seed`.
+    ///
+    /// The sePCR bank starts empty (baseline hardware); use
+    /// [`Tpm::with_sepcrs`] for the proposed hardware.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`TpmKind::None`] — absent TPMs are represented by not
+    /// constructing one.
+    pub fn new(kind: TpmKind, strength: KeyStrength, seed: &[u8]) -> Self {
+        let mut key_rng = Drbg::new(&[seed, b"/keys"].concat());
+        let srk = RsaPrivateKey::generate(strength.bits(), &mut key_rng)
+            .expect("valid key size by construction");
+        let aik = RsaPrivateKey::generate(strength.bits(), &mut key_rng)
+            .expect("valid key size by construction");
+        Tpm {
+            kind,
+            pcrs: PcrBank::new(),
+            sepcrs: SePcrBank::new(0),
+            srk,
+            aik,
+            rng: Drbg::new(&[seed, b"/rng"].concat()),
+            noise: Drbg::new(&[seed, b"/noise"].concat()),
+            timing: TpmTimingModel::for_kind(kind),
+            lock: TpmLock::new(),
+            hash_session: None,
+        }
+    }
+
+    /// Equips the TPM with `count` secure-execution PCRs (builder-style).
+    pub fn with_sepcrs(mut self, count: u16) -> Self {
+        self.sepcrs = SePcrBank::new(count);
+        self
+    }
+
+    /// The chip model this TPM simulates.
+    pub fn kind(&self) -> TpmKind {
+        self.kind
+    }
+
+    /// The timing model in effect.
+    pub fn timing(&self) -> &TpmTimingModel {
+        &self.timing
+    }
+
+    /// Replaces the timing model (used by the §5.7 speed-up ablation).
+    pub fn set_timing(&mut self, timing: TpmTimingModel) {
+        self.timing = timing;
+    }
+
+    /// The public half of the Attestation Identity Key, which an external
+    /// verifier obtains through the Privacy-CA certificate chain (§2.1.1).
+    pub fn aik_public(&self) -> &RsaPublicKey {
+        self.aik.public_key()
+    }
+
+    /// The public half of the Storage Root Key. Callers use it to
+    /// establish transport sessions (§3.3) via
+    /// [`crate::establish_transport`].
+    pub fn srk_public(&self) -> &RsaPublicKey {
+        self.srk.public_key()
+    }
+
+    /// TPM-side acceptance of a transport session: decrypts the
+    /// session secret the caller produced with
+    /// [`crate::establish_transport`] against this TPM's SRK.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::InvalidBlob`] for secrets encrypted to another TPM or
+    /// tampered in flight.
+    pub fn accept_transport(
+        &mut self,
+        encrypted_secret: &[u8],
+    ) -> Result<crate::transport::TransportEndpoint, TpmError> {
+        crate::transport::accept(&self.srk, encrypted_secret)
+    }
+
+    /// Read-only view of the PCR bank.
+    pub fn pcrs(&self) -> &PcrBank {
+        &self.pcrs
+    }
+
+    /// Read-only view of the sePCR bank.
+    pub fn sepcrs(&self) -> &SePcrBank {
+        &self.sepcrs
+    }
+
+    /// The hardware TPM lock (§5.4.5).
+    pub fn lock_mut(&mut self) -> &mut TpmLock {
+        &mut self.lock
+    }
+
+    /// Applies power-cycle semantics: static PCRs to zero, dynamic PCRs
+    /// to −1, hash session dropped. Keys persist (they live in NVRAM).
+    pub fn reboot(&mut self) {
+        self.pcrs.reboot();
+        self.hash_session = None;
+        self.lock = TpmLock::new();
+    }
+
+    fn cost(&mut self, op: TpmOp) -> SimDuration {
+        self.timing.sample(op, &mut self.noise)
+    }
+
+    // ---------------------------------------------------------------
+    // Ordinary TPM v1.2 commands
+    // ---------------------------------------------------------------
+
+    /// `TPM_PCR_Read`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::PcrOutOfRange`] for indices ≥ 24.
+    pub fn pcr_read(&mut self, index: PcrIndex) -> Result<Timed<PcrValue>, TpmError> {
+        let v = self.pcrs.read(index)?;
+        let cost = self.cost(TpmOp::PcrRead);
+        Ok(Timed::new(v, cost))
+    }
+
+    /// `TPM_Extend`: `v ← SHA-1(v ‖ m)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::PcrOutOfRange`] for indices ≥ 24.
+    pub fn extend(
+        &mut self,
+        index: PcrIndex,
+        measurement: &Sha1Digest,
+    ) -> Result<Timed<PcrValue>, TpmError> {
+        let v = self.pcrs.extend(index, measurement)?;
+        let cost = self.cost(TpmOp::PcrExtend);
+        Ok(Timed::new(v, cost))
+    }
+
+    /// `TPM_Seal`: binds `data` to the *current* values of `selection`.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::PcrOutOfRange`] for a bad selection;
+    /// [`TpmError::Crypto`] on internal failure.
+    pub fn seal(
+        &mut self,
+        data: &[u8],
+        selection: &[PcrIndex],
+    ) -> Result<Timed<SealedBlob>, TpmError> {
+        let composite = self.pcrs.composite(selection)?;
+        let blob = seal_payload(
+            self.srk.public_key(),
+            &mut self.rng,
+            SealSelection::Pcrs(selection.to_vec()),
+            composite,
+            data,
+        )?;
+        let cost = self.cost(TpmOp::Seal);
+        Ok(Timed::new(blob, cost))
+    }
+
+    /// `TPM_Unseal`: releases the plaintext only if the live PCR values
+    /// still match the blob's recorded composite.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::WrongPcrState`] on composite mismatch;
+    /// [`TpmError::InvalidBlob`] for tampered or foreign blobs (including
+    /// sePCR-bound blobs, which must go through [`Tpm::sepcr_unseal`]).
+    pub fn unseal(&mut self, blob: &SealedBlob) -> Result<Timed<Vec<u8>>, TpmError> {
+        if blob.is_sepcr_bound() {
+            return Err(TpmError::InvalidBlob);
+        }
+        let current = self.pcrs.composite(blob.pcr_selection())?;
+        let data = unseal_payload(&self.srk, blob, &current)?;
+        let cost = self.cost(TpmOp::Unseal);
+        Ok(Timed::new(data, cost))
+    }
+
+    /// `TPM_Quote`: signs the current values of `selection` and the
+    /// verifier's `nonce` with the AIK.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::PcrOutOfRange`] for a bad selection.
+    pub fn quote(
+        &mut self,
+        nonce: &[u8],
+        selection: &[PcrIndex],
+    ) -> Result<Timed<Quote>, TpmError> {
+        let values: Result<Vec<PcrValue>, TpmError> =
+            selection.iter().map(|&i| self.pcrs.read(i)).collect();
+        let source = QuoteSource::Pcrs {
+            selection: selection.to_vec(),
+            values: values?,
+        };
+        let digest = quote_digest(&source, nonce);
+        let sig = self.aik.sign_pkcs1v15(&digest)?;
+        let cost = self.cost(TpmOp::Quote);
+        Ok(Timed::new(Quote::new(source, nonce.to_vec(), sig), cost))
+    }
+
+    /// `TPM_GetRandom`.
+    pub fn get_random(&mut self, bytes: usize) -> Timed<Vec<u8>> {
+        let out = self.rng.fill(bytes);
+        let blocks = bytes.max(1).div_ceil(128) as u64;
+        let cost = self.timing.sample(TpmOp::GetRandom128, &mut self.noise) * blocks;
+        Timed::new(out, cost)
+    }
+
+    // ---------------------------------------------------------------
+    // The TPM_HASH_* interface driven by SKINIT / SENTER
+    // ---------------------------------------------------------------
+
+    /// `TPM_HASH_START`: begins a hardware-initiated measurement. Resets
+    /// the dynamic PCRs to zero — which is why "the only way to reset
+    /// PCR 17 is by executing another SKINIT instruction" (§2.2.1).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::LocalityDenied`] unless issued from [`Locality::Cpu`].
+    pub fn hash_start(&mut self, locality: Locality) -> Result<Timed<()>, TpmError> {
+        if locality != Locality::Cpu {
+            return Err(TpmError::LocalityDenied);
+        }
+        self.pcrs.dynamic_reset();
+        self.hash_session = Some(HashSession {
+            hasher: Sha1::new(),
+            bytes: 0,
+        });
+        Ok(Timed::new((), SimDuration::from_us(1)))
+    }
+
+    /// `TPM_HASH_DATA`: absorbs PAL/ACMod bytes. The cost reflects the
+    /// LPC long wait cycles measured in Table 1 (~2.71 µs per byte on
+    /// 2007 chips).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::NoHashSession`] without a preceding `TPM_HASH_START`.
+    pub fn hash_data(&mut self, data: &[u8]) -> Result<Timed<()>, TpmError> {
+        let session = self.hash_session.as_mut().ok_or(TpmError::NoHashSession)?;
+        session.hasher.update_bytes(data);
+        session.bytes += data.len();
+        let cost = self.timing.hash_time(data.len());
+        Ok(Timed::new((), cost))
+    }
+
+    /// `TPM_HASH_END`: finalizes the measurement and extends it into
+    /// PCR 17, returning the new PCR 17 value.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::NoHashSession`] without a preceding `TPM_HASH_START`.
+    pub fn hash_end(&mut self) -> Result<Timed<PcrValue>, TpmError> {
+        let session = self.hash_session.take().ok_or(TpmError::NoHashSession)?;
+        let digest = session.hasher.finalize_fixed();
+        let v = self
+            .pcrs
+            .extend(PcrIndex(17), &digest)
+            .expect("PCR 17 exists");
+        Ok(Timed::new(v, SimDuration::from_us(1)))
+    }
+
+    // ---------------------------------------------------------------
+    // Proposed sePCR commands (§5.4)
+    // ---------------------------------------------------------------
+
+    /// `SLAUNCH` measurement path: hashes the PAL image, allocates a free
+    /// sePCR, extends the measurement into it, and binds it to `owner`.
+    /// The cost is the full `TPM_HASH_*` stream of the image (the PAL is
+    /// measured **once**, at launch — not on every context switch).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::NoFreeSePcr`] when the bank is exhausted.
+    pub fn slaunch_measure(
+        &mut self,
+        pal_image: &[u8],
+        owner: CpuId,
+    ) -> Result<Timed<SePcrHandle>, TpmError> {
+        let measurement = Sha1::digest(pal_image);
+        let handle = self.sepcrs.allocate(&measurement, owner)?;
+        let cost = self.timing.hash_time(pal_image.len());
+        Ok(Timed::new(handle, cost))
+    }
+
+    /// sePCR variant of `TPM_Extend`, owner-gated.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::SePcrAccessDenied`] from a non-owner CPU;
+    /// [`TpmError::SePcrWrongState`] outside Exclusive.
+    pub fn sepcr_extend(
+        &mut self,
+        handle: SePcrHandle,
+        cpu: CpuId,
+        measurement: &Sha1Digest,
+    ) -> Result<Timed<PcrValue>, TpmError> {
+        let v = self.sepcrs.extend(handle, cpu, measurement)?;
+        let cost = self.cost(TpmOp::PcrExtend);
+        Ok(Timed::new(v, cost))
+    }
+
+    /// sePCR variant of `TPM_Seal` (§5.4.4): the blob binds to the
+    /// sePCR's *value* (the PAL's measurement chain), so the PAL can
+    /// unseal it in a future execution under a different handle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tpm::sepcr_extend`], plus [`TpmError::Crypto`].
+    pub fn sepcr_seal(
+        &mut self,
+        handle: SePcrHandle,
+        cpu: CpuId,
+        data: &[u8],
+    ) -> Result<Timed<SealedBlob>, TpmError> {
+        let value = self.sepcrs.read_exclusive(handle, cpu)?;
+        let composite = sepcr_composite(&value);
+        let blob = seal_payload(
+            self.srk.public_key(),
+            &mut self.rng,
+            SealSelection::SePcr,
+            composite,
+            data,
+        )?;
+        let cost = self.cost(TpmOp::Seal);
+        Ok(Timed::new(blob, cost))
+    }
+
+    /// sePCR variant of `TPM_Unseal`: releases the plaintext only if the
+    /// invoking PAL's current sePCR chain matches the sealing chain.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::InvalidBlob`] for non-sePCR blobs or tampering;
+    /// [`TpmError::WrongPcrState`] if a different PAL tries to unseal.
+    pub fn sepcr_unseal(
+        &mut self,
+        handle: SePcrHandle,
+        cpu: CpuId,
+        blob: &SealedBlob,
+    ) -> Result<Timed<Vec<u8>>, TpmError> {
+        if !blob.is_sepcr_bound() {
+            return Err(TpmError::InvalidBlob);
+        }
+        let value = self.sepcrs.read_exclusive(handle, cpu)?;
+        let composite = sepcr_composite(&value);
+        let data = unseal_payload(&self.srk, blob, &composite)?;
+        let cost = self.cost(TpmOp::Unseal);
+        Ok(Timed::new(data, cost))
+    }
+
+    /// `SFREE` path: moves the PAL's sePCR to the Quote state (§5.5).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tpm::sepcr_extend`].
+    pub fn sepcr_release_to_quote(
+        &mut self,
+        handle: SePcrHandle,
+        cpu: CpuId,
+    ) -> Result<Timed<()>, TpmError> {
+        self.sepcrs.release_to_quote(handle, cpu)?;
+        Ok(Timed::new((), SimDuration::from_us(1)))
+    }
+
+    /// `TPM_Quote` over a sePCR in the Quote state — invocable by
+    /// *untrusted* code, which received the handle as PAL output (§5.4.3).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::SePcrWrongState`] outside Quote.
+    pub fn sepcr_quote(
+        &mut self,
+        handle: SePcrHandle,
+        nonce: &[u8],
+    ) -> Result<Timed<Quote>, TpmError> {
+        let value = self.sepcrs.read_for_quote(handle)?;
+        let source = QuoteSource::SePcr { value };
+        let digest = quote_digest(&source, nonce);
+        let sig = self.aik.sign_pkcs1v15(&digest)?;
+        let cost = self.cost(TpmOp::Quote);
+        Ok(Timed::new(Quote::new(source, nonce.to_vec(), sig), cost))
+    }
+
+    /// `TPM_SEPCR_Free`: recycles a quoted sePCR (§5.4.3).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::SePcrWrongState`] outside Quote.
+    pub fn sepcr_free(&mut self, handle: SePcrHandle) -> Result<Timed<()>, TpmError> {
+        self.sepcrs.free(handle)?;
+        Ok(Timed::new((), SimDuration::from_us(1)))
+    }
+
+    /// `SKILL` path: extends the kill constant and frees the slot (§5.5).
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::SePcrWrongState`] outside Exclusive.
+    pub fn sepcr_skill(&mut self, handle: SePcrHandle) -> Result<Timed<()>, TpmError> {
+        self.sepcrs.skill(handle)?;
+        let cost = self.cost(TpmOp::PcrExtend);
+        Ok(Timed::new((), cost))
+    }
+
+    /// Hardware resume path: rebinds a suspended PAL's sePCR to the CPU
+    /// about to resume it.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::SePcrWrongState`] outside Exclusive.
+    pub fn sepcr_rebind(&mut self, handle: SePcrHandle, cpu: CpuId) -> Result<(), TpmError> {
+        self.sepcrs.rebind_owner(handle, cpu)
+    }
+}
+
+/// Composite digest for a sePCR-bound seal: domain-separated from the
+/// ordinary PCR composite.
+fn sepcr_composite(value: &PcrValue) -> Sha1Digest {
+    let mut h = Sha1::new();
+    h.update_bytes(b"sePCR-composite");
+    h.update_bytes(value.as_bytes());
+    h.finalize_fixed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tpm() -> Tpm {
+        Tpm::new(TpmKind::Broadcom, KeyStrength::Demo512, b"test tpm")
+    }
+
+    fn tpm_with_sepcrs(n: u16) -> Tpm {
+        tpm().with_sepcrs(n)
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_with_timing() {
+        let mut t = tpm();
+        t.extend(PcrIndex(17), &Sha1::digest(b"pal")).unwrap();
+        let sealed = t.seal(b"secret", &[PcrIndex(17)]).unwrap();
+        // Broadcom Seal ≈ 20 ms.
+        assert!((sealed.elapsed.as_ms_f64() - 20.0).abs() < 5.0);
+        let out = t.unseal(&sealed.value).unwrap();
+        assert_eq!(out.value, b"secret");
+        // Broadcom Unseal ≈ 905 ms.
+        assert!((out.elapsed.as_ms_f64() - 905.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn unseal_fails_after_pcr_change() {
+        let mut t = tpm();
+        t.extend(PcrIndex(17), &Sha1::digest(b"pal")).unwrap();
+        let sealed = t.seal(b"secret", &[PcrIndex(17)]).unwrap().value;
+        t.extend(PcrIndex(17), &Sha1::digest(b"other code"))
+            .unwrap();
+        assert_eq!(t.unseal(&sealed).unwrap_err(), TpmError::WrongPcrState);
+    }
+
+    #[test]
+    fn unseal_fails_after_reboot() {
+        let mut t = tpm();
+        t.hash_start(Locality::Cpu).unwrap();
+        t.hash_data(b"pal image").unwrap();
+        t.hash_end().unwrap();
+        let sealed = t.seal(b"secret", &[PcrIndex(17)]).unwrap().value;
+        t.reboot();
+        // PCR 17 is now −1: composite differs.
+        assert_eq!(t.unseal(&sealed).unwrap_err(), TpmError::WrongPcrState);
+    }
+
+    #[test]
+    fn quote_roundtrip_and_verification() {
+        let mut t = tpm();
+        t.extend(PcrIndex(17), &Sha1::digest(b"pal")).unwrap();
+        let q = t.quote(b"verifier nonce", &[PcrIndex(17)]).unwrap();
+        assert!(q.value.verify_signature(t.aik_public()));
+        assert!((q.elapsed.as_ms_f64() - 880.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn hash_interface_models_skinit() {
+        let mut t = tpm();
+        // Software cannot open the session (cannot reset PCR 17).
+        assert_eq!(
+            t.hash_start(Locality::Software).unwrap_err(),
+            TpmError::LocalityDenied
+        );
+        assert_eq!(t.hash_data(b"x").unwrap_err(), TpmError::NoHashSession);
+        assert_eq!(t.hash_end().unwrap_err(), TpmError::NoHashSession);
+
+        t.hash_start(Locality::Cpu).unwrap();
+        let pal = vec![0xAB; 64 * 1024];
+        let data_cost = t.hash_data(&pal).unwrap().elapsed;
+        // Table 1: 64 KB through a 2007 TPM ≈ 177.52 ms.
+        assert!((data_cost.as_ms_f64() - 177.52).abs() < 0.2);
+        let v = t.hash_end().unwrap().value;
+        // PCR 17 = extend(0, SHA1(pal)).
+        let expected = PcrValue::ZERO.extended(&Sha1::digest(&pal));
+        assert_eq!(v, expected);
+        assert_eq!(t.pcr_read(PcrIndex(17)).unwrap().value, expected);
+    }
+
+    #[test]
+    fn hash_start_resets_all_dynamic_pcrs() {
+        let mut t = tpm();
+        t.extend(PcrIndex(20), &Sha1::digest(b"junk")).unwrap();
+        t.hash_start(Locality::Cpu).unwrap();
+        for i in 17..=23u8 {
+            assert_eq!(t.pcr_read(PcrIndex(i)).unwrap().value, PcrValue::ZERO);
+        }
+        t.hash_end().unwrap();
+    }
+
+    #[test]
+    fn get_random_is_timed_and_random() {
+        let mut t = tpm();
+        let a = t.get_random(128);
+        let b = t.get_random(128);
+        assert_ne!(a.value, b.value);
+        assert_eq!(a.value.len(), 128);
+        // Broadcom GetRandom-128B ≈ 25 ms (±2% calibrated jitter).
+        assert!((a.elapsed.as_ms_f64() - 25.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn sepcr_seal_binds_to_measurement_not_handle() {
+        let mut t = tpm_with_sepcrs(3);
+        let pal = b"the same PAL image";
+        // First execution: seal some state.
+        let h1 = t.slaunch_measure(pal, CpuId(0)).unwrap().value;
+        let blob = t
+            .sepcr_seal(h1, CpuId(0), b"persistent state")
+            .unwrap()
+            .value;
+        t.sepcr_release_to_quote(h1, CpuId(0)).unwrap();
+        // Slot 0 stays in Quote state and slot 1 goes to a different PAL,
+        // so the next launch of our PAL lands in a *different* slot.
+        let h_other = t.slaunch_measure(b"other PAL", CpuId(1)).unwrap().value;
+        // Second execution of the same PAL: different handle, same chain.
+        let h2 = t.slaunch_measure(pal, CpuId(0)).unwrap().value;
+        assert_ne!(h1, h2);
+        let out = t.sepcr_unseal(h2, CpuId(0), &blob).unwrap().value;
+        assert_eq!(out, b"persistent state");
+        // The *other* PAL cannot unseal it: wrong measurement chain.
+        assert_eq!(
+            t.sepcr_unseal(h_other, CpuId(1), &blob).unwrap_err(),
+            TpmError::WrongPcrState
+        );
+    }
+
+    #[test]
+    fn sepcr_blobs_and_pcr_blobs_do_not_cross() {
+        let mut t = tpm_with_sepcrs(1);
+        let h = t.slaunch_measure(b"pal", CpuId(0)).unwrap().value;
+        let sepcr_blob = t.sepcr_seal(h, CpuId(0), b"a").unwrap().value;
+        let pcr_blob = t.seal(b"b", &[PcrIndex(17)]).unwrap().value;
+        assert_eq!(t.unseal(&sepcr_blob).unwrap_err(), TpmError::InvalidBlob);
+        assert_eq!(
+            t.sepcr_unseal(h, CpuId(0), &pcr_blob).unwrap_err(),
+            TpmError::InvalidBlob
+        );
+    }
+
+    #[test]
+    fn sepcr_quote_lifecycle_and_verification() {
+        let mut t = tpm_with_sepcrs(1);
+        let pal = b"quoted PAL";
+        let h = t.slaunch_measure(pal, CpuId(0)).unwrap().value;
+        // Quote is not possible while Exclusive.
+        assert!(t.sepcr_quote(h, b"n").is_err());
+        t.sepcr_release_to_quote(h, CpuId(0)).unwrap();
+        let q = t.sepcr_quote(h, b"n").unwrap().value;
+        assert!(q.verify_signature(t.aik_public()));
+        match q.source() {
+            QuoteSource::SePcr { value } => {
+                assert_eq!(*value, PcrValue::ZERO.extended(&Sha1::digest(pal)));
+            }
+            other => panic!("unexpected source {other:?}"),
+        }
+        t.sepcr_free(h).unwrap();
+        assert_eq!(t.sepcrs().free_count(), 1);
+    }
+
+    #[test]
+    fn slaunch_measure_cost_matches_hash_rate() {
+        let mut t = tpm_with_sepcrs(1);
+        let pal = vec![0u8; 64 * 1024];
+        let timed = t.slaunch_measure(&pal, CpuId(0)).unwrap();
+        assert!((timed.elapsed.as_ms_f64() - 177.52).abs() < 0.2);
+    }
+
+    #[test]
+    fn sepcr_exhaustion_surfaces_no_free_error() {
+        let mut t = tpm_with_sepcrs(1);
+        t.slaunch_measure(b"a", CpuId(0)).unwrap();
+        assert_eq!(
+            t.slaunch_measure(b"b", CpuId(1)).unwrap_err(),
+            TpmError::NoFreeSePcr
+        );
+    }
+
+    #[test]
+    fn reboot_clears_hash_session_and_lock() {
+        let mut t = tpm();
+        t.hash_start(Locality::Cpu).unwrap();
+        t.lock_mut().acquire(CpuId(1)).unwrap();
+        t.reboot();
+        assert_eq!(t.hash_data(b"x").unwrap_err(), TpmError::NoHashSession);
+        assert_eq!(t.lock_mut().holder(), None);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"seed");
+        let b = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"seed");
+        assert_eq!(a.aik_public(), b.aik_public());
+    }
+
+    #[test]
+    fn timed_map_preserves_cost() {
+        let t = Timed::new(3u32, SimDuration::from_ms(7));
+        let u = t.map(|v| v * 2);
+        assert_eq!(u.value, 6);
+        assert_eq!(u.elapsed, SimDuration::from_ms(7));
+    }
+}

@@ -1,0 +1,246 @@
+//! Property-based tests over the cryptographic substrate: algebraic laws
+//! of the bignum engine, hash/HMAC consistency, and RSA/sealing
+//! roundtrips under arbitrary inputs.
+
+use minimal_tcb::crypto::{BigUint, Drbg, Hmac, OaepLabel, RsaPrivateKey, Sha1, Sha256};
+use proptest::prelude::*;
+
+fn big(bytes: Vec<u8>) -> BigUint {
+    BigUint::from_bytes_be(&bytes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_is_commutative_and_associative(
+        a in proptest::collection::vec(any::<u8>(), 0..48),
+        b in proptest::collection::vec(any::<u8>(), 0..48),
+        c in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let (a, b, c) = (big(a), big(b), big(c));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+    }
+
+    #[test]
+    fn add_sub_roundtrip(
+        a in proptest::collection::vec(any::<u8>(), 0..48),
+        b in proptest::collection::vec(any::<u8>(), 0..48),
+    ) {
+        let (a, b) = (big(a), big(b));
+        let sum = &a + &b;
+        prop_assert_eq!(sum.checked_sub(&b).unwrap(), a);
+    }
+
+    #[test]
+    fn mul_distributes_over_add(
+        a in proptest::collection::vec(any::<u8>(), 0..32),
+        b in proptest::collection::vec(any::<u8>(), 0..32),
+        c in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let (a, b, c) = (big(a), big(b), big(c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn division_identity(
+        n in proptest::collection::vec(any::<u8>(), 0..64),
+        d in proptest::collection::vec(any::<u8>(), 1..40),
+    ) {
+        let n = big(n);
+        let d = big(d);
+        prop_assume!(!d.is_zero());
+        let (q, r) = n.divrem(&d);
+        prop_assert!(r < d);
+        prop_assert_eq!(&(&q * &d) + &r, n);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers_of_two(
+        v in proptest::collection::vec(any::<u8>(), 0..32),
+        bits in 0usize..100,
+    ) {
+        let v = big(v);
+        let shifted = v.shl_bits(bits);
+        let pow = BigUint::one().shl_bits(bits);
+        prop_assert_eq!(&shifted, &(&v * &pow));
+        prop_assert_eq!(&shifted >> bits, v);
+    }
+
+    #[test]
+    fn bytes_roundtrip(v in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let n = big(v);
+        prop_assert_eq!(BigUint::from_bytes_be(&n.to_bytes_be()), n);
+    }
+
+    #[test]
+    fn modexp_product_law(
+        base in proptest::collection::vec(any::<u8>(), 1..16),
+        e1 in 0u32..50,
+        e2 in 0u32..50,
+        modulus in proptest::collection::vec(any::<u8>(), 2..16),
+    ) {
+        // b^(e1+e2) == b^e1 * b^e2 (mod m)
+        let b = big(base);
+        let mut m = big(modulus);
+        if m.is_zero() || m.is_one() {
+            m = BigUint::from_u64(7);
+        }
+        let lhs = b.modexp(&BigUint::from_u64((e1 + e2) as u64), &m);
+        let rhs_a = b.modexp(&BigUint::from_u64(e1 as u64), &m);
+        let rhs_b = b.modexp(&BigUint::from_u64(e2 as u64), &m);
+        prop_assert_eq!(lhs, (&rhs_a * &rhs_b).rem_ref(&m));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(
+        a_raw in proptest::collection::vec(any::<u8>(), 1..16),
+        m_raw in proptest::collection::vec(any::<u8>(), 2..16),
+    ) {
+        let a = big(a_raw);
+        let m = big(m_raw);
+        prop_assume!(!m.is_zero() && !m.is_one());
+        if let Some(inv) = a.mod_inverse(&m) {
+            prop_assert_eq!((&a * &inv).rem_ref(&m), BigUint::one());
+            prop_assert!(inv < m);
+        }
+    }
+
+    #[test]
+    fn sha1_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in 0usize..512,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha1::new();
+        h.update_bytes(&data[..split]);
+        h.update_bytes(&data[split..]);
+        prop_assert_eq!(h.finalize_fixed(), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn sha256_incremental_equals_oneshot(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        splits in proptest::collection::vec(0usize..512, 0..4),
+    ) {
+        let mut points: Vec<usize> = splits.into_iter().map(|s| s.min(data.len())).collect();
+        points.sort_unstable();
+        let mut h = Sha256::new();
+        let mut prev = 0;
+        for p in points {
+            h.update_bytes(&data[prev..p]);
+            prev = p;
+        }
+        h.update_bytes(&data[prev..]);
+        prop_assert_eq!(h.finalize_fixed(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn hmac_verifies_own_tags_and_rejects_bitflips(
+        key in proptest::collection::vec(any::<u8>(), 0..80),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+        flip_byte in 0usize..20,
+        flip_bit in 0u8..8,
+    ) {
+        let tag = Hmac::<Sha1>::mac(&key, &msg);
+        prop_assert!(Hmac::<Sha1>::verify(&key, &msg, &tag));
+        let mut bad = tag.clone();
+        let idx = flip_byte % bad.len();
+        bad[idx] ^= 1 << flip_bit;
+        prop_assert!(!Hmac::<Sha1>::verify(&key, &msg, &bad));
+    }
+
+    #[test]
+    fn drbg_is_deterministic_and_seed_sensitive(
+        seed in proptest::collection::vec(any::<u8>(), 1..32),
+        n in 1usize..128,
+    ) {
+        let a = Drbg::new(&seed).fill(n);
+        let b = Drbg::new(&seed).fill(n);
+        prop_assert_eq!(&a, &b);
+        let mut other_seed = seed.clone();
+        other_seed[0] ^= 1;
+        let c = Drbg::new(&other_seed).fill(n);
+        prop_assert_ne!(a, c);
+    }
+    #[test]
+    fn biguint_agrees_with_native_u128(a in any::<u64>(), b in any::<u64>()) {
+        // Differential check of every arithmetic op against native
+        // 128-bit integers on word-sized operands.
+        let (ba, bb) = (BigUint::from_u64(a), BigUint::from_u64(b));
+        let (wa, wb) = (a as u128, b as u128);
+
+        prop_assert_eq!((&ba + &bb).to_bytes_be(), be(wa + wb));
+        prop_assert_eq!((&ba * &bb).to_bytes_be(), be(wa * wb));
+        if a >= b {
+            prop_assert_eq!(ba.checked_sub(&bb).unwrap().to_bytes_be(), be(wa - wb));
+        } else {
+            prop_assert!(ba.checked_sub(&bb).is_none());
+        }
+        if b != 0 {
+            let (q, r) = ba.divrem(&bb);
+            prop_assert_eq!(q.to_bytes_be(), be(wa / wb));
+            prop_assert_eq!(r.to_bytes_be(), be(wa % wb));
+        }
+        prop_assert_eq!(ba.gcd(&bb).to_bytes_be(), be(gcd_u128(wa, wb)));
+        prop_assert_eq!(ba.bit_len() as u32, 64 - a.leading_zeros());
+    }
+
+}
+
+// RSA properties use a fixed key (keygen per-case would dominate) with
+// proptest-driven payloads.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn rsa_oaep_roundtrips_arbitrary_payloads(
+        payload in proptest::collection::vec(any::<u8>(), 0..22),
+        label in proptest::collection::vec(any::<u8>(), 0..16),
+        rng_seed in any::<u64>(),
+    ) {
+        let key = test_key();
+        let mut rng = Drbg::new(&rng_seed.to_le_bytes());
+        let label = OaepLabel(label);
+        let ct = key.public_key().encrypt_oaep(&payload, &label, &mut rng).unwrap();
+        prop_assert_eq!(key.decrypt_oaep(&ct, &label).unwrap(), payload);
+    }
+
+    #[test]
+    fn rsa_signature_binds_digest(
+        msg_a in proptest::collection::vec(any::<u8>(), 0..64),
+        msg_b in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let key = test_key();
+        let da = Sha1::digest(&msg_a);
+        let db = Sha1::digest(&msg_b);
+        let sig = key.sign_pkcs1v15(&da).unwrap();
+        prop_assert!(key.public_key().verify_pkcs1v15(&da, &sig));
+        if da != db {
+            prop_assert!(!key.public_key().verify_pkcs1v15(&db, &sig));
+        }
+    }
+}
+
+fn test_key() -> RsaPrivateKey {
+    use std::sync::OnceLock;
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::new(b"proptest key")).unwrap())
+        .clone()
+}
+
+fn be(v: u128) -> Vec<u8> {
+    let raw = v.to_be_bytes();
+    let first = raw.iter().position(|&b| b != 0).unwrap_or(raw.len());
+    raw[first..].to_vec()
+}
+
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}

@@ -1,0 +1,373 @@
+//! Property-based tests of the hardware and protocol invariants: the
+//! memory controller's access-table state machine, the page allocator,
+//! PCR chain algebra, and the sePCR life cycle, all driven by random
+//! operation sequences.
+
+use minimal_tcb::crypto::Sha1;
+use minimal_tcb::hw::{
+    AccessKind, CpuId, MemoryController, PageAccess, PageIndex, PageRange, Requester,
+};
+use minimal_tcb::os::PageAllocator;
+use minimal_tcb::tpm::{PcrBank, PcrIndex, PcrValue, SePcrBank, SePcrState};
+use proptest::prelude::*;
+
+const ARENA_PAGES: u32 = 64;
+
+/// Random operations against the memory controller.
+#[derive(Debug, Clone)]
+enum McOp {
+    Protect { start: u32, count: u32, cpu: u16 },
+    Suspend { start: u32, count: u32, cpu: u16 },
+    Resume { start: u32, count: u32, cpu: u16 },
+    Release { start: u32, count: u32 },
+}
+
+fn mc_op() -> impl Strategy<Value = McOp> {
+    let range = (0u32..ARENA_PAGES, 1u32..8, 0u16..4);
+    prop_oneof![
+        range.clone().prop_map(|(s, c, cpu)| McOp::Protect {
+            start: s,
+            count: c,
+            cpu
+        }),
+        range.clone().prop_map(|(s, c, cpu)| McOp::Suspend {
+            start: s,
+            count: c,
+            cpu
+        }),
+        range.clone().prop_map(|(s, c, cpu)| McOp::Resume {
+            start: s,
+            count: c,
+            cpu
+        }),
+        (0u32..ARENA_PAGES, 1u32..8).prop_map(|(s, c)| McOp::Release { start: s, count: c }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn access_table_transitions_are_all_or_nothing(ops in proptest::collection::vec(mc_op(), 0..40)) {
+        let mut mc = MemoryController::new(ARENA_PAGES);
+        // Shadow model: what each page's state should be.
+        let mut shadow = vec![PageAccess::All; ARENA_PAGES as usize];
+
+        for op in ops {
+            let apply = |shadow: &mut Vec<PageAccess>, range: PageRange, to: PageAccess| {
+                for p in range.iter() {
+                    shadow[p.0 as usize] = to;
+                }
+            };
+            match op {
+                McOp::Protect { start, count, cpu } => {
+                    let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
+                    if range.count == 0 { continue; }
+                    let ok = range.iter().all(|p| shadow[p.0 as usize] == PageAccess::All);
+                    let result = mc.protect_for_cpu(range, CpuId(cpu));
+                    prop_assert_eq!(result.is_ok(), ok);
+                    if ok { apply(&mut shadow, range, PageAccess::cpu(CpuId(cpu))); }
+                }
+                McOp::Suspend { start, count, cpu } => {
+                    let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
+                    if range.count == 0 { continue; }
+                    let ok = range.iter().all(|p| shadow[p.0 as usize] == PageAccess::cpu(CpuId(cpu)));
+                    let result = mc.suspend_pages(range, CpuId(cpu));
+                    prop_assert_eq!(result.is_ok(), ok);
+                    if ok { apply(&mut shadow, range, PageAccess::None); }
+                }
+                McOp::Resume { start, count, cpu } => {
+                    let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
+                    if range.count == 0 { continue; }
+                    let ok = range.iter().all(|p| shadow[p.0 as usize] == PageAccess::None);
+                    let result = mc.resume_pages(range, CpuId(cpu));
+                    prop_assert_eq!(result.is_ok(), ok);
+                    if ok { apply(&mut shadow, range, PageAccess::cpu(CpuId(cpu))); }
+                }
+                McOp::Release { start, count } => {
+                    let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
+                    if range.count == 0 { continue; }
+                    prop_assert!(mc.release_pages(range).is_ok());
+                    apply(&mut shadow, range, PageAccess::All);
+                }
+            }
+            // The real table always equals the shadow model, and access
+            // checks agree with it.
+            for p in 0..ARENA_PAGES {
+                let page = PageIndex(p);
+                prop_assert_eq!(mc.access(page), shadow[p as usize]);
+                let cpu0_ok = mc.check(Requester::Cpu(CpuId(0)), AccessKind::Read, page).is_ok();
+                let expected = match shadow[p as usize] {
+                    PageAccess::All => true,
+                    PageAccess::Cpus(owners) => owners.contains(CpuId(0)),
+                    PageAccess::None => false,
+                };
+                prop_assert_eq!(cpu0_ok, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn allocator_never_double_allocates(
+        requests in proptest::collection::vec(1u32..10, 1..20),
+        free_mask in proptest::collection::vec(any::<bool>(), 1..20),
+    ) {
+        let mut alloc = PageAllocator::new(PageRange::new(PageIndex(100), ARENA_PAGES));
+        let mut live: Vec<PageRange> = Vec::new();
+        for (i, &req) in requests.iter().enumerate() {
+            if let Ok(r) = alloc.alloc(req) {
+                // Disjoint from all live allocations.
+                for other in &live {
+                    prop_assert!(!r.overlaps(other), "{r} overlaps {other}");
+                }
+                live.push(r);
+            }
+            // Randomly free one.
+            if free_mask.get(i).copied().unwrap_or(false) && !live.is_empty() {
+                let r = live.swap_remove(i % live.len());
+                prop_assert!(alloc.free(r).is_ok());
+            }
+            // Conservation: live + free == arena.
+            let live_pages: u32 = live.iter().map(|r| r.count).sum();
+            prop_assert_eq!(live_pages + alloc.free_pages(), ARENA_PAGES);
+        }
+        // Freeing everything restores a fully coalesced arena.
+        for r in live.drain(..) {
+            alloc.free(r).unwrap();
+        }
+        prop_assert_eq!(alloc.largest_free_run(), ARENA_PAGES);
+    }
+
+    #[test]
+    fn pcr_chain_is_injective_on_event_sequences(
+        seq_a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..6),
+        seq_b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..6),
+    ) {
+        // Different event sequences yield different PCR values (no
+        // collisions observed; order and multiplicity are encoded).
+        let chain = |events: &[Vec<u8>]| {
+            let mut bank = PcrBank::new();
+            bank.dynamic_reset();
+            for e in events {
+                bank.extend(PcrIndex(17), &Sha1::digest(e)).unwrap();
+            }
+            bank.read(PcrIndex(17)).unwrap()
+        };
+        if seq_a == seq_b {
+            prop_assert_eq!(chain(&seq_a), chain(&seq_b));
+        } else {
+            prop_assert_ne!(chain(&seq_a), chain(&seq_b));
+        }
+    }
+
+    #[test]
+    fn sepcr_bank_conserves_slots(ops in proptest::collection::vec(0u8..5, 0..60)) {
+        const SLOTS: u16 = 4;
+        let mut bank = SePcrBank::new(SLOTS);
+        let mut live: Vec<minimal_tcb::tpm::SePcrHandle> = Vec::new();
+        let mut quoted: Vec<minimal_tcb::tpm::SePcrHandle> = Vec::new();
+
+        for (i, op) in ops.into_iter().enumerate() {
+            match op {
+                // Allocate
+                0 => {
+                    let m = Sha1::digest(&i.to_le_bytes());
+                    match bank.allocate(&m, CpuId(0)) {
+                        Ok(h) => live.push(h),
+                        Err(_) => prop_assert_eq!(bank.free_count(), 0),
+                    }
+                }
+                // Release to quote
+                1 => {
+                    if let Some(h) = live.pop() {
+                        bank.release_to_quote(h, CpuId(0)).unwrap();
+                        quoted.push(h);
+                    }
+                }
+                // Free from quote
+                2 => {
+                    if let Some(h) = quoted.pop() {
+                        bank.free(h).unwrap();
+                    }
+                }
+                // SKILL a live one
+                3 => {
+                    if let Some(h) = live.pop() {
+                        bank.skill(h).unwrap();
+                    }
+                }
+                // Extend a live one
+                _ => {
+                    if let Some(&h) = live.last() {
+                        bank.extend(h, CpuId(0), &Sha1::digest(b"ev")).unwrap();
+                    }
+                }
+            }
+            // Conservation: free + live(Exclusive) + quoted(Quote) == SLOTS.
+            prop_assert_eq!(
+                bank.free_count() as usize + live.len() + quoted.len(),
+                SLOTS as usize
+            );
+            for &h in &live {
+                prop_assert_eq!(bank.state(h).unwrap(), SePcrState::Exclusive);
+            }
+            for &h in &quoted {
+                prop_assert_eq!(bank.state(h).unwrap(), SePcrState::Quote);
+            }
+        }
+    }
+
+    #[test]
+    fn pcr_values_distinguish_boot_states(m in proptest::collection::vec(any::<u8>(), 1..64)) {
+        // No single extend from the reboot state can reach the value a
+        // genuine launch produces, for any measurement.
+        let digest = Sha1::digest(&m);
+        let from_boot = PcrValue::MINUS_ONE.extended(&digest);
+        let from_launch = PcrValue::ZERO.extended(&digest);
+        prop_assert_ne!(from_boot, from_launch);
+    }
+}
+
+// TPM-level properties instantiate RSA keypairs per case; keep the case
+// count modest.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn enhanced_sea_survives_random_scheduling(
+        ops in proptest::collection::vec((0u8..6, 0u16..4), 0..60),
+        yields in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        use minimal_tcb::core::{EnhancedSea, FnPal, PalId, SecurePlatform};
+        use minimal_tcb::hw::Platform;
+        use minimal_tcb::tpm::KeyStrength;
+
+        let mut sea = EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(4),
+            KeyStrength::Demo512,
+            b"fuzz",
+        )).unwrap();
+
+        // A pool of PALs whose behaviour (yield vs exit per step) is
+        // proptest-driven.
+        let mut pals: Vec<_> = (0..4)
+            .map(|i| {
+                let pattern = yields.clone();
+                let mut step = 0usize;
+                FnPal::new(&format!("fuzz-{i}"), move |_| {
+                    let y = pattern.get(step).copied().unwrap_or(false);
+                    step += 1;
+                    if y {
+                        Ok(minimal_tcb::core::PalOutcome::Yield)
+                    } else {
+                        Ok(minimal_tcb::core::PalOutcome::Exit(vec![i as u8]))
+                    }
+                })
+            })
+            .collect();
+        let mut ids: Vec<Option<PalId>> = vec![None; 4];
+
+        for (op, arg) in ops {
+            let slot = (arg % 4) as usize;
+            let cpu = CpuId(arg % 4);
+            // Drive a random operation; every outcome must be a typed
+            // Ok/Err — never a panic, never a broken invariant.
+            match op {
+                0 => {
+                    if ids[slot].is_none() {
+                        if let Ok(id) = sea.slaunch(&mut pals[slot], b"", cpu, None) {
+                            ids[slot] = Some(id);
+                        }
+                    }
+                }
+                1 => {
+                    if let Some(id) = ids[slot] {
+                        let _ = sea.step(&mut pals[slot], id);
+                    }
+                }
+                2 => {
+                    if let Some(id) = ids[slot] {
+                        let _ = sea.resume(id, cpu);
+                    }
+                }
+                3 => {
+                    if let Some(id) = ids[slot] {
+                        let _ = sea.skill(id);
+                    }
+                }
+                4 => {
+                    if let Some(id) = ids[slot] {
+                        let _ = sea.join(id, cpu);
+                    }
+                }
+                _ => {
+                    if let Some(id) = ids[slot] {
+                        let _ = sea.quote_and_free(id, b"fuzz-nonce");
+                    }
+                }
+            }
+            // Invariant: no page is ever left in NONE unless some live
+            // PAL is suspended; protected page count is bounded by the
+            // PALs' combined regions.
+            let (_, cpus_pages, none_pages) =
+                sea.platform().machine().controller().state_census();
+            let mut max_protected = 0usize;
+            for id in ids.iter().flatten() {
+                if let Ok(secb) = sea.secb(*id) {
+                    max_protected += secb.pages().count as usize;
+                }
+            }
+            prop_assert!(cpus_pages + none_pages <= max_protected);
+        }
+    }
+
+    #[test]
+    fn seal_unseal_policy_is_exact(
+        data in proptest::collection::vec(any::<u8>(), 0..200),
+        selection_raw in proptest::collection::vec(0u8..24, 1..4),
+        perturb in 0u8..24,
+        do_perturb in any::<bool>(),
+    ) {
+        // TPM policy invariant: unseal succeeds iff every selected PCR
+        // still holds its seal-time value.
+        use minimal_tcb::tpm::{KeyStrength, Tpm};
+        use minimal_tcb::hw::TpmKind;
+
+        let mut selection: Vec<PcrIndex> =
+            selection_raw.iter().map(|&i| PcrIndex(i)).collect();
+        selection.dedup();
+        let mut tpm = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"prop-seal");
+        let blob = tpm.seal(&data, &selection).unwrap().value;
+
+        let selected = selection.iter().any(|p| p.0 == perturb);
+        if do_perturb {
+            tpm.extend(PcrIndex(perturb), &Sha1::digest(b"perturbation")).unwrap();
+        }
+        let result = tpm.unseal(&blob);
+        if do_perturb && selected {
+            prop_assert!(result.is_err(), "policy must bind selected PCR {perturb}");
+        } else {
+            prop_assert_eq!(result.unwrap().value, data);
+        }
+    }
+
+    #[test]
+    fn blob_and_quote_wire_formats_roundtrip(
+        data in proptest::collection::vec(any::<u8>(), 0..100),
+        nonce in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        use minimal_tcb::tpm::{KeyStrength, Quote, SealedBlob, Tpm};
+        use minimal_tcb::hw::TpmKind;
+        let mut tpm = Tpm::new(TpmKind::Broadcom, KeyStrength::Demo512, b"prop-wire");
+        let blob = tpm.seal(&data, &[PcrIndex(17)]).unwrap().value;
+        let restored = SealedBlob::from_bytes(&blob.to_bytes()).unwrap();
+        prop_assert_eq!(&restored, &blob);
+        prop_assert_eq!(tpm.unseal(&restored).unwrap().value, data);
+
+        let quote = tpm.quote(&nonce, &[PcrIndex(17), PcrIndex(0)]).unwrap().value;
+        let received = Quote::from_bytes(&quote.to_bytes()).unwrap();
+        prop_assert_eq!(&received, &quote);
+        prop_assert!(received.verify_signature(tpm.aik_public()));
+    }
+
+}
