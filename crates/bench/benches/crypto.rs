@@ -1,73 +1,68 @@
-//! Criterion benches: real wall-clock cost of the cryptographic
-//! substrate (the simulator's hot paths). These complement the
-//! virtual-time experiment binaries: virtual time reproduces the paper's
-//! numbers; these measure what the reproduction itself costs to run.
+//! Wall-clock benches of the cryptographic substrate (the simulator's
+//! hot paths), on the in-repo timer harness (`sea_bench::timing`) — no
+//! external bench framework. These complement the virtual-time
+//! experiment binaries: virtual time reproduces the paper's numbers;
+//! these measure what the reproduction itself costs to run.
+//!
+//! Run with `cargo bench --bench crypto`; set `SEA_BENCH_SMOKE=1` for
+//! the CI smoke pass.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sea_bench::timing::{bench, group, mib_per_sec, smoke_mode};
 use sea_crypto::{Drbg, OaepLabel, RsaPrivateKey, Sha1, Sha256};
 
-fn bench_hashing(c: &mut Criterion) {
-    let mut g = c.benchmark_group("hashing");
+fn bench_hashing() {
+    group("hashing");
     for size in [1usize << 10, 64 << 10] {
         let data = vec![0xABu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("sha1/{size}"), |b| {
-            b.iter(|| Sha1::digest(std::hint::black_box(&data)))
+        let t = bench(&format!("sha1/{size}"), || {
+            Sha1::digest(std::hint::black_box(&data))
         });
-        g.bench_function(format!("sha256/{size}"), |b| {
-            b.iter(|| Sha256::digest(std::hint::black_box(&data)))
+        println!("{:<32} {:>10.1} MiB/s", "", mib_per_sec(size, t.median()));
+        let t = bench(&format!("sha256/{size}"), || {
+            Sha256::digest(std::hint::black_box(&data))
         });
+        println!("{:<32} {:>10.1} MiB/s", "", mib_per_sec(size, t.median()));
     }
-    g.finish();
 }
 
-fn bench_rsa(c: &mut Criterion) {
+fn bench_rsa() {
     let key = RsaPrivateKey::generate(512, &mut Drbg::new(b"bench key")).unwrap();
     let key1024 = RsaPrivateKey::generate(1024, &mut Drbg::new(b"bench key 1024")).unwrap();
     let digest = Sha1::digest(b"benchmark payload");
 
-    let mut g = c.benchmark_group("rsa");
-    g.bench_function("keygen/512", |b| {
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            RsaPrivateKey::generate(512, &mut Drbg::new(&i.to_le_bytes())).unwrap()
-        })
+    group("rsa");
+    let mut i = 0u64;
+    bench("keygen/512", || {
+        i += 1;
+        RsaPrivateKey::generate(512, &mut Drbg::new(&i.to_le_bytes())).unwrap()
     });
-    g.bench_function("sign/512", |b| {
-        b.iter(|| key.sign_pkcs1v15(&digest).unwrap())
-    });
-    g.bench_function("sign/1024", |b| {
-        b.iter(|| key1024.sign_pkcs1v15(&digest).unwrap())
-    });
+    bench("sign/512", || key.sign_pkcs1v15(&digest).unwrap());
+    if !smoke_mode() {
+        bench("sign/1024", || key1024.sign_pkcs1v15(&digest).unwrap());
+    }
     let sig = key.sign_pkcs1v15(&digest).unwrap();
-    g.bench_function("verify/512", |b| {
-        b.iter(|| assert!(key.public_key().verify_pkcs1v15(&digest, &sig)))
+    bench("verify/512", || {
+        assert!(key.public_key().verify_pkcs1v15(&digest, &sig))
     });
-    g.bench_function("oaep_roundtrip/512", |b| {
-        let mut rng = Drbg::new(b"oaep");
-        let label = OaepLabel::default();
-        b.iter(|| {
-            let ct = key
-                .public_key()
-                .encrypt_oaep(b"secret", &label, &mut rng)
-                .unwrap();
-            key.decrypt_oaep(&ct, &label).unwrap()
-        })
-    });
-    g.finish();
-}
-
-fn bench_drbg(c: &mut Criterion) {
-    c.bench_function("drbg/fill_1k", |b| {
-        let mut rng = Drbg::new(b"bench");
-        b.iter(|| rng.fill(1024))
+    let mut rng = Drbg::new(b"oaep");
+    let label = OaepLabel::default();
+    bench("oaep_roundtrip/512", || {
+        let ct = key
+            .public_key()
+            .encrypt_oaep(b"secret", &label, &mut rng)
+            .unwrap();
+        key.decrypt_oaep(&ct, &label).unwrap()
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_hashing, bench_rsa, bench_drbg
+fn bench_drbg() {
+    group("drbg");
+    let mut rng = Drbg::new(b"bench");
+    bench("drbg/fill_1k", || rng.fill(1024));
 }
-criterion_main!(benches);
+
+fn main() {
+    bench_hashing();
+    bench_rsa();
+    bench_drbg();
+}

@@ -1,7 +1,11 @@
-//! Criterion benches over the SEA runtimes and TPM model: the real cost
-//! of simulating each paper experiment's unit of work.
+//! Wall-clock benches over the SEA runtimes and TPM model — the real
+//! cost of simulating each paper experiment's unit of work — on the
+//! in-repo timer harness (`sea_bench::timing`).
+//!
+//! Run with `cargo bench --bench sessions`; set `SEA_BENCH_SMOKE=1` for
+//! the CI smoke pass.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use sea_bench::timing::{bench, group};
 use sea_core::{EnhancedSea, FnPal, LegacySea, PalOutcome, SecurePlatform};
 use sea_hw::{CpuId, Platform, SimDuration};
 use sea_tpm::{KeyStrength, PcrIndex, Tpm};
@@ -10,77 +14,67 @@ fn platform(p: Platform, seed: &[u8]) -> SecurePlatform {
     SecurePlatform::new(p, KeyStrength::Demo512, seed)
 }
 
-fn bench_tpm_ops(c: &mut Criterion) {
-    let mut g = c.benchmark_group("tpm");
+fn bench_tpm_ops() {
+    group("tpm");
     let mut tpm = Tpm::new(sea_hw::TpmKind::Broadcom, KeyStrength::Demo512, b"bench");
     let digest = sea_crypto::Sha1::digest(b"m");
-    g.bench_function("extend", |b| {
-        b.iter(|| tpm.extend(PcrIndex(17), &digest).unwrap())
-    });
-    g.bench_function("seal", |b| {
-        b.iter(|| tpm.seal(b"state", &[PcrIndex(17)]).unwrap())
-    });
+    bench("extend", || tpm.extend(PcrIndex(17), &digest).unwrap());
+    bench("seal", || tpm.seal(b"state", &[PcrIndex(17)]).unwrap());
     let blob = tpm.seal(b"state", &[PcrIndex(17)]).unwrap().value;
-    g.bench_function("unseal", |b| b.iter(|| tpm.unseal(&blob).unwrap()));
-    g.bench_function("quote", |b| {
-        b.iter(|| tpm.quote(b"nonce", &[PcrIndex(17)]).unwrap())
-    });
-    g.finish();
+    bench("unseal", || tpm.unseal(&blob).unwrap());
+    bench("quote", || tpm.quote(b"nonce", &[PcrIndex(17)]).unwrap());
 }
 
-fn bench_late_launch(c: &mut Criterion) {
-    // The Table 1 unit of work: one full late launch, 64 KB PAL.
-    c.bench_function("late_launch/skinit_64k", |b| {
-        b.iter_batched(
-            || {
-                let mut sp = platform(Platform::hp_dc5750(), b"ll");
-                let range = sea_hw::PageRange::new(sea_hw::PageIndex(8), 16);
-                sp.machine_mut()
-                    .memory_mut()
-                    .write_raw(range.base_addr(), &vec![0x90u8; 64 * 1024])
-                    .unwrap();
-                (sp, range)
-            },
-            |(mut sp, range)| sp.late_launch(CpuId(0), range, 64 * 1024).unwrap(),
-            criterion::BatchSize::SmallInput,
-        )
+fn bench_late_launch() {
+    group("late_launch");
+    // The Table 1 unit of work: one full late launch, 64 KB PAL. The
+    // platform is rebuilt every iteration (late launch consumes it), so
+    // this bench includes that setup — the launch itself dominates.
+    bench("late_launch/skinit_64k", || {
+        let mut sp = platform(Platform::hp_dc5750(), b"ll");
+        let range = sea_hw::PageRange::new(sea_hw::PageIndex(8), 16);
+        sp.machine_mut()
+            .memory_mut()
+            .write_raw(range.base_addr(), &vec![0x90u8; 64 * 1024])
+            .unwrap();
+        sp.late_launch(CpuId(0), range, 64 * 1024).unwrap()
     });
 }
 
-fn bench_sessions(c: &mut Criterion) {
+fn bench_sessions() {
+    group("sessions");
     // The Figure 2 unit of work: one baseline PAL Gen session.
-    c.bench_function("session/legacy_gen", |b| {
-        let mut sea = LegacySea::new(platform(Platform::hp_dc5750(), b"gen")).unwrap();
-        let mut pal = FnPal::new("gen", |ctx| {
-            let _ = ctx.seal(b"state")?;
-            Ok(PalOutcome::Exit(vec![]))
-        })
-        .with_image_size(64 * 1024);
-        b.iter(|| sea.run_session(&mut pal, b"").unwrap())
+    let mut sea = LegacySea::new(platform(Platform::hp_dc5750(), b"gen")).unwrap();
+    let mut pal = FnPal::new("gen", |ctx| {
+        let _ = ctx.seal(b"state")?;
+        Ok(PalOutcome::Exit(vec![]))
+    })
+    .with_image_size(64 * 1024);
+    bench("session/legacy_gen", || {
+        sea.run_session(&mut pal, b"").unwrap()
     });
 }
 
-fn bench_context_switch(c: &mut Criterion) {
+fn bench_context_switch() {
+    group("context_switch");
     // The §5.7 unit of work: one SYIELD + resume pair on the proposed
     // hardware (real simulator execution, not just the cost model).
-    c.bench_function("session/enhanced_switch_pair", |b| {
-        let mut sea = EnhancedSea::new(platform(Platform::recommended(2), b"sw")).unwrap();
-        let mut pal = FnPal::new("spinner", |ctx| {
-            ctx.work(SimDuration::from_us(1));
-            Ok(PalOutcome::Yield)
-        });
-        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
-        sea.step(&mut pal, id).unwrap(); // now suspended
-        b.iter(|| {
-            sea.resume(id, CpuId(0)).unwrap();
-            sea.step(&mut pal, id).unwrap(); // yields again
-        })
+    let mut sea = EnhancedSea::new(platform(Platform::recommended(2), b"sw")).unwrap();
+    let mut pal = FnPal::new("spinner", |ctx| {
+        ctx.work(SimDuration::from_us(1));
+        Ok(PalOutcome::Yield)
+    });
+    let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+    sea.step(&mut pal, id).unwrap(); // now suspended
+    bench("session/enhanced_switch_pair", || {
+        sea.resume(id, CpuId(0)).unwrap();
+        sea.step(&mut pal, id).unwrap(); // yields again
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tpm_ops, bench_late_launch, bench_sessions, bench_context_switch
+fn main() {
+    bench_tpm_ops();
+    bench_late_launch();
+    bench_sessions();
+    bench_context_switch();
 }
-criterion_main!(benches);

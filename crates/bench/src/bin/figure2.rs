@@ -1,53 +1,8 @@
 //! Regenerates Figure 2: overhead breakdown of generic SEA sessions on
 //! the HP dc5750 (Broadcom TPM), 100 runs.
 
-use sea_bench::figure2;
-use sea_bench::format::{ms, render_table};
-
-const RUNS: usize = 100;
+use sea_bench::driver::{render_figure2, FIGURE2_RUNS};
 
 fn main() {
-    println!("Figure 2: SEA session overheads on HP dc5750 (avg of {RUNS} runs, ms)\n");
-    let bars = figure2(RUNS);
-    let rows: Vec<Vec<String>> = bars
-        .iter()
-        .map(|b| {
-            vec![
-                b.label.clone(),
-                ms(b.skinit_ms),
-                ms(b.seal_ms),
-                ms(b.unseal_ms),
-                ms(b.quote_ms),
-                ms(b.total_ms),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(
-            &["Session", "SKINIT", "Seal", "Unseal", "Quote", "Total"],
-            &rows
-        )
-    );
-
-    // A terminal rendition of the stacked bars.
-    println!("\n  (1 char ≈ 20 ms)");
-    for b in &bars {
-        let seg = |v: f64, c: char| c.to_string().repeat((v / 20.0).round() as usize);
-        println!(
-            "  {:>8} |{}{}{}{}| {:.0} ms",
-            b.label,
-            seg(b.skinit_ms, 'S'),
-            seg(b.seal_ms, 's'),
-            seg(b.unseal_ms, 'U'),
-            seg(b.quote_ms, 'Q'),
-            b.total_ms
-        );
-    }
-    println!("\n  S = SKINIT  s = Seal  U = Unseal  Q = Quote");
-    println!(
-        "\nPaper's reading reproduced: storing state for later use costs ~200 ms\n\
-         (PAL Gen); accessing, modifying and re-storing it costs over a second\n\
-         (PAL Use) — all of it dead time for the whole platform."
-    );
+    print!("{}", render_figure2(FIGURE2_RUNS));
 }

@@ -1,38 +1,8 @@
 //! Regenerates Figure 3: TPM microbenchmarks across four v1.2 chips,
 //! 20 trials each, mean ± standard deviation.
 
-use sea_bench::format::render_table;
-use sea_bench::{figure3, figure3_tpms};
-use sea_tpm::TpmOp;
-
-const TRIALS: usize = 20;
+use sea_bench::driver::{render_figure3, FIGURE3_TRIALS};
 
 fn main() {
-    println!("Figure 3: TPM benchmarks, mean ± stddev over {TRIALS} trials (ms)\n");
-    let cells = figure3(TRIALS);
-    let tpms: Vec<&str> = figure3_tpms().iter().map(|(_, l)| *l).collect();
-
-    let mut rows = Vec::new();
-    for op in TpmOp::FIGURE3_OPS {
-        let mut row = vec![op.label().to_string()];
-        for tpm in &tpms {
-            let c = cells
-                .iter()
-                .find(|c| c.tpm == *tpm && c.op == op.label())
-                .expect("cell exists");
-            row.push(format!("{:7.2} ±{:5.2}", c.mean_ms, c.stddev_ms));
-        }
-        rows.push(row);
-    }
-    let headers: Vec<&str> = std::iter::once("TPM Operation")
-        .chain(tpms.iter().copied())
-        .collect();
-    print!("{}", render_table(&headers, &rows));
-    println!(
-        "\nOrdering constraints from the paper, all reproduced:\n\
-         - Broadcom: fastest Seal (~20 ms) but slowest Quote and Unseal;\n\
-         - Infineon: best average, Unseal ≈ 391 ms;\n\
-         - Broadcom→Infineon saves ~1132 ms on Quote+Unseal, costs +213 ms Seal;\n\
-         - best-per-op composition still leaves PAL Use ≈ 579 ms (§4.3.3)."
-    );
+    print!("{}", render_figure3(FIGURE3_TRIALS));
 }

@@ -1,0 +1,33 @@
+//! Runs the whole paper-artifact suite — Table 1, Table 2, Figure 2,
+//! Figure 3 and the concurrent-engine throughput sweep — either serially
+//! or across a worker pool, with byte-identical output.
+//!
+//! Usage: `suite [WORKERS]` — omit or pass `1` for serial; `SEA_BENCH_SMOKE=1`
+//! shrinks the per-artifact workload for CI.
+
+use sea_bench::driver::{render_suite, run_suite_parallel, run_suite_serial, SuiteConfig};
+
+fn main() {
+    let workers: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("WORKERS must be a number"))
+        .unwrap_or(1);
+    let cfg = if std::env::var_os("SEA_BENCH_SMOKE").is_some() {
+        SuiteConfig::smoke()
+    } else {
+        SuiteConfig::default()
+    };
+    let artifacts = if workers <= 1 {
+        run_suite_serial(&cfg)
+    } else {
+        run_suite_parallel(&cfg, workers)
+    };
+    println!(
+        "minimal-tcb experiment suite ({} artifact{}, {} worker{})\n",
+        artifacts.len(),
+        if artifacts.len() == 1 { "" } else { "s" },
+        workers.max(1),
+        if workers.max(1) == 1 { "" } else { "s" },
+    );
+    print!("{}", render_suite(&artifacts));
+}

@@ -1,32 +1,5 @@
 //! Regenerates Table 1: SKINIT/SENTER benchmarks vs PAL size.
 
-use sea_bench::format::{ms, render_table};
-use sea_bench::{table1, PAL_SIZES};
-
 fn main() {
-    println!("Table 1: SKINIT and SENTER benchmarks (ms)");
-    println!("(paper values in parentheses)\n");
-    let mut rows = Vec::new();
-    for row in table1() {
-        let mut cells = vec![
-            if row.tpm_present { "Yes" } else { "No" }.to_string(),
-            row.system.clone(),
-        ];
-        for (m, p) in row.measured_ms.iter().zip(&row.paper_ms) {
-            cells.push(format!("{} ({})", ms(*m), ms(*p)));
-        }
-        rows.push(cells);
-    }
-    let headers: Vec<String> = ["TPM", "System"]
-        .into_iter()
-        .map(String::from)
-        .chain(PAL_SIZES.iter().map(|s| format!("{} KB", s / 1024)))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    print!("{}", render_table(&header_refs, &rows));
-    println!(
-        "\nKey findings reproduced: the TPM's LPC long wait cycles slow a 64 KB\n\
-         SKINIT ~20x (177.5 ms vs 8.8 ms); Intel's fixed ~26 ms ACMod cost beats\n\
-         AMD's TPM-rate hashing for PALs larger than ~10 KB."
-    );
+    print!("{}", sea_bench::driver::render_table1());
 }

@@ -1,26 +1,5 @@
 //! Regenerates Table 2: VM entry/exit micro-costs.
 
-use sea_bench::format::{render_table, us};
-use sea_bench::table2;
-
 fn main() {
-    println!("Table 2: VM Entry / VM Exit (µs), paper values in parentheses\n");
-    let rows: Vec<Vec<String>> = table2()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.system,
-                format!("{} ({})", us(r.vm_enter_us), us(r.paper_enter_us)),
-                format!("{} ({})", us(r.vm_exit_us), us(r.paper_exit_us)),
-            ]
-        })
-        .collect();
-    print!(
-        "{}",
-        render_table(&["System", "VM Enter", "VM Exit"], &rows)
-    );
-    println!(
-        "\nThese sub-microsecond costs are what §5.7 argues a PAL context switch\n\
-         should cost on the proposed hardware — versus 200-1000 ms today."
-    );
+    print!("{}", sea_bench::driver::render_table2());
 }

@@ -1,0 +1,12 @@
+//! Aggregate PAL throughput vs core count on the proposed hardware's
+//! concurrent session engine.
+
+use sea_bench::driver::{render_throughput, THROUGHPUT_CORES};
+use sea_hw::SimDuration;
+
+fn main() {
+    print!(
+        "{}",
+        render_throughput(&THROUGHPUT_CORES, 16, SimDuration::from_ms(10))
+    );
+}

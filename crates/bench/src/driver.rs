@@ -1,0 +1,376 @@
+//! The experiment suite driver: every paper artifact rendered to a
+//! string, runnable serially or across a worker pool with
+//! **byte-identical** output either way.
+//!
+//! Each experiment is self-contained — it builds its own platform and
+//! TPMs from fixed seeds — so the unit of parallelism is the whole
+//! artifact. Jobs are assigned statically (job *i* → worker *i* mod
+//! `workers`) and collected in job-index order, which makes
+//! [`run_suite_parallel`] byte-identical to [`run_suite_serial`] at any
+//! worker count: no shared mutable state crosses a thread boundary, so
+//! the interleaving cannot leak into the rendered text.
+//!
+//! The `suite` binary drives this module; `tests/parallel_determinism.rs`
+//! asserts the byte-identity contract.
+
+use sea_hw::SimDuration;
+use sea_tpm::TpmOp;
+
+use crate::experiments::{figure2, figure3, figure3_tpms, table1, table2, throughput, PAL_SIZES};
+use crate::format::{ms, render_table, us};
+
+/// Figure 2 session runs used by the full-size suite (the binary's 100).
+pub const FIGURE2_RUNS: usize = 100;
+/// Figure 3 trials used by the full-size suite (the paper's 20).
+pub const FIGURE3_TRIALS: usize = 20;
+/// Worker counts the throughput artifact sweeps.
+pub const THROUGHPUT_CORES: [usize; 4] = [1, 2, 4, 8];
+
+/// How much work the suite gives each artifact; shrink it for tests.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteConfig {
+    /// Figure 2 session runs to average over.
+    pub figure2_runs: usize,
+    /// Figure 3 trials per TPM × operation cell.
+    pub figure3_trials: usize,
+    /// Sessions per batch in the throughput sweep.
+    pub throughput_jobs: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        SuiteConfig {
+            figure2_runs: FIGURE2_RUNS,
+            figure3_trials: FIGURE3_TRIALS,
+            throughput_jobs: 16,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// A fast configuration for tests and smoke runs.
+    pub fn smoke() -> Self {
+        SuiteConfig {
+            figure2_runs: 2,
+            figure3_trials: 3,
+            throughput_jobs: 8,
+        }
+    }
+}
+
+/// One rendered paper artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// Artifact name ("Table 1", "Figure 2", ...).
+    pub name: String,
+    /// The rendered plain-text table/figure.
+    pub rendered: String,
+}
+
+type Job = (&'static str, Box<dyn FnOnce() -> String + Send>);
+
+fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
+    let SuiteConfig {
+        figure2_runs,
+        figure3_trials,
+        throughput_jobs,
+    } = *cfg;
+    vec![
+        ("Table 1", Box::new(render_table1)),
+        ("Table 2", Box::new(render_table2)),
+        ("Figure 2", Box::new(move || render_figure2(figure2_runs))),
+        ("Figure 3", Box::new(move || render_figure3(figure3_trials))),
+        (
+            "Throughput",
+            Box::new(move || {
+                render_throughput(&THROUGHPUT_CORES, throughput_jobs, SimDuration::from_ms(10))
+            }),
+        ),
+    ]
+}
+
+/// Runs every suite artifact in order on the calling thread.
+pub fn run_suite_serial(cfg: &SuiteConfig) -> Vec<Artifact> {
+    suite_jobs(cfg)
+        .into_iter()
+        .map(|(name, f)| Artifact {
+            name: name.to_string(),
+            rendered: f(),
+        })
+        .collect()
+}
+
+/// Runs the same artifacts across `workers` threads. Output is
+/// byte-identical to [`run_suite_serial`]: assignment is static (job *i*
+/// → worker *i* mod `workers`) and results are collected by job index.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (an experiment itself failed).
+pub fn run_suite_parallel(cfg: &SuiteConfig, workers: usize) -> Vec<Artifact> {
+    let jobs = suite_jobs(cfg);
+    let n = jobs.len();
+    let workers = workers.clamp(1, n);
+    let mut per_worker: Vec<Vec<(usize, Job)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, job) in jobs.into_iter().enumerate() {
+        per_worker[i % workers].push((i, job));
+    }
+    let mut slots: Vec<Option<Artifact>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|assigned| {
+                s.spawn(move || {
+                    assigned
+                        .into_iter()
+                        .map(|(i, (name, f))| {
+                            (
+                                i,
+                                Artifact {
+                                    name: name.to_string(),
+                                    rendered: f(),
+                                },
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, artifact) in h.join().expect("suite worker panicked") {
+                slots[i] = Some(artifact);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job ran"))
+        .collect()
+}
+
+/// Joins rendered artifacts into the one-document suite report.
+pub fn render_suite(artifacts: &[Artifact]) -> String {
+    let mut out = String::new();
+    for (i, a) in artifacts.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&"=".repeat(72));
+        out.push('\n');
+        out.push_str(&a.rendered);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Per-artifact renderers (shared by the suite and the one-shot binaries)
+// ---------------------------------------------------------------------
+
+/// Renders Table 1 exactly as the `table1` binary prints it.
+pub fn render_table1() -> String {
+    let mut out = String::from(
+        "Table 1: SKINIT and SENTER benchmarks (ms)\n(paper values in parentheses)\n\n",
+    );
+    let mut rows = Vec::new();
+    for row in table1() {
+        let mut cells = vec![
+            if row.tpm_present { "Yes" } else { "No" }.to_string(),
+            row.system.clone(),
+        ];
+        for (m, p) in row.measured_ms.iter().zip(&row.paper_ms) {
+            cells.push(format!("{} ({})", ms(*m), ms(*p)));
+        }
+        rows.push(cells);
+    }
+    let headers: Vec<String> = ["TPM", "System"]
+        .into_iter()
+        .map(String::from)
+        .chain(PAL_SIZES.iter().map(|s| format!("{} KB", s / 1024)))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    out.push_str(&render_table(&header_refs, &rows));
+    out.push_str(
+        "\nKey findings reproduced: the TPM's LPC long wait cycles slow a 64 KB\n\
+         SKINIT ~20x (177.5 ms vs 8.8 ms); Intel's fixed ~26 ms ACMod cost beats\n\
+         AMD's TPM-rate hashing for PALs larger than ~10 KB.\n",
+    );
+    out
+}
+
+/// Renders Table 2 exactly as the `table2` binary prints it.
+pub fn render_table2() -> String {
+    let mut out = String::from("Table 2: VM Entry / VM Exit (µs), paper values in parentheses\n\n");
+    let rows: Vec<Vec<String>> = table2()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.system,
+                format!("{} ({})", us(r.vm_enter_us), us(r.paper_enter_us)),
+                format!("{} ({})", us(r.vm_exit_us), us(r.paper_exit_us)),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&["System", "VM Enter", "VM Exit"], &rows));
+    out.push_str(
+        "\nThese sub-microsecond costs are what §5.7 argues a PAL context switch\n\
+         should cost on the proposed hardware — versus 200-1000 ms today.\n",
+    );
+    out
+}
+
+/// Renders Figure 2 (table + terminal bar chart) as the `figure2`
+/// binary prints it.
+pub fn render_figure2(runs: usize) -> String {
+    let mut out =
+        format!("Figure 2: SEA session overheads on HP dc5750 (avg of {runs} runs, ms)\n\n");
+    let bars = figure2(runs);
+    let rows: Vec<Vec<String>> = bars
+        .iter()
+        .map(|b| {
+            vec![
+                b.label.clone(),
+                ms(b.skinit_ms),
+                ms(b.seal_ms),
+                ms(b.unseal_ms),
+                ms(b.quote_ms),
+                ms(b.total_ms),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &["Session", "SKINIT", "Seal", "Unseal", "Quote", "Total"],
+        &rows,
+    ));
+
+    // A terminal rendition of the stacked bars.
+    out.push_str("\n  (1 char ≈ 20 ms)\n");
+    for b in &bars {
+        let seg = |v: f64, c: char| c.to_string().repeat((v / 20.0).round() as usize);
+        out.push_str(&format!(
+            "  {:>8} |{}{}{}{}| {:.0} ms\n",
+            b.label,
+            seg(b.skinit_ms, 'S'),
+            seg(b.seal_ms, 's'),
+            seg(b.unseal_ms, 'U'),
+            seg(b.quote_ms, 'Q'),
+            b.total_ms
+        ));
+    }
+    out.push_str("\n  S = SKINIT  s = Seal  U = Unseal  Q = Quote\n");
+    out.push_str(
+        "\nPaper's reading reproduced: storing state for later use costs ~200 ms\n\
+         (PAL Gen); accessing, modifying and re-storing it costs over a second\n\
+         (PAL Use) — all of it dead time for the whole platform.\n",
+    );
+    out
+}
+
+/// Renders Figure 3 exactly as the `figure3` binary prints it.
+pub fn render_figure3(trials: usize) -> String {
+    let mut out = format!("Figure 3: TPM benchmarks, mean ± stddev over {trials} trials (ms)\n\n");
+    let cells = figure3(trials);
+    let tpms: Vec<&str> = figure3_tpms().iter().map(|(_, l)| *l).collect();
+
+    let mut rows = Vec::new();
+    for op in TpmOp::FIGURE3_OPS {
+        let mut row = vec![op.label().to_string()];
+        for tpm in &tpms {
+            let c = cells
+                .iter()
+                .find(|c| c.tpm == *tpm && c.op == op.label())
+                .expect("cell exists");
+            row.push(format!("{:7.2} ±{:5.2}", c.mean_ms, c.stddev_ms));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("TPM Operation")
+        .chain(tpms.iter().copied())
+        .collect();
+    out.push_str(&render_table(&headers, &rows));
+    out.push_str(
+        "\nOrdering constraints from the paper, all reproduced:\n\
+         - Broadcom: fastest Seal (~20 ms) but slowest Quote and Unseal;\n\
+         - Infineon: best average, Unseal ≈ 391 ms;\n\
+         - Broadcom→Infineon saves ~1132 ms on Quote+Unseal, costs +213 ms Seal;\n\
+         - best-per-op composition still leaves PAL Use ≈ 579 ms (§4.3.3).\n",
+    );
+    out
+}
+
+/// Renders the concurrent-engine throughput sweep: aggregate PAL
+/// throughput vs core count on the proposed hardware.
+pub fn render_throughput(worker_counts: &[usize], jobs: usize, work: SimDuration) -> String {
+    let points = throughput(worker_counts, jobs, work);
+    let mut out = format!(
+        "Throughput: {jobs} PAL sessions ({work} of work each) on the proposed\n\
+         hardware's concurrent engine, virtual time, by core count\n\n"
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.workers.to_string(),
+                ms(p.wall_ms),
+                ms(p.aggregate_ms),
+                format!("{:.2}", p.per_sec),
+                format!("{:.2}x", p.speedup),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "cores",
+            "wall (ms)",
+            "aggregate (ms)",
+            "sessions/s",
+            "speedup",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nEach core runs its own PAL beside the others (per-PAL sePCRs, §5.4):\n\
+         aggregate virtual work is constant while wall time divides by the core\n\
+         count. Baseline hardware would serialize the whole batch (§4.2).\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_every_artifact_in_order() {
+        let arts = run_suite_serial(&SuiteConfig::smoke());
+        let names: Vec<&str> = arts.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["Table 1", "Table 2", "Figure 2", "Figure 3", "Throughput"]
+        );
+        for a in &arts {
+            assert!(!a.rendered.is_empty(), "{} rendered nothing", a.name);
+        }
+    }
+
+    #[test]
+    fn parallel_suite_is_byte_identical_to_serial() {
+        let cfg = SuiteConfig::smoke();
+        let serial = run_suite_serial(&cfg);
+        for workers in [2, 4, 16] {
+            let par = run_suite_parallel(&cfg, workers);
+            assert_eq!(serial, par, "diverged at {workers} workers");
+        }
+        assert_eq!(
+            render_suite(&serial),
+            render_suite(&run_suite_parallel(&cfg, 3))
+        );
+    }
+
+    #[test]
+    fn renderers_match_experiment_content() {
+        let t1 = render_table1();
+        assert!(t1.contains("64 KB") && t1.contains("177.52"), "{t1}");
+        let tp = render_throughput(&[1, 2], 4, SimDuration::from_ms(5));
+        assert!(tp.contains("2.00x"), "{tp}");
+    }
+}

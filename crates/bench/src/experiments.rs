@@ -2,7 +2,8 @@
 //! data the binaries print and the tests assert against.
 
 use sea_core::{
-    EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, SecurePlatform, SessionReport,
+    ConcurrentJob, ConcurrentSea, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome,
+    SecurePlatform, SessionReport,
 };
 use sea_hw::{CpuId, PageIndex, PageRange, Platform, SimDuration, TpmKind};
 use sea_os::{LegacyBatch, Scheduler};
@@ -675,6 +676,63 @@ pub fn ablation_sepcr(attempted: usize, bank_sizes: &[u16]) -> Vec<SePcrPoint> {
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Concurrent engine: aggregate PAL throughput vs core count
+// ---------------------------------------------------------------------
+
+/// One point of the throughput-vs-core-count sweep.
+#[derive(Debug, Clone)]
+pub struct ThroughputPoint {
+    /// Worker threads = simulated CPUs running PAL sessions.
+    pub workers: usize,
+    /// Sessions completed.
+    pub jobs: usize,
+    /// Virtual wall time of the batch (ms).
+    pub wall_ms: f64,
+    /// Sum of every session's virtual cost (ms) — the one-core wall time.
+    pub aggregate_ms: f64,
+    /// Sessions completed per virtual second of wall time.
+    pub per_sec: f64,
+    /// Parallel speedup over one core.
+    pub speedup: f64,
+}
+
+/// Aggregate PAL throughput vs core count on the proposed hardware:
+/// pushes `jobs` identical sessions (launch + `work` of PAL computation
+/// + attestation) through [`ConcurrentSea`] at each worker count. §5.4's
+/// per-PAL sePCRs and the access-control table are what let the sessions
+/// overlap; the baseline hardware of §4.2 would serialize them at
+/// `aggregate_ms` regardless of core count.
+pub fn throughput(worker_counts: &[usize], jobs: usize, work: SimDuration) -> Vec<ThroughputPoint> {
+    worker_counts
+        .iter()
+        .map(|&w| {
+            let p = platform(Platform::recommended(w as u16), b"throughput");
+            let mut sea = ConcurrentSea::new(p, w).expect("pool fits platform");
+            let batch: Vec<ConcurrentJob> = (0..jobs)
+                .map(|i| {
+                    ConcurrentJob::new(
+                        Box::new(FnPal::new(&format!("tp-{i}"), move |ctx| {
+                            ctx.work(work);
+                            Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                        })),
+                        b"",
+                    )
+                })
+                .collect();
+            let out = sea.run_batch(batch).expect("batch runs");
+            ThroughputPoint {
+                workers: w,
+                jobs,
+                wall_ms: out.wall.as_ms_f64(),
+                aggregate_ms: out.aggregate().as_ms_f64(),
+                per_sec: out.throughput_per_sec(),
+                speedup: out.speedup(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -833,6 +891,25 @@ mod tests {
         );
         // The two-part trick beats plain AMD for large PALs.
         assert!(points[64].two_part_ms < points[64].amd_ms / 10.0);
+    }
+
+    #[test]
+    fn throughput_scales_with_core_count() {
+        let points = throughput(&[1, 2, 4], 8, SimDuration::from_ms(50));
+        // One core is the serial baseline by definition.
+        assert!((points[0].speedup - 1.0).abs() < 1e-9, "{points:?}");
+        assert!((points[0].wall_ms - points[0].aggregate_ms).abs() < 1e-9);
+        // Identical jobs, nominal costs: aggregate work is invariant.
+        for p in &points[1..] {
+            assert!(
+                (p.aggregate_ms - points[0].aggregate_ms).abs() < 1e-6,
+                "{p:?}"
+            );
+        }
+        // Perfectly balanced batch → near-linear scaling.
+        assert!(points[1].speedup > 1.9, "{points:?}");
+        assert!(points[2].speedup > 3.9, "{points:?}");
+        assert!(points[2].per_sec > points[1].per_sec && points[1].per_sec > points[0].per_sec);
     }
 
     #[test]

@@ -21,8 +21,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod driver;
 pub mod experiments;
 pub mod format;
 pub mod stats;
+pub mod timing;
 
 pub use experiments::*;

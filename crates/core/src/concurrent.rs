@@ -1,0 +1,435 @@
+//! The concurrent session engine: many PAL sessions executing in
+//! parallel across the platform's CPUs (§5.4, §6).
+//!
+//! The paper's proposed hardware explicitly supports concurrent PALs —
+//! "the number of sePCRs present in a TPM establishes the limit for the
+//! number of concurrently executing PALs" (§5.4) — with the memory
+//! controller's per-page × per-CPU access table keeping simultaneously
+//! live PALs isolated from each other. [`ConcurrentSea`] realises that:
+//! a [`std::thread`] worker pool (worker *k* plays CPU *k*) drives a
+//! batch of sessions against **one shared** [`EnhancedSea`], so every
+//! `SLAUNCH`, page-table transition, and sePCR allocation really is
+//! arbitrated through the shared state machines while other PALs are
+//! live.
+//!
+//! # Determinism
+//!
+//! Results are independent of thread interleaving, by construction:
+//!
+//! * **Static assignment** — job *i* always runs on worker/CPU
+//!   `i % workers`, so the set of jobs charged to each CPU is fixed.
+//! * **Per-job costs are intrinsic** — a session's [`SessionReport`]
+//!   depends only on the platform's cost model and that job's image /
+//!   input / work, never on what other CPUs are doing or on absolute
+//!   clock readings.
+//! * **Clock joins commute** — per-CPU busy time folds into the shared
+//!   timeline via [`sea_hw::SharedClock::advance_to`] (an atomic max),
+//!   and batch wall time is the max over per-CPU busy sums.
+//! * **Ordered collection** — outputs, reports, and quote digests are
+//!   returned in job-index order, not completion order.
+//!
+//! The sePCR *handle* a job receives (and the physical pages backing its
+//! region) may differ between interleavings — the paper makes handles
+//! authority-free (§5.4.2) precisely so this doesn't matter — and
+//! neither influences any cost or output.
+
+use std::sync::{Arc, Mutex};
+
+use sea_hw::{CpuId, SharedClock, SimDuration};
+
+use crate::enhanced::{EnhancedSea, PalId, PalStep};
+use crate::error::SeaError;
+use crate::pal::PalLogic;
+use crate::platform::SecurePlatform;
+use crate::report::SessionReport;
+
+/// One unit of work for the pool: a PAL plus its input.
+pub struct ConcurrentJob {
+    logic: Box<dyn PalLogic + Send>,
+    input: Vec<u8>,
+}
+
+impl ConcurrentJob {
+    /// Packages a PAL and its input for submission.
+    pub fn new(logic: Box<dyn PalLogic + Send>, input: impl Into<Vec<u8>>) -> Self {
+        ConcurrentJob {
+            logic,
+            input: input.into(),
+        }
+    }
+}
+
+/// Result of one job in a batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobResult {
+    /// The PAL's output.
+    pub output: Vec<u8>,
+    /// The session's cost breakdown (virtual time).
+    pub report: SessionReport,
+    /// Virtual cost of the post-exit `TPM_Quote` + `TPM_SEPCR_Free`.
+    pub quote_cost: SimDuration,
+    /// The CPU (= worker) the session ran on.
+    pub cpu: CpuId,
+}
+
+impl JobResult {
+    /// The job's full virtual cost: session plus attestation.
+    pub fn total(&self) -> SimDuration {
+        self.report.total() + self.quote_cost
+    }
+}
+
+/// Aggregate outcome of one [`ConcurrentSea::run_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConcurrentOutcome {
+    /// Per-job results, in job-index order.
+    pub results: Vec<JobResult>,
+    /// Virtual busy time accumulated by each worker/CPU.
+    pub cpu_busy: Vec<SimDuration>,
+    /// Virtual wall time of the batch: the busiest CPU's total (the
+    /// other CPUs' work overlaps it).
+    pub wall: SimDuration,
+}
+
+impl ConcurrentOutcome {
+    /// Sum of all jobs' virtual costs (the serial-execution wall time).
+    pub fn aggregate(&self) -> SimDuration {
+        self.results.iter().map(JobResult::total).sum()
+    }
+
+    /// Sessions completed per virtual second of batch wall time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / secs
+        }
+    }
+
+    /// Parallel speedup over running the same batch on one CPU.
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall == 0.0 {
+            1.0
+        } else {
+            self.aggregate().as_secs_f64() / wall
+        }
+    }
+}
+
+/// A multi-core concurrent session engine over one shared
+/// [`EnhancedSea`].
+///
+/// # Example
+///
+/// ```
+/// use sea_core::{ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, SecurePlatform};
+/// use sea_hw::Platform;
+/// use sea_tpm::KeyStrength;
+///
+/// let platform =
+///     SecurePlatform::new(Platform::recommended(4), KeyStrength::Demo512, b"pool");
+/// let mut pool = ConcurrentSea::new(platform, 4).unwrap();
+/// let jobs = (0..8u8)
+///     .map(|i| {
+///         ConcurrentJob::new(
+///             Box::new(FnPal::new("job", move |_| Ok(PalOutcome::Exit(vec![i])))),
+///             [],
+///         )
+///     })
+///     .collect();
+/// let outcome = pool.run_batch(jobs).unwrap();
+/// assert_eq!(outcome.results[3].output, vec![3]);
+/// assert!(outcome.speedup() > 1.0);
+/// ```
+pub struct ConcurrentSea {
+    sea: Arc<Mutex<EnhancedSea>>,
+    clock: Arc<SharedClock>,
+    workers: usize,
+}
+
+impl ConcurrentSea {
+    /// Builds a pool of `workers` worker threads (worker *k* drives CPU
+    /// *k*) over a fresh [`EnhancedSea`] on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::SlaunchUnsupported`] / [`SeaError::NoTpm`] as for
+    /// [`EnhancedSea::new`]; [`SeaError::NotEnoughCpus`] when `workers`
+    /// is zero or exceeds the platform's CPU count (each worker needs a
+    /// CPU of its own).
+    pub fn new(mut platform: SecurePlatform, workers: usize) -> Result<Self, SeaError> {
+        let n_cpus = platform.machine().cpus().len();
+        if workers == 0 || workers > n_cpus {
+            return Err(SeaError::NotEnoughCpus {
+                requested: workers,
+                available: n_cpus,
+            });
+        }
+        // Pin TPM latencies to their nominal means: with jitter, a
+        // command's sampled cost depends on its position in the shared
+        // noise stream — i.e. on thread interleaving — which would break
+        // the byte-identical serial/parallel contract. (A PAL that emits
+        // TPM RNG output verbatim is likewise outside the contract; the
+        // RNG stream is shared for the same reason.)
+        if let Some(tpm) = platform.tpm_mut() {
+            tpm.set_nominal_timing(true);
+        }
+        let sea = EnhancedSea::new(platform)?;
+        Ok(ConcurrentSea {
+            sea: Arc::new(Mutex::new(sea)),
+            clock: Arc::new(SharedClock::new()),
+            workers,
+        })
+    }
+
+    /// Number of worker threads (= CPUs driven).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The shared virtual clock the batch timeline folds into.
+    pub fn clock(&self) -> &Arc<SharedClock> {
+        &self.clock
+    }
+
+    /// Runs a batch of jobs to completion across the worker pool and
+    /// collects results in job-index order.
+    ///
+    /// Job *i* is statically assigned to worker `i % workers`; each
+    /// session is `SLAUNCH`ed, stepped to exit, quoted, and freed, with
+    /// the shared engine locked per *operation* (not per job) so
+    /// sessions genuinely overlap: while one PAL steps, others hold
+    /// pages in the access table and sePCRs in `Exclusive`.
+    ///
+    /// # Errors
+    ///
+    /// The first error any job hits (by job index) is returned; jobs on
+    /// other workers still run to completion.
+    pub fn run_batch(&mut self, jobs: Vec<ConcurrentJob>) -> Result<ConcurrentOutcome, SeaError> {
+        let n_jobs = jobs.len();
+        let workers = self.workers;
+
+        // Hand each worker its statically-assigned slice of jobs.
+        let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            per_worker[i % workers].push((i, job));
+        }
+
+        let mut slots: Vec<Option<Result<JobResult, SeaError>>> =
+            (0..n_jobs).map(|_| None).collect();
+        let mut cpu_busy = vec![SimDuration::ZERO; workers];
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .enumerate()
+                .map(|(k, assigned)| {
+                    let sea = Arc::clone(&self.sea);
+                    let clock = Arc::clone(&self.clock);
+                    scope.spawn(move || worker_loop(k, assigned, &sea, &clock))
+                })
+                .collect();
+            for (k, handle) in handles.into_iter().enumerate() {
+                let (results, busy) = handle.join().expect("worker panicked");
+                cpu_busy[k] = busy;
+                for (i, result) in results {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+
+        let mut results = Vec::with_capacity(n_jobs);
+        for slot in slots {
+            results.push(slot.expect("every job index filled")?);
+        }
+        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        Ok(ConcurrentOutcome {
+            results,
+            cpu_busy,
+            wall,
+        })
+    }
+
+    /// Tears the pool down, returning the shared engine (e.g. to
+    /// inspect the platform's final state in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker threads still hold the engine (they cannot:
+    /// [`ConcurrentSea::run_batch`] joins them before returning).
+    pub fn into_inner(self) -> EnhancedSea {
+        Arc::try_unwrap(self.sea)
+            .map_err(|_| ())
+            .expect("no workers are live outside run_batch")
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Drives one worker's assigned jobs on CPU `k`, locking the shared
+/// engine once per operation. Returns per-job results plus the CPU's
+/// accumulated virtual busy time.
+#[allow(clippy::type_complexity)]
+fn worker_loop(
+    k: usize,
+    assigned: Vec<(usize, ConcurrentJob)>,
+    sea: &Mutex<EnhancedSea>,
+    clock: &Arc<SharedClock>,
+) -> (Vec<(usize, Result<JobResult, SeaError>)>, SimDuration) {
+    let cpu = CpuId(k as u16);
+    let mut domain = sea_hw::CpuClockDomain::new(Arc::clone(clock));
+    let mut results = Vec::with_capacity(assigned.len());
+    for (i, job) in assigned {
+        let result = run_one(cpu, i, job, sea);
+        if let Ok(r) = &result {
+            domain.advance(r.total());
+        }
+        domain.publish();
+        results.push((i, result));
+    }
+    (results, domain.busy())
+}
+
+/// Runs a single session to completion: `SLAUNCH` → step/resume loop →
+/// quote → free, with the lock released between operations.
+fn run_one(
+    cpu: CpuId,
+    index: usize,
+    mut job: ConcurrentJob,
+    sea: &Mutex<EnhancedSea>,
+) -> Result<JobResult, SeaError> {
+    fn lock<'a>(sea: &'a Mutex<EnhancedSea>) -> std::sync::MutexGuard<'a, EnhancedSea> {
+        sea.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    let id: PalId = lock(sea).slaunch(&mut *job.logic, &job.input, cpu, None)?;
+    let output = loop {
+        let step = lock(sea).step(&mut *job.logic, id)?;
+        match step {
+            PalStep::Yielded => lock(sea).resume(id, cpu)?,
+            PalStep::Exited { output } => break output,
+        }
+    };
+    let report = lock(sea).report(id)?;
+    // Deterministic per-job nonce: ties the quote to the batch index.
+    let nonce = (index as u64).to_le_bytes();
+    let quote = lock(sea).quote_and_free(id, &nonce)?;
+    Ok(JobResult {
+        output,
+        report,
+        quote_cost: quote.elapsed,
+        cpu,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pal::{FnPal, PalOutcome};
+    use sea_hw::Platform;
+    use sea_tpm::KeyStrength;
+
+    fn platform(n_cpus: u16) -> SecurePlatform {
+        SecurePlatform::new(
+            Platform::recommended(n_cpus),
+            KeyStrength::Demo512,
+            b"concurrent test",
+        )
+    }
+
+    fn jobs(n: usize, work_us: u64) -> Vec<ConcurrentJob> {
+        (0..n)
+            .map(|i| {
+                ConcurrentJob::new(
+                    Box::new(FnPal::new(&format!("job-{i}"), move |ctx| {
+                        ctx.work(SimDuration::from_us(work_us));
+                        Ok(PalOutcome::Exit(vec![i as u8]))
+                    })),
+                    (i as u32).to_le_bytes(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_more_workers_than_cpus() {
+        assert!(matches!(
+            ConcurrentSea::new(platform(2), 3),
+            Err(SeaError::NotEnoughCpus {
+                requested: 3,
+                available: 2
+            })
+        ));
+        assert!(ConcurrentSea::new(platform(2), 0).is_err());
+    }
+
+    #[test]
+    fn outputs_arrive_in_job_index_order() {
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        let outcome = pool.run_batch(jobs(13, 5)).unwrap();
+        assert_eq!(outcome.results.len(), 13);
+        for (i, r) in outcome.results.iter().enumerate() {
+            assert_eq!(r.output, vec![i as u8]);
+            assert_eq!(r.cpu, CpuId((i % 4) as u16));
+        }
+    }
+
+    #[test]
+    fn batch_results_match_single_worker_byte_for_byte() {
+        // The determinism contract: 1-worker and 4-worker runs of the
+        // same batch produce identical outputs and identical per-job
+        // virtual costs.
+        let run = |workers: usize| {
+            let mut pool = ConcurrentSea::new(platform(4), workers).unwrap();
+            pool.run_batch(jobs(12, 40)).unwrap()
+        };
+        let serial = run(1);
+        let parallel = run(4);
+        assert_eq!(serial.results.len(), parallel.results.len());
+        for (s, p) in serial.results.iter().zip(&parallel.results) {
+            assert_eq!(s.output, p.output);
+            assert_eq!(s.report, p.report);
+            assert_eq!(s.quote_cost, p.quote_cost);
+        }
+        assert_eq!(serial.aggregate(), parallel.aggregate());
+    }
+
+    #[test]
+    fn parallel_wall_time_beats_serial() {
+        let mut serial = ConcurrentSea::new(platform(4), 1).unwrap();
+        let mut parallel = ConcurrentSea::new(platform(4), 4).unwrap();
+        let s = serial.run_batch(jobs(8, 100)).unwrap();
+        let p = parallel.run_batch(jobs(8, 100)).unwrap();
+        // Same total virtual work...
+        assert_eq!(s.aggregate(), p.aggregate());
+        // ...but 4 CPUs overlap it: 8 equal jobs → 2 per CPU → 4×.
+        assert_eq!(s.wall, s.aggregate());
+        assert_eq!(p.wall, p.aggregate() / 4);
+        assert!((p.speedup() - 4.0).abs() < 1e-9);
+        assert!(p.throughput_per_sec() > s.throughput_per_sec());
+    }
+
+    #[test]
+    fn engine_state_is_clean_after_batch() {
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        pool.run_batch(jobs(9, 10)).unwrap();
+        let sea = pool.into_inner();
+        // Every sePCR came back to Free and every page back to ALL.
+        let tpm = sea.platform().tpm().expect("tpm");
+        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
+        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
+        assert_eq!((cpus_pages, none_pages), (0, 0));
+    }
+
+    #[test]
+    fn shared_clock_reflects_batch_wall_time() {
+        let mut pool = ConcurrentSea::new(platform(2), 2).unwrap();
+        let outcome = pool.run_batch(jobs(4, 50)).unwrap();
+        // Every domain published busy-so-far at each job boundary; the
+        // final shared reading is the busiest CPU's timeline.
+        assert_eq!(pool.clock().now().as_ns(), outcome.wall.as_ns());
+    }
+}

@@ -42,6 +42,14 @@ pub enum SeaError {
     },
     /// The PAL's application logic reported a failure.
     PalFailed(String),
+    /// The concurrent engine was asked for more worker threads than the
+    /// platform has CPUs (each worker drives one CPU).
+    NotEnoughCpus {
+        /// Workers requested.
+        requested: usize,
+        /// CPUs the platform actually has.
+        available: usize,
+    },
 }
 
 impl fmt::Display for SeaError {
@@ -64,6 +72,15 @@ impl fmt::Display for SeaError {
                 )
             }
             SeaError::PalFailed(msg) => write!(f, "PAL logic failed: {msg}"),
+            SeaError::NotEnoughCpus {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "pool wants {requested} workers but the platform has {available} CPUs"
+                )
+            }
         }
     }
 }
@@ -118,6 +135,10 @@ mod tests {
                 available: 5,
             },
             SeaError::PalFailed("boom".into()),
+            SeaError::NotEnoughCpus {
+                requested: 8,
+                available: 4,
+            },
         ] {
             assert!(!e.to_string().is_empty());
             assert!(Error::source(&e).is_none());

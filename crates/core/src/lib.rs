@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod attest;
+mod concurrent;
 mod enhanced;
 mod error;
 mod legacy;
@@ -72,6 +73,7 @@ mod report;
 mod secb;
 
 pub use attest::{TrustPolicy, Verifier, VerifyError};
+pub use concurrent::{ConcurrentJob, ConcurrentOutcome, ConcurrentSea, JobResult};
 pub use enhanced::{EnhancedSea, PalDone, PalId, PalStep};
 pub use error::SeaError;
 pub use legacy::{LegacySea, LegacySessionResult};

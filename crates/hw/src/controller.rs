@@ -488,4 +488,11 @@ mod tests {
         mc.suspend_pages(range(8, 2), CpuId(1)).unwrap();
         assert_eq!(mc.state_census(), (11, 3, 2));
     }
+    #[test]
+    fn memorycontroller_is_send_sync() {
+        // The concurrent session engine moves whole platforms across
+        // worker threads; all state must be owned data.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemoryController>();
+    }
 }

@@ -61,7 +61,7 @@ pub use lpc::LpcBus;
 pub use machine::{Device, Machine, MachineBuilder};
 pub use memory::Memory;
 pub use platform::{CpuVendor, LateLaunchModel, Platform, TpmKind, VirtTiming};
-pub use time::{SimClock, SimDuration, SimTime};
+pub use time::{CpuClockDomain, SharedClock, SimClock, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
 pub use types::{
     AccessKind, CpuId, CpuMask, DeviceId, PageIndex, PageRange, PhysAddr, Requester, PAGE_SIZE,

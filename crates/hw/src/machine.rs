@@ -467,4 +467,11 @@ mod tests {
         m.set_lpc(m.lpc().sped_up(2.0));
         assert!((m.lpc().ns_per_byte() - orig / 2.0).abs() < 1e-9);
     }
+    #[test]
+    fn machine_is_send_sync() {
+        // The concurrent session engine moves whole platforms across
+        // worker threads; all state must be owned data.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Machine>();
+    }
 }

@@ -45,5 +45,5 @@ mod workload;
 pub use adversary::{Adversary, AttackOutcome};
 pub use alloc::PageAllocator;
 pub use error::OsError;
-pub use scheduler::{LegacyBatch, ScheduleOutcome, Scheduler};
+pub use scheduler::{LegacyBatch, ParallelScheduler, ScheduleOutcome, Scheduler};
 pub use workload::{simulate_service, ArrivalTrace, ResponseStats};

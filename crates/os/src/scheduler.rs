@@ -15,7 +15,10 @@
 //! [`ScheduleOutcome`] so the `concurrency` bench can compare legacy
 //! CPU time available under each.
 
-use sea_core::{EnhancedSea, LegacySea, PalId, PalLogic, PalStep, SessionReport};
+use sea_core::{
+    ConcurrentJob, ConcurrentSea, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, SecurePlatform,
+    SessionReport,
+};
 use sea_hw::{CpuId, SimDuration, SimTime};
 
 use crate::error::OsError;
@@ -205,6 +208,84 @@ impl Scheduler {
     }
 }
 
+/// The OS feeding the multi-core concurrent session engine: queued jobs
+/// are dispatched to [`ConcurrentSea`]'s worker pool (real threads, one
+/// per simulated CPU) instead of being stepped round-robin on the
+/// caller's thread.
+///
+/// Reports the same [`ScheduleOutcome`] as [`Scheduler`], so the
+/// concurrency experiments can swap drivers without changing their
+/// accounting — and the two must agree: job outputs and per-job reports
+/// are byte-identical between [`Scheduler`] (cooperative, serial host
+/// execution) and [`ParallelScheduler`] at any worker count.
+pub struct ParallelScheduler {
+    pool: ConcurrentSea,
+    n_cpus: u16,
+    jobs: Vec<ConcurrentJob>,
+}
+
+impl std::fmt::Debug for ParallelScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelScheduler")
+            .field("workers", &self.pool.workers())
+            .field("jobs", &self.jobs.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ParallelScheduler {
+    /// Builds a pool of `workers` threads over `platform`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`ConcurrentSea::new`].
+    pub fn new(platform: SecurePlatform, workers: usize) -> Result<Self, OsError> {
+        let n_cpus = platform.machine().platform().n_cpus;
+        Ok(ParallelScheduler {
+            pool: ConcurrentSea::new(platform, workers)?,
+            n_cpus,
+            jobs: Vec::new(),
+        })
+    }
+
+    /// Queues a PAL job. Unlike [`Scheduler::add_job`] the logic must be
+    /// [`Send`]: it will execute on a worker thread.
+    pub fn add_job(&mut self, logic: Box<dyn PalLogic + Send>, input: &[u8]) {
+        self.jobs.push(ConcurrentJob::new(logic, input.to_vec()));
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs every queued job across the pool, then accounts legacy CPU
+    /// time within `horizon` exactly as [`Scheduler::run_all`] does.
+    ///
+    /// # Errors
+    ///
+    /// [`OsError::NothingToRun`] with an empty queue; SEA failures
+    /// propagate as [`OsError::Sea`].
+    pub fn run_all(&mut self, horizon: SimDuration) -> Result<ScheduleOutcome, OsError> {
+        if self.jobs.is_empty() {
+            return Err(OsError::NothingToRun);
+        }
+        let outcome = self.pool.run_batch(std::mem::take(&mut self.jobs))?;
+        let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
+        let horizon = horizon.max(outcome.wall);
+        let legacy_available =
+            SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
+        Ok(ScheduleOutcome {
+            wall: outcome.wall,
+            pal_busy,
+            stalled: SimDuration::ZERO,
+            legacy_available,
+            outputs: outcome.results.iter().map(|r| r.output.clone()).collect(),
+            reports: outcome.results.iter().map(|r| r.report).collect(),
+        })
+    }
+}
+
 /// The baseline schedule: PAL sessions run one at a time, and each one
 /// stalls every other core for its whole duration (§4.2).
 pub struct LegacyBatch {
@@ -381,6 +462,76 @@ mod tests {
         // The second core lost exactly the wall duration.
         assert_eq!(out.stalled, out.wall);
         assert!(out.legacy_available < SimDuration::from_ns(horizon.as_ns() * 2));
+    }
+
+    fn make_send_pal(n: usize, work_ms: u64) -> Box<dyn PalLogic + Send> {
+        Box::new(
+            FnPal::new(&format!("job-{n}"), move |ctx| {
+                ctx.work(SimDuration::from_ms(work_ms));
+                Ok(PalOutcome::Exit(vec![n as u8]))
+            })
+            .with_image_size(4096),
+        )
+    }
+
+    fn secure_platform(n_cpus: u16) -> SecurePlatform {
+        SecurePlatform::new(
+            Platform::recommended(n_cpus),
+            KeyStrength::Demo512,
+            b"sched",
+        )
+    }
+
+    #[test]
+    fn parallel_scheduler_empty_queue_is_an_error() {
+        let mut s = ParallelScheduler::new(secure_platform(2), 2).unwrap();
+        assert_eq!(
+            s.run_all(SimDuration::from_secs(1)),
+            Err(OsError::NothingToRun)
+        );
+    }
+
+    #[test]
+    fn parallel_scheduler_matches_outputs_and_overlaps_work() {
+        let mut s = ParallelScheduler::new(secure_platform(4), 4).unwrap();
+        for i in 0..4 {
+            s.add_job(make_send_pal(i, 100), b"");
+        }
+        let out = s.run_all(SimDuration::from_secs(1)).unwrap();
+        assert_eq!(out.outputs, vec![vec![0], vec![1], vec![2], vec![3]]);
+        // Four jobs (~100 ms work + ~262 ms attestation each) on four
+        // worker threads overlap in virtual time: wall ≈ one job, the
+        // aggregate is ~4×.
+        assert!(out.wall < SimDuration::from_ms(400), "wall {}", out.wall);
+        assert!(
+            out.pal_busy > SimDuration::from_ms(400),
+            "busy {}",
+            out.pal_busy
+        );
+        assert_eq!(out.stalled, SimDuration::ZERO);
+        for r in &out.reports {
+            assert_eq!(r.pal_work, SimDuration::from_ms(100));
+        }
+    }
+
+    #[test]
+    fn parallel_scheduler_outputs_equal_cooperative_scheduler() {
+        // The two proposed-hardware drivers agree byte-for-byte on what
+        // the PALs produced and what each session cost.
+        let mut coop = Scheduler::new(enhanced(4));
+        let mut par = ParallelScheduler::new(secure_platform(4), 4).unwrap();
+        for i in 0..6 {
+            coop.add_job(make_pal(i, 20), b"");
+            par.add_job(make_send_pal(i, 20), b"");
+        }
+        let horizon = SimDuration::from_secs(1);
+        let c = coop.run_all(horizon).unwrap();
+        let p = par.run_all(horizon).unwrap();
+        assert_eq!(c.outputs, p.outputs);
+        for (cr, pr) in c.reports.iter().zip(&p.reports) {
+            assert_eq!(cr.pal_work, pr.pal_work);
+            assert_eq!(cr.late_launch, pr.late_launch);
+        }
     }
 
     #[test]

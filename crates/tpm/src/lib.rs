@@ -61,11 +61,11 @@ mod transport;
 
 pub use boot::{BootEvent, EventLog, SecureBootOutcome, SecureBootPolicy};
 pub use error::TpmError;
-pub use lock::TpmLock;
+pub use lock::{SharedTpmLock, TpmLock};
 pub use pcr::{PcrBank, PcrIndex, PcrValue, DYNAMIC_PCR_FIRST, DYNAMIC_PCR_LAST, NUM_PCRS};
 pub use quote::{Quote, QuoteSource};
 pub use seal::SealedBlob;
-pub use sepcr::{SePcrBank, SePcrHandle, SePcrState, SKILL_CONSTANT};
+pub use sepcr::{SePcrBank, SePcrHandle, SePcrState, SharedSePcrBank, SKILL_CONSTANT};
 pub use sepcr_set::{SePcrSetBank, SePcrSetHandle};
 pub use timing::{TpmOp, TpmTimingModel};
 pub use tpm::{KeyStrength, Locality, Timed, Tpm};

@@ -97,6 +97,7 @@ pub struct Tpm {
     rng: Drbg,
     noise: Drbg,
     timing: TpmTimingModel,
+    nominal_timing: bool,
     lock: TpmLock,
     hash_session: Option<HashSession>,
 }
@@ -127,6 +128,7 @@ impl Tpm {
             rng: Drbg::new(&[seed, b"/rng"].concat()),
             noise: Drbg::new(&[seed, b"/noise"].concat()),
             timing: TpmTimingModel::for_kind(kind),
+            nominal_timing: false,
             lock: TpmLock::new(),
             hash_session: None,
         }
@@ -151,6 +153,25 @@ impl Tpm {
     /// Replaces the timing model (used by the §5.7 speed-up ablation).
     pub fn set_timing(&mut self, timing: TpmTimingModel) {
         self.timing = timing;
+    }
+
+    /// Pins every command latency to the model's *mean* instead of
+    /// sampling calibrated jitter.
+    ///
+    /// The concurrent session engine requires this: with jitter, a
+    /// command's sampled cost depends on how many draws preceded it on
+    /// the shared noise stream — i.e. on thread interleaving. Nominal
+    /// timing makes each session's cost a pure function of that session,
+    /// which is what makes parallel batches byte-identical to serial
+    /// ones. Jitter stays on (the default) for the single-session
+    /// experiments whose error bars Figure 3 reports.
+    pub fn set_nominal_timing(&mut self, on: bool) {
+        self.nominal_timing = on;
+    }
+
+    /// Whether latencies are pinned to their means.
+    pub fn nominal_timing(&self) -> bool {
+        self.nominal_timing
     }
 
     /// The public half of the Attestation Identity Key, which an external
@@ -205,7 +226,11 @@ impl Tpm {
     }
 
     fn cost(&mut self, op: TpmOp) -> SimDuration {
-        self.timing.sample(op, &mut self.noise)
+        if self.nominal_timing {
+            self.timing.mean(op)
+        } else {
+            self.timing.sample(op, &mut self.noise)
+        }
     }
 
     // ---------------------------------------------------------------
@@ -306,7 +331,7 @@ impl Tpm {
     pub fn get_random(&mut self, bytes: usize) -> Timed<Vec<u8>> {
         let out = self.rng.fill(bytes);
         let blocks = bytes.max(1).div_ceil(128) as u64;
-        let cost = self.timing.sample(TpmOp::GetRandom128, &mut self.noise) * blocks;
+        let cost = self.cost(TpmOp::GetRandom128) * blocks;
         Timed::new(out, cost)
     }
 

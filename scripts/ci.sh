@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the whole workspace, entirely offline.
+#
+#   scripts/ci.sh          full run
+#
+# The repo has no external dependencies (see README "Offline,
+# zero-dependency build"), so --offline must always succeed; if it does
+# not, a dependency crept back in and the build should fail loudly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo build --release (offline) =="
+cargo build --release --workspace --offline
+
+echo "== cargo test (offline) =="
+cargo test -q --workspace --offline
+
+echo "== benches (smoke mode, offline) =="
+SEA_BENCH_SMOKE=1 cargo bench -q -p sea-bench --offline
+
+echo "== ci.sh: all green =="

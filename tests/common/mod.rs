@@ -1,0 +1,328 @@
+//! A small, fully deterministic property-test harness: an xorshift64*
+//! entropy source, a finite "tape" the properties draw structured inputs
+//! from, and greedy tape shrinking on failure. It replaces `proptest`
+//! so the test suite builds with zero crates.io dependencies.
+//!
+//! A property is a `Fn(&mut Tape) -> Result<(), String>`: it decodes its
+//! inputs from the tape (an exhausted tape yields zeros, so every prefix
+//! of a tape is itself a valid input) and returns `Err` with a message
+//! when the property is violated. [`check`] runs the property over many
+//! independently seeded tapes; on failure it greedily shrinks the tape —
+//! truncating it, deleting blocks, and zeroing bytes, keeping any
+//! mutation that still fails — and panics with the minimized counter-
+//! example so the failure is small and reproducible.
+
+#![allow(dead_code)]
+
+/// xorshift64* — the deterministic entropy source behind every case.
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator (a zero seed is remapped; xorshift has a
+    /// fixed point at zero).
+    pub fn new(seed: u64) -> Self {
+        XorShift(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    /// Next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// A finite strip of entropy bytes a property decodes its inputs from.
+///
+/// Reads past the end return zero — shrinking may shorten the tape
+/// arbitrarily and the property still sees well-formed (just simpler)
+/// inputs.
+pub struct Tape<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tape<'a> {
+    /// Wraps a byte strip.
+    pub fn new(data: &'a [u8]) -> Self {
+        Tape { data, pos: 0 }
+    }
+
+    /// Next raw byte (zero once the tape is exhausted).
+    pub fn byte(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Next 32-bit word.
+    pub fn u32(&mut self) -> u32 {
+        u32::from_le_bytes([self.byte(), self.byte(), self.byte(), self.byte()])
+    }
+
+    /// Next 64-bit word.
+    pub fn u64(&mut self) -> u64 {
+        (self.u32() as u64) << 32 | self.u32() as u64
+    }
+
+    /// A value in `[lo, hi)`. `hi` must exceed `lo`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "empty range");
+        lo + self.u32() as usize % (hi - lo)
+    }
+
+    /// A coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.byte() & 1 == 1
+    }
+
+    /// A byte vector whose length is drawn from `[lo, hi)`.
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let len = self.range(lo, hi);
+        (0..len).map(|_| self.byte()).collect()
+    }
+
+    /// A vector of values decoded by `f`, with length in `[lo, hi)`.
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Self) -> T) -> Vec<T> {
+        let len = self.range(lo, hi);
+        (0..len).map(|_| f(self)).collect()
+    }
+}
+
+/// Bytes of fresh tape per case — enough for the largest properties
+/// (512-byte payloads plus control words) to decode without running dry.
+const TAPE_LEN: usize = 4096;
+
+/// FNV-1a, used to fold the property name into the per-case seed so two
+/// properties with the same case index still see unrelated tapes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn fill_tape(name: &str, case: usize) -> Vec<u8> {
+    let mut rng = XorShift::new(fnv1a(name) ^ (case as u64).wrapping_mul(0xA076_1D64_78BD_642F));
+    let mut tape = vec![0u8; TAPE_LEN];
+    for chunk in tape.chunks_mut(8) {
+        let w = rng.next_u64().to_le_bytes();
+        chunk.copy_from_slice(&w[..chunk.len()]);
+    }
+    tape
+}
+
+/// Greedy shrinking: repeatedly truncate the tail, delete blocks, and
+/// zero bytes, keeping every mutation under which the property still
+/// fails, until a whole pass makes no progress.
+fn shrink(tape: &mut Vec<u8>, prop: &dyn Fn(&mut Tape) -> Result<(), String>) -> String {
+    let fails = |t: &[u8]| prop(&mut Tape::new(t)).err();
+    let mut message = fails(tape).expect("shrink called on a failing tape");
+    loop {
+        let mut progressed = false;
+        // Pass 1: truncate the tail by halves.
+        while !tape.is_empty() {
+            let shorter = &tape[..tape.len() / 2];
+            match fails(shorter) {
+                Some(m) => {
+                    message = m;
+                    let keep = shorter.len();
+                    tape.truncate(keep);
+                    progressed = true;
+                }
+                None => break,
+            }
+        }
+        // Pass 2: delete interior blocks, large to small.
+        let mut block = tape.len().max(1);
+        while block >= 1 {
+            let mut start = 0;
+            while start < tape.len() {
+                let end = (start + block).min(tape.len());
+                let mut candidate = Vec::with_capacity(tape.len() - (end - start));
+                candidate.extend_from_slice(&tape[..start]);
+                candidate.extend_from_slice(&tape[end..]);
+                if let Some(m) = fails(&candidate) {
+                    message = m;
+                    *tape = candidate;
+                    progressed = true;
+                    // Retry the same offset: the next block slid into it.
+                } else {
+                    start = end;
+                }
+            }
+            block /= 2;
+        }
+        // Pass 3: zero individual non-zero bytes.
+        for i in 0..tape.len() {
+            if tape[i] == 0 {
+                continue;
+            }
+            let saved = tape[i];
+            tape[i] = 0;
+            match fails(tape) {
+                Some(m) => {
+                    message = m;
+                    progressed = true;
+                }
+                None => tape[i] = saved,
+            }
+        }
+        if !progressed {
+            return message;
+        }
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Runs `prop` over `cases` independently seeded tapes; shrinks and
+/// panics on the first failure.
+///
+/// # Panics
+///
+/// Panics with the property name, failing case index, minimized tape
+/// (hex), and the property's error message when any case fails.
+pub fn check(name: &str, cases: usize, prop: impl Fn(&mut Tape) -> Result<(), String>) {
+    for case in 0..cases {
+        let mut tape = fill_tape(name, case);
+        if prop(&mut Tape::new(&tape)).is_err() {
+            let message = shrink(&mut tape, &prop);
+            panic!(
+                "property '{name}' failed (case {case}/{cases})\n  \
+                 minimized tape ({} bytes): {}\n  {message}",
+                tape.len(),
+                hex(&tape),
+            );
+        }
+    }
+}
+
+/// `assert!` for properties: returns `Err` instead of panicking so the
+/// shrinker can re-run the property on mutated tapes.
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` for properties.
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a != b {
+            return Err(format!(
+                "{} != {}: {:?} vs {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` for properties.
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if a == b {
+            return Err(format!(
+                "{} == {}: both {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+pub(crate) use {prop_assert, prop_assert_eq, prop_assert_ne};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(42);
+        let mut b = XorShift::new(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = XorShift::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn exhausted_tape_yields_zeros() {
+        let mut t = Tape::new(&[7]);
+        assert_eq!(t.byte(), 7);
+        assert_eq!(t.byte(), 0);
+        assert_eq!(t.u64(), 0);
+        assert!(!t.bool());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let tape = fill_tape("range", 0);
+        let mut t = Tape::new(&tape);
+        for _ in 0..200 {
+            let v = t.range(3, 17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0usize;
+        let counter = std::cell::Cell::new(0usize);
+        check("always-true", 25, |t| {
+            let _ = t.bytes(0, 8);
+            counter.set(counter.get() + 1);
+            Ok(())
+        });
+        count += counter.get();
+        assert_eq!(count, 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always-false' failed")]
+    fn failing_property_panics_with_name() {
+        check("always-false", 4, |_| Err("nope".into()));
+    }
+
+    #[test]
+    fn shrinker_minimizes_to_the_trigger() {
+        // Fails whenever any byte is >= 0x80: the shrunk tape should be
+        // a single high byte (deleting/zeroing everything else passes).
+        let prop = |t: &mut Tape| -> Result<(), String> {
+            for _ in 0..64 {
+                if t.byte() >= 0x80 {
+                    return Err("high byte".into());
+                }
+            }
+            Ok(())
+        };
+        let mut tape = fill_tape("shrinker", 0);
+        assert!(prop(&mut Tape::new(&tape)).is_err(), "seed tape must fail");
+        let msg = shrink(&mut tape, &prop);
+        assert_eq!(msg, "high byte");
+        // Minimal: a handful of bytes, exactly one of them the trigger.
+        assert!(tape.len() <= 8, "tape still {} bytes", tape.len());
+        assert_eq!(tape.iter().filter(|&&b| b >= 0x80).count(), 1);
+    }
+}

@@ -1,17 +1,27 @@
 //! Property-based tests of the hardware and protocol invariants: the
 //! memory controller's access-table state machine, the page allocator,
 //! PCR chain algebra, and the sePCR life cycle, all driven by random
-//! operation sequences.
+//! operation sequences decoded from the in-repo harness's tapes.
 
+mod common;
+
+use common::{check, prop_assert, prop_assert_eq, prop_assert_ne, Tape};
 use minimal_tcb::crypto::Sha1;
 use minimal_tcb::hw::{
     AccessKind, CpuId, MemoryController, PageAccess, PageIndex, PageRange, Requester,
 };
 use minimal_tcb::os::PageAllocator;
 use minimal_tcb::tpm::{PcrBank, PcrIndex, PcrValue, SePcrBank, SePcrState};
-use proptest::prelude::*;
 
 const ARENA_PAGES: u32 = 64;
+
+/// Case count for the hardware state-machine properties (matches the
+/// original `ProptestConfig::with_cases(128)`).
+const CASES: usize = 128;
+
+/// Case count for the TPM-level properties that instantiate RSA keypairs
+/// per case (original: 12).
+const TPM_CASES: usize = 12;
 
 /// Random operations against the memory controller.
 #[derive(Debug, Clone)]
@@ -22,33 +32,22 @@ enum McOp {
     Release { start: u32, count: u32 },
 }
 
-fn mc_op() -> impl Strategy<Value = McOp> {
-    let range = (0u32..ARENA_PAGES, 1u32..8, 0u16..4);
-    prop_oneof![
-        range.clone().prop_map(|(s, c, cpu)| McOp::Protect {
-            start: s,
-            count: c,
-            cpu
-        }),
-        range.clone().prop_map(|(s, c, cpu)| McOp::Suspend {
-            start: s,
-            count: c,
-            cpu
-        }),
-        range.clone().prop_map(|(s, c, cpu)| McOp::Resume {
-            start: s,
-            count: c,
-            cpu
-        }),
-        (0u32..ARENA_PAGES, 1u32..8).prop_map(|(s, c)| McOp::Release { start: s, count: c }),
-    ]
+fn mc_op(t: &mut Tape) -> McOp {
+    let start = t.range(0, ARENA_PAGES as usize) as u32;
+    let count = t.range(1, 8) as u32;
+    let cpu = t.range(0, 4) as u16;
+    match t.range(0, 4) {
+        0 => McOp::Protect { start, count, cpu },
+        1 => McOp::Suspend { start, count, cpu },
+        2 => McOp::Resume { start, count, cpu },
+        _ => McOp::Release { start, count },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn access_table_transitions_are_all_or_nothing(ops in proptest::collection::vec(mc_op(), 0..40)) {
+#[test]
+fn access_table_transitions_are_all_or_nothing() {
+    check("access_table_transitions_are_all_or_nothing", CASES, |t| {
+        let ops = t.vec(0, 40, mc_op);
         let mut mc = MemoryController::new(ARENA_PAGES);
         // Shadow model: what each page's state should be.
         let mut shadow = vec![PageAccess::All; ARENA_PAGES as usize];
@@ -62,31 +61,51 @@ proptest! {
             match op {
                 McOp::Protect { start, count, cpu } => {
                     let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
-                    if range.count == 0 { continue; }
-                    let ok = range.iter().all(|p| shadow[p.0 as usize] == PageAccess::All);
+                    if range.count == 0 {
+                        continue;
+                    }
+                    let ok = range
+                        .iter()
+                        .all(|p| shadow[p.0 as usize] == PageAccess::All);
                     let result = mc.protect_for_cpu(range, CpuId(cpu));
                     prop_assert_eq!(result.is_ok(), ok);
-                    if ok { apply(&mut shadow, range, PageAccess::cpu(CpuId(cpu))); }
+                    if ok {
+                        apply(&mut shadow, range, PageAccess::cpu(CpuId(cpu)));
+                    }
                 }
                 McOp::Suspend { start, count, cpu } => {
                     let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
-                    if range.count == 0 { continue; }
-                    let ok = range.iter().all(|p| shadow[p.0 as usize] == PageAccess::cpu(CpuId(cpu)));
+                    if range.count == 0 {
+                        continue;
+                    }
+                    let ok = range
+                        .iter()
+                        .all(|p| shadow[p.0 as usize] == PageAccess::cpu(CpuId(cpu)));
                     let result = mc.suspend_pages(range, CpuId(cpu));
                     prop_assert_eq!(result.is_ok(), ok);
-                    if ok { apply(&mut shadow, range, PageAccess::None); }
+                    if ok {
+                        apply(&mut shadow, range, PageAccess::None);
+                    }
                 }
                 McOp::Resume { start, count, cpu } => {
                     let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
-                    if range.count == 0 { continue; }
-                    let ok = range.iter().all(|p| shadow[p.0 as usize] == PageAccess::None);
+                    if range.count == 0 {
+                        continue;
+                    }
+                    let ok = range
+                        .iter()
+                        .all(|p| shadow[p.0 as usize] == PageAccess::None);
                     let result = mc.resume_pages(range, CpuId(cpu));
                     prop_assert_eq!(result.is_ok(), ok);
-                    if ok { apply(&mut shadow, range, PageAccess::cpu(CpuId(cpu))); }
+                    if ok {
+                        apply(&mut shadow, range, PageAccess::cpu(CpuId(cpu)));
+                    }
                 }
                 McOp::Release { start, count } => {
                     let range = PageRange::new(PageIndex(start), count.min(ARENA_PAGES - start));
-                    if range.count == 0 { continue; }
+                    if range.count == 0 {
+                        continue;
+                    }
                     prop_assert!(mc.release_pages(range).is_ok());
                     apply(&mut shadow, range, PageAccess::All);
                 }
@@ -96,7 +115,9 @@ proptest! {
             for p in 0..ARENA_PAGES {
                 let page = PageIndex(p);
                 prop_assert_eq!(mc.access(page), shadow[p as usize]);
-                let cpu0_ok = mc.check(Requester::Cpu(CpuId(0)), AccessKind::Read, page).is_ok();
+                let cpu0_ok = mc
+                    .check(Requester::Cpu(CpuId(0)), AccessKind::Read, page)
+                    .is_ok();
                 let expected = match shadow[p as usize] {
                     PageAccess::All => true,
                     PageAccess::Cpus(owners) => owners.contains(CpuId(0)),
@@ -105,20 +126,22 @@ proptest! {
                 prop_assert_eq!(cpu0_ok, expected);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn allocator_never_double_allocates(
-        requests in proptest::collection::vec(1u32..10, 1..20),
-        free_mask in proptest::collection::vec(any::<bool>(), 1..20),
-    ) {
+#[test]
+fn allocator_never_double_allocates() {
+    check("allocator_never_double_allocates", CASES, |t| {
+        let requests = t.vec(1, 20, |t| t.range(1, 10) as u32);
+        let free_mask = t.vec(1, 20, Tape::bool);
         let mut alloc = PageAllocator::new(PageRange::new(PageIndex(100), ARENA_PAGES));
         let mut live: Vec<PageRange> = Vec::new();
         for (i, &req) in requests.iter().enumerate() {
             if let Ok(r) = alloc.alloc(req) {
                 // Disjoint from all live allocations.
                 for other in &live {
-                    prop_assert!(!r.overlaps(other), "{r} overlaps {other}");
+                    prop_assert!(!r.overlaps(other), "{} overlaps {}", r, other);
                 }
                 live.push(r);
             }
@@ -136,13 +159,15 @@ proptest! {
             alloc.free(r).unwrap();
         }
         prop_assert_eq!(alloc.largest_free_run(), ARENA_PAGES);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pcr_chain_is_injective_on_event_sequences(
-        seq_a in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..6),
-        seq_b in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 0..6),
-    ) {
+#[test]
+fn pcr_chain_is_injective_on_event_sequences() {
+    check("pcr_chain_is_injective_on_event_sequences", CASES, |t| {
+        let seq_a = t.vec(0, 6, |t| t.bytes(0, 16));
+        let seq_b = t.vec(0, 6, |t| t.bytes(0, 16));
         // Different event sequences yield different PCR values (no
         // collisions observed; order and multiplicity are encoded).
         let chain = |events: &[Vec<u8>]| {
@@ -158,11 +183,15 @@ proptest! {
         } else {
             prop_assert_ne!(chain(&seq_a), chain(&seq_b));
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sepcr_bank_conserves_slots(ops in proptest::collection::vec(0u8..5, 0..60)) {
+#[test]
+fn sepcr_bank_conserves_slots() {
+    check("sepcr_bank_conserves_slots", CASES, |t| {
         const SLOTS: u16 = 4;
+        let ops = t.vec(0, 60, |t| t.range(0, 5) as u8);
         let mut bank = SePcrBank::new(SLOTS);
         let mut live: Vec<minimal_tcb::tpm::SePcrHandle> = Vec::new();
         let mut quoted: Vec<minimal_tcb::tpm::SePcrHandle> = Vec::new();
@@ -215,41 +244,43 @@ proptest! {
                 prop_assert_eq!(bank.state(h).unwrap(), SePcrState::Quote);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn pcr_values_distinguish_boot_states(m in proptest::collection::vec(any::<u8>(), 1..64)) {
+#[test]
+fn pcr_values_distinguish_boot_states() {
+    check("pcr_values_distinguish_boot_states", CASES, |t| {
+        let m = t.bytes(1, 64);
         // No single extend from the reboot state can reach the value a
         // genuine launch produces, for any measurement.
         let digest = Sha1::digest(&m);
         let from_boot = PcrValue::MINUS_ONE.extended(&digest);
         let from_launch = PcrValue::ZERO.extended(&digest);
         prop_assert_ne!(from_boot, from_launch);
-    }
+        Ok(())
+    });
 }
 
-// TPM-level properties instantiate RSA keypairs per case; keep the case
-// count modest.
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn enhanced_sea_survives_random_scheduling(
-        ops in proptest::collection::vec((0u8..6, 0u16..4), 0..60),
-        yields in proptest::collection::vec(any::<bool>(), 8),
-    ) {
+#[test]
+fn enhanced_sea_survives_random_scheduling() {
+    check("enhanced_sea_survives_random_scheduling", TPM_CASES, |t| {
         use minimal_tcb::core::{EnhancedSea, FnPal, PalId, SecurePlatform};
         use minimal_tcb::hw::Platform;
         use minimal_tcb::tpm::KeyStrength;
+
+        let ops = t.vec(0, 60, |t| (t.range(0, 6) as u8, t.range(0, 4) as u16));
+        let yields: Vec<bool> = (0..8).map(|_| t.bool()).collect();
 
         let mut sea = EnhancedSea::new(SecurePlatform::new(
             Platform::recommended(4),
             KeyStrength::Demo512,
             b"fuzz",
-        )).unwrap();
+        ))
+        .unwrap();
 
         // A pool of PALs whose behaviour (yield vs exit per step) is
-        // proptest-driven.
+        // tape-driven.
         let mut pals: Vec<_> = (0..4)
             .map(|i| {
                 let pattern = yields.clone();
@@ -309,8 +340,7 @@ proptest! {
             // Invariant: no page is ever left in NONE unless some live
             // PAL is suspended; protected page count is bounded by the
             // PALs' combined regions.
-            let (_, cpus_pages, none_pages) =
-                sea.platform().machine().controller().state_census();
+            let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
             let mut max_protected = 0usize;
             for id in ids.iter().flatten() {
                 if let Ok(secb) = sea.secb(*id) {
@@ -319,55 +349,63 @@ proptest! {
             }
             prop_assert!(cpus_pages + none_pages <= max_protected);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn seal_unseal_policy_is_exact(
-        data in proptest::collection::vec(any::<u8>(), 0..200),
-        selection_raw in proptest::collection::vec(0u8..24, 1..4),
-        perturb in 0u8..24,
-        do_perturb in any::<bool>(),
-    ) {
+#[test]
+fn seal_unseal_policy_is_exact() {
+    check("seal_unseal_policy_is_exact", TPM_CASES, |t| {
         // TPM policy invariant: unseal succeeds iff every selected PCR
         // still holds its seal-time value.
-        use minimal_tcb::tpm::{KeyStrength, Tpm};
         use minimal_tcb::hw::TpmKind;
+        use minimal_tcb::tpm::{KeyStrength, Tpm};
 
-        let mut selection: Vec<PcrIndex> =
-            selection_raw.iter().map(|&i| PcrIndex(i)).collect();
+        let data = t.bytes(0, 200);
+        let selection_raw = t.vec(1, 4, |t| t.range(0, 24) as u8);
+        let perturb = t.range(0, 24) as u8;
+        let do_perturb = t.bool();
+
+        let mut selection: Vec<PcrIndex> = selection_raw.iter().map(|&i| PcrIndex(i)).collect();
         selection.dedup();
         let mut tpm = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"prop-seal");
         let blob = tpm.seal(&data, &selection).unwrap().value;
 
         let selected = selection.iter().any(|p| p.0 == perturb);
         if do_perturb {
-            tpm.extend(PcrIndex(perturb), &Sha1::digest(b"perturbation")).unwrap();
+            tpm.extend(PcrIndex(perturb), &Sha1::digest(b"perturbation"))
+                .unwrap();
         }
         let result = tpm.unseal(&blob);
         if do_perturb && selected {
-            prop_assert!(result.is_err(), "policy must bind selected PCR {perturb}");
+            prop_assert!(result.is_err(), "policy must bind selected PCR {}", perturb);
         } else {
             prop_assert_eq!(result.unwrap().value, data);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn blob_and_quote_wire_formats_roundtrip(
-        data in proptest::collection::vec(any::<u8>(), 0..100),
-        nonce in proptest::collection::vec(any::<u8>(), 0..40),
-    ) {
-        use minimal_tcb::tpm::{KeyStrength, Quote, SealedBlob, Tpm};
+#[test]
+fn blob_and_quote_wire_formats_roundtrip() {
+    check("blob_and_quote_wire_formats_roundtrip", TPM_CASES, |t| {
         use minimal_tcb::hw::TpmKind;
+        use minimal_tcb::tpm::{KeyStrength, Quote, SealedBlob, Tpm};
+        let data = t.bytes(0, 100);
+        let nonce = t.bytes(0, 40);
         let mut tpm = Tpm::new(TpmKind::Broadcom, KeyStrength::Demo512, b"prop-wire");
         let blob = tpm.seal(&data, &[PcrIndex(17)]).unwrap().value;
         let restored = SealedBlob::from_bytes(&blob.to_bytes()).unwrap();
         prop_assert_eq!(&restored, &blob);
         prop_assert_eq!(tpm.unseal(&restored).unwrap().value, data);
 
-        let quote = tpm.quote(&nonce, &[PcrIndex(17), PcrIndex(0)]).unwrap().value;
+        let quote = tpm
+            .quote(&nonce, &[PcrIndex(17), PcrIndex(0)])
+            .unwrap()
+            .value;
         let received = Quote::from_bytes(&quote.to_bytes()).unwrap();
         prop_assert_eq!(&received, &quote);
         prop_assert!(received.verify_signature(tpm.aik_public()));
-    }
-
+        Ok(())
+    });
 }
