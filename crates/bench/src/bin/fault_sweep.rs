@@ -1,0 +1,21 @@
+//! Goodput vs injected hardware-fault rate on the concurrent session
+//! engine, under the recovery layer's default retry policy.
+//!
+//! `SEA_BENCH_SMOKE=1` shrinks the batch for CI smoke runs.
+
+use sea_bench::driver::{render_fault_sweep, FAULT_SWEEP_RATES, FAULT_SWEEP_WORKERS};
+use sea_bench::timing::smoke_mode;
+use sea_hw::SimDuration;
+
+fn main() {
+    let jobs = if smoke_mode() { 8 } else { 16 };
+    print!(
+        "{}",
+        render_fault_sweep(
+            &FAULT_SWEEP_RATES,
+            jobs,
+            SimDuration::from_ms(10),
+            FAULT_SWEEP_WORKERS,
+        )
+    );
+}

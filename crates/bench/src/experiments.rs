@@ -2,10 +2,10 @@
 //! data the binaries print and the tests assert against.
 
 use sea_core::{
-    ConcurrentJob, ConcurrentSea, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome,
-    SecurePlatform, SessionReport,
+    ConcurrentJob, ConcurrentSea, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, RetryPolicy,
+    SecurePlatform, SessionReport, SessionResult,
 };
-use sea_hw::{CpuId, PageIndex, PageRange, Platform, SimDuration, TpmKind};
+use sea_hw::{CpuId, FaultPlan, PageIndex, PageRange, Platform, SimDuration, TpmKind};
 use sea_os::{LegacyBatch, Scheduler};
 use sea_tpm::{KeyStrength, PcrIndex, Tpm, TpmOp, TpmTimingModel};
 
@@ -733,6 +733,101 @@ pub fn throughput(worker_counts: &[usize], jobs: usize, work: SimDuration) -> Ve
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Fault sweep: goodput vs injected fault rate under the recovery layer
+// ---------------------------------------------------------------------
+
+/// The seed every fault-sweep batch derives its fault tape from, so the
+/// sweep is reproducible run to run.
+pub const FAULT_SWEEP_SEED: u64 = 0xFA17;
+
+/// Of the TPM transport faults injected at each sweep point, 1 in 8 is
+/// fatal (non-retryable); the rest clear on retry.
+pub const FAULT_SWEEP_FATAL_RATIO: u32 = sea_hw::RATE_DENOM / 8;
+
+/// One point of the goodput-vs-fault-rate sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepPoint {
+    /// Per-roll fault probability numerator (denominator
+    /// [`sea_hw::RATE_DENOM`]).
+    pub rate: u32,
+    /// Sessions in the batch.
+    pub jobs: usize,
+    /// Sessions that completed with a quote.
+    pub quoted: usize,
+    /// Sessions killed after exhausting their retry budget.
+    pub killed: usize,
+    /// Total retries absorbed across the batch.
+    pub retries: u32,
+    /// Virtual wall time of the batch (ms).
+    pub wall_ms: f64,
+    /// Completed sessions per virtual second of wall time.
+    pub goodput_per_sec: f64,
+}
+
+/// Goodput vs injected fault rate: pushes `jobs` identical sessions
+/// through [`ConcurrentSea::run_batch_recovered`] at each TPM-transport
+/// fault rate (per-roll probability `rate`/[`sea_hw::RATE_DENOM`],
+/// memory-denial and timer-expiry rates at half that), under the default
+/// [`RetryPolicy`]. Every batch replays the same deterministic fault
+/// tape ([`FAULT_SWEEP_SEED`]), so the sweep is reproducible and
+/// worker-count invariant. Transient faults cost retries (goodput decays
+/// roughly linearly); the fatal fraction ([`FAULT_SWEEP_FATAL_RATIO`])
+/// kills sessions outright, so completions drop as the rate climbs —
+/// but the batch always finishes and every sePCR comes back.
+pub fn fault_sweep(
+    rates: &[u32],
+    jobs: usize,
+    work: SimDuration,
+    workers: usize,
+) -> Vec<FaultSweepPoint> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let p = platform(Platform::recommended(workers as u16), b"fault-sweep");
+            let mut sea = ConcurrentSea::new(p, workers).expect("pool fits platform");
+            sea.set_fault_plan(Some(
+                FaultPlan::new(FAULT_SWEEP_SEED)
+                    .with_tpm_rate(rate)
+                    .with_mem_rate(rate / 2)
+                    .with_timer_rate(rate / 2)
+                    .with_fatal_ratio(FAULT_SWEEP_FATAL_RATIO),
+            ));
+            let batch: Vec<ConcurrentJob> = (0..jobs)
+                .map(|i| {
+                    ConcurrentJob::new(
+                        Box::new(FnPal::new(&format!("fs-{i}"), move |ctx| {
+                            ctx.work(work);
+                            Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                        })),
+                        b"",
+                    )
+                })
+                .collect();
+            let out = sea
+                .run_batch_recovered(batch, RetryPolicy::default())
+                .expect("batch runs");
+            let retries = out
+                .sessions
+                .iter()
+                .map(|s| match s {
+                    SessionResult::Quoted { retries, .. } => *retries,
+                    _ => 0,
+                })
+                .sum();
+            FaultSweepPoint {
+                rate,
+                jobs,
+                quoted: out.quoted(),
+                killed: out.killed(),
+                retries,
+                wall_ms: out.wall.as_ms_f64(),
+                goodput_per_sec: out.goodput_per_sec(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -919,5 +1014,27 @@ mod tests {
             assert_eq!(p.launched, (p.sepcrs as usize).min(8), "{p:?}");
             assert_eq!(p.launched + p.rejected, 8);
         }
+    }
+
+    #[test]
+    fn fault_sweep_degrades_gracefully() {
+        let points = fault_sweep(&[0, 2000, 12_000], 8, SimDuration::from_ms(2), 4);
+        // Fault-free: everything quoted, no retries, no kills.
+        assert_eq!(points[0].quoted, 8, "{points:?}");
+        assert_eq!(points[0].killed, 0);
+        assert_eq!(points[0].retries, 0);
+        // Every batch completes: no session is unaccounted for.
+        for p in &points {
+            assert_eq!(p.quoted + p.killed, p.jobs, "{p:?}");
+            assert!(p.goodput_per_sec >= 0.0);
+        }
+        // Faults cost retries and/or kills, and goodput never improves
+        // as the rate climbs.
+        let stressed = &points[2];
+        assert!(stressed.retries > 0 || stressed.killed > 0, "{stressed:?}");
+        assert!(
+            stressed.goodput_per_sec <= points[0].goodput_per_sec,
+            "{points:?}"
+        );
     }
 }

@@ -35,12 +35,16 @@
 
 use std::sync::{Arc, Mutex};
 
-use sea_hw::{CpuId, SharedClock, SimDuration};
+use sea_hw::{
+    CpuId, FaultPlan, SharedClock, SimDuration, SimTime, TraceEvent, TRANSPORT_FAULT_COST,
+};
+use sea_tpm::{Quote, TpmError};
 
 use crate::enhanced::{EnhancedSea, PalId, PalStep};
 use crate::error::SeaError;
 use crate::pal::PalLogic;
 use crate::platform::SecurePlatform;
+use crate::recovery::RetryPolicy;
 use crate::report::SessionReport;
 
 /// One unit of work for the pool: a PAL plus its input.
@@ -114,6 +118,106 @@ impl ConcurrentOutcome {
             1.0
         } else {
             self.aggregate().as_secs_f64() / wall
+        }
+    }
+}
+
+/// Outcome of one job driven by the recovery layer
+/// ([`ConcurrentSea::run_batch_recovered`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SessionResult {
+    /// The session completed (possibly after retries) and was quoted.
+    Quoted {
+        /// The session's output, report, quote cost, and CPU.
+        result: JobResult,
+        /// The attestation over the session's sePCR.
+        quote: Quote,
+        /// How many injected faults were retried along the way.
+        retries: u32,
+        /// Virtual time spent on fault handling and backoff.
+        recovery_cost: SimDuration,
+    },
+    /// The sePCR bank was saturated at launch; the session ran to
+    /// completion on the legacy (late-launch) slow path instead,
+    /// without a sePCR-bound quote.
+    Degraded {
+        /// The job's index in the batch.
+        job: usize,
+        /// The PAL's output.
+        output: Vec<u8>,
+        /// The legacy session's cost breakdown.
+        report: SessionReport,
+    },
+    /// The retry budget was exhausted (or the fault was fatal); the
+    /// session was torn down via `SKILL` and its sePCR reclaimed.
+    Killed {
+        /// The job's index in the batch.
+        job: usize,
+        /// Attempts made (1 initial + retries) before giving up.
+        attempts: u32,
+        /// The error that ended the session.
+        error: SeaError,
+        /// Virtual time wasted on the failed attempts.
+        wasted: SimDuration,
+    },
+}
+
+impl SessionResult {
+    /// The job's virtual cost as charged to its worker CPU.
+    pub fn cost(&self) -> SimDuration {
+        match self {
+            SessionResult::Quoted {
+                result,
+                recovery_cost,
+                ..
+            } => result.total() + *recovery_cost,
+            SessionResult::Degraded { report, .. } => report.total(),
+            SessionResult::Killed { wasted, .. } => *wasted,
+        }
+    }
+
+    /// Whether the session completed and was quoted.
+    pub fn is_quoted(&self) -> bool {
+        matches!(self, SessionResult::Quoted { .. })
+    }
+
+    /// Whether the session was killed.
+    pub fn is_killed(&self) -> bool {
+        matches!(self, SessionResult::Killed { .. })
+    }
+}
+
+/// Aggregate outcome of one [`ConcurrentSea::run_batch_recovered`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredOutcome {
+    /// Per-job outcomes, in job-index order.
+    pub sessions: Vec<SessionResult>,
+    /// Virtual busy time accumulated by each worker/CPU.
+    pub cpu_busy: Vec<SimDuration>,
+    /// Virtual wall time of the batch (busiest CPU's total).
+    pub wall: SimDuration,
+}
+
+impl RecoveredOutcome {
+    /// Number of sessions that completed with a quote.
+    pub fn quoted(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_quoted()).count()
+    }
+
+    /// Number of sessions killed after exhausting their retry budget.
+    pub fn killed(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_killed()).count()
+    }
+
+    /// Completed (quoted or degraded) sessions per virtual second of
+    /// batch wall time.
+    pub fn goodput_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.sessions.len() - self.killed()) as f64 / secs
         }
     }
 }
@@ -222,6 +326,10 @@ impl ConcurrentSea {
             (0..n_jobs).map(|_| None).collect();
         let mut cpu_busy = vec![SimDuration::ZERO; workers];
 
+        // Every domain anchors at the batch's start: reading the clock
+        // inside each worker would skew late-spawned domains by however
+        // far an early sibling had already published.
+        let epoch = self.clock.now();
         std::thread::scope(|scope| {
             let handles: Vec<_> = per_worker
                 .into_iter()
@@ -229,7 +337,7 @@ impl ConcurrentSea {
                 .map(|(k, assigned)| {
                     let sea = Arc::clone(&self.sea);
                     let clock = Arc::clone(&self.clock);
-                    scope.spawn(move || worker_loop(k, assigned, &sea, &clock))
+                    scope.spawn(move || worker_loop(k, assigned, &sea, &clock, epoch))
                 })
                 .collect();
             for (k, handle) in handles.into_iter().enumerate() {
@@ -248,6 +356,98 @@ impl ConcurrentSea {
         let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
         Ok(ConcurrentOutcome {
             results,
+            cpu_busy,
+            wall,
+        })
+    }
+
+    /// Installs (or clears) a deterministic fault plan on the shared
+    /// engine. Only [`ConcurrentSea::run_batch_recovered`] sessions are
+    /// exposed to it; each job rolls faults against its own batch index,
+    /// so serial and parallel runs of the same batch see identical
+    /// injections.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.sea
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .set_fault_plan(plan);
+    }
+
+    /// Runs a batch under the installed fault plan with `policy`-bounded
+    /// recovery: transient faults are retried with virtual-time backoff,
+    /// sePCR-bank saturation degrades the job to the legacy slow path,
+    /// and exhausted or fatal sessions are torn down via `SKILL` (their
+    /// sePCR and pages reclaimed) without aborting the rest of the
+    /// batch. With a fault-free plan (or none), every session is
+    /// [`SessionResult::Quoted`] with zero retries and the per-job
+    /// results match [`ConcurrentSea::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Only infrastructure failures (lifecycle violations, missing
+    /// CPUs, …) surface as `Err`; per-session fault deaths are reported
+    /// in-band as [`SessionResult::Killed`].
+    pub fn run_batch_recovered(
+        &mut self,
+        jobs: Vec<ConcurrentJob>,
+        policy: RetryPolicy,
+    ) -> Result<RecoveredOutcome, SeaError> {
+        let n_jobs = jobs.len();
+        let workers = self.workers;
+
+        let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            per_worker[i % workers].push((i, job));
+        }
+
+        let mut slots: Vec<Option<Result<SessionResult, SeaError>>> =
+            (0..n_jobs).map(|_| None).collect();
+        let mut cpu_busy = vec![SimDuration::ZERO; workers];
+
+        // Every domain anchors at the batch's start: reading the clock
+        // inside each worker would skew late-spawned domains by however
+        // far an early sibling had already published.
+        let epoch = self.clock.now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = per_worker
+                .into_iter()
+                .enumerate()
+                .map(|(k, assigned)| {
+                    let sea = Arc::clone(&self.sea);
+                    let clock = Arc::clone(&self.clock);
+                    scope.spawn(move || {
+                        let cpu = CpuId(k as u16);
+                        let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(&clock), epoch);
+                        let mut results = Vec::with_capacity(assigned.len());
+                        for (i, job) in assigned {
+                            let result = run_one_recovered(cpu, i, job, &sea, policy);
+                            if let Ok(r) = &result {
+                                domain.advance(r.cost());
+                            }
+                            domain.publish();
+                            results.push((i, result));
+                        }
+                        (results, domain.busy())
+                    })
+                })
+                .collect();
+            for (k, handle) in handles.into_iter().enumerate() {
+                let (results, busy) = handle.join().expect("worker panicked");
+                cpu_busy[k] = busy;
+                for (i, result) in results {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+
+        let mut sessions = Vec::with_capacity(n_jobs);
+        for slot in slots {
+            sessions.push(slot.expect("every job index filled")?);
+        }
+        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        Ok(RecoveredOutcome {
+            sessions,
             cpu_busy,
             wall,
         })
@@ -278,9 +478,10 @@ fn worker_loop(
     assigned: Vec<(usize, ConcurrentJob)>,
     sea: &Mutex<EnhancedSea>,
     clock: &Arc<SharedClock>,
+    epoch: SimTime,
 ) -> (Vec<(usize, Result<JobResult, SeaError>)>, SimDuration) {
     let cpu = CpuId(k as u16);
-    let mut domain = sea_hw::CpuClockDomain::new(Arc::clone(clock));
+    let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(clock), epoch);
     let mut results = Vec::with_capacity(assigned.len());
     for (i, job) in assigned {
         let result = run_one(cpu, i, job, sea);
@@ -322,6 +523,181 @@ fn run_one(
         report,
         quote_cost: quote.elapsed,
         cpu,
+    })
+}
+
+/// Deterministic virtual cost of handling one injected fault of the
+/// given error class, as charged to the faulted session's CPU. (The
+/// fault substrate also advances the shared machine clock; this local
+/// accounting is what flows into per-CPU busy time and wall time, and
+/// is a pure function of the error — never of the machine clock.)
+fn fault_handling_cost(error: &SeaError) -> SimDuration {
+    match error {
+        SeaError::Tpm(TpmError::TransportFault { .. }) => TRANSPORT_FAULT_COST,
+        _ => SimDuration::ZERO,
+    }
+}
+
+/// Records a [`TraceEvent::SessionRetried`] on the shared engine.
+fn record_retry(sea: &Mutex<EnhancedSea>, key: u64, attempt: u32) {
+    let mut guard = sea.lock().unwrap_or_else(|e| e.into_inner());
+    let machine = guard.platform_mut().machine_mut();
+    let now = machine.now();
+    machine.trace_mut().record(
+        now,
+        TraceEvent::SessionRetried {
+            session: key,
+            attempt,
+        },
+    );
+}
+
+/// Applies the retry policy to one failed attempt. On a retryable error
+/// with budget left: consumes a retry, charges the fault-handling cost
+/// plus backoff, records the retry, and returns `true` (caller loops).
+/// Otherwise charges the handling cost and returns `false` (caller
+/// kills the session).
+fn try_absorb(
+    sea: &Mutex<EnhancedSea>,
+    policy: &RetryPolicy,
+    key: u64,
+    error: &SeaError,
+    retries: &mut u32,
+    recovery_cost: &mut SimDuration,
+) -> bool {
+    if policy.is_retryable(error) && *retries < policy.max_retries() {
+        *retries += 1;
+        *recovery_cost += fault_handling_cost(error) + policy.backoff_for(*retries);
+        record_retry(sea, key, *retries);
+        true
+    } else {
+        *recovery_cost += fault_handling_cost(error);
+        false
+    }
+}
+
+/// Runs a single session under the fault plan with bounded recovery:
+/// `SLAUNCH` → step/resume loop → quote, retrying transient faults per
+/// `policy`, degrading to the legacy slow path on sePCR saturation, and
+/// `SKILL`ing the session when the budget runs out.
+fn run_one_recovered(
+    cpu: CpuId,
+    index: usize,
+    mut job: ConcurrentJob,
+    sea: &Mutex<EnhancedSea>,
+    policy: RetryPolicy,
+) -> Result<SessionResult, SeaError> {
+    fn lock<'a>(sea: &'a Mutex<EnhancedSea>) -> std::sync::MutexGuard<'a, EnhancedSea> {
+        sea.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    let key = index as u64;
+    let mut retries: u32 = 0;
+    let mut recovery_cost = SimDuration::ZERO;
+
+    // Phase 1: SLAUNCH. A faulted launch has already rolled its pages
+    // back to `ALL` (Figure 7's failure path), so retrying is a plain
+    // re-launch and exhaustion needs no SKILL.
+    let id: PalId = loop {
+        let error = match lock(sea).slaunch_keyed(&mut *job.logic, &job.input, cpu, None, key) {
+            Ok(id) => break id,
+            Err(e) => e,
+        };
+        if RetryPolicy::is_saturation(&error) {
+            // Graceful degradation: the sePCR bank is full, not faulty.
+            let done = lock(sea).run_legacy_fallback(&mut *job.logic, &job.input, cpu)?;
+            return Ok(SessionResult::Degraded {
+                job: index,
+                output: done.output,
+                report: done.report,
+            });
+        }
+        if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
+            continue;
+        }
+        return Ok(SessionResult::Killed {
+            job: index,
+            attempts: retries + 1,
+            error,
+            wasted: recovery_cost,
+        });
+    };
+
+    // Phase 2: step/resume loop. Injected timer expiries surface as
+    // extra `Yielded` steps; injected resume denials retry in place
+    // (the SECB stays `Suspend`). Each engine call is bound to a local
+    // first so its lock guard drops before recovery takes the lock
+    // again.
+    let output = loop {
+        let step = lock(sea).step_keyed(&mut *job.logic, id, key);
+        match step {
+            Ok(PalStep::Exited { output }) => break output,
+            Ok(PalStep::Yielded) => loop {
+                let resumed = lock(sea).resume_keyed(id, cpu, key);
+                match resumed {
+                    Ok(()) => break,
+                    Err(error) => {
+                        if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
+                            continue;
+                        }
+                        lock(sea).kill_session(id, key)?;
+                        return Ok(SessionResult::Killed {
+                            job: index,
+                            attempts: retries + 1,
+                            error,
+                            wasted: recovery_cost,
+                        });
+                    }
+                }
+            },
+            Err(error) => {
+                if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
+                    continue;
+                }
+                lock(sea).kill_session(id, key)?;
+                return Ok(SessionResult::Killed {
+                    job: index,
+                    attempts: retries + 1,
+                    error,
+                    wasted: recovery_cost,
+                });
+            }
+        }
+    };
+
+    let report = lock(sea).report(id)?;
+    let nonce = (index as u64).to_le_bytes();
+    // Phase 3: quote. A faulted quote leaves the sePCR in the Quote
+    // state, so it can be retried; on exhaustion the kill path frees
+    // the slot without an attestation.
+    let quote = loop {
+        let attempt = lock(sea).quote_and_free_keyed(id, &nonce, key);
+        match attempt {
+            Ok(q) => break q,
+            Err(error) => {
+                if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
+                    continue;
+                }
+                lock(sea).kill_session(id, key)?;
+                return Ok(SessionResult::Killed {
+                    job: index,
+                    attempts: retries + 1,
+                    error,
+                    wasted: recovery_cost,
+                });
+            }
+        }
+    };
+    Ok(SessionResult::Quoted {
+        result: JobResult {
+            output,
+            report,
+            quote_cost: quote.elapsed,
+            cpu,
+        },
+        quote: quote.value,
+        retries,
+        recovery_cost,
     })
 }
 
@@ -422,6 +798,118 @@ mod tests {
         assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
         let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
         assert_eq!((cpus_pages, none_pages), (0, 0));
+    }
+
+    #[test]
+    fn fault_free_recovered_batch_matches_plain_batch() {
+        let mut plain = ConcurrentSea::new(platform(4), 4).unwrap();
+        let p = plain.run_batch(jobs(8, 20)).unwrap();
+
+        let mut recovered = ConcurrentSea::new(platform(4), 4).unwrap();
+        recovered.set_fault_plan(Some(FaultPlan::fault_free()));
+        let r = recovered
+            .run_batch_recovered(jobs(8, 20), RetryPolicy::default())
+            .unwrap();
+
+        assert_eq!(r.quoted(), 8);
+        assert_eq!(r.killed(), 0);
+        for (jr, s) in p.results.iter().zip(&r.sessions) {
+            match s {
+                SessionResult::Quoted {
+                    result,
+                    retries,
+                    recovery_cost,
+                    ..
+                } => {
+                    assert_eq!(result, jr);
+                    assert_eq!(*retries, 0);
+                    assert_eq!(*recovery_cost, SimDuration::ZERO);
+                }
+                other => panic!("expected Quoted, got {other:?}"),
+            }
+        }
+        assert_eq!(p.wall, r.wall);
+        assert_eq!(p.cpu_busy, r.cpu_busy);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_nothing_leaks() {
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        pool.set_fault_plan(Some(
+            FaultPlan::new(7)
+                .with_tpm_rate(6000)
+                .with_mem_rate(6000)
+                .with_timer_rate(6000)
+                .with_fatal_ratio(0),
+        ));
+        let out = pool
+            .run_batch_recovered(jobs(16, 10), RetryPolicy::default())
+            .unwrap();
+        assert_eq!(out.sessions.len(), 16);
+        // Every retryable fault was absorbed: with fatal_ratio 0 and a
+        // 4-retry budget, this seed completes the whole batch.
+        assert_eq!(out.killed(), 0);
+        assert_eq!(out.quoted(), 16);
+        let total_retries: u32 = out
+            .sessions
+            .iter()
+            .map(|s| match s {
+                SessionResult::Quoted { retries, .. } => *retries,
+                _ => 0,
+            })
+            .sum();
+        assert!(total_retries > 0, "seed 7 at ~9% rates must inject");
+
+        // Recovery reclaimed everything: sePCRs all Free, pages all ALL.
+        let sea = pool.into_inner();
+        let tpm = sea.platform().tpm().expect("tpm");
+        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
+        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
+        assert_eq!((cpus_pages, none_pages), (0, 0));
+    }
+
+    #[test]
+    fn fatal_faults_kill_cleanly_without_leaking() {
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        pool.set_fault_plan(Some(
+            FaultPlan::new(42)
+                .with_tpm_rate(20_000)
+                .with_fatal_ratio(sea_hw::RATE_DENOM),
+        ));
+        let out = pool
+            .run_batch_recovered(jobs(16, 10), RetryPolicy::default())
+            .unwrap();
+        assert!(out.killed() > 0, "seed 42 at ~30% fatal rate must kill");
+        assert_eq!(out.killed() + out.quoted(), 16);
+        for s in &out.sessions {
+            match s {
+                SessionResult::Killed {
+                    error, attempts, ..
+                } => {
+                    // Fatal transport faults are not retried.
+                    assert_eq!(*attempts, 1);
+                    assert!(matches!(
+                        error,
+                        SeaError::Tpm(TpmError::TransportFault { retryable: false })
+                    ));
+                }
+                SessionResult::Quoted { retries, .. } => assert_eq!(*retries, 0),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+
+        let sea = pool.into_inner();
+        let tpm = sea.platform().tpm().expect("tpm");
+        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
+        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
+        assert_eq!((cpus_pages, none_pages), (0, 0));
+        // Kills left their mark in the hardware trace.
+        assert!(sea
+            .platform()
+            .machine()
+            .trace()
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::SessionKilled { .. })));
     }
 
     #[test]

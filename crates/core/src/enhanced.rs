@@ -22,8 +22,11 @@
 
 use std::collections::HashMap;
 
-use sea_hw::{CpuId, PageIndex, PageRange, SimDuration, PAGE_SIZE};
-use sea_tpm::{Quote, Timed};
+use sea_hw::{
+    CpuId, FaultKind, FaultPlan, PageIndex, PageRange, SimDuration, TraceEvent, PAGE_SIZE,
+    TRANSPORT_FAULT_COST,
+};
+use sea_tpm::{Quote, Timed, TpmError};
 
 use crate::error::SeaError;
 use crate::pal::{PalCtx, PalLogic, PalOutcome, SealBinding};
@@ -85,6 +88,14 @@ const FIRST_PAL_PAGE: u32 = 64;
 /// and input.
 const STATE_HEADROOM: usize = 2 * PAGE_SIZE;
 
+/// Per-session fault-injection bookkeeping: a monotone roll counter and
+/// how many spurious timer expiries the session has already absorbed.
+#[derive(Debug, Default, Clone, Copy)]
+struct FaultCursor {
+    seq: u64,
+    timer_count: u32,
+}
+
 /// SEA on the proposed hardware. See the crate-level example.
 #[derive(Debug)]
 pub struct EnhancedSea {
@@ -92,6 +103,8 @@ pub struct EnhancedSea {
     pals: HashMap<u64, PalRun>,
     next_id: u64,
     next_page: u32,
+    fault_plan: Option<FaultPlan>,
+    fault_cursors: HashMap<u64, FaultCursor>,
 }
 
 impl EnhancedSea {
@@ -113,7 +126,24 @@ impl EnhancedSea {
             pals: HashMap::new(),
             next_id: 0,
             next_page: FIRST_PAL_PAGE,
+            fault_plan: None,
+            fault_cursors: HashMap::new(),
         })
+    }
+
+    /// Installs (or clears) a deterministic fault-injection plan. The
+    /// `*_keyed` lifecycle operations consult it; the plain operations
+    /// never inject. Installing a plan resets all per-session roll
+    /// cursors, so the injection stream is a pure function of
+    /// `(plan, session key, operation order within the session)`.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan;
+        self.fault_cursors.clear();
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// The underlying platform.
@@ -401,11 +431,17 @@ impl EnhancedSea {
         let range = run.secb.pages();
         let handle = run.secb.sepcr().expect("measured");
         let routing = matches!(run.secb.interrupt_policy(), InterruptPolicy::Forward(_));
-        assert!(run.secb.transition(PalLifecycle::Protect));
 
+        // Hardware first, SECB transitions last: a transient hardware
+        // failure must leave the PAL in `Suspend` so the caller can
+        // retry the resume instead of stranding the SECB mid-protect.
         let (machine, tpm) = self.platform.parts_mut();
         machine.controller_mut().resume_pages(range, cpu)?;
-        tpm.expect("checked").sepcr_rebind(handle, cpu)?;
+        if let Err(e) = tpm.expect("checked").sepcr_rebind(handle, cpu) {
+            // Roll the pages back to `NONE` so a later resume can run.
+            machine.controller_mut().suspend_pages(range, cpu)?;
+            return Err(e.into());
+        }
         machine.cpu_mut(cpu)?.enter_secure(range.base_addr());
         let vm_enter = machine.platform().virt.vm_enter;
         let mut resume_cost = vm_enter;
@@ -415,6 +451,7 @@ impl EnhancedSea {
         machine.advance(resume_cost);
 
         let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        assert!(run.secb.transition(PalLifecycle::Protect));
         assert!(run.secb.transition(PalLifecycle::Execute));
         run.current_cpu = Some(cpu);
         run.report.context_switch += resume_cost;
@@ -552,6 +589,365 @@ impl EnhancedSea {
                 PalStep::Yielded => self.resume(id, cpu)?,
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Deterministic fault injection and recovery primitives.
+    //
+    // The `*_keyed` variants consult the installed [`FaultPlan`] before
+    // delegating to the plain operations. Every injection decision is a
+    // pure function of (plan, session key, per-session roll counter) —
+    // never of wall-clock time or cross-session interleaving — so serial
+    // and parallel drivers replaying the same keys see identical faults.
+    // ------------------------------------------------------------------
+
+    /// Rolls the next TPM-transport fault decision for session `key`.
+    fn roll_tpm(&mut self, key: u64) -> Option<FaultKind> {
+        let plan = self.fault_plan.as_ref()?;
+        let cursor = self.fault_cursors.entry(key).or_default();
+        let seq = cursor.seq;
+        cursor.seq += 1;
+        plan.roll_tpm_transport(key, seq)
+    }
+
+    /// Rolls the next spurious memory-controller denial for `key`.
+    fn roll_mem(&mut self, key: u64) -> bool {
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return false;
+        };
+        let cursor = self.fault_cursors.entry(key).or_default();
+        let seq = cursor.seq;
+        cursor.seq += 1;
+        plan.roll_mem_denial(key, seq)
+    }
+
+    /// Rolls the next spurious preemption-timer expiry for `key`,
+    /// honoring the plan's per-session timer budget so a session cannot
+    /// be preempted forever.
+    fn roll_timer(&mut self, key: u64) -> bool {
+        let Some(plan) = self.fault_plan.as_ref() else {
+            return false;
+        };
+        let cursor = self.fault_cursors.entry(key).or_default();
+        if cursor.timer_count >= plan.timer_budget() {
+            return false;
+        }
+        let seq = cursor.seq;
+        cursor.seq += 1;
+        if plan.roll_timer_expiry(key, seq) {
+            cursor.timer_count += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Arms a rolled TPM fault, runs `op`, then settles the books: if
+    /// the injection landed, charge the transport-fault cost and record
+    /// [`TraceEvent::FaultInjected`]; if `op` failed for an unrelated
+    /// reason (or never reached the transport), disarm the fault so it
+    /// cannot leak into a later, unrolled command.
+    fn with_tpm_fault<T>(
+        &mut self,
+        rolled: Option<FaultKind>,
+        key: u64,
+        op: impl FnOnce(&mut Self) -> Result<T, SeaError>,
+    ) -> Result<T, SeaError> {
+        if let Some(FaultKind::TpmTransport { retryable }) = rolled {
+            if let Some(tpm) = self.platform.tpm_mut() {
+                tpm.arm_transport_fault(retryable);
+            }
+        }
+        let result = op(self);
+        if let Some(kind) = rolled {
+            match &result {
+                Err(SeaError::Tpm(TpmError::TransportFault { .. })) => {
+                    let machine = self.platform.machine_mut();
+                    machine.advance(TRANSPORT_FAULT_COST);
+                    let now = machine.now();
+                    machine
+                        .trace_mut()
+                        .record(now, TraceEvent::FaultInjected { kind, session: key });
+                }
+                _ => {
+                    if let Some(tpm) = self.platform.tpm_mut() {
+                        tpm.disarm_transport_fault();
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// [`EnhancedSea::slaunch`] under the fault plan: the launch-time
+    /// sePCR measurement may suffer an injected transport fault, in
+    /// which case the pages are already back in `ALL` (Figure 7's
+    /// failure path) and the launch can simply be retried.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EnhancedSea::slaunch`], plus [`SeaError::Tpm`] with
+    /// [`TpmError::TransportFault`] for injected faults.
+    pub fn slaunch_keyed(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        preemption_timer: Option<SimDuration>,
+        key: u64,
+    ) -> Result<PalId, SeaError> {
+        let rolled = self.roll_tpm(key);
+        self.with_tpm_fault(rolled, key, |sea| {
+            sea.slaunch(pal, input, cpu, preemption_timer)
+        })
+    }
+
+    /// [`EnhancedSea::step`] under the fault plan: a spurious
+    /// preemption-timer expiry suspends the PAL *before* its logic runs
+    /// this quantum, so the injected preemption changes scheduling (and
+    /// costs one extra suspend/resume pair) without perturbing the
+    /// PAL's input/state byte stream.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EnhancedSea::step`].
+    pub fn step_keyed(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        id: PalId,
+        key: u64,
+    ) -> Result<PalStep, SeaError> {
+        if self.roll_timer(key) {
+            let machine = self.platform.machine_mut();
+            let now = machine.now();
+            machine.trace_mut().record(
+                now,
+                TraceEvent::FaultInjected {
+                    kind: FaultKind::TimerExpiry,
+                    session: key,
+                },
+            );
+            self.preempt(id)?;
+            return Ok(PalStep::Yielded);
+        }
+        self.step(pal, id)
+    }
+
+    /// [`EnhancedSea::resume`] under the fault plan: the memory
+    /// controller may spuriously deny the page-table resume. The SECB
+    /// stays in `Suspend` and nothing is modified, so the resume is
+    /// retryable as-is.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EnhancedSea::resume`], plus [`SeaError::Hw`] with
+    /// [`sea_hw::HwError::AccessDenied`] for injected denials.
+    pub fn resume_keyed(&mut self, id: PalId, cpu: CpuId, key: u64) -> Result<(), SeaError> {
+        let denial = self.roll_mem(key);
+        if denial {
+            self.platform
+                .machine_mut()
+                .controller_mut()
+                .arm_spurious_denial();
+        }
+        let result = self.resume(id, cpu);
+        if denial {
+            match &result {
+                Err(SeaError::Hw(sea_hw::HwError::AccessDenied { .. })) => {
+                    let machine = self.platform.machine_mut();
+                    let now = machine.now();
+                    machine.trace_mut().record(
+                        now,
+                        TraceEvent::FaultInjected {
+                            kind: FaultKind::MemDenial,
+                            session: key,
+                        },
+                    );
+                }
+                _ => self
+                    .platform
+                    .machine_mut()
+                    .controller_mut()
+                    .disarm_spurious_denial(),
+            }
+        }
+        result
+    }
+
+    /// [`EnhancedSea::quote_and_free`] under the fault plan: an injected
+    /// transport fault leaves the sePCR in the Quote state, so the quote
+    /// can be retried (or the slot reclaimed via
+    /// [`EnhancedSea::kill_session`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`EnhancedSea::quote_and_free`], plus [`SeaError::Tpm`]
+    /// with [`TpmError::TransportFault`] for injected faults.
+    pub fn quote_and_free_keyed(
+        &mut self,
+        id: PalId,
+        nonce: &[u8],
+        key: u64,
+    ) -> Result<Timed<Quote>, SeaError> {
+        let rolled = self.roll_tpm(key);
+        self.with_tpm_fault(rolled, key, |sea| sea.quote_and_free(id, nonce))
+    }
+
+    /// Forcibly suspends an `Execute`-state PAL without running its
+    /// logic — the hardware preemption-timer expiry path. Pages go to
+    /// `NONE`, helper cores are revoked, and one VM exit is charged,
+    /// exactly as a voluntary `SYIELD`.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::WrongLifecycle`] outside `Execute`.
+    pub fn preempt(&mut self, id: PalId) -> Result<(), SeaError> {
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
+        if run.secb.lifecycle() != PalLifecycle::Execute {
+            return Err(SeaError::WrongLifecycle {
+                actual: run.secb.lifecycle(),
+                operation: "preempt",
+            });
+        }
+        let cpu = run.current_cpu.expect("Execute implies a CPU");
+        let range = run.secb.pages();
+        assert!(run.secb.transition(PalLifecycle::Suspend));
+        run.current_cpu = None;
+        let helpers = std::mem::take(&mut run.helper_cpus);
+
+        let machine = self.platform.machine_mut();
+        let vm_exit = machine.platform().virt.vm_exit;
+        machine.controller_mut().suspend_pages(range, cpu)?;
+        machine.cpu_mut(cpu)?.leave_secure();
+        for h in helpers {
+            machine.cpu_mut(h)?.leave_secure();
+        }
+        machine.advance(vm_exit);
+
+        let run = self.pals.get_mut(&id.0).expect("present above");
+        run.report.context_switch += vm_exit;
+        Ok(())
+    }
+
+    /// Tears down a session whose recovery budget is exhausted: an
+    /// executing PAL is preempted then `SKILL`ed, a suspended one
+    /// `SKILL`ed directly, and a terminated one has its sePCR freed
+    /// without a quote. In every case the pages return to `ALL` and the
+    /// sePCR slot to Free. Records [`TraceEvent::SessionKilled`].
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::NoSuchPal`] for unknown identifiers and
+    /// [`SeaError::WrongLifecycle`] for PALs still mid-launch.
+    pub fn kill_session(&mut self, id: PalId, key: u64) -> Result<(), SeaError> {
+        let lifecycle = self
+            .pals
+            .get(&id.0)
+            .ok_or(SeaError::NoSuchPal(id.0))?
+            .secb
+            .lifecycle();
+        match lifecycle {
+            PalLifecycle::Execute => {
+                self.preempt(id)?;
+                self.skill(id)?;
+            }
+            PalLifecycle::Suspend => self.skill(id)?,
+            PalLifecycle::Done => {
+                // The sePCR may already have been recycled by a
+                // successful quote; tolerate that.
+                match self.release_sepcr(id) {
+                    Ok(()) => {}
+                    Err(SeaError::Tpm(TpmError::SePcrWrongState(_) | TpmError::NoSuchSePcr(_))) => {
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            other => {
+                return Err(SeaError::WrongLifecycle {
+                    actual: other,
+                    operation: "kill_session",
+                })
+            }
+        }
+        let machine = self.platform.machine_mut();
+        let now = machine.now();
+        machine
+            .trace_mut()
+            .record(now, TraceEvent::SessionKilled { session: key });
+        Ok(())
+    }
+
+    /// Degraded path for sePCR-bank saturation: "if no sePCR is
+    /// available, SLAUNCH must return a failure code" (§5.4.1), and the
+    /// OS falls back to running the PAL the way today's hardware does —
+    /// one monolithic late launch with seals bound to the dynamic
+    /// measurement PCRs, paying the full SKINIT-class launch cost
+    /// instead of the sePCR fast path. The PAL runs to completion inside
+    /// the single launch (yields spin in place, carrying state along).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hardware, TPM, and PAL-logic failures; the launch CPU
+    /// is restored to normal operation even when the PAL logic fails.
+    pub fn run_legacy_fallback(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+    ) -> Result<PalDone, SeaError> {
+        let image = pal.image();
+        let pages = (image.len().max(1) as u32).div_ceil(PAGE_SIZE as u32);
+        let range = PageRange::new(PageIndex(self.next_page), pages);
+        let installed = self.platform.machine().memory().num_pages();
+        if range.start.0 + range.count > installed {
+            return Err(SeaError::RegionTooSmall {
+                needed: image.len(),
+                available: 0,
+            });
+        }
+        self.next_page = range.start.0 + range.count;
+
+        self.platform
+            .machine_mut()
+            .memory_mut()
+            .write_raw(range.base_addr(), &image)?;
+        let launch = self.platform.late_launch(cpu, range, image.len())?;
+        let selection = match self.platform.machine().platform().vendor {
+            sea_hw::CpuVendor::Amd => vec![sea_tpm::PcrIndex(17)],
+            sea_hw::CpuVendor::Intel => vec![sea_tpm::PcrIndex(17), sea_tpm::PcrIndex(18)],
+        };
+
+        let (machine, tpm) = self.platform.parts_mut();
+        let tpm = tpm.expect("checked in new()");
+        let mut state = Vec::new();
+        let mut report = SessionReport {
+            late_launch: launch.total(),
+            ..SessionReport::default()
+        };
+        let result = loop {
+            let mut ctx = PalCtx::new(
+                Some(&mut *tpm),
+                Some(SealBinding::Pcrs(selection.clone())),
+                input,
+                state,
+            );
+            let outcome = pal.run(&mut ctx);
+            report.seal += ctx.seal_cost;
+            report.unseal += ctx.unseal_cost;
+            report.tpm_other += ctx.tpm_other_cost;
+            report.pal_work += ctx.work_done;
+            machine.advance(ctx.seal_cost + ctx.unseal_cost + ctx.tpm_other_cost + ctx.work_done);
+            state = ctx.into_state();
+            match outcome {
+                Ok(PalOutcome::Exit(bytes)) => break Ok(bytes),
+                Ok(PalOutcome::Yield) => continue,
+                Err(e) => break Err(e),
+            }
+        };
+
+        self.platform.late_launch_exit(cpu, range)?;
+        let output = result?;
+        Ok(PalDone { output, report })
     }
 }
 

@@ -50,6 +50,14 @@ pub enum SeaError {
         /// CPUs the platform actually has.
         available: usize,
     },
+    /// The recovery layer exhausted a session's retry budget (or hit a
+    /// fatal fault) and tore the session down via `SKILL`.
+    SessionKilled {
+        /// The session key the recovery layer was driving.
+        session: u64,
+        /// Attempts made before giving up (1 initial + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SeaError {
@@ -79,6 +87,12 @@ impl fmt::Display for SeaError {
                 write!(
                     f,
                     "pool wants {requested} workers but the platform has {available} CPUs"
+                )
+            }
+            SeaError::SessionKilled { session, attempts } => {
+                write!(
+                    f,
+                    "session {session} killed after {attempts} failed attempts"
                 )
             }
         }
@@ -138,6 +152,10 @@ mod tests {
             SeaError::NotEnoughCpus {
                 requested: 8,
                 available: 4,
+            },
+            SeaError::SessionKilled {
+                session: 7,
+                attempts: 5,
             },
         ] {
             assert!(!e.to_string().is_empty());

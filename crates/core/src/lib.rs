@@ -69,11 +69,14 @@ mod pal;
 mod pioneer;
 mod platform;
 mod protocol;
+mod recovery;
 mod report;
 mod secb;
 
 pub use attest::{TrustPolicy, Verifier, VerifyError};
-pub use concurrent::{ConcurrentJob, ConcurrentOutcome, ConcurrentSea, JobResult};
+pub use concurrent::{
+    ConcurrentJob, ConcurrentOutcome, ConcurrentSea, JobResult, RecoveredOutcome, SessionResult,
+};
 pub use enhanced::{EnhancedSea, PalDone, PalId, PalStep};
 pub use error::SeaError;
 pub use legacy::{LegacySea, LegacySessionResult};
@@ -84,5 +87,6 @@ pub use pioneer::{
 };
 pub use platform::{LateLaunch, SecurePlatform};
 pub use protocol::{AttestationService, Challenge, ProtocolError};
+pub use recovery::RetryPolicy;
 pub use report::SessionReport;
 pub use secb::{InterruptPolicy, PalLifecycle, Secb};

@@ -65,6 +65,9 @@ pub struct MemoryController {
     table: Vec<PageAccess>,
     /// DEV/MPT bit per page: `true` means DMA to the page is blocked.
     dev: Vec<bool>,
+    /// One-shot injected fault: the next `resume_pages` is spuriously
+    /// denied (a transient TOCTOU window in the table-update queue).
+    spurious: bool,
 }
 
 impl MemoryController {
@@ -74,7 +77,22 @@ impl MemoryController {
         MemoryController {
             table: vec![PageAccess::All; num_pages as usize],
             dev: vec![false; num_pages as usize],
+            spurious: false,
         }
+    }
+
+    /// Arms a one-shot injected fault: the next [`resume_pages`] call is
+    /// spuriously denied without modifying the table, then the fault
+    /// clears itself. Used by the fault-injection substrate.
+    ///
+    /// [`resume_pages`]: MemoryController::resume_pages
+    pub fn arm_spurious_denial(&mut self) {
+        self.spurious = true;
+    }
+
+    /// Clears a pending spurious denial, if any.
+    pub fn disarm_spurious_denial(&mut self) {
+        self.spurious = false;
     }
 
     /// Number of pages covered.
@@ -217,9 +235,17 @@ impl MemoryController {
     /// [`HwError::InvalidPageTransition`] if any page is not `NONE`
     /// — in particular, if the PAL is still running on another CPU
     /// ("any other CPU that tries to resume the same PAL will fail").
-    /// No page is modified on failure.
+    /// [`HwError::AccessDenied`] if an injected spurious denial was
+    /// armed (it clears on firing). No page is modified on failure.
     pub fn resume_pages(&mut self, range: PageRange, cpu: CpuId) -> Result<(), HwError> {
         self.check_installed(range)?;
+        if self.spurious {
+            self.spurious = false;
+            return Err(HwError::AccessDenied {
+                requester: Requester::Cpu(cpu),
+                page: range.start,
+            });
+        }
         for page in range.iter() {
             if self.table[page.0 as usize] != PageAccess::None {
                 return Err(HwError::InvalidPageTransition { page });
@@ -488,6 +514,32 @@ mod tests {
         mc.suspend_pages(range(8, 2), CpuId(1)).unwrap();
         assert_eq!(mc.state_census(), (11, 3, 2));
     }
+    #[test]
+    fn spurious_denial_fires_once_and_modifies_nothing() {
+        let mut mc = mc();
+        mc.protect_for_cpu(range(4, 2), CpuId(0)).unwrap();
+        mc.suspend_pages(range(4, 2), CpuId(0)).unwrap();
+        mc.arm_spurious_denial();
+        let err = mc.resume_pages(range(4, 2), CpuId(1)).unwrap_err();
+        assert_eq!(
+            err,
+            HwError::AccessDenied {
+                requester: Requester::Cpu(CpuId(1)),
+                page: PageIndex(4)
+            }
+        );
+        // Table untouched: the pages are still suspended...
+        assert_eq!(mc.access(PageIndex(4)), PageAccess::None);
+        // ...and the fault was one-shot: the retry succeeds.
+        mc.resume_pages(range(4, 2), CpuId(1)).unwrap();
+        assert_eq!(mc.access(PageIndex(4)), PageAccess::cpu(CpuId(1)));
+        // Disarm clears a pending fault.
+        mc.arm_spurious_denial();
+        mc.disarm_spurious_denial();
+        mc.suspend_pages(range(4, 2), CpuId(1)).unwrap();
+        assert!(mc.resume_pages(range(4, 2), CpuId(1)).is_ok());
+    }
+
     #[test]
     fn memorycontroller_is_send_sync() {
         // The concurrent session engine moves whole platforms across

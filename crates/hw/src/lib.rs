@@ -46,6 +46,7 @@
 mod controller;
 mod cpu;
 mod error;
+mod fault;
 mod lpc;
 mod machine;
 mod memory;
@@ -57,6 +58,7 @@ mod types;
 pub use controller::{MemoryController, PageAccess};
 pub use cpu::{Cpu, CpuExecState};
 pub use error::HwError;
+pub use fault::{FaultKind, FaultPlan, RATE_DENOM, TRANSPORT_FAULT_COST};
 pub use lpc::LpcBus;
 pub use machine::{Device, Machine, MachineBuilder};
 pub use memory::Memory;

@@ -330,8 +330,26 @@ pub struct CpuClockDomain {
 
 impl CpuClockDomain {
     /// Opens a domain starting at the shared clock's current instant.
+    ///
+    /// Note that sibling worker threads must NOT each call this: the
+    /// shared clock may already have been advanced by a faster sibling's
+    /// publish, skewing this domain's epoch by however far that sibling
+    /// got. Batch drivers should read the clock once and open every
+    /// domain with [`CpuClockDomain::at`].
     pub fn new(shared: Arc<SharedClock>) -> Self {
         let start = shared.now();
+        CpuClockDomain {
+            shared,
+            start,
+            local: SimDuration::ZERO,
+        }
+    }
+
+    /// Opens a domain anchored at a fixed instant `start` — typically a
+    /// batch's start time, read from the shared clock *before* spawning
+    /// workers — so sibling domains share an epoch regardless of thread
+    /// scheduling.
+    pub fn at(shared: Arc<SharedClock>, start: SimTime) -> Self {
         CpuClockDomain {
             shared,
             start,
@@ -471,6 +489,25 @@ mod tests {
         // Re-publishing the earlier domain is a no-op.
         a.publish();
         assert_eq!(shared.now().as_ns(), 170);
+    }
+
+    #[test]
+    fn anchored_domain_ignores_sibling_publishes() {
+        let shared = Arc::new(SharedClock::at(SimTime::from_ns(100)));
+        let epoch = shared.now();
+        let mut a = CpuClockDomain::at(Arc::clone(&shared), epoch);
+        a.advance(SimDuration::from_ns(40));
+        a.publish();
+        assert_eq!(shared.now().as_ns(), 140);
+        // A sibling opened *after* a's publish still anchors at the
+        // batch epoch, not at a's advanced reading — so its final
+        // publish is epoch + its own busy time, never skewed by how far
+        // a happened to have gotten first.
+        let mut b = CpuClockDomain::at(Arc::clone(&shared), epoch);
+        b.advance(SimDuration::from_ns(25));
+        assert_eq!(b.now().as_ns(), 125);
+        b.publish();
+        assert_eq!(shared.now().as_ns(), 140);
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 
+use crate::fault::FaultKind;
 use crate::types::{CpuId, DeviceId, PageRange, PhysAddr, Requester};
 use crate::SimTime;
 
@@ -67,6 +68,32 @@ pub enum TraceEvent {
         /// The address accessed.
         addr: PhysAddr,
     },
+    /// A [`FaultKind`] was injected into a session by a fault plan.
+    FaultInjected {
+        /// What was injected.
+        kind: FaultKind,
+        /// The session key the injection was rolled against.
+        session: u64,
+    },
+    /// The recovery layer retried a session operation after a
+    /// transient fault.
+    SessionRetried {
+        /// The session key.
+        session: u64,
+        /// Which attempt this retry is (1-based).
+        attempt: u32,
+    },
+    /// The recovery layer gave up on a session and tore it down via
+    /// `SKILL`, reclaiming its sePCR and pages.
+    SessionKilled {
+        /// The session key.
+        session: u64,
+    },
+    /// A hardware mechanism blocked an adversary action.
+    AttackBlocked {
+        /// The mechanism that stopped it (e.g. "access-control table").
+        mechanism: String,
+    },
     /// Free-form annotation from higher layers.
     Note(String),
 }
@@ -92,6 +119,14 @@ impl fmt::Display for TraceEvent {
             TraceEvent::DmaAccess { device, addr } => {
                 write!(f, "DMA {device} @ {addr}")
             }
+            TraceEvent::FaultInjected { kind, session } => {
+                write!(f, "FAULT {kind} session={session}")
+            }
+            TraceEvent::SessionRetried { session, attempt } => {
+                write!(f, "RETRY session={session} attempt={attempt}")
+            }
+            TraceEvent::SessionKilled { session } => write!(f, "SKILL session={session}"),
+            TraceEvent::AttackBlocked { mechanism } => write!(f, "BLOCKED by {mechanism}"),
             TraceEvent::Note(s) => write!(f, "NOTE {s}"),
         }
     }
@@ -305,6 +340,18 @@ mod tests {
             TraceEvent::DmaAccess {
                 device: DeviceId(2),
                 addr: PhysAddr(8),
+            },
+            TraceEvent::FaultInjected {
+                kind: FaultKind::MemDenial,
+                session: 3,
+            },
+            TraceEvent::SessionRetried {
+                session: 3,
+                attempt: 1,
+            },
+            TraceEvent::SessionKilled { session: 3 },
+            TraceEvent::AttackBlocked {
+                mechanism: "access-control table".into(),
             },
         ];
         for e in events {

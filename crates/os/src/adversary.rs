@@ -14,8 +14,21 @@
 
 use sea_core::{EnhancedSea, PalId, SeaError};
 use sea_crypto::{Sha1, Sha1Digest};
-use sea_hw::{CpuId, DeviceId, HwError, Requester};
+use sea_hw::{CpuId, DeviceId, HwError, Requester, TraceEvent};
 use sea_tpm::{PcrIndex, TpmError};
+
+/// Records a blocked attack in the hardware trace, naming the mechanism
+/// that stopped it, and returns [`AttackOutcome::Blocked`].
+fn blocked(sea: &mut EnhancedSea, mechanism: &str) -> AttackOutcome {
+    let now = sea.platform().machine().now();
+    sea.platform_mut().machine_mut().trace_mut().record(
+        now,
+        TraceEvent::AttackBlocked {
+            mechanism: mechanism.to_string(),
+        },
+    );
+    AttackOutcome::Blocked
+}
 
 /// Result of one attack attempt.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,22 +60,22 @@ impl Adversary {
     /// thread running concurrently, §3.1's multi-core concern).
     pub fn read_pal_memory(
         &self,
-        sea: &EnhancedSea,
+        sea: &mut EnhancedSea,
         victim: PalId,
         via_cpu: CpuId,
     ) -> AttackOutcome {
-        let Ok(secb) = sea.secb(victim) else {
-            return AttackOutcome::Blocked;
+        let range = sea.secb(victim).map(|secb| secb.pages());
+        let Ok(range) = range else {
+            return blocked(sea, "SECB registry");
         };
-        let range = secb.pages();
         match sea.platform().machine().read(
             Requester::Cpu(via_cpu),
             range.base_addr(),
             range.byte_len(),
         ) {
             Ok(bytes) => AttackOutcome::Succeeded(bytes),
-            Err(HwError::AccessDenied { .. }) => AttackOutcome::Blocked,
-            Err(_) => AttackOutcome::Blocked,
+            Err(HwError::AccessDenied { .. }) => blocked(sea, "memory controller"),
+            Err(_) => blocked(sea, "memory controller"),
         }
     }
 
@@ -75,17 +88,17 @@ impl Adversary {
         via_cpu: CpuId,
         payload: &[u8],
     ) -> AttackOutcome {
-        let Ok(secb) = sea.secb(victim) else {
-            return AttackOutcome::Blocked;
+        let base = sea.secb(victim).map(|secb| secb.pages().base_addr());
+        let Ok(base) = base else {
+            return blocked(sea, "SECB registry");
         };
-        let base = secb.pages().base_addr();
         match sea
             .platform_mut()
             .machine_mut()
             .write(Requester::Cpu(via_cpu), base, payload)
         {
             Ok(()) => AttackOutcome::Succeeded(Vec::new()),
-            Err(_) => AttackOutcome::Blocked,
+            Err(_) => blocked(sea, "memory controller"),
         }
     }
 
@@ -93,21 +106,21 @@ impl Adversary {
     /// "DMA-capable Ethernet card with access to the PCI bus").
     pub fn dma_read_pal_memory(
         &self,
-        sea: &EnhancedSea,
+        sea: &mut EnhancedSea,
         victim: PalId,
         via_device: DeviceId,
     ) -> AttackOutcome {
-        let Ok(secb) = sea.secb(victim) else {
-            return AttackOutcome::Blocked;
+        let range = sea.secb(victim).map(|secb| secb.pages());
+        let Ok(range) = range else {
+            return blocked(sea, "SECB registry");
         };
-        let range = secb.pages();
         match sea
             .platform()
             .machine()
             .dma_read(via_device, range.base_addr(), range.byte_len())
         {
             Ok(bytes) => AttackOutcome::Succeeded(bytes),
-            Err(_) => AttackOutcome::Blocked,
+            Err(_) => blocked(sea, "memory controller (DMA)"),
         }
     }
 
@@ -143,22 +156,23 @@ impl Adversary {
         victim: PalId,
         via_cpu: CpuId,
     ) -> AttackOutcome {
-        let Ok(secb) = sea.secb(victim) else {
-            return AttackOutcome::Blocked;
+        let handle = sea.secb(victim).map(|secb| secb.sepcr());
+        let handle = match handle {
+            Ok(Some(handle)) => handle,
+            Ok(None) => return blocked(sea, "sePCR binding"),
+            Err(_) => return blocked(sea, "SECB registry"),
         };
-        let Some(handle) = secb.sepcr() else {
-            return AttackOutcome::Blocked;
-        };
-        let Some(tpm) = sea.platform_mut().tpm_mut() else {
-            return AttackOutcome::Blocked;
-        };
+        if sea.platform().tpm().is_none() {
+            return blocked(sea, "sePCR binding");
+        }
         let junk = Sha1::digest(b"attacker extend");
+        let tpm = sea.platform_mut().tpm_mut().expect("checked above");
         match tpm.sepcr_extend(handle, via_cpu, &junk) {
             Ok(_) => AttackOutcome::Succeeded(Vec::new()),
             Err(TpmError::SePcrAccessDenied { .. }) | Err(TpmError::SePcrWrongState(_)) => {
-                AttackOutcome::Blocked
+                blocked(sea, "sePCR access control")
             }
-            Err(_) => AttackOutcome::Blocked,
+            Err(_) => blocked(sea, "sePCR access control"),
         }
     }
 
@@ -173,7 +187,7 @@ impl Adversary {
     ) -> AttackOutcome {
         match sea.resume(victim, via_cpu) {
             Ok(()) => AttackOutcome::Succeeded(Vec::new()),
-            Err(_) => AttackOutcome::Blocked,
+            Err(_) => blocked(sea, "SECB lifecycle"),
         }
     }
 }
@@ -205,16 +219,68 @@ mod tests {
         let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
 
         // Running on CPU 0: attacks via CPU 1 and DMA blocked.
-        assert!(adv.read_pal_memory(&sea, id, CpuId(1)).was_blocked());
+        assert!(adv.read_pal_memory(&mut sea, id, CpuId(1)).was_blocked());
         assert!(adv
             .write_pal_memory(&mut sea, id, CpuId(1), b"overwrite")
             .was_blocked());
-        assert!(adv.dma_read_pal_memory(&sea, id, DeviceId(0)).was_blocked());
+        assert!(adv
+            .dma_read_pal_memory(&mut sea, id, DeviceId(0))
+            .was_blocked());
 
         // Suspended: even the former executing CPU is locked out.
         sea.step(&mut pal, id).unwrap();
-        assert!(adv.read_pal_memory(&sea, id, CpuId(0)).was_blocked());
-        assert!(adv.dma_read_pal_memory(&sea, id, DeviceId(0)).was_blocked());
+        assert!(adv.read_pal_memory(&mut sea, id, CpuId(0)).was_blocked());
+        assert!(adv
+            .dma_read_pal_memory(&mut sea, id, DeviceId(0))
+            .was_blocked());
+    }
+
+    #[test]
+    fn every_blocked_attack_is_recorded_in_the_trace() {
+        let mut sea = deployment();
+        let adv = Adversary::new();
+        let mut pal = FnPal::new("victim", |_| Ok(PalOutcome::Yield));
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+
+        let blocked_mechanisms = |sea: &EnhancedSea| -> Vec<String> {
+            sea.platform()
+                .machine()
+                .trace()
+                .iter()
+                .filter_map(|(_, e)| match e {
+                    sea_hw::TraceEvent::AttackBlocked { mechanism } => Some(mechanism.clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert!(blocked_mechanisms(&sea).is_empty());
+
+        assert!(adv.read_pal_memory(&mut sea, id, CpuId(1)).was_blocked());
+        assert!(adv
+            .write_pal_memory(&mut sea, id, CpuId(1), b"evil")
+            .was_blocked());
+        assert!(adv
+            .dma_read_pal_memory(&mut sea, id, DeviceId(0))
+            .was_blocked());
+        assert!(adv.hijack_sepcr(&mut sea, id, CpuId(1)).was_blocked());
+        assert!(adv.double_resume(&mut sea, id, CpuId(1)).was_blocked());
+        // Attacks on a nonexistent PAL are blocked by the SECB registry
+        // and are recorded too.
+        assert!(adv
+            .read_pal_memory(&mut sea, PalId(404), CpuId(1))
+            .was_blocked());
+
+        assert_eq!(
+            blocked_mechanisms(&sea),
+            vec![
+                "memory controller",
+                "memory controller",
+                "memory controller (DMA)",
+                "sePCR access control",
+                "SECB lifecycle",
+                "SECB registry",
+            ]
+        );
     }
 
     #[test]
@@ -256,9 +322,9 @@ mod tests {
         let mut sea = deployment();
         let adv = Adversary::new();
         let ghost = PalId(404);
-        assert!(adv.read_pal_memory(&sea, ghost, CpuId(0)).was_blocked());
+        assert!(adv.read_pal_memory(&mut sea, ghost, CpuId(0)).was_blocked());
         assert!(adv
-            .dma_read_pal_memory(&sea, ghost, DeviceId(0))
+            .dma_read_pal_memory(&mut sea, ghost, DeviceId(0))
             .was_blocked());
         assert!(adv.hijack_sepcr(&mut sea, ghost, CpuId(0)).was_blocked());
         assert!(adv.double_resume(&mut sea, ghost, CpuId(0)).was_blocked());
@@ -274,7 +340,7 @@ mod tests {
         let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
         sea.step(&mut pal, id).unwrap();
         // PAL exited: its (erased) pages are readable.
-        match adv.read_pal_memory(&sea, id, CpuId(1)) {
+        match adv.read_pal_memory(&mut sea, id, CpuId(1)) {
             AttackOutcome::Succeeded(bytes) => {
                 assert!(!bytes.is_empty());
             }

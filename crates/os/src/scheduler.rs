@@ -16,10 +16,10 @@
 //! CPU time available under each.
 
 use sea_core::{
-    ConcurrentJob, ConcurrentSea, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, SecurePlatform,
-    SessionReport,
+    ConcurrentJob, ConcurrentSea, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, RetryPolicy,
+    SecurePlatform, SessionReport, SessionResult,
 };
-use sea_hw::{CpuId, SimDuration, SimTime};
+use sea_hw::{CpuId, FaultPlan, SimDuration, SimTime};
 
 use crate::error::OsError;
 
@@ -35,10 +35,17 @@ pub struct ScheduleOutcome {
     pub stalled: SimDuration,
     /// CPU time left over for legacy OS + applications within `horizon`.
     pub legacy_available: SimDuration,
-    /// Outputs of the completed PALs, in job order.
+    /// Outputs of the completed PALs, in job order. A killed job
+    /// contributes an empty output.
     pub outputs: Vec<Vec<u8>>,
     /// Per-job cost reports, in job order.
     pub reports: Vec<SessionReport>,
+    /// Session keys (job indices) torn down by the recovery layer after
+    /// exhausting their retry budget. Empty without a fault plan.
+    pub killed: Vec<u64>,
+    /// Session keys that fell back to the legacy slow path because the
+    /// sePCR bank was saturated. Empty without a fault plan.
+    pub degraded: Vec<u64>,
 }
 
 impl ScheduleOutcome {
@@ -59,6 +66,11 @@ struct Job {
     id: Option<PalId>,
     needs_resume: bool,
     output: Option<Vec<u8>>,
+    /// Retries consumed from the policy's budget so far.
+    retries: u32,
+    /// Report for jobs that never held a [`PalId`] to query (degraded
+    /// to the legacy path, or killed before launch completed).
+    report_override: Option<SessionReport>,
 }
 
 /// Least-loaded-CPU scheduler over the proposed hardware.
@@ -71,6 +83,7 @@ pub struct Scheduler {
     sea: EnhancedSea,
     jobs: Vec<Job>,
     preemption_timer: Option<SimDuration>,
+    retry_policy: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for Scheduler {
@@ -88,12 +101,23 @@ impl Scheduler {
             sea,
             jobs: Vec::new(),
             preemption_timer: None,
+            retry_policy: None,
         }
     }
 
     /// Sets the preemption timer the OS installs for every PAL.
     pub fn set_preemption_timer(&mut self, timer: Option<SimDuration>) {
         self.preemption_timer = timer;
+    }
+
+    /// Enables (or disables) fault recovery: with a policy installed,
+    /// SEA operations go through the `*_keyed` fault-injection points,
+    /// transient failures are retried within the policy's budget,
+    /// sePCR-bank saturation degrades the job to the legacy slow path,
+    /// and exhausted sessions are `SKILL`ed — their slot is reclaimed
+    /// and the rest of the batch completes.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry_policy = policy;
     }
 
     /// Queues a PAL job.
@@ -104,6 +128,8 @@ impl Scheduler {
             id: None,
             needs_resume: false,
             output: None,
+            retries: 0,
+            report_override: None,
         });
     }
 
@@ -131,13 +157,17 @@ impl Scheduler {
         }
         let n_cpus = self.sea.platform().machine().platform().n_cpus;
         let mut busy = vec![SimDuration::ZERO; n_cpus as usize];
+        let policy = self.retry_policy;
+        let mut killed: Vec<u64> = Vec::new();
+        let mut degraded: Vec<u64> = Vec::new();
 
         let mut remaining = self.jobs.len();
         while remaining > 0 {
-            for job in &mut self.jobs {
+            for (index, job) in self.jobs.iter_mut().enumerate() {
                 if job.output.is_some() {
                     continue;
                 }
+                let key = index as u64;
                 // Pick the least-loaded CPU.
                 let cpu = CpuId(
                     busy.iter()
@@ -148,25 +178,123 @@ impl Scheduler {
                 );
                 let before = self.sea.platform().machine().now();
                 let id = match job.id {
-                    None => {
-                        let id = self.sea.slaunch(
-                            job.logic.as_mut(),
-                            &job.input,
-                            cpu,
-                            self.preemption_timer,
-                        )?;
-                        job.id = Some(id);
-                        id
-                    }
+                    None => match policy {
+                        None => {
+                            let id = self.sea.slaunch(
+                                job.logic.as_mut(),
+                                &job.input,
+                                cpu,
+                                self.preemption_timer,
+                            )?;
+                            job.id = Some(id);
+                            id
+                        }
+                        Some(pol) => {
+                            let launched = loop {
+                                let error = match self.sea.slaunch_keyed(
+                                    job.logic.as_mut(),
+                                    &job.input,
+                                    cpu,
+                                    self.preemption_timer,
+                                    key,
+                                ) {
+                                    Ok(id) => break Some(id),
+                                    Err(e) => e,
+                                };
+                                if RetryPolicy::is_saturation(&error) {
+                                    // Graceful degradation: run the job on
+                                    // the legacy slow path instead of
+                                    // waiting for a free sePCR.
+                                    let done = self.sea.run_legacy_fallback(
+                                        job.logic.as_mut(),
+                                        &job.input,
+                                        cpu,
+                                    )?;
+                                    job.output = Some(done.output);
+                                    job.report_override = Some(done.report);
+                                    degraded.push(key);
+                                    break None;
+                                }
+                                if pol.is_retryable(&error) && job.retries < pol.max_retries() {
+                                    job.retries += 1;
+                                    continue;
+                                }
+                                // Nothing launched (a faulted SLAUNCH
+                                // already rolled its pages back), so
+                                // there is nothing to SKILL.
+                                job.output = Some(Vec::new());
+                                job.report_override = Some(SessionReport::default());
+                                killed.push(key);
+                                break None;
+                            };
+                            match launched {
+                                Some(id) => {
+                                    job.id = Some(id);
+                                    id
+                                }
+                                None => {
+                                    let elapsed =
+                                        self.sea.platform().machine().now().duration_since(before);
+                                    busy[cpu.0 as usize] += elapsed;
+                                    remaining -= 1;
+                                    continue;
+                                }
+                            }
+                        }
+                    },
                     Some(id) => {
                         if job.needs_resume {
-                            self.sea.resume(id, cpu)?;
+                            let resumed = match policy {
+                                None => {
+                                    self.sea.resume(id, cpu)?;
+                                    true
+                                }
+                                Some(pol) => loop {
+                                    match self.sea.resume_keyed(id, cpu, key) {
+                                        Ok(()) => break true,
+                                        Err(e)
+                                            if pol.is_retryable(&e)
+                                                && job.retries < pol.max_retries() =>
+                                        {
+                                            job.retries += 1;
+                                        }
+                                        Err(_) => break false,
+                                    }
+                                },
+                            };
+                            if !resumed {
+                                self.sea.kill_session(id, key)?;
+                                job.output = Some(Vec::new());
+                                killed.push(key);
+                                let elapsed =
+                                    self.sea.platform().machine().now().duration_since(before);
+                                busy[cpu.0 as usize] += elapsed;
+                                remaining -= 1;
+                                continue;
+                            }
                             job.needs_resume = false;
                         }
                         id
                     }
                 };
-                let step = self.sea.step(job.logic.as_mut(), id)?;
+                let step = match policy {
+                    None => self.sea.step(job.logic.as_mut(), id)?,
+                    Some(_) => match self.sea.step_keyed(job.logic.as_mut(), id, key) {
+                        Ok(step) => step,
+                        Err(_) => {
+                            // A failing PAL is misbehaving: SKILL it and
+                            // let the rest of the schedule proceed.
+                            self.sea.kill_session(id, key)?;
+                            job.output = Some(Vec::new());
+                            killed.push(key);
+                            let elapsed =
+                                self.sea.platform().machine().now().duration_since(before);
+                            busy[cpu.0 as usize] += elapsed;
+                            remaining -= 1;
+                            continue;
+                        }
+                    },
+                };
                 let elapsed = self.sea.platform().machine().now().duration_since(before);
                 busy[cpu.0 as usize] += elapsed;
                 match step {
@@ -195,7 +323,12 @@ impl Scheduler {
         let mut reports = Vec::with_capacity(self.jobs.len());
         for job in &self.jobs {
             outputs.push(job.output.clone().expect("all jobs completed"));
-            reports.push(self.sea.report(job.id.expect("launched"))?);
+            let report = match (job.report_override, job.id) {
+                (Some(report), _) => report,
+                (None, Some(id)) => self.sea.report(id)?,
+                (None, None) => SessionReport::default(),
+            };
+            reports.push(report);
         }
         Ok(ScheduleOutcome {
             wall,
@@ -204,6 +337,8 @@ impl Scheduler {
             legacy_available,
             outputs,
             reports,
+            killed,
+            degraded,
         })
     }
 }
@@ -222,6 +357,7 @@ pub struct ParallelScheduler {
     pool: ConcurrentSea,
     n_cpus: u16,
     jobs: Vec<ConcurrentJob>,
+    retry_policy: Option<RetryPolicy>,
 }
 
 impl std::fmt::Debug for ParallelScheduler {
@@ -245,7 +381,20 @@ impl ParallelScheduler {
             pool: ConcurrentSea::new(platform, workers)?,
             n_cpus,
             jobs: Vec::new(),
+            retry_policy: None,
         })
+    }
+
+    /// Installs (or clears) a deterministic fault plan on the pool.
+    /// Takes effect only together with [`Self::set_retry_policy`].
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.pool.set_fault_plan(plan);
+    }
+
+    /// Enables (or disables) fault recovery, as
+    /// [`Scheduler::set_retry_policy`] does for the cooperative driver.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
+        self.retry_policy = policy;
     }
 
     /// Queues a PAL job. Unlike [`Scheduler::add_job`] the logic must be
@@ -270,6 +419,54 @@ impl ParallelScheduler {
         if self.jobs.is_empty() {
             return Err(OsError::NothingToRun);
         }
+        if let Some(policy) = self.retry_policy {
+            let outcome = self
+                .pool
+                .run_batch_recovered(std::mem::take(&mut self.jobs), policy)?;
+            let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
+            let horizon = horizon.max(outcome.wall);
+            let legacy_available =
+                SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
+            let mut outputs = Vec::with_capacity(outcome.sessions.len());
+            let mut reports = Vec::with_capacity(outcome.sessions.len());
+            let mut killed = Vec::new();
+            let mut degraded = Vec::new();
+            for (i, session) in outcome.sessions.iter().enumerate() {
+                match session {
+                    SessionResult::Quoted { result, .. } => {
+                        outputs.push(result.output.clone());
+                        reports.push(result.report);
+                    }
+                    SessionResult::Degraded { output, report, .. } => {
+                        outputs.push(output.clone());
+                        reports.push(*report);
+                        degraded.push(i as u64);
+                    }
+                    SessionResult::Killed { .. } => {
+                        outputs.push(Vec::new());
+                        reports.push(SessionReport::default());
+                        killed.push(i as u64);
+                    }
+                    // `SessionResult` is non-exhaustive; treat unknown
+                    // future outcomes as kills so they are visible.
+                    _ => {
+                        outputs.push(Vec::new());
+                        reports.push(SessionReport::default());
+                        killed.push(i as u64);
+                    }
+                }
+            }
+            return Ok(ScheduleOutcome {
+                wall: outcome.wall,
+                pal_busy,
+                stalled: SimDuration::ZERO,
+                legacy_available,
+                outputs,
+                reports,
+                killed,
+                degraded,
+            });
+        }
         let outcome = self.pool.run_batch(std::mem::take(&mut self.jobs))?;
         let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
         let horizon = horizon.max(outcome.wall);
@@ -282,6 +479,8 @@ impl ParallelScheduler {
             legacy_available,
             outputs: outcome.results.iter().map(|r| r.output.clone()).collect(),
             reports: outcome.results.iter().map(|r| r.report).collect(),
+            killed: Vec::new(),
+            degraded: Vec::new(),
         })
     }
 }
@@ -354,6 +553,8 @@ impl LegacyBatch {
             legacy_available,
             outputs,
             reports,
+            killed: Vec::new(),
+            degraded: Vec::new(),
         })
     }
 }
@@ -532,6 +733,122 @@ mod tests {
             assert_eq!(cr.pal_work, pr.pal_work);
             assert_eq!(cr.late_launch, pr.late_launch);
         }
+    }
+
+    #[test]
+    fn scheduler_recovers_from_transient_faults() {
+        let mut s = Scheduler::new(enhanced(2));
+        s.sea_mut().set_fault_plan(Some(
+            FaultPlan::new(11)
+                .with_tpm_rate(5000)
+                .with_mem_rate(5000)
+                .with_timer_rate(5000)
+                .with_fatal_ratio(0),
+        ));
+        s.set_retry_policy(Some(RetryPolicy::default()));
+        for i in 0..6 {
+            s.add_job(make_pal(i, 5), b"");
+        }
+        let out = s.run_all(SimDuration::from_secs(1)).unwrap();
+        // Retryable-only faults within budget: everything completes.
+        assert!(out.killed.is_empty(), "killed {:?}", out.killed);
+        assert!(out.degraded.is_empty());
+        assert_eq!(out.outputs, (0..6u8).map(|i| vec![i]).collect::<Vec<_>>());
+        // The engine is clean afterwards.
+        let tpm = s.sea().platform().tpm().expect("tpm");
+        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
+    }
+
+    #[test]
+    fn scheduler_kills_fatal_sessions_and_batch_completes() {
+        let mut s = Scheduler::new(enhanced(2));
+        s.sea_mut().set_fault_plan(Some(
+            FaultPlan::new(5)
+                .with_tpm_rate(15_000)
+                .with_fatal_ratio(sea_hw::RATE_DENOM),
+        ));
+        s.set_retry_policy(Some(RetryPolicy::default()));
+        for i in 0..8 {
+            s.add_job(make_pal(i, 5), b"");
+        }
+        let out = s.run_all(SimDuration::from_secs(1)).unwrap();
+        assert!(!out.killed.is_empty(), "seed 5 at ~23% must kill");
+        assert_eq!(out.outputs.len(), 8);
+        for key in &out.killed {
+            assert!(out.outputs[*key as usize].is_empty());
+        }
+        for i in 0..8u64 {
+            if !out.killed.contains(&i) {
+                assert_eq!(out.outputs[i as usize], vec![i as u8]);
+            }
+        }
+        // Killed slots were reclaimed: every sePCR is Free again.
+        let tpm = s.sea().platform().tpm().expect("tpm");
+        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
+        let (_, cpus_pages, none_pages) = s.sea().platform().machine().controller().state_census();
+        assert_eq!((cpus_pages, none_pages), (0, 0));
+    }
+
+    #[test]
+    fn saturated_sepcr_bank_degrades_to_legacy_path() {
+        // A platform with a single sePCR: job 0 holds it (yielding so it
+        // stays live), job 1 must fall back to the legacy slow path.
+        let mut platform = Platform::recommended(2);
+        platform.sepcr_count = 1;
+        let sea = EnhancedSea::new(SecurePlatform::new(
+            platform,
+            KeyStrength::Demo512,
+            b"sched",
+        ))
+        .unwrap();
+        let mut s = Scheduler::new(sea);
+        s.sea_mut().set_fault_plan(Some(FaultPlan::fault_free()));
+        s.set_retry_policy(Some(RetryPolicy::default()));
+        for i in 0..2 {
+            let mut steps = 2u8;
+            s.add_job(
+                Box::new(FnPal::new(&format!("sat-{i}"), move |ctx| {
+                    ctx.work(SimDuration::from_ms(1));
+                    steps -= 1;
+                    if steps == 0 {
+                        Ok(PalOutcome::Exit(vec![i]))
+                    } else {
+                        Ok(PalOutcome::Yield)
+                    }
+                })),
+                b"",
+            );
+        }
+        let out = s.run_all(SimDuration::from_secs(1)).unwrap();
+        assert_eq!(out.degraded, vec![1]);
+        assert!(out.killed.is_empty());
+        assert_eq!(out.outputs, vec![vec![0], vec![1]]);
+        // The degraded job paid a full late launch of its own.
+        assert!(out.reports[1].late_launch > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn parallel_scheduler_recovery_is_worker_count_invariant() {
+        // Same fault plan, same jobs: one worker and four workers agree
+        // on which sessions die and what the survivors produced.
+        let plan = FaultPlan::new(5)
+            .with_tpm_rate(15_000)
+            .with_fatal_ratio(sea_hw::RATE_DENOM);
+        let run = |workers: usize| {
+            let mut par = ParallelScheduler::new(secure_platform(4), workers).unwrap();
+            par.set_fault_plan(Some(plan.clone()));
+            par.set_retry_policy(Some(RetryPolicy::default()));
+            for i in 0..8 {
+                par.add_job(make_send_pal(i, 5), b"");
+            }
+            par.run_all(SimDuration::from_secs(1)).unwrap()
+        };
+        let serial = run(1);
+        let wide = run(4);
+        assert!(!serial.killed.is_empty(), "seed 5 at ~23% must kill");
+        assert_eq!(serial.killed, wide.killed);
+        assert_eq!(serial.outputs, wide.outputs);
+        assert_eq!(serial.degraded, wide.degraded);
     }
 
     #[test]

@@ -48,8 +48,27 @@ pub enum TpmError {
     },
     /// A `TPM_HASH_DATA`/`TPM_HASH_END` arrived with no open hash session.
     NoHashSession,
+    /// The command died on the LPC transport before the TPM processed
+    /// it (injected by the fault substrate). Retryable faults are bus
+    /// glitches; non-retryable ones model a wedged chip.
+    TransportFault {
+        /// Whether retrying the command can succeed.
+        retryable: bool,
+    },
     /// An underlying cryptographic operation failed.
     Crypto(CryptoError),
+}
+
+impl TpmError {
+    /// Whether a caller may reasonably retry the failed command:
+    /// transient transport glitches and the hardware TPM lock being
+    /// momentarily held both clear on their own.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            TpmError::TransportFault { retryable: true } | TpmError::LockHeld { .. }
+        )
+    }
 }
 
 impl fmt::Display for TpmError {
@@ -78,6 +97,12 @@ impl fmt::Display for TpmError {
                 write!(f, "TPM lock is held by {holder}")
             }
             TpmError::NoHashSession => write!(f, "no open TPM_HASH session"),
+            TpmError::TransportFault { retryable: true } => {
+                write!(f, "transient LPC transport fault (retryable)")
+            }
+            TpmError::TransportFault { retryable: false } => {
+                write!(f, "fatal LPC transport fault (TPM wedged)")
+            }
             TpmError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
         }
     }
@@ -118,11 +143,22 @@ mod tests {
             },
             TpmError::LockHeld { holder: CpuId(0) },
             TpmError::NoHashSession,
+            TpmError::TransportFault { retryable: true },
+            TpmError::TransportFault { retryable: false },
             TpmError::Crypto(CryptoError::InvalidCiphertext),
         ];
         for e in cases {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(TpmError::TransportFault { retryable: true }.is_retryable());
+        assert!(TpmError::LockHeld { holder: CpuId(1) }.is_retryable());
+        assert!(!TpmError::TransportFault { retryable: false }.is_retryable());
+        assert!(!TpmError::NoFreeSePcr.is_retryable());
+        assert!(!TpmError::WrongPcrState.is_retryable());
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub struct Tpm {
     nominal_timing: bool,
     lock: TpmLock,
     hash_session: Option<HashSession>,
+    armed_fault: Option<bool>,
 }
 
 impl Tpm {
@@ -131,6 +132,7 @@ impl Tpm {
             nominal_timing: false,
             lock: TpmLock::new(),
             hash_session: None,
+            armed_fault: None,
         }
     }
 
@@ -218,11 +220,40 @@ impl Tpm {
     }
 
     /// Applies power-cycle semantics: static PCRs to zero, dynamic PCRs
-    /// to −1, hash session dropped. Keys persist (they live in NVRAM).
+    /// to −1, hash session dropped, pending injected faults cleared
+    /// (a reboot un-wedges the chip). Keys persist (they live in NVRAM).
     pub fn reboot(&mut self) {
         self.pcrs.reboot();
         self.hash_session = None;
         self.lock = TpmLock::new();
+        self.armed_fault = None;
+    }
+
+    /// Arms a one-shot injected transport fault: the next gated command
+    /// fails with [`TpmError::TransportFault`] before the TPM processes
+    /// anything, then the fault clears. Teardown paths (`sepcr_free`,
+    /// `sepcr_skill`, `sepcr_rebind`) and the CPU-microcode `TPM_HASH_*`
+    /// interface are deliberately not gated, so recovery can always
+    /// complete.
+    ///
+    /// The gate fires *before* any timing-noise draw, so injected
+    /// faults never perturb the sampled costs of the commands that do
+    /// succeed — faulted and fault-free runs stay cost-identical
+    /// command for command.
+    pub fn arm_transport_fault(&mut self, retryable: bool) {
+        self.armed_fault = Some(retryable);
+    }
+
+    /// Clears a pending injected transport fault, if any.
+    pub fn disarm_transport_fault(&mut self) {
+        self.armed_fault = None;
+    }
+
+    fn transport_gate(&mut self) -> Result<(), TpmError> {
+        match self.armed_fault.take() {
+            Some(retryable) => Err(TpmError::TransportFault { retryable }),
+            None => Ok(()),
+        }
     }
 
     fn cost(&mut self, op: TpmOp) -> SimDuration {
@@ -243,6 +274,7 @@ impl Tpm {
     ///
     /// [`TpmError::PcrOutOfRange`] for indices ≥ 24.
     pub fn pcr_read(&mut self, index: PcrIndex) -> Result<Timed<PcrValue>, TpmError> {
+        self.transport_gate()?;
         let v = self.pcrs.read(index)?;
         let cost = self.cost(TpmOp::PcrRead);
         Ok(Timed::new(v, cost))
@@ -258,6 +290,7 @@ impl Tpm {
         index: PcrIndex,
         measurement: &Sha1Digest,
     ) -> Result<Timed<PcrValue>, TpmError> {
+        self.transport_gate()?;
         let v = self.pcrs.extend(index, measurement)?;
         let cost = self.cost(TpmOp::PcrExtend);
         Ok(Timed::new(v, cost))
@@ -274,6 +307,7 @@ impl Tpm {
         data: &[u8],
         selection: &[PcrIndex],
     ) -> Result<Timed<SealedBlob>, TpmError> {
+        self.transport_gate()?;
         let composite = self.pcrs.composite(selection)?;
         let blob = seal_payload(
             self.srk.public_key(),
@@ -295,6 +329,7 @@ impl Tpm {
     /// [`TpmError::InvalidBlob`] for tampered or foreign blobs (including
     /// sePCR-bound blobs, which must go through [`Tpm::sepcr_unseal`]).
     pub fn unseal(&mut self, blob: &SealedBlob) -> Result<Timed<Vec<u8>>, TpmError> {
+        self.transport_gate()?;
         if blob.is_sepcr_bound() {
             return Err(TpmError::InvalidBlob);
         }
@@ -315,6 +350,7 @@ impl Tpm {
         nonce: &[u8],
         selection: &[PcrIndex],
     ) -> Result<Timed<Quote>, TpmError> {
+        self.transport_gate()?;
         let values: Result<Vec<PcrValue>, TpmError> =
             selection.iter().map(|&i| self.pcrs.read(i)).collect();
         let source = QuoteSource::Pcrs {
@@ -406,6 +442,7 @@ impl Tpm {
         pal_image: &[u8],
         owner: CpuId,
     ) -> Result<Timed<SePcrHandle>, TpmError> {
+        self.transport_gate()?;
         let measurement = Sha1::digest(pal_image);
         let handle = self.sepcrs.allocate(&measurement, owner)?;
         let cost = self.timing.hash_time(pal_image.len());
@@ -424,6 +461,7 @@ impl Tpm {
         cpu: CpuId,
         measurement: &Sha1Digest,
     ) -> Result<Timed<PcrValue>, TpmError> {
+        self.transport_gate()?;
         let v = self.sepcrs.extend(handle, cpu, measurement)?;
         let cost = self.cost(TpmOp::PcrExtend);
         Ok(Timed::new(v, cost))
@@ -442,6 +480,7 @@ impl Tpm {
         cpu: CpuId,
         data: &[u8],
     ) -> Result<Timed<SealedBlob>, TpmError> {
+        self.transport_gate()?;
         let value = self.sepcrs.read_exclusive(handle, cpu)?;
         let composite = sepcr_composite(&value);
         let blob = seal_payload(
@@ -468,6 +507,7 @@ impl Tpm {
         cpu: CpuId,
         blob: &SealedBlob,
     ) -> Result<Timed<Vec<u8>>, TpmError> {
+        self.transport_gate()?;
         if !blob.is_sepcr_bound() {
             return Err(TpmError::InvalidBlob);
         }
@@ -488,6 +528,7 @@ impl Tpm {
         handle: SePcrHandle,
         cpu: CpuId,
     ) -> Result<Timed<()>, TpmError> {
+        self.transport_gate()?;
         self.sepcrs.release_to_quote(handle, cpu)?;
         Ok(Timed::new((), SimDuration::from_us(1)))
     }
@@ -503,6 +544,7 @@ impl Tpm {
         handle: SePcrHandle,
         nonce: &[u8],
     ) -> Result<Timed<Quote>, TpmError> {
+        self.transport_gate()?;
         let value = self.sepcrs.read_for_quote(handle)?;
         let source = QuoteSource::SePcr { value };
         let digest = quote_digest(&source, nonce);
@@ -745,6 +787,85 @@ mod tests {
         let a = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"seed");
         let b = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"seed");
         assert_eq!(a.aik_public(), b.aik_public());
+    }
+
+    #[test]
+    fn transport_fault_is_one_shot_and_typed() {
+        let mut t = tpm_with_sepcrs(2);
+        t.arm_transport_fault(true);
+        assert_eq!(
+            t.pcr_read(PcrIndex(17)).unwrap_err(),
+            TpmError::TransportFault { retryable: true }
+        );
+        // One-shot: the retry goes through.
+        t.pcr_read(PcrIndex(17)).unwrap();
+        t.arm_transport_fault(false);
+        let err = t.slaunch_measure(b"pal", CpuId(0)).unwrap_err();
+        assert_eq!(err, TpmError::TransportFault { retryable: false });
+        assert!(!err.is_retryable());
+        // The faulted SLAUNCH allocated nothing: no sePCR slot leaked.
+        assert_eq!(t.sepcrs().free_count(), 2);
+        // Teardown paths are never gated: SKILL always completes.
+        let h = t.slaunch_measure(b"pal", CpuId(0)).unwrap().value;
+        t.arm_transport_fault(true);
+        t.sepcr_skill(h).unwrap();
+        assert_eq!(t.sepcrs().free_count(), 2);
+        // A reboot un-wedges the chip.
+        t.arm_transport_fault(false);
+        t.reboot();
+        t.pcr_read(PcrIndex(17)).unwrap();
+        // Disarm clears a pending fault without a reboot.
+        t.arm_transport_fault(true);
+        t.disarm_transport_fault();
+        t.pcr_read(PcrIndex(17)).unwrap();
+    }
+
+    #[test]
+    fn injected_faults_do_not_perturb_successful_command_costs() {
+        // Satellite regression: the transport gate fires before any
+        // timing-noise draw, so a jittered TPM that suffers faults must
+        // charge the *same* sampled cost for each successful command as
+        // an identical TPM that never faulted.
+        let mut clean = tpm_with_sepcrs(2);
+        let mut faulty = tpm_with_sepcrs(2);
+        assert!(!clean.nominal_timing());
+        let digest = Sha1::digest(b"m");
+
+        let mut clean_costs = Vec::new();
+        let mut faulty_costs = Vec::new();
+        for i in 0..6u8 {
+            // Interleave an injected fault before every other command on
+            // the faulty TPM.
+            if i % 2 == 0 {
+                faulty.arm_transport_fault(true);
+                assert!(faulty.extend(PcrIndex(17), &digest).is_err());
+            }
+            clean_costs.push(clean.extend(PcrIndex(17), &digest).unwrap().elapsed);
+            faulty_costs.push(faulty.extend(PcrIndex(17), &digest).unwrap().elapsed);
+            clean_costs.push(clean.seal(b"s", &[PcrIndex(17)]).unwrap().elapsed);
+            faulty_costs.push(faulty.seal(b"s", &[PcrIndex(17)]).unwrap().elapsed);
+        }
+        assert_eq!(clean_costs, faulty_costs);
+        // And the command *results* agree too (same PCR chain).
+        assert_eq!(
+            clean.pcr_read(PcrIndex(17)).unwrap().value,
+            faulty.pcr_read(PcrIndex(17)).unwrap().value
+        );
+    }
+
+    #[test]
+    fn nominal_timing_and_fault_injection_compose() {
+        // Same property with nominal timing pinned (the concurrent
+        // engine's configuration): costs are means, faults or not.
+        let mut t = tpm();
+        t.set_nominal_timing(true);
+        let digest = Sha1::digest(b"m");
+        let before = t.extend(PcrIndex(17), &digest).unwrap().elapsed;
+        t.arm_transport_fault(true);
+        assert!(t.extend(PcrIndex(17), &digest).is_err());
+        let after = t.extend(PcrIndex(17), &digest).unwrap().elapsed;
+        assert_eq!(before, after);
+        assert_eq!(after, t.timing().mean(TpmOp::PcrExtend));
     }
 
     #[test]

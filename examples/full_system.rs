@@ -49,8 +49,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The adversary probes while it runs.
     let adv = Adversary::new();
     let blocked = [
-        adv.read_pal_memory(&sea, id, CpuId(1)).was_blocked(),
-        adv.dma_read_pal_memory(&sea, id, minimal_tcb::hw::DeviceId(0))
+        adv.read_pal_memory(&mut sea, id, CpuId(1)).was_blocked(),
+        adv.dma_read_pal_memory(&mut sea, id, minimal_tcb::hw::DeviceId(0))
             .was_blocked(),
         adv.hijack_sepcr(&mut sea, id, CpuId(2)).was_blocked(),
     ];

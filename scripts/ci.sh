@@ -18,7 +18,13 @@ cargo build --release --workspace --offline
 echo "== cargo test (offline) =="
 cargo test -q --workspace --offline
 
+echo "== chaos suite (fixed fault seed, offline) =="
+SEA_CHAOS_SEED=20080317 cargo test -q -p minimal-tcb --offline --test fault_recovery
+
 echo "== benches (smoke mode, offline) =="
 SEA_BENCH_SMOKE=1 cargo bench -q -p sea-bench --offline
+
+echo "== fault-sweep bench (smoke mode, offline) =="
+SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin fault_sweep
 
 echo "== ci.sh: all green =="

@@ -8,8 +8,8 @@
 //! so thread interleaving must never leak into an output.
 
 use sea_bench::driver::{run_suite_parallel, run_suite_serial, SuiteConfig};
-use sea_core::{ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, SecurePlatform};
-use sea_hw::{CpuId, Platform, SimDuration};
+use sea_core::{ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, RetryPolicy, SecurePlatform};
+use sea_hw::{CpuId, FaultPlan, Platform, SimDuration};
 use sea_tpm::{KeyStrength, PcrValue, SePcrState, SharedSePcrBank};
 
 // ---------------------------------------------------------------------
@@ -124,4 +124,60 @@ fn sixteen_worker_batch_matches_serial_batch() {
     let serial = run(1, 32);
     let parallel = run(16, 32);
     assert_eq!(serial, parallel);
+}
+
+// ---------------------------------------------------------------------
+// Recovery layer: serial vs parallel under the same fault tape
+// ---------------------------------------------------------------------
+
+fn run_recovered(workers: usize, jobs: usize, plan: FaultPlan) -> Vec<sea_core::SessionResult> {
+    let platform = SecurePlatform::new(
+        Platform::recommended(16),
+        KeyStrength::Demo512,
+        b"determinism",
+    );
+    let mut sea = ConcurrentSea::new(platform, workers).expect("pool fits");
+    sea.set_fault_plan(Some(plan));
+    let out = sea
+        .run_batch_recovered(batch(jobs), RetryPolicy::default())
+        .expect("batch runs");
+    // Which CPU a job landed on is a function of the worker count, not
+    // of the recovery outcome — normalize it before comparing.
+    out.sessions
+        .into_iter()
+        .map(|mut s| {
+            if let sea_core::SessionResult::Quoted { result, .. } = &mut s {
+                result.cpu = CpuId(0);
+            }
+            s
+        })
+        .collect()
+}
+
+/// Satellite: the differential test. Fault decisions are keyed by the
+/// job's batch index and a per-session roll counter — never by thread
+/// interleaving — so a serial run and a 4-worker run of the same batch
+/// under the same fault tape must retry, degrade, and kill *the same
+/// sessions with the same outcomes*.
+#[test]
+fn recovery_outcomes_identical_serial_vs_parallel_under_same_fault_tape() {
+    for (seed, tpm_rate, fatal_ratio) in [
+        (3, 5000, 0),
+        (9, 9000, sea_hw::RATE_DENOM / 4),
+        (21, 15_000, sea_hw::RATE_DENOM),
+    ] {
+        let plan = || {
+            FaultPlan::new(seed)
+                .with_tpm_rate(tpm_rate)
+                .with_mem_rate(3000)
+                .with_timer_rate(3000)
+                .with_fatal_ratio(fatal_ratio)
+        };
+        let serial = run_recovered(1, 16, plan());
+        let parallel = run_recovered(4, 16, plan());
+        assert_eq!(
+            serial, parallel,
+            "recovery outcomes diverged for seed {seed}"
+        );
+    }
 }

@@ -39,28 +39,32 @@ fn isolation_holds_through_entire_lifecycle() {
     let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
 
     // Execute state.
-    assert!(adv.read_pal_memory(&sea, id, CpuId(1)).was_blocked());
+    assert!(adv.read_pal_memory(&mut sea, id, CpuId(1)).was_blocked());
     assert!(adv
         .write_pal_memory(&mut sea, id, CpuId(1), b"x")
         .was_blocked());
-    assert!(adv.dma_read_pal_memory(&sea, id, DeviceId(0)).was_blocked());
+    assert!(adv
+        .dma_read_pal_memory(&mut sea, id, DeviceId(0))
+        .was_blocked());
     assert!(adv.hijack_sepcr(&mut sea, id, CpuId(1)).was_blocked());
 
     // Suspend state: nothing — not even the former CPU — may touch it.
     sea.step(&mut pal, id).unwrap();
     for cpu in [CpuId(0), CpuId(1)] {
-        assert!(adv.read_pal_memory(&sea, id, cpu).was_blocked());
+        assert!(adv.read_pal_memory(&mut sea, id, cpu).was_blocked());
     }
-    assert!(adv.dma_read_pal_memory(&sea, id, DeviceId(0)).was_blocked());
+    assert!(adv
+        .dma_read_pal_memory(&mut sea, id, DeviceId(0))
+        .was_blocked());
 
     // Resumed on the other CPU: old CPU remains locked out.
     sea.resume(id, CpuId(1)).unwrap();
-    assert!(adv.read_pal_memory(&sea, id, CpuId(0)).was_blocked());
+    assert!(adv.read_pal_memory(&mut sea, id, CpuId(0)).was_blocked());
     assert!(adv.double_resume(&mut sea, id, CpuId(0)).was_blocked());
 
     // Exit: pages public again but scrubbed of the secret.
     sea.step(&mut pal, id).unwrap();
-    match adv.read_pal_memory(&sea, id, CpuId(0)) {
+    match adv.read_pal_memory(&mut sea, id, CpuId(0)) {
         AttackOutcome::Succeeded(bytes) => {
             let needle = b"live secret";
             assert!(!bytes.windows(needle.len()).any(|w| w == needle));
