@@ -1,0 +1,22 @@
+//! Goodput vs injected power-loss rate on the crash-consistent durable
+//! engine: sealed NVRAM journal checkpoints, platform reboots, and
+//! journal-replay recovery.
+//!
+//! `SEA_BENCH_SMOKE=1` shrinks the batch for CI smoke runs.
+
+use sea_bench::driver::{render_crash_sweep, CRASH_SWEEP_RATES, CRASH_SWEEP_WORKERS};
+use sea_bench::timing::smoke_mode;
+use sea_hw::SimDuration;
+
+fn main() {
+    let jobs = if smoke_mode() { 8 } else { 16 };
+    print!(
+        "{}",
+        render_crash_sweep(
+            &CRASH_SWEEP_RATES,
+            jobs,
+            SimDuration::from_ms(10),
+            CRASH_SWEEP_WORKERS,
+        )
+    );
+}

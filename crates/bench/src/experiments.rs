@@ -5,7 +5,7 @@ use sea_core::{
     ConcurrentJob, ConcurrentSea, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, RetryPolicy,
     SecurePlatform, SessionReport, SessionResult,
 };
-use sea_hw::{CpuId, FaultPlan, PageIndex, PageRange, Platform, SimDuration, TpmKind};
+use sea_hw::{CpuId, FaultPlan, PageIndex, PageRange, Platform, ResetPlan, SimDuration, TpmKind};
 use sea_os::{LegacyBatch, Scheduler};
 use sea_tpm::{KeyStrength, PcrIndex, Tpm, TpmOp, TpmTimingModel};
 
@@ -698,8 +698,9 @@ pub struct ThroughputPoint {
 }
 
 /// Aggregate PAL throughput vs core count on the proposed hardware:
-/// pushes `jobs` identical sessions (launch + `work` of PAL computation
-/// + attestation) through [`ConcurrentSea`] at each worker count. §5.4's
+/// pushes `jobs` identical sessions (launch, then `work` of PAL
+/// computation, then attestation) through [`ConcurrentSea`] at each
+/// worker count. §5.4's
 /// per-PAL sePCRs and the access-control table are what let the sessions
 /// overlap; the baseline hardware of §4.2 would serialize them at
 /// `aggregate_ms` regardless of core count.
@@ -821,6 +822,103 @@ pub fn fault_sweep(
                 quoted: out.quoted(),
                 killed: out.killed(),
                 retries,
+                wall_ms: out.wall.as_ms_f64(),
+                goodput_per_sec: out.goodput_per_sec(),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Crash sweep: goodput vs power-loss rate under the durable engine
+// ---------------------------------------------------------------------
+
+/// The seed every crash-sweep batch derives its power-loss tape from, so
+/// the sweep is reproducible run to run.
+pub const CRASH_SWEEP_SEED: u64 = 0x0C0FFEE;
+
+/// Reset budget per sweep point: the durable engine stops pulling the
+/// plug after this many reboots so every batch terminates.
+pub const CRASH_SWEEP_MAX_RESETS: u32 = 4;
+
+/// One point of the goodput-vs-power-loss-rate sweep.
+#[derive(Debug, Clone)]
+pub struct CrashSweepPoint {
+    /// Per-commit power-loss probability numerator (denominator
+    /// [`sea_hw::RATE_DENOM`]).
+    pub rate: u32,
+    /// Sessions in the batch.
+    pub jobs: usize,
+    /// Sessions that completed with a quote.
+    pub quoted: usize,
+    /// Platform resets survived.
+    pub resets: u32,
+    /// Sessions restored from the sealed NVRAM journal after the last
+    /// reset (their results survived the power loss).
+    pub committed: usize,
+    /// Sessions relaunched from scratch after the last reset (torn or
+    /// volatile at the moment the plug was pulled).
+    pub relaunched: usize,
+    /// Virtual time spent rebooting and replaying the journal (ms).
+    pub recovery_ms: f64,
+    /// Virtual time spent sealing journal checkpoints to NVRAM (ms).
+    pub journal_ms: f64,
+    /// Virtual wall time of the batch (ms).
+    pub wall_ms: f64,
+    /// Completed sessions per virtual second of wall time.
+    pub goodput_per_sec: f64,
+}
+
+/// Goodput vs injected power-loss rate: pushes `jobs` identical sessions
+/// through [`ConcurrentSea::run_batch_durable`] at each per-commit
+/// power-loss probability (`rate`/[`sea_hw::RATE_DENOM`]), capped at
+/// [`CRASH_SWEEP_MAX_RESETS`] reboots. Every batch replays the same
+/// deterministic power-loss tape ([`CRASH_SWEEP_SEED`]); the final
+/// session results are interleaving-invariant, and with a single worker
+/// the whole sweep — resets, committed/relaunched splits, recovery
+/// accounting — is byte-identical run to run. Each reset costs a reboot
+/// ([`sea_hw::RESET_REBOOT_COST`]) plus a journal replay; sessions that
+/// had committed to the sealed NVRAM journal keep their results, the
+/// rest relaunch — so goodput decays with the rate but the batch always
+/// finishes with every session quoted.
+pub fn crash_sweep(
+    rates: &[u32],
+    jobs: usize,
+    work: SimDuration,
+    workers: usize,
+) -> Vec<CrashSweepPoint> {
+    rates
+        .iter()
+        .map(|&rate| {
+            let p = platform(Platform::recommended(workers as u16), b"crash-sweep");
+            let mut sea = ConcurrentSea::new(p, workers).expect("pool fits platform");
+            sea.set_fault_plan(Some(FaultPlan::fault_free()));
+            let plan = ResetPlan::new(CRASH_SWEEP_SEED)
+                .with_reset_rate(rate)
+                .with_max_resets(CRASH_SWEEP_MAX_RESETS);
+            let batch: Vec<ConcurrentJob> = (0..jobs)
+                .map(|i| {
+                    ConcurrentJob::new(
+                        Box::new(FnPal::new(&format!("cs-{i}"), move |ctx| {
+                            ctx.work(work);
+                            Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                        })),
+                        b"",
+                    )
+                })
+                .collect();
+            let out = sea
+                .run_batch_durable(batch, RetryPolicy::default(), plan)
+                .expect("batch runs");
+            CrashSweepPoint {
+                rate,
+                jobs,
+                quoted: out.quoted(),
+                resets: out.resets,
+                committed: out.committed.len(),
+                relaunched: out.relaunched.len(),
+                recovery_ms: out.recovery_latency.as_ms_f64(),
+                journal_ms: out.journal_overhead.as_ms_f64(),
                 wall_ms: out.wall.as_ms_f64(),
                 goodput_per_sec: out.goodput_per_sec(),
             }
@@ -1014,6 +1112,36 @@ mod tests {
             assert_eq!(p.launched, (p.sepcrs as usize).min(8), "{p:?}");
             assert_eq!(p.launched + p.rejected, 8);
         }
+    }
+
+    #[test]
+    fn crash_sweep_recovers_every_session() {
+        let points = crash_sweep(&[0, sea_hw::RATE_DENOM / 3], 8, SimDuration::from_ms(2), 4);
+        // Reset-free: no reboots, no recovery time, full goodput.
+        assert_eq!(points[0].resets, 0, "{points:?}");
+        assert_eq!(points[0].quoted, 8);
+        assert_eq!(points[0].recovery_ms, 0.0);
+        assert_eq!((points[0].committed, points[0].relaunched), (0, 0));
+        // Checkpointing itself costs TPM time even without a crash.
+        assert!(points[0].journal_ms > 0.0, "{points:?}");
+        // Plug-pulling: at least one reboot within the budget, yet the
+        // batch still finishes with every session quoted.
+        let stressed = &points[1];
+        assert!(
+            stressed.resets >= 1 && stressed.resets <= CRASH_SWEEP_MAX_RESETS,
+            "{stressed:?}"
+        );
+        assert_eq!(stressed.quoted, 8, "{stressed:?}");
+        assert_eq!(stressed.committed + stressed.relaunched, 8, "{stressed:?}");
+        // Each reboot shows up on the clock, so goodput sags.
+        assert!(
+            stressed.recovery_ms >= stressed.resets as f64 * sea_hw::RESET_REBOOT_COST.as_ms_f64(),
+            "{stressed:?}"
+        );
+        assert!(
+            stressed.goodput_per_sec < points[0].goodput_per_sec,
+            "{points:?}"
+        );
     }
 
     #[test]

@@ -17,6 +17,8 @@
 //! | `ablation_fast_tpm` | §5.7 alternative — just speed the TPM/bus up |
 //! | `ablation_hash_placement` | §4.3.2 — hash-on-TPM vs hash-on-CPU |
 //! | `ablation_sepcr` | §5.4 — concurrency limit vs sePCR count |
+//! | `fault_sweep` | recovery layer — goodput vs injected fault rate |
+//! | `crash_sweep` | durable engine — goodput vs injected power-loss rate |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

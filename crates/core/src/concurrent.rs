@@ -33,19 +33,27 @@
 //! authority-free (§5.4.2) precisely so this doesn't matter — and
 //! neither influences any cost or output.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sea_hw::{
-    CpuId, FaultPlan, SharedClock, SimDuration, SimTime, TraceEvent, TRANSPORT_FAULT_COST,
+    CpuId, FaultPlan, ResetPlan, SharedClock, SimDuration, SimTime, TraceEvent,
+    TRANSPORT_FAULT_COST,
 };
-use sea_tpm::{Quote, TpmError};
+use sea_tpm::{Quote, SealedBlob, TpmError};
 
 use crate::enhanced::{EnhancedSea, PalId, PalStep};
 use crate::error::SeaError;
+use crate::journal::SessionJournal;
 use crate::pal::PalLogic;
 use crate::platform::SecurePlatform;
 use crate::recovery::RetryPolicy;
 use crate::report::SessionReport;
+
+/// TPM NVRAM index where the durable engine parks the sealed session
+/// journal ("SJNL" in ASCII). One checkpoint blob lives here at a time;
+/// each terminal commit overwrites it.
+pub const JOURNAL_NV_INDEX: u32 = 0x534a_4e4c;
 
 /// One unit of work for the pool: a PAL plus its input.
 pub struct ConcurrentJob {
@@ -222,6 +230,72 @@ impl RecoveredOutcome {
     }
 }
 
+/// Aggregate outcome of one [`ConcurrentSea::run_batch_durable`]: a
+/// recovered batch plus its crash history.
+///
+/// The per-session results are byte-identical to the crash-free run of
+/// the same batch at any worker count: committed sessions are restored
+/// verbatim from the journal, and relaunched sessions re-derive the
+/// identical result because fault rolls are a pure function of
+/// `(plan, session key, operation order)` and fault cursors rewind at
+/// reset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableOutcome {
+    /// Per-job outcomes, in job-index order.
+    pub sessions: Vec<SessionResult>,
+    /// Virtual busy time accumulated by each worker/CPU, including work
+    /// torn by crashes and redone after recovery.
+    pub cpu_busy: Vec<SimDuration>,
+    /// Virtual wall time of the batch: the busiest CPU's total plus the
+    /// serial recovery and journal-checkpoint overheads.
+    pub wall: SimDuration,
+    /// Platform resets the batch survived.
+    pub resets: u32,
+    /// Session keys restored from the journal at the *last* recovery
+    /// (empty when no reset fired).
+    pub committed: Vec<u64>,
+    /// Session keys relaunched at the *last* recovery (empty when no
+    /// reset fired). With `resets > 0`,
+    /// `committed.len() + relaunched.len()` equals the batch size.
+    pub relaunched: Vec<u64>,
+    /// Virtual time spent on reboots and journal unsealing across all
+    /// recoveries.
+    pub recovery_latency: SimDuration,
+    /// Virtual time spent sealing journal checkpoints into NVRAM.
+    pub journal_overhead: SimDuration,
+}
+
+impl DurableOutcome {
+    /// Number of sessions that completed with a quote.
+    pub fn quoted(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_quoted()).count()
+    }
+
+    /// Number of sessions that completed on the degraded slow path.
+    pub fn degraded(&self) -> usize {
+        self.sessions
+            .iter()
+            .filter(|s| matches!(s, SessionResult::Degraded { .. }))
+            .count()
+    }
+
+    /// Number of sessions killed after exhausting their retry budget.
+    pub fn killed(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_killed()).count()
+    }
+
+    /// Completed (quoted or degraded) sessions per virtual second of
+    /// batch wall time — the crash sweep's goodput axis.
+    pub fn goodput_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            (self.sessions.len() - self.killed()) as f64 / secs
+        }
+    }
+}
+
 /// A multi-core concurrent session engine over one shared
 /// [`EnhancedSea`].
 ///
@@ -330,7 +404,7 @@ impl ConcurrentSea {
         // inside each worker would skew late-spawned domains by however
         // far an early sibling had already published.
         let epoch = self.clock.now();
-        std::thread::scope(|scope| {
+        std::thread::scope(|scope| -> Result<(), SeaError> {
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .enumerate()
@@ -341,17 +415,21 @@ impl ConcurrentSea {
                 })
                 .collect();
             for (k, handle) in handles.into_iter().enumerate() {
-                let (results, busy) = handle.join().expect("worker panicked");
+                let (results, busy) = handle
+                    .join()
+                    .map_err(|_| SeaError::EngineFault("worker thread panicked"))?;
                 cpu_busy[k] = busy;
                 for (i, result) in results {
                     slots[i] = Some(result);
                 }
             }
-        });
+            Ok(())
+        })?;
 
         let mut results = Vec::with_capacity(n_jobs);
         for slot in slots {
-            results.push(slot.expect("every job index filled")?);
+            let result = slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?;
+            results.push(result?);
         }
         let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
         Ok(ConcurrentOutcome {
@@ -409,7 +487,7 @@ impl ConcurrentSea {
         // inside each worker would skew late-spawned domains by however
         // far an early sibling had already published.
         let epoch = self.clock.now();
-        std::thread::scope(|scope| {
+        std::thread::scope(|scope| -> Result<(), SeaError> {
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .enumerate()
@@ -420,8 +498,8 @@ impl ConcurrentSea {
                         let cpu = CpuId(k as u16);
                         let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(&clock), epoch);
                         let mut results = Vec::with_capacity(assigned.len());
-                        for (i, job) in assigned {
-                            let result = run_one_recovered(cpu, i, job, &sea, policy);
+                        for (i, mut job) in assigned {
+                            let result = run_one_recovered(cpu, i, &mut job, &sea, policy, None);
                             if let Ok(r) = &result {
                                 domain.advance(r.cost());
                             }
@@ -433,23 +511,221 @@ impl ConcurrentSea {
                 })
                 .collect();
             for (k, handle) in handles.into_iter().enumerate() {
-                let (results, busy) = handle.join().expect("worker panicked");
+                let (results, busy) = handle
+                    .join()
+                    .map_err(|_| SeaError::EngineFault("worker thread panicked"))?;
                 cpu_busy[k] = busy;
                 for (i, result) in results {
                     slots[i] = Some(result);
                 }
             }
-        });
+            Ok(())
+        })?;
 
         let mut sessions = Vec::with_capacity(n_jobs);
         for slot in slots {
-            sessions.push(slot.expect("every job index filled")?);
+            let result = slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?;
+            sessions.push(result?);
         }
         let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
         Ok(RecoveredOutcome {
             sessions,
             cpu_busy,
             wall,
+        })
+    }
+
+    /// Runs a batch with `policy`-bounded fault recovery **and**
+    /// crash-consistency under the power-loss plan: each terminal
+    /// session result is committed to a write-ahead journal, sealed,
+    /// and parked in TPM NVRAM before it counts. When `plan` cuts the
+    /// power (at a trace-event boundary, a scheduled virtual time, or a
+    /// rate roll at a commit gate), every volatile structure evaporates
+    /// — live PALs, page protections, sePCR bindings, un-checkpointed
+    /// results — and recovery reboots the platform, unseals the
+    /// journal, restores committed sessions byte-for-byte, and
+    /// relaunches the rest.
+    ///
+    /// The final per-session results are byte-identical to the
+    /// crash-free run of the same batch, at any worker count, because
+    /// relaunched sessions re-roll their fault streams from scratch
+    /// (fault cursors are volatile) and quotes depend only on the PAL
+    /// measurement chain and nonce — never on sePCR handles, pages, or
+    /// time. Two caveats bound the contract: PAL logic must be
+    /// restartable (a pure function of its input and page-resident
+    /// state — closures mutating captured state are outside it), and
+    /// jobs must not emit shared-RNG output verbatim (checkpoint seals
+    /// consume the TPM RNG stream).
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure failures ([`SeaError::EngineFault`], lifecycle
+    /// violations) and an unreadable journal
+    /// ([`SeaError::JournalCorrupt`]) surface as `Err`; per-session
+    /// fault deaths are in-band [`SessionResult::Killed`] values.
+    pub fn run_batch_durable(
+        &mut self,
+        jobs: Vec<ConcurrentJob>,
+        policy: RetryPolicy,
+        plan: ResetPlan,
+    ) -> Result<DurableOutcome, SeaError> {
+        let n_jobs = jobs.len();
+        let workers = self.workers;
+
+        let journal = Mutex::new(SessionJournal::new());
+        let triggers = Mutex::new(ResetTriggers::new(plan));
+        let journal_overhead = Mutex::new(SimDuration::ZERO);
+        let mut cpu_busy = vec![SimDuration::ZERO; workers];
+        let mut final_slots: Vec<Option<SessionResult>> = (0..n_jobs).map(|_| None).collect();
+        let mut pending: Vec<(usize, ConcurrentJob)> = jobs.into_iter().enumerate().collect();
+        let mut resets = 0u32;
+        let mut committed: Vec<u64> = Vec::new();
+        let mut relaunched: Vec<u64> = Vec::new();
+        let mut recovery_latency = SimDuration::ZERO;
+
+        loop {
+            let crashed = AtomicBool::new(false);
+            let epoch = self.clock.now();
+            let reset_epoch = resets as u64;
+
+            // Jobs keep their original static assignment (job i →
+            // worker/CPU i % workers) across relaunch epochs, so a
+            // relaunched session lands on the same CPU as crash-free.
+            let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in pending.drain(..) {
+                per_worker[i % workers].push((i, job));
+            }
+
+            let mut attempts: Vec<Option<DurableAttempt>> = (0..n_jobs).map(|_| None).collect();
+            std::thread::scope(|scope| -> Result<(), SeaError> {
+                let handles: Vec<_> = per_worker
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, assigned)| {
+                        let sea = Arc::clone(&self.sea);
+                        let clock = Arc::clone(&self.clock);
+                        let journal = &journal;
+                        let triggers = &triggers;
+                        let journal_overhead = &journal_overhead;
+                        let crashed = &crashed;
+                        scope.spawn(move || {
+                            durable_worker(
+                                k,
+                                assigned,
+                                &sea,
+                                &clock,
+                                epoch,
+                                reset_epoch,
+                                policy,
+                                journal,
+                                triggers,
+                                journal_overhead,
+                                crashed,
+                            )
+                        })
+                    })
+                    .collect();
+                for (k, handle) in handles.into_iter().enumerate() {
+                    let (results, busy) = handle
+                        .join()
+                        .map_err(|_| SeaError::EngineFault("worker thread panicked"))??;
+                    cpu_busy[k] += busy;
+                    for (i, attempt) in results {
+                        attempts[i] = Some(attempt);
+                    }
+                }
+                Ok(())
+            })?;
+
+            if !crashed.load(Ordering::SeqCst) {
+                // Clean epoch: every surviving attempt is final.
+                for (i, attempt) in attempts.into_iter().enumerate() {
+                    match attempt {
+                        Some(DurableAttempt::Committed(s) | DurableAttempt::Volatile(s, _)) => {
+                            final_slots[i] = Some(s)
+                        }
+                        Some(DurableAttempt::Torn(_)) => {
+                            return Err(SeaError::EngineFault("torn session in a clean epoch"))
+                        }
+                        None => {}
+                    }
+                }
+                break;
+            }
+
+            // Power loss. Reboot the platform, then rebuild the world
+            // from the sealed journal alone — every in-memory result
+            // past the last checkpoint is discarded, exactly as a real
+            // crash would lose it.
+            resets += 1;
+            let mut guard = self.sea.lock().unwrap_or_else(|e| e.into_inner());
+            recovery_latency += guard.power_cycle();
+            let recovered = {
+                let tpm = guard.platform_mut().tpm_mut().ok_or(SeaError::NoTpm)?;
+                match tpm.nvram().read_blob(JOURNAL_NV_INDEX).map(<[u8]>::to_vec) {
+                    Some(bytes) => {
+                        let blob = SealedBlob::from_bytes(&bytes)?;
+                        let opened = tpm.unseal(&blob)?;
+                        recovery_latency += opened.elapsed;
+                        SessionJournal::from_bytes(&opened.value)?
+                    }
+                    None => SessionJournal::new(),
+                }
+            };
+            let restored = recovered.restore()?;
+            committed = restored.iter().map(|(key, _)| *key).collect();
+            final_slots.fill(None);
+            for (key, session) in restored {
+                let slot = final_slots
+                    .get_mut(key as usize)
+                    .ok_or(SeaError::JournalCorrupt("session key out of range"))?;
+                *slot = Some(session);
+            }
+            *journal.lock().unwrap_or_else(|e| e.into_inner()) = recovered;
+
+            // Everything without a checkpointed terminal relaunches.
+            relaunched.clear();
+            for (i, attempt) in attempts.into_iter().enumerate() {
+                let job = match attempt {
+                    Some(DurableAttempt::Torn(job) | DurableAttempt::Volatile(_, job)) => job,
+                    Some(DurableAttempt::Committed(_)) | None => continue,
+                };
+                if final_slots[i].is_none() {
+                    relaunched.push(i as u64);
+                    pending.push((i, job));
+                }
+            }
+            let machine = guard.platform_mut().machine_mut();
+            for (i, _) in &pending {
+                let now = machine.now();
+                machine
+                    .trace_mut()
+                    .record(now, TraceEvent::SessionRelaunched { session: *i as u64 });
+            }
+        }
+
+        let journal_overhead = journal_overhead
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut sessions = Vec::with_capacity(n_jobs);
+        for slot in final_slots {
+            sessions.push(slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?);
+        }
+        // Reboots and checkpoint seals serialize against everything, so
+        // they extend the batch beyond the busiest CPU's overlap.
+        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO)
+            + recovery_latency
+            + journal_overhead;
+        Ok(DurableOutcome {
+            sessions,
+            cpu_busy,
+            wall,
+            resets,
+            committed,
+            relaunched,
+            recovery_latency,
+            journal_overhead,
         })
     }
 
@@ -492,6 +768,147 @@ fn worker_loop(
         results.push((i, result));
     }
     (results, domain.busy())
+}
+
+/// What one durable worker produced for one job at its commit gate.
+enum DurableAttempt {
+    /// Terminal result checkpointed to NVRAM — survives any later crash.
+    Committed(SessionResult),
+    /// A kill, deliberately not checkpointed (see
+    /// [`crate::journal::SessionJournal::commit`]): final only if the
+    /// epoch ends cleanly, relaunched — and deterministically re-killed
+    /// — otherwise.
+    Volatile(SessionResult, ConcurrentJob),
+    /// The crash beat the commit: the session must relaunch.
+    Torn(ConcurrentJob),
+}
+
+/// Driver-side reset state for one durable batch: the plan plus
+/// once-only bookkeeping for the event cut and the reset budget.
+struct ResetTriggers {
+    plan: ResetPlan,
+    cut_fired: bool,
+    fired: u32,
+}
+
+impl ResetTriggers {
+    fn new(plan: ResetPlan) -> Self {
+        ResetTriggers {
+            plan,
+            cut_fired: false,
+            fired: 0,
+        }
+    }
+
+    /// Decides, at one commit boundary, whether the power fails there.
+    /// `epoch` counts resets already survived, `key` is the committing
+    /// session, `recorded` the trace's cumulative event count, `now`
+    /// the machine clock. The budget cap guarantees the recovery loop
+    /// terminates even under a 100% reset rate.
+    fn check(&mut self, epoch: u64, key: u64, recorded: u64, now: SimTime) -> bool {
+        if self.fired >= self.plan.max_resets() {
+            return false;
+        }
+        let cut = !self.cut_fired && self.plan.cut_due(recorded);
+        if cut {
+            self.cut_fired = true;
+        }
+        let fire = cut || self.plan.take_due(now) > 0 || self.plan.roll_power_loss(epoch, key);
+        if fire {
+            self.fired += 1;
+        }
+        fire
+    }
+}
+
+/// Drives one durable worker's assigned jobs on CPU `k`: run the
+/// session with bounded recovery, then pass its commit gate — under the
+/// engine lock, decide whether the power fails at this boundary, and if
+/// not, checkpoint the journal into NVRAM.
+#[allow(clippy::too_many_arguments, clippy::type_complexity)]
+fn durable_worker(
+    k: usize,
+    assigned: Vec<(usize, ConcurrentJob)>,
+    sea: &Mutex<EnhancedSea>,
+    clock: &Arc<SharedClock>,
+    epoch: SimTime,
+    reset_epoch: u64,
+    policy: RetryPolicy,
+    journal: &Mutex<SessionJournal>,
+    triggers: &Mutex<ResetTriggers>,
+    journal_overhead: &Mutex<SimDuration>,
+    crashed: &AtomicBool,
+) -> Result<(Vec<(usize, DurableAttempt)>, SimDuration), SeaError> {
+    let cpu = CpuId(k as u16);
+    let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(clock), epoch);
+    let mut results = Vec::with_capacity(assigned.len());
+    for (i, mut job) in assigned {
+        let key = i as u64;
+        if crashed.load(Ordering::SeqCst) {
+            // The platform is already dark; this job never started.
+            results.push((i, DurableAttempt::Torn(job)));
+            continue;
+        }
+        journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record_intent(key);
+        let session = run_one_recovered(cpu, i, &mut job, sea, policy, Some(journal))?;
+
+        // Commit gate. Holding the engine lock makes the read of the
+        // trace counter, the reset decision, and the NVRAM checkpoint
+        // one atomic boundary — no other worker can slip a commit in
+        // between.
+        let attempt = {
+            let mut guard = sea.lock().unwrap_or_else(|e| e.into_inner());
+            if crashed.load(Ordering::SeqCst) {
+                DurableAttempt::Torn(job)
+            } else {
+                let (recorded, now) = {
+                    let machine = guard.platform().machine();
+                    (machine.trace().recorded(), machine.now())
+                };
+                let fire = triggers.lock().unwrap_or_else(|e| e.into_inner()).check(
+                    reset_epoch,
+                    key,
+                    recorded,
+                    now,
+                );
+                if fire {
+                    // The cord is yanked before this record reaches
+                    // NVRAM: the committing session is torn too.
+                    crashed.store(true, Ordering::SeqCst);
+                    DurableAttempt::Torn(job)
+                } else {
+                    let mut wal = journal.lock().unwrap_or_else(|e| e.into_inner());
+                    wal.commit(key, &session);
+                    if session.is_killed() {
+                        drop(wal);
+                        DurableAttempt::Volatile(session, job)
+                    } else {
+                        let bytes = wal.to_bytes();
+                        drop(wal);
+                        // Seal to the empty PCR selection: the blob
+                        // must unseal on the rebooted platform, whose
+                        // PCRs have all reset.
+                        let tpm = guard.platform_mut().tpm_mut().ok_or(SeaError::NoTpm)?;
+                        let sealed = tpm.seal(&bytes, &[])?;
+                        tpm.nvram_mut()
+                            .store_blob(JOURNAL_NV_INDEX, &sealed.value.to_bytes());
+                        *journal_overhead.lock().unwrap_or_else(|e| e.into_inner()) +=
+                            sealed.elapsed;
+                        DurableAttempt::Committed(session)
+                    }
+                }
+            }
+        };
+        if let DurableAttempt::Committed(s) | DurableAttempt::Volatile(s, _) = &attempt {
+            domain.advance(s.cost());
+        }
+        domain.publish();
+        results.push((i, attempt));
+    }
+    Ok((results, domain.busy()))
 }
 
 /// Runs a single session to completion: `SLAUNCH` → step/resume loop →
@@ -580,12 +997,17 @@ fn try_absorb(
 /// `SLAUNCH` → step/resume loop → quote, retrying transient faults per
 /// `policy`, degrading to the legacy slow path on sePCR saturation, and
 /// `SKILL`ing the session when the budget runs out.
+///
+/// The job is borrowed, not consumed, so a durable driver can relaunch
+/// it after a platform reset. When `journal` is given, the launch is
+/// recorded in it (the durable engine's `launched` write-ahead record).
 fn run_one_recovered(
     cpu: CpuId,
     index: usize,
-    mut job: ConcurrentJob,
+    job: &mut ConcurrentJob,
     sea: &Mutex<EnhancedSea>,
     policy: RetryPolicy,
+    journal: Option<&Mutex<SessionJournal>>,
 ) -> Result<SessionResult, SeaError> {
     fn lock<'a>(sea: &'a Mutex<EnhancedSea>) -> std::sync::MutexGuard<'a, EnhancedSea> {
         sea.lock().unwrap_or_else(|e| e.into_inner())
@@ -615,6 +1037,17 @@ fn run_one_recovered(
         if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
             continue;
         }
+        // No SKILL to issue — the faulted launch rolled its pages back —
+        // but the death is still a recovery decision, so the trace pairs
+        // the injected fault with a kill like every other path.
+        {
+            let mut guard = lock(sea);
+            let machine = guard.platform_mut().machine_mut();
+            let now = machine.now();
+            machine
+                .trace_mut()
+                .record(now, TraceEvent::SessionKilled { session: key });
+        }
         return Ok(SessionResult::Killed {
             job: index,
             attempts: retries + 1,
@@ -622,6 +1055,12 @@ fn run_one_recovered(
             wasted: recovery_cost,
         });
     };
+    if let Some(journal) = journal {
+        journal
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .record_launched(key);
+    }
 
     // Phase 2: step/resume loop. Injected timer expiries surface as
     // extra `Yielded` steps; injected resume denials retry in place
@@ -910,6 +1349,120 @@ mod tests {
             .trace()
             .iter()
             .any(|(_, e)| matches!(e, TraceEvent::SessionKilled { .. })));
+    }
+
+    #[test]
+    fn durable_batch_without_resets_matches_recovered_and_checkpoints() {
+        let mut plain = ConcurrentSea::new(platform(4), 4).unwrap();
+        plain.set_fault_plan(Some(FaultPlan::fault_free()));
+        let r = plain
+            .run_batch_recovered(jobs(8, 20), RetryPolicy::default())
+            .unwrap();
+
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        pool.set_fault_plan(Some(FaultPlan::fault_free()));
+        let d = pool
+            .run_batch_durable(jobs(8, 20), RetryPolicy::default(), ResetPlan::reset_free())
+            .unwrap();
+
+        assert_eq!(d.resets, 0);
+        assert!(d.committed.is_empty() && d.relaunched.is_empty());
+        assert_eq!(d.recovery_latency, SimDuration::ZERO);
+        assert_eq!(d.sessions, r.sessions);
+        assert_eq!(d.cpu_busy, r.cpu_busy);
+        // Checkpointing is the only wall-time delta.
+        assert!(d.journal_overhead > SimDuration::ZERO);
+        assert_eq!(d.wall, r.wall + d.journal_overhead);
+
+        // The final checkpoint sits in NVRAM and replays every session.
+        let sea = pool.into_inner();
+        let tpm = sea.platform().tpm().expect("tpm");
+        let blob = tpm.nvram().read_blob(JOURNAL_NV_INDEX).expect("checkpoint");
+        let blob = SealedBlob::from_bytes(blob).unwrap();
+        let mut sea = sea;
+        let bytes = sea
+            .platform_mut()
+            .tpm_mut()
+            .unwrap()
+            .unseal(&blob)
+            .unwrap()
+            .value;
+        let journal = SessionJournal::from_bytes(&bytes).unwrap();
+        assert_eq!(journal.restore().unwrap().len(), 8);
+        assert!(journal.torn().is_empty());
+    }
+
+    #[test]
+    fn durable_batch_survives_an_event_cut() {
+        let reference = {
+            let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+            pool.set_fault_plan(Some(FaultPlan::fault_free()));
+            pool.run_batch_recovered(jobs(8, 20), RetryPolicy::default())
+                .unwrap()
+                .sessions
+        };
+
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        pool.set_fault_plan(Some(FaultPlan::fault_free()));
+        // A fault-free batch records no trace events, so cut at 0: the
+        // cord is yanked at the very first commit gate, before anything
+        // reaches NVRAM — the whole batch must relaunch.
+        let d = pool
+            .run_batch_durable(
+                jobs(8, 20),
+                RetryPolicy::default(),
+                ResetPlan::reset_free().with_cut_after_events(0),
+            )
+            .unwrap();
+
+        assert_eq!(d.resets, 1);
+        assert!(d.committed.is_empty());
+        assert_eq!(d.relaunched.len(), 8);
+        assert!(d.recovery_latency >= sea_hw::RESET_REBOOT_COST);
+        // The recovered batch is byte-identical to the crash-free run.
+        assert_eq!(d.sessions, reference);
+
+        // Nothing leaked across the reset, and the trace tells the story.
+        let sea = pool.into_inner();
+        let tpm = sea.platform().tpm().expect("tpm");
+        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
+        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
+        assert_eq!((cpus_pages, none_pages), (0, 0));
+        let trace = sea.platform().machine().trace();
+        assert!(trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::PlatformReset)));
+        assert!(trace
+            .iter()
+            .any(|(_, e)| matches!(e, TraceEvent::SessionRelaunched { .. })));
+    }
+
+    #[test]
+    fn durable_batch_with_rate_resets_terminates_within_budget() {
+        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
+        pool.set_fault_plan(Some(FaultPlan::fault_free()));
+        let d = pool
+            .run_batch_durable(
+                jobs(12, 10),
+                RetryPolicy::default(),
+                ResetPlan::new(9)
+                    .with_reset_rate(sea_hw::RATE_DENOM / 3)
+                    .with_max_resets(3),
+            )
+            .unwrap();
+        assert!(d.resets >= 1, "one-in-three rate over 12 gates must fire");
+        assert!(d.resets <= 3, "budget caps the reset count");
+        assert_eq!(d.quoted() + d.degraded() + d.killed(), 12);
+        assert_eq!(d.quoted(), 12);
+        for (i, s) in d.sessions.iter().enumerate() {
+            match s {
+                SessionResult::Quoted { result, .. } => {
+                    assert_eq!(result.output, vec![i as u8]);
+                    assert_eq!(result.cpu, CpuId((i % 4) as u16));
+                }
+                other => panic!("expected Quoted, got {other:?}"),
+            }
+        }
     }
 
     #[test]

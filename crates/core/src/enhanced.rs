@@ -146,6 +146,20 @@ impl EnhancedSea {
         self.fault_plan.as_ref()
     }
 
+    /// A full power loss: every live PAL evaporates (their pages, SECBs,
+    /// and CPU bindings are volatile), the bump allocator and fault
+    /// cursors rewind, the machine rebuilds its volatile half, and the
+    /// TPM applies v1.2 reset semantics — NVRAM (and thus the sealed
+    /// session journal) survives. Returns the reboot's virtual cost,
+    /// already charged to the machine clock; the machine records
+    /// [`TraceEvent::PlatformReset`].
+    pub fn power_cycle(&mut self) -> SimDuration {
+        self.pals.clear();
+        self.next_page = FIRST_PAL_PAGE;
+        self.fault_cursors.clear();
+        self.platform.power_cycle()
+    }
+
     /// The underlying platform.
     pub fn platform(&self) -> &SecurePlatform {
         &self.platform
@@ -253,7 +267,7 @@ impl EnhancedSea {
         // TPM: allocate + measure into a sePCR. On failure, return the
         // pages to ALL (Figure 7's failure path).
         let (machine, tpm) = self.platform.parts_mut();
-        let tpm = tpm.expect("checked in new()");
+        let tpm = tpm.ok_or(SeaError::NoTpm)?;
         let timed = match tpm.slaunch_measure(&image, cpu) {
             Ok(timed) => timed,
             Err(e) => {
@@ -316,9 +330,14 @@ impl EnhancedSea {
                 operation: "step",
             });
         }
-        let cpu = run.current_cpu.expect("Execute implies a CPU");
+        let cpu = run
+            .current_cpu
+            .ok_or(SeaError::EngineFault("Execute state without a CPU"))?;
         let range = run.secb.pages();
-        let handle = run.secb.sepcr().expect("measured at launch");
+        let handle = run
+            .secb
+            .sepcr()
+            .ok_or(SeaError::EngineFault("Execute state without a sePCR"))?;
         let state_off = (run.secb.image_len() + run.input_len) as u64;
         let input_off = run.secb.image_len() as u64;
         let input_len = run.input_len;
@@ -336,7 +355,7 @@ impl EnhancedSea {
 
         // Run the logic with sePCR-bound seals.
         let (machine, tpm) = self.platform.parts_mut();
-        let tpm = tpm.expect("checked in new()");
+        let tpm = tpm.ok_or(SeaError::NoTpm)?;
         let mut ctx = PalCtx::new(
             Some(&mut *tpm),
             Some(SealBinding::SePcr { handle, cpu }),
@@ -366,7 +385,7 @@ impl EnhancedSea {
         // Write back state (this CPU still owns the pages).
         write_state(machine, range, state_off, state_cap, cpu, &new_state)?;
 
-        let run = self.pals.get_mut(&id.0).expect("present above");
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
         run.report.seal += seal;
         run.report.unseal += unseal;
         run.report.tpm_other += tpm_other;
@@ -429,15 +448,19 @@ impl EnhancedSea {
             });
         }
         let range = run.secb.pages();
-        let handle = run.secb.sepcr().expect("measured");
+        let handle = run
+            .secb
+            .sepcr()
+            .ok_or(SeaError::EngineFault("Suspend state without a sePCR"))?;
         let routing = matches!(run.secb.interrupt_policy(), InterruptPolicy::Forward(_));
 
         // Hardware first, SECB transitions last: a transient hardware
         // failure must leave the PAL in `Suspend` so the caller can
         // retry the resume instead of stranding the SECB mid-protect.
         let (machine, tpm) = self.platform.parts_mut();
+        let tpm = tpm.ok_or(SeaError::NoTpm)?;
         machine.controller_mut().resume_pages(range, cpu)?;
-        if let Err(e) = tpm.expect("checked").sepcr_rebind(handle, cpu) {
+        if let Err(e) = tpm.sepcr_rebind(handle, cpu) {
             // Roll the pages back to `NONE` so a later resume can run.
             machine.controller_mut().suspend_pages(range, cpu)?;
             return Err(e.into());
@@ -474,16 +497,20 @@ impl EnhancedSea {
             });
         }
         let range = run.secb.pages();
-        let handle = run.secb.sepcr().expect("measured");
+        let handle = run
+            .secb
+            .sepcr()
+            .ok_or(SeaError::EngineFault("Suspend state without a sePCR"))?;
         assert!(run.secb.transition(PalLifecycle::Done));
         run.current_cpu = None;
 
         let (machine, tpm) = self.platform.parts_mut();
+        let tpm = tpm.ok_or(SeaError::NoTpm)?;
         for p in range.iter() {
             machine.memory_mut().zero_page(p)?;
         }
         machine.controller_mut().release_pages(range)?;
-        let timed = tpm.expect("checked").sepcr_skill(handle)?;
+        let timed = tpm.sepcr_skill(handle)?;
         machine.advance(timed.elapsed);
         Ok(())
     }
@@ -504,9 +531,12 @@ impl EnhancedSea {
                 operation: "quote_and_free",
             });
         }
-        let handle = run.secb.sepcr().expect("measured");
+        let handle = run
+            .secb
+            .sepcr()
+            .ok_or(SeaError::EngineFault("Done state without a sePCR"))?;
         let (machine, tpm) = self.platform.parts_mut();
-        let tpm = tpm.expect("checked");
+        let tpm = tpm.ok_or(SeaError::NoTpm)?;
         let quote = tpm.sepcr_quote(handle, nonce)?;
         tpm.sepcr_free(handle)?;
         machine.advance(quote.elapsed);
@@ -535,12 +565,14 @@ impl EnhancedSea {
                 operation: "join",
             });
         }
-        let primary = run.current_cpu.expect("Execute implies a CPU");
+        let primary = run
+            .current_cpu
+            .ok_or(SeaError::EngineFault("Execute state without a CPU"))?;
         let range = run.secb.pages();
         let machine = self.platform.machine_mut();
         machine.controller_mut().join_cpu(range, primary, new_cpu)?;
         machine.cpu_mut(new_cpu)?.enter_secure(range.base_addr());
-        let run = self.pals.get_mut(&id.0).expect("present above");
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
         run.helper_cpus.push(new_cpu);
         Ok(())
     }
@@ -560,9 +592,12 @@ impl EnhancedSea {
                 operation: "release_sepcr",
             });
         }
-        let handle = run.secb.sepcr().expect("measured");
+        let handle = run
+            .secb
+            .sepcr()
+            .ok_or(SeaError::EngineFault("Done state without a sePCR"))?;
         let (_, tpm) = self.platform.parts_mut();
-        tpm.expect("checked").sepcr_free(handle)?;
+        tpm.ok_or(SeaError::NoTpm)?.sepcr_free(handle)?;
         Ok(())
     }
 
@@ -728,6 +763,11 @@ impl EnhancedSea {
                 },
             );
             self.preempt(id)?;
+            let machine = self.platform.machine_mut();
+            let now = machine.now();
+            machine
+                .trace_mut()
+                .record(now, TraceEvent::SessionPreempted { session: key });
             return Ok(PalStep::Yielded);
         }
         self.step(pal, id)
@@ -809,7 +849,9 @@ impl EnhancedSea {
                 operation: "preempt",
             });
         }
-        let cpu = run.current_cpu.expect("Execute implies a CPU");
+        let cpu = run
+            .current_cpu
+            .ok_or(SeaError::EngineFault("Execute state without a CPU"))?;
         let range = run.secb.pages();
         assert!(run.secb.transition(PalLifecycle::Suspend));
         run.current_cpu = None;
@@ -824,7 +866,7 @@ impl EnhancedSea {
         }
         machine.advance(vm_exit);
 
-        let run = self.pals.get_mut(&id.0).expect("present above");
+        let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
         run.report.context_switch += vm_exit;
         Ok(())
     }
@@ -918,7 +960,7 @@ impl EnhancedSea {
         };
 
         let (machine, tpm) = self.platform.parts_mut();
-        let tpm = tpm.expect("checked in new()");
+        let tpm = tpm.ok_or(SeaError::NoTpm)?;
         let mut state = Vec::new();
         let mut report = SessionReport {
             late_launch: launch.total(),
@@ -962,7 +1004,10 @@ fn read_state(
 ) -> Result<Vec<u8>, SeaError> {
     let base = range.base_addr().offset(state_off);
     let header = machine.read(sea_hw::Requester::Cpu(cpu), base, 8)?;
-    let len = u64::from_le_bytes(header.try_into().expect("8 bytes")) as usize;
+    let header: [u8; 8] = header
+        .try_into()
+        .map_err(|_| SeaError::EngineFault("short state header read"))?;
+    let len = u64::from_le_bytes(header) as usize;
     if len == 0 {
         return Ok(Vec::new());
     }
@@ -1443,6 +1488,35 @@ mod tests {
         // Launch + 2 resumes → 3 reprogrammings of 2 µs each.
         let delta = on.context_switch - off.context_switch;
         assert_eq!(delta, INTERRUPT_ROUTING_COST * 3);
+    }
+
+    #[test]
+    fn power_cycle_evaporates_pals_and_frees_all_resources() {
+        let mut sea = sea(2);
+        let mut running = FnPal::new("running", |_| Ok(PalOutcome::Yield));
+        let mut suspended = FnPal::new("suspended", |_| Ok(PalOutcome::Yield));
+        let ra = sea.slaunch(&mut running, b"", CpuId(0), None).unwrap();
+        let rb = sea.slaunch(&mut suspended, b"", CpuId(1), None).unwrap();
+        sea.step(&mut suspended, rb).unwrap();
+
+        let cost = sea.power_cycle();
+        assert_eq!(cost, sea_hw::RESET_REBOOT_COST);
+        // Both PALs are gone...
+        assert!(matches!(sea.secb(ra), Err(SeaError::NoSuchPal(_))));
+        assert!(matches!(sea.secb(rb), Err(SeaError::NoSuchPal(_))));
+        // ...their pages are public again...
+        let (_, cpu_only, none) = sea.platform().machine().controller().state_census();
+        assert_eq!((cpu_only, none), (0, 0));
+        // ...and every sePCR slot is Free.
+        let tpm = sea.platform().tpm().unwrap();
+        assert_eq!(
+            tpm.sepcrs().free_count(),
+            sea.platform().machine().platform().sepcr_count
+        );
+        // The allocator rewound: a fresh launch reuses the low pages.
+        let mut again = FnPal::new("again", |_| Ok(PalOutcome::Exit(vec![])));
+        let id = sea.slaunch(&mut again, b"", CpuId(0), None).unwrap();
+        assert_eq!(sea.secb(id).unwrap().pages().start.0, FIRST_PAL_PAGE);
     }
 
     #[test]

@@ -58,6 +58,15 @@ pub enum SeaError {
         /// Attempts made before giving up (1 initial + retries).
         attempts: u32,
     },
+    /// The engine's own machinery failed (a worker thread panicked, a
+    /// result slot was left unfilled, an internal invariant broke).
+    /// Surfaced as an error so a batch driver can report and continue
+    /// instead of aborting the process.
+    EngineFault(&'static str),
+    /// The write-ahead session journal recovered from NVRAM failed to
+    /// parse — the persistent record is unusable and recovery cannot
+    /// trust it.
+    JournalCorrupt(&'static str),
 }
 
 impl fmt::Display for SeaError {
@@ -95,6 +104,8 @@ impl fmt::Display for SeaError {
                     "session {session} killed after {attempts} failed attempts"
                 )
             }
+            SeaError::EngineFault(what) => write!(f, "engine fault: {what}"),
+            SeaError::JournalCorrupt(what) => write!(f, "session journal corrupt: {what}"),
         }
     }
 }
@@ -157,6 +168,8 @@ mod tests {
                 session: 7,
                 attempts: 5,
             },
+            SeaError::EngineFault("worker thread panicked"),
+            SeaError::JournalCorrupt("bad magic"),
         ] {
             assert!(!e.to_string().is_empty());
             assert!(Error::source(&e).is_none());

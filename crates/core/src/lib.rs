@@ -64,6 +64,7 @@ mod attest;
 mod concurrent;
 mod enhanced;
 mod error;
+mod journal;
 mod legacy;
 mod pal;
 mod pioneer;
@@ -75,10 +76,12 @@ mod secb;
 
 pub use attest::{TrustPolicy, Verifier, VerifyError};
 pub use concurrent::{
-    ConcurrentJob, ConcurrentOutcome, ConcurrentSea, JobResult, RecoveredOutcome, SessionResult,
+    ConcurrentJob, ConcurrentOutcome, ConcurrentSea, DurableOutcome, JobResult, RecoveredOutcome,
+    SessionResult, JOURNAL_NV_INDEX,
 };
 pub use enhanced::{EnhancedSea, PalDone, PalId, PalStep};
 pub use error::SeaError;
+pub use journal::{JournalEntry, SessionJournal};
 pub use legacy::{LegacySea, LegacySessionResult};
 pub use pal::{FnPal, PalCtx, PalLogic, PalOutcome};
 pub use pioneer::{

@@ -114,6 +114,20 @@ impl SecurePlatform {
         }
     }
 
+    /// A full power loss and reboot: the machine rebuilds its volatile
+    /// half ([`Machine::reset`] — CPUs, controller access-control table)
+    /// and the TPM applies v1.2 platform-reset semantics (static PCRs
+    /// → 0, dynamic → −1, every sePCR freed, lock and transient session
+    /// state cleared; NVRAM untouched). Returns the reboot's virtual
+    /// cost, already added to the machine clock.
+    pub fn power_cycle(&mut self) -> SimDuration {
+        let cost = self.machine.reset();
+        if let Some(tpm) = &mut self.tpm {
+            tpm.reboot();
+        }
+        cost
+    }
+
     /// Pure cost model for a late launch of `image_len` bytes on this
     /// platform — the quantity swept by the Table 1 bench. Performs no
     /// state changes.
@@ -373,6 +387,29 @@ mod tests {
         stage_image(&mut p, range, b"pal");
         p.late_launch(CpuId(0), range, 3).unwrap();
         p.reboot();
+        assert_eq!(
+            p.tpm().unwrap().pcrs().read(PcrIndex(17)).unwrap(),
+            PcrValue::MINUS_ONE
+        );
+    }
+
+    #[test]
+    fn power_cycle_clears_cpu_state_and_charges_reboot_cost() {
+        let mut p = platform(Platform::hp_dc5750());
+        let range = PageRange::new(PageIndex(8), 1);
+        stage_image(&mut p, range, b"pal");
+        p.late_launch(CpuId(0), range, 3).unwrap();
+        let before = p.machine().now();
+        let cost = p.power_cycle();
+        assert_eq!(cost, sea_hw::RESET_REBOOT_COST);
+        assert_eq!(p.machine().now(), before + cost);
+        // Volatile machine state is rebuilt from scratch...
+        assert!(!p.machine().cpu(CpuId(0)).unwrap().in_secure_exec());
+        assert!(p
+            .machine()
+            .dma_read(sea_hw::DeviceId(0), range.base_addr(), 1)
+            .is_ok());
+        // ...and the TPM applied reboot semantics.
         assert_eq!(
             p.tpm().unwrap().pcrs().read(PcrIndex(17)).unwrap(),
             PcrValue::MINUS_ONE

@@ -73,18 +73,18 @@ pub const RATE_DENOM: u32 = 65536;
 // ---------------------------------------------------------------------
 
 #[derive(Debug, Clone)]
-struct XorShift {
-    state: u64,
+pub(crate) struct XorShift {
+    pub(crate) state: u64,
 }
 
 impl XorShift {
-    fn new(seed: u64) -> Self {
+    pub(crate) fn new(seed: u64) -> Self {
         XorShift {
             state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
         }
     }
 
-    fn next_u64(&mut self) -> u64 {
+    pub(crate) fn next_u64(&mut self) -> u64 {
         let mut x = self.state;
         x ^= x >> 12;
         x ^= x << 25;
@@ -93,7 +93,7 @@ impl XorShift {
         x.wrapping_mul(0x2545_F491_4F6C_DD1D)
     }
 
-    fn next_u32(&mut self) -> u32 {
+    pub(crate) fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
 }

@@ -51,6 +51,7 @@ mod lpc;
 mod machine;
 mod memory;
 mod platform;
+mod reset;
 mod time;
 mod trace;
 mod types;
@@ -63,6 +64,7 @@ pub use lpc::LpcBus;
 pub use machine::{Device, Machine, MachineBuilder};
 pub use memory::Memory;
 pub use platform::{CpuVendor, LateLaunchModel, Platform, TpmKind, VirtTiming};
+pub use reset::{ResetPlan, RESET_REBOOT_COST};
 pub use time::{CpuClockDomain, SharedClock, SimClock, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
 pub use types::{

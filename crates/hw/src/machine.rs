@@ -12,6 +12,7 @@ use crate::error::HwError;
 use crate::lpc::LpcBus;
 use crate::memory::Memory;
 use crate::platform::Platform;
+use crate::reset::RESET_REBOOT_COST;
 use crate::time::{SimClock, SimDuration, SimTime};
 use crate::trace::{Trace, TraceEvent};
 use crate::types::{AccessKind, CpuId, DeviceId, PhysAddr, Requester};
@@ -55,14 +56,42 @@ impl Device {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Machine {
+    // -- persistent half: survives a platform reset ------------------
+    // The platform description and buses are the hardware itself; DRAM
+    // contents are deliberately not modelled as cleared (§3.2 considers
+    // memory-remanence attacks out of scope); the clock is the outside
+    // observer's timeline and only ever moves forward; the trace is the
+    // experimenter's log, not machine state.
     platform: Platform,
     clock: SimClock,
-    cpus: Vec<Cpu>,
     memory: Memory,
-    controller: MemoryController,
     lpc: LpcBus,
     devices: Vec<Device>,
     trace: Trace,
+    // -- volatile half: rebuilt from scratch by [`Machine::reset`] ---
+    volatile: VolatileState,
+}
+
+/// The half of the machine a power loss vaporises: per-CPU execution
+/// state (secure-execution mode, preemption timers) and the memory
+/// controller's access-control table, which the north bridge rebuilds
+/// to its power-on default (every page `ALL`) at reset.
+#[derive(Debug, Clone)]
+struct VolatileState {
+    cpus: Vec<Cpu>,
+    controller: MemoryController,
+}
+
+impl VolatileState {
+    fn fresh(platform: &Platform) -> Self {
+        VolatileState {
+            cpus: platform
+                .cpu_ids()
+                .map(|id| Cpu::new(id, platform.cpu_ghz))
+                .collect(),
+            controller: MemoryController::new(platform.mem_pages),
+        }
+    }
 }
 
 impl Machine {
@@ -102,7 +131,10 @@ impl Machine {
     ///
     /// Returns [`HwError::NoSuchCpu`] for an invalid identifier.
     pub fn cpu(&self, id: CpuId) -> Result<&Cpu, HwError> {
-        self.cpus.get(id.0 as usize).ok_or(HwError::NoSuchCpu(id))
+        self.volatile
+            .cpus
+            .get(id.0 as usize)
+            .ok_or(HwError::NoSuchCpu(id))
     }
 
     /// Mutable access to the CPU with identifier `id`.
@@ -111,31 +143,47 @@ impl Machine {
     ///
     /// Returns [`HwError::NoSuchCpu`] for an invalid identifier.
     pub fn cpu_mut(&mut self, id: CpuId) -> Result<&mut Cpu, HwError> {
-        self.cpus
+        self.volatile
+            .cpus
             .get_mut(id.0 as usize)
             .ok_or(HwError::NoSuchCpu(id))
     }
 
     /// All CPUs.
     pub fn cpus(&self) -> &[Cpu] {
-        &self.cpus
+        &self.volatile.cpus
     }
 
     /// Mutable access to all CPUs.
     pub fn cpus_mut(&mut self) -> &mut [Cpu] {
-        &mut self.cpus
+        &mut self.volatile.cpus
     }
 
     /// The memory controller (north bridge).
     pub fn controller(&self) -> &MemoryController {
-        &self.controller
+        &self.volatile.controller
     }
 
     /// Mutable access to the memory controller. In real hardware only
     /// privileged instructions reach these knobs; the secure-execution
     /// protocols in `sea-core` are the intended callers.
     pub fn controller_mut(&mut self) -> &mut MemoryController {
-        &mut self.controller
+        &mut self.volatile.controller
+    }
+
+    /// Platform reset: power is lost and restored. The volatile half —
+    /// every CPU's execution state and the whole access-control table —
+    /// is rebuilt to its power-on default; memory contents, the buses,
+    /// and the trace persist, and the clock moves monotonically forward
+    /// by [`RESET_REBOOT_COST`] (a reboot costs time, it never rewinds
+    /// it). Records [`TraceEvent::PlatformReset`] at the instant of the
+    /// power loss and returns the reboot cost charged.
+    pub fn reset(&mut self) -> SimDuration {
+        let at = self.clock.now();
+        self.trace.record(at, TraceEvent::PlatformReset);
+        self.volatile = VolatileState::fresh(&self.platform);
+        self.clock.advance(RESET_REBOOT_COST);
+        RESET_REBOOT_COST
     }
 
     /// Raw physical memory (unchecked path — prefer [`Machine::read`]).
@@ -177,7 +225,9 @@ impl Machine {
         len: usize,
     ) -> Result<Vec<u8>, HwError> {
         for page in Memory::pages_spanned(addr, len) {
-            self.controller.check(requester, AccessKind::Read, page)?;
+            self.volatile
+                .controller
+                .check(requester, AccessKind::Read, page)?;
         }
         self.memory.read_raw(addr, len)
     }
@@ -238,7 +288,9 @@ impl Machine {
         data: &[u8],
     ) -> Result<(), HwError> {
         for page in Memory::pages_spanned(addr, data.len()) {
-            self.controller.check(requester, AccessKind::Write, page)?;
+            self.volatile
+                .controller
+                .check(requester, AccessKind::Write, page)?;
         }
         self.memory.write_raw(addr, data)
     }
@@ -317,11 +369,6 @@ impl MachineBuilder {
 
     /// Finalizes construction.
     pub fn build(self) -> Machine {
-        let cpus = self
-            .platform
-            .cpu_ids()
-            .map(|id| Cpu::new(id, self.platform.cpu_ghz))
-            .collect();
         let devices = self
             .devices
             .into_iter()
@@ -333,10 +380,9 @@ impl MachineBuilder {
             .collect();
         Machine {
             memory: Memory::new(self.platform.mem_pages),
-            controller: MemoryController::new(self.platform.mem_pages),
+            volatile: VolatileState::fresh(&self.platform),
             lpc: LpcBus::new(self.platform.lpc_ns_per_byte),
             clock: SimClock::new(),
-            cpus,
             devices,
             platform: self.platform,
             trace: Trace::new(),
@@ -467,6 +513,42 @@ mod tests {
         m.set_lpc(m.lpc().sped_up(2.0));
         assert!((m.lpc().ns_per_byte() - orig / 2.0).abs() < 1e-9);
     }
+    #[test]
+    fn reset_rebuilds_volatile_half_only() {
+        let mut m = machine();
+        // Dirty the volatile half: protect a page and park CPU 1 in a
+        // distinguishable state via the preemption timer.
+        let range = PageRange::new(PageIndex(4), 1);
+        m.controller_mut().protect_for_cpu(range, CpuId(0)).unwrap();
+        // Dirty the persistent half: memory contents and some time.
+        m.write(Requester::Cpu(CpuId(0)), PhysAddr(0), b"sticky")
+            .unwrap();
+        m.advance(SimDuration::from_ms(3));
+        let before = m.now();
+
+        let cost = m.reset();
+
+        // Volatile: the access table is back at power-on default, so
+        // the previously-denied CPU can read the protected page again.
+        assert!(m
+            .read(Requester::Cpu(CpuId(1)), range.base_addr(), 1)
+            .is_ok());
+        let (_, cpus_pages, none_pages) = m.controller().state_census();
+        assert_eq!((cpus_pages, none_pages), (0, 0));
+        // Persistent: memory contents survive, the clock moved forward
+        // by exactly the reboot cost, and the trace kept its history
+        // plus the reset marker.
+        assert_eq!(
+            m.read(Requester::Cpu(CpuId(0)), PhysAddr(0), 6).unwrap(),
+            b"sticky"
+        );
+        assert_eq!(m.now(), before + cost);
+        assert!(m
+            .trace()
+            .iter()
+            .any(|(at, e)| *at == before && matches!(e, TraceEvent::PlatformReset)));
+    }
+
     #[test]
     fn machine_is_send_sync() {
         // The concurrent session engine moves whole platforms across

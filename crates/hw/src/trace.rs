@@ -94,6 +94,22 @@ pub enum TraceEvent {
         /// The mechanism that stopped it (e.g. "access-control table").
         mechanism: String,
     },
+    /// An injected preemption-timer expiry forced a session off its CPU
+    /// (the session resumes on its next turn; no retry is consumed).
+    SessionPreempted {
+        /// The session key.
+        session: u64,
+    },
+    /// The platform lost power and reset: CPUs, the access-control
+    /// table, and all in-flight sessions vanished; NVRAM-resident TPM
+    /// state survived.
+    PlatformReset,
+    /// A torn session was relaunched from the journal after a platform
+    /// reset.
+    SessionRelaunched {
+        /// The session key.
+        session: u64,
+    },
     /// Free-form annotation from higher layers.
     Note(String),
 }
@@ -127,6 +143,13 @@ impl fmt::Display for TraceEvent {
             }
             TraceEvent::SessionKilled { session } => write!(f, "SKILL session={session}"),
             TraceEvent::AttackBlocked { mechanism } => write!(f, "BLOCKED by {mechanism}"),
+            TraceEvent::SessionPreempted { session } => {
+                write!(f, "PREEMPT session={session}")
+            }
+            TraceEvent::PlatformReset => write!(f, "RESET platform"),
+            TraceEvent::SessionRelaunched { session } => {
+                write!(f, "RELAUNCH session={session}")
+            }
             TraceEvent::Note(s) => write!(f, "NOTE {s}"),
         }
     }
@@ -153,6 +176,7 @@ pub struct Trace {
     capacity: usize,
     enabled: bool,
     dropped: u64,
+    recorded: u64,
 }
 
 impl Default for Trace {
@@ -180,6 +204,7 @@ impl Trace {
             capacity,
             enabled: true,
             dropped: 0,
+            recorded: 0,
         }
     }
 
@@ -203,6 +228,7 @@ impl Trace {
             self.dropped += 1;
         }
         self.events.push_back((at, event));
+        self.recorded += 1;
     }
 
     /// Number of retained events.
@@ -218,6 +244,13 @@ impl Trace {
     /// Number of events dropped due to the capacity bound.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Total events ever recorded. This is the monotone counter reset
+    /// plans cut against: it never rewinds, even when the bounded
+    /// buffer evicts or [`Trace::clear`] runs.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Iterates over retained events in chronological order.
@@ -353,10 +386,39 @@ mod tests {
             TraceEvent::AttackBlocked {
                 mechanism: "access-control table".into(),
             },
+            TraceEvent::SessionPreempted { session: 3 },
+            TraceEvent::PlatformReset,
+            TraceEvent::SessionRelaunched { session: 3 },
         ];
         for e in events {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn reset_events_render() {
+        assert_eq!(TraceEvent::PlatformReset.to_string(), "RESET platform");
+        assert_eq!(
+            TraceEvent::SessionRelaunched { session: 7 }.to_string(),
+            "RELAUNCH session=7"
+        );
+        assert_eq!(
+            TraceEvent::SessionPreempted { session: 2 }.to_string(),
+            "PREEMPT session=2"
+        );
+    }
+
+    #[test]
+    fn recorded_counter_is_monotone() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5 {
+            t.record(SimTime::from_ns(i), note(&i.to_string()));
+        }
+        assert_eq!(t.recorded(), 5);
+        t.clear();
+        assert_eq!(t.recorded(), 5, "clear() must not rewind the counter");
+        t.record(SimTime::from_ns(9), note("post"));
+        assert_eq!(t.recorded(), 6);
     }
 
     #[test]

@@ -162,11 +162,11 @@ impl Adversary {
             Ok(None) => return blocked(sea, "sePCR binding"),
             Err(_) => return blocked(sea, "SECB registry"),
         };
-        if sea.platform().tpm().is_none() {
-            return blocked(sea, "sePCR binding");
-        }
         let junk = Sha1::digest(b"attacker extend");
-        let tpm = sea.platform_mut().tpm_mut().expect("checked above");
+        let tpm = match sea.platform_mut().tpm_mut() {
+            Some(tpm) => tpm,
+            None => return blocked(sea, "sePCR binding"),
+        };
         match tpm.sepcr_extend(handle, via_cpu, &junk) {
             Ok(_) => AttackOutcome::Succeeded(Vec::new()),
             Err(TpmError::SePcrAccessDenied { .. }) | Err(TpmError::SePcrWrongState(_)) => {

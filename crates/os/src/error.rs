@@ -23,6 +23,10 @@ pub enum OsError {
     Sea(SeaError),
     /// The scheduler was asked to run with no work registered.
     NothingToRun,
+    /// A scheduler invariant was violated — a bug in the OS simulator
+    /// itself, surfaced as an error instead of a panic so batch drivers
+    /// can report it.
+    SchedulerInternal(&'static str),
 }
 
 impl fmt::Display for OsError {
@@ -38,6 +42,7 @@ impl fmt::Display for OsError {
             OsError::NotAllocated => write!(f, "range was not allocated"),
             OsError::Sea(e) => write!(f, "SEA operation failed: {e}"),
             OsError::NothingToRun => write!(f, "scheduler has no jobs"),
+            OsError::SchedulerInternal(what) => write!(f, "scheduler invariant violated: {what}"),
         }
     }
 }
@@ -73,5 +78,8 @@ mod tests {
         assert!(Error::source(&s).is_some());
         assert!(!OsError::NotAllocated.to_string().is_empty());
         assert!(!OsError::NothingToRun.to_string().is_empty());
+        let i = OsError::SchedulerInternal("slot unfilled");
+        assert!(i.to_string().contains("slot unfilled"));
+        assert!(Error::source(&i).is_none());
     }
 }

@@ -19,7 +19,7 @@ use sea_core::{
     ConcurrentJob, ConcurrentSea, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, RetryPolicy,
     SecurePlatform, SessionReport, SessionResult,
 };
-use sea_hw::{CpuId, FaultPlan, SimDuration, SimTime};
+use sea_hw::{CpuId, FaultPlan, ResetPlan, SimDuration, SimTime};
 
 use crate::error::OsError;
 
@@ -46,6 +46,12 @@ pub struct ScheduleOutcome {
     /// Session keys that fell back to the legacy slow path because the
     /// sePCR bank was saturated. Empty without a fault plan.
     pub degraded: Vec<u64>,
+    /// Session keys relaunched from the journal after a platform reset
+    /// (last recovery epoch). Empty without a reset plan.
+    pub relaunched: Vec<u64>,
+    /// Platform resets survived during the schedule. Zero without a
+    /// reset plan.
+    pub resets: u32,
 }
 
 impl ScheduleOutcome {
@@ -174,7 +180,7 @@ impl Scheduler {
                         .enumerate()
                         .min_by_key(|(_, b)| **b)
                         .map(|(i, _)| i as u16)
-                        .expect("at least one CPU"),
+                        .ok_or(OsError::SchedulerInternal("scheduler has no CPUs"))?,
                 );
                 let before = self.sea.platform().machine().now();
                 let id = match job.id {
@@ -322,7 +328,11 @@ impl Scheduler {
         let mut outputs = Vec::with_capacity(self.jobs.len());
         let mut reports = Vec::with_capacity(self.jobs.len());
         for job in &self.jobs {
-            outputs.push(job.output.clone().expect("all jobs completed"));
+            outputs.push(
+                job.output
+                    .clone()
+                    .ok_or(OsError::SchedulerInternal("job finished without an output"))?,
+            );
             let report = match (job.report_override, job.id) {
                 (Some(report), _) => report,
                 (None, Some(id)) => self.sea.report(id)?,
@@ -339,8 +349,47 @@ impl Scheduler {
             reports,
             killed,
             degraded,
+            relaunched: Vec::new(),
+            resets: 0,
         })
     }
+}
+
+/// Collects per-session outputs, reports, and kill/degrade key lists
+/// from a batch result, in job order.
+fn unpack_sessions(
+    sessions: &[SessionResult],
+) -> (Vec<Vec<u8>>, Vec<SessionReport>, Vec<u64>, Vec<u64>) {
+    let mut outputs = Vec::with_capacity(sessions.len());
+    let mut reports = Vec::with_capacity(sessions.len());
+    let mut killed = Vec::new();
+    let mut degraded = Vec::new();
+    for (i, session) in sessions.iter().enumerate() {
+        match session {
+            SessionResult::Quoted { result, .. } => {
+                outputs.push(result.output.clone());
+                reports.push(result.report);
+            }
+            SessionResult::Degraded { output, report, .. } => {
+                outputs.push(output.clone());
+                reports.push(*report);
+                degraded.push(i as u64);
+            }
+            SessionResult::Killed { .. } => {
+                outputs.push(Vec::new());
+                reports.push(SessionReport::default());
+                killed.push(i as u64);
+            }
+            // `SessionResult` is non-exhaustive; treat unknown future
+            // outcomes as kills so they are visible.
+            _ => {
+                outputs.push(Vec::new());
+                reports.push(SessionReport::default());
+                killed.push(i as u64);
+            }
+        }
+    }
+    (outputs, reports, killed, degraded)
 }
 
 /// The OS feeding the multi-core concurrent session engine: queued jobs
@@ -358,6 +407,7 @@ pub struct ParallelScheduler {
     n_cpus: u16,
     jobs: Vec<ConcurrentJob>,
     retry_policy: Option<RetryPolicy>,
+    reset_plan: Option<ResetPlan>,
 }
 
 impl std::fmt::Debug for ParallelScheduler {
@@ -382,6 +432,7 @@ impl ParallelScheduler {
             n_cpus,
             jobs: Vec::new(),
             retry_policy: None,
+            reset_plan: None,
         })
     }
 
@@ -395,6 +446,16 @@ impl ParallelScheduler {
     /// [`Scheduler::set_retry_policy`] does for the cooperative driver.
     pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
         self.retry_policy = policy;
+    }
+
+    /// Installs (or clears) a platform reset plan. With a plan set,
+    /// [`Self::run_all`] drives the batch through the crash-consistent
+    /// engine: every terminal session commits to the journaled NVRAM
+    /// checkpoint, power losses reboot the platform mid-batch, and the
+    /// scheduler rebuilds its run queue from the journal — committed
+    /// sessions keep their results, torn ones are relaunched.
+    pub fn set_reset_plan(&mut self, plan: Option<ResetPlan>) {
+        self.reset_plan = plan;
     }
 
     /// Queues a PAL job. Unlike [`Scheduler::add_job`] the logic must be
@@ -419,43 +480,19 @@ impl ParallelScheduler {
         if self.jobs.is_empty() {
             return Err(OsError::NothingToRun);
         }
-        if let Some(policy) = self.retry_policy {
-            let outcome = self
-                .pool
-                .run_batch_recovered(std::mem::take(&mut self.jobs), policy)?;
+        if let Some(plan) = self.reset_plan.clone() {
+            // Crash-consistent path: the pool journals every terminal
+            // session to sealed NVRAM and this scheduler's run queue is
+            // rebuilt from that journal after each power loss.
+            let policy = self.retry_policy.unwrap_or_default();
+            let outcome =
+                self.pool
+                    .run_batch_durable(std::mem::take(&mut self.jobs), policy, plan)?;
             let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
             let horizon = horizon.max(outcome.wall);
             let legacy_available =
                 SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
-            let mut outputs = Vec::with_capacity(outcome.sessions.len());
-            let mut reports = Vec::with_capacity(outcome.sessions.len());
-            let mut killed = Vec::new();
-            let mut degraded = Vec::new();
-            for (i, session) in outcome.sessions.iter().enumerate() {
-                match session {
-                    SessionResult::Quoted { result, .. } => {
-                        outputs.push(result.output.clone());
-                        reports.push(result.report);
-                    }
-                    SessionResult::Degraded { output, report, .. } => {
-                        outputs.push(output.clone());
-                        reports.push(*report);
-                        degraded.push(i as u64);
-                    }
-                    SessionResult::Killed { .. } => {
-                        outputs.push(Vec::new());
-                        reports.push(SessionReport::default());
-                        killed.push(i as u64);
-                    }
-                    // `SessionResult` is non-exhaustive; treat unknown
-                    // future outcomes as kills so they are visible.
-                    _ => {
-                        outputs.push(Vec::new());
-                        reports.push(SessionReport::default());
-                        killed.push(i as u64);
-                    }
-                }
-            }
+            let (outputs, reports, killed, degraded) = unpack_sessions(&outcome.sessions);
             return Ok(ScheduleOutcome {
                 wall: outcome.wall,
                 pal_busy,
@@ -465,6 +502,30 @@ impl ParallelScheduler {
                 reports,
                 killed,
                 degraded,
+                relaunched: outcome.relaunched.clone(),
+                resets: outcome.resets,
+            });
+        }
+        if let Some(policy) = self.retry_policy {
+            let outcome = self
+                .pool
+                .run_batch_recovered(std::mem::take(&mut self.jobs), policy)?;
+            let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
+            let horizon = horizon.max(outcome.wall);
+            let legacy_available =
+                SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
+            let (outputs, reports, killed, degraded) = unpack_sessions(&outcome.sessions);
+            return Ok(ScheduleOutcome {
+                wall: outcome.wall,
+                pal_busy,
+                stalled: SimDuration::ZERO,
+                legacy_available,
+                outputs,
+                reports,
+                killed,
+                degraded,
+                relaunched: Vec::new(),
+                resets: 0,
             });
         }
         let outcome = self.pool.run_batch(std::mem::take(&mut self.jobs))?;
@@ -481,6 +542,8 @@ impl ParallelScheduler {
             reports: outcome.results.iter().map(|r| r.report).collect(),
             killed: Vec::new(),
             degraded: Vec::new(),
+            relaunched: Vec::new(),
+            resets: 0,
         })
     }
 }
@@ -555,6 +618,8 @@ impl LegacyBatch {
             reports,
             killed: Vec::new(),
             degraded: Vec::new(),
+            relaunched: Vec::new(),
+            resets: 0,
         })
     }
 }
@@ -849,6 +914,60 @@ mod tests {
         assert_eq!(serial.killed, wide.killed);
         assert_eq!(serial.outputs, wide.outputs);
         assert_eq!(serial.degraded, wide.degraded);
+    }
+
+    #[test]
+    fn parallel_scheduler_durable_reset_free_matches_recovered() {
+        // A reset-free plan exercises the journaled path without ever
+        // pulling the plug: the schedule must agree with the plain
+        // recovered driver on every output and report.
+        let run_recovered = || {
+            let mut par = ParallelScheduler::new(secure_platform(4), 2).unwrap();
+            par.set_fault_plan(Some(FaultPlan::fault_free()));
+            par.set_retry_policy(Some(RetryPolicy::default()));
+            for i in 0..6 {
+                par.add_job(make_send_pal(i, 10), b"");
+            }
+            par.run_all(SimDuration::from_secs(1)).unwrap()
+        };
+        let plain = run_recovered();
+
+        let mut par = ParallelScheduler::new(secure_platform(4), 2).unwrap();
+        par.set_fault_plan(Some(FaultPlan::fault_free()));
+        par.set_retry_policy(Some(RetryPolicy::default()));
+        par.set_reset_plan(Some(ResetPlan::reset_free()));
+        for i in 0..6 {
+            par.add_job(make_send_pal(i, 10), b"");
+        }
+        let durable = par.run_all(SimDuration::from_secs(1)).unwrap();
+
+        assert_eq!(durable.resets, 0);
+        assert!(durable.relaunched.is_empty());
+        assert_eq!(durable.outputs, plain.outputs);
+        assert_eq!(durable.reports, plain.reports);
+        assert!(durable.killed.is_empty() && durable.degraded.is_empty());
+    }
+
+    #[test]
+    fn parallel_scheduler_durable_rebuilds_queue_after_power_loss() {
+        // Cut power at the very first commit gate: the whole batch is
+        // torn, the platform reboots, and the scheduler rebuilds its run
+        // queue from the (empty) journal — every job relaunches and the
+        // final outputs match a crash-free run.
+        let mut par = ParallelScheduler::new(secure_platform(4), 4).unwrap();
+        par.set_fault_plan(Some(FaultPlan::fault_free()));
+        par.set_retry_policy(Some(RetryPolicy::default()));
+        par.set_reset_plan(Some(ResetPlan::reset_free().with_cut_after_events(0)));
+        for i in 0..6 {
+            par.add_job(make_send_pal(i, 10), b"");
+        }
+        let out = par.run_all(SimDuration::from_secs(1)).unwrap();
+        assert_eq!(out.resets, 1);
+        assert_eq!(out.relaunched, (0..6u64).collect::<Vec<_>>());
+        assert_eq!(out.outputs, (0..6u8).map(|i| vec![i]).collect::<Vec<_>>());
+        assert!(out.killed.is_empty() && out.degraded.is_empty());
+        // The reboot cost is on the schedule's wall clock.
+        assert!(out.wall >= sea_hw::RESET_REBOOT_COST);
     }
 
     #[test]

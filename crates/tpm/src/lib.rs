@@ -50,6 +50,7 @@
 mod boot;
 mod error;
 mod lock;
+mod nvram;
 mod pcr;
 mod quote;
 mod seal;
@@ -62,6 +63,7 @@ mod transport;
 pub use boot::{BootEvent, EventLog, SecureBootOutcome, SecureBootPolicy};
 pub use error::TpmError;
 pub use lock::{SharedTpmLock, TpmLock};
+pub use nvram::Nvram;
 pub use pcr::{PcrBank, PcrIndex, PcrValue, DYNAMIC_PCR_FIRST, DYNAMIC_PCR_LAST, NUM_PCRS};
 pub use quote::{Quote, QuoteSource};
 pub use seal::SealedBlob;

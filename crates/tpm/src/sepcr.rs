@@ -278,6 +278,21 @@ impl SePcrBank {
         slot.owner = None;
         Ok(())
     }
+
+    /// Platform reset: every slot — Exclusive, Quote, or Free — returns
+    /// to Free with a zero chain and no owner. sePCRs are *volatile*
+    /// state: the PALs they were bound to ceased to exist when power
+    /// was lost, so no binding may survive into the next boot (the
+    /// reset analogue of static PCRs zeroing at reboot). Any session
+    /// whose quote had not been generated before the cut loses it; the
+    /// durable engine's journal is what brings those sessions back.
+    pub fn platform_reset(&mut self) {
+        for slot in &mut self.slots {
+            slot.state = SePcrState::Free;
+            slot.value = PcrValue::ZERO;
+            slot.owner = None;
+        }
+    }
 }
 
 /// A [`SePcrBank`] safe to share across the concurrent session engine's
@@ -449,6 +464,11 @@ impl SharedSePcrBank {
     pub fn skill(&self, handle: SePcrHandle) -> Result<(), TpmError> {
         self.with(|b| b.skill(handle))
     }
+
+    /// Platform reset. See [`SePcrBank::platform_reset`].
+    pub fn platform_reset(&self) {
+        self.with(|b| b.platform_reset());
+    }
 }
 
 #[cfg(test)]
@@ -564,6 +584,33 @@ mod tests {
         let h2 = bank.allocate(&m(b"pal2"), CpuId(0)).unwrap();
         bank.release_to_quote(h2, CpuId(0)).unwrap();
         assert!(matches!(bank.skill(h2), Err(TpmError::SePcrWrongState(_))));
+    }
+
+    #[test]
+    fn platform_reset_frees_every_slot_regardless_of_state() {
+        let mut bank = SePcrBank::new(3);
+        // Slot 0: Exclusive (a PAL was mid-flight at the cut).
+        let h0 = bank.allocate(&m(b"running"), CpuId(0)).unwrap();
+        // Slot 1: Quote (terminated, quote not yet pulled).
+        let h1 = bank.allocate(&m(b"done"), CpuId(1)).unwrap();
+        bank.release_to_quote(h1, CpuId(1)).unwrap();
+        // Slot 2 stays Free.
+        assert_eq!(bank.free_count(), 1);
+
+        bank.platform_reset();
+
+        assert_eq!(bank.free_count(), 3);
+        for h in [h0, h1, SePcrHandle(2)] {
+            assert_eq!(bank.state(h).unwrap(), SePcrState::Free);
+            assert_eq!(bank.owner(h).unwrap(), None);
+        }
+        // Chains restart from zero: a fresh allocation shows no residue
+        // of the pre-reset PAL.
+        let h = bank.allocate(&m(b"after"), CpuId(2)).unwrap();
+        assert_eq!(
+            bank.read_exclusive(h, CpuId(2)).unwrap(),
+            PcrValue::ZERO.extended(&m(b"after"))
+        );
     }
 
     #[test]

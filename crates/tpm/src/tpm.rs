@@ -10,6 +10,7 @@ use sea_hw::{CpuId, SimDuration, TpmKind};
 
 use crate::error::TpmError;
 use crate::lock::TpmLock;
+use crate::nvram::Nvram;
 use crate::pcr::{PcrBank, PcrIndex, PcrValue};
 use crate::quote::{quote_digest, Quote, QuoteSource};
 use crate::seal::{seal_payload, unseal_payload, SealSelection, SealedBlob};
@@ -101,6 +102,7 @@ pub struct Tpm {
     lock: TpmLock,
     hash_session: Option<HashSession>,
     armed_fault: Option<bool>,
+    nvram: Nvram,
 }
 
 impl Tpm {
@@ -133,6 +135,7 @@ impl Tpm {
             lock: TpmLock::new(),
             hash_session: None,
             armed_fault: None,
+            nvram: Nvram::new(seed),
         }
     }
 
@@ -220,13 +223,28 @@ impl Tpm {
     }
 
     /// Applies power-cycle semantics: static PCRs to zero, dynamic PCRs
-    /// to −1, hash session dropped, pending injected faults cleared
-    /// (a reboot un-wedges the chip). Keys persist (they live in NVRAM).
+    /// to −1, every sePCR back to Free with a zero chain, hash session
+    /// dropped, the TPM lock released, pending injected faults cleared
+    /// (a reboot un-wedges the chip). The NVRAM half — keys, monotonic
+    /// counters, stored blobs — survives untouched; sealed blobs remain
+    /// unsealable exactly when their PCR bindings are re-established.
     pub fn reboot(&mut self) {
         self.pcrs.reboot();
+        self.sepcrs.platform_reset();
         self.hash_session = None;
         self.lock = TpmLock::new();
         self.armed_fault = None;
+    }
+
+    /// Read-only view of the non-volatile storage.
+    pub fn nvram(&self) -> &Nvram {
+        &self.nvram
+    }
+
+    /// Mutable view of the non-volatile storage (counter bumps, blob
+    /// writes by the platform's durable session engine).
+    pub fn nvram_mut(&mut self) -> &mut Nvram {
+        &mut self.nvram
     }
 
     /// Arms a one-shot injected transport fault: the next gated command
@@ -780,6 +798,45 @@ mod tests {
         t.reboot();
         assert_eq!(t.hash_data(b"x").unwrap_err(), TpmError::NoHashSession);
         assert_eq!(t.lock_mut().holder(), None);
+    }
+
+    #[test]
+    fn reboot_frees_sepcrs_and_preserves_nvram() {
+        let mut t = tpm_with_sepcrs(2);
+        // One Exclusive, one Quote slot held across the power loss.
+        let h0 = t.slaunch_measure(b"running", CpuId(0)).unwrap().value;
+        let h1 = t.slaunch_measure(b"done", CpuId(1)).unwrap().value;
+        t.sepcr_release_to_quote(h1, CpuId(1)).unwrap();
+        // NVRAM carries a counter bump and a stored blob.
+        t.nvram_mut().increment_counter(7);
+        t.nvram_mut().store_blob(1, b"journal bytes");
+
+        t.reboot();
+
+        // Volatile half: every sePCR slot is Free again; the old
+        // handles confer nothing.
+        assert_eq!(t.sepcrs().free_count(), 2);
+        assert!(t.sepcr_extend(h0, CpuId(0), &Sha1::digest(b"x")).is_err());
+        assert!(t.sepcr_quote(h1, b"nonce").is_err());
+        // Persistent half: counters and blobs survived.
+        assert_eq!(t.nvram().counter(7), 1);
+        assert_eq!(t.nvram().read_blob(1), Some(&b"journal bytes"[..]));
+    }
+
+    #[test]
+    fn sealed_blob_in_nvram_survives_reboot_and_unseals() {
+        // The durable engine's checkpoint strategy end-to-end: seal to
+        // the empty PCR selection (binds to nothing, so a reboot cannot
+        // invalidate it), park the bytes in NVRAM, lose power, read the
+        // blob back and unseal it on the rebooted TPM.
+        let mut t = tpm();
+        let sealed = t.seal(b"write-ahead journal", &[]).unwrap().value;
+        t.nvram_mut().store_blob(2, &sealed.to_bytes());
+        t.reboot();
+        let raw = t.nvram().read_blob(2).expect("blob survives").to_vec();
+        let blob = SealedBlob::from_bytes(&raw).unwrap();
+        let opened = t.unseal(&blob).unwrap().value;
+        assert_eq!(opened, b"write-ahead journal");
     }
 
     #[test]

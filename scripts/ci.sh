@@ -12,6 +12,9 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
+echo "== cargo clippy (offline, warnings are errors) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
 echo "== cargo build --release (offline) =="
 cargo build --release --workspace --offline
 
@@ -20,6 +23,9 @@ cargo test -q --workspace --offline
 
 echo "== chaos suite (fixed fault seed, offline) =="
 SEA_CHAOS_SEED=20080317 cargo test -q -p minimal-tcb --offline --test fault_recovery
+
+echo "== crash suite (fixed crash seed, offline) =="
+SEA_CRASH_SEED=20080317 cargo test -q -p minimal-tcb --offline --test crash_recovery
 
 echo "== benches (smoke mode, offline) =="
 SEA_BENCH_SMOKE=1 cargo bench -q -p sea-bench --offline

@@ -12,7 +12,9 @@
 //! mutation that still fails — and panics with the minimized counter-
 //! example so the failure is small and reproducible.
 
-#![allow(dead_code)]
+// Compiled once per integration-test binary; not every binary uses
+// every helper or macro, so "unused" lints are noise here.
+#![allow(dead_code, unused_macros, unused_imports)]
 
 /// xorshift64* — the deterministic entropy source behind every case.
 pub struct XorShift(u64);

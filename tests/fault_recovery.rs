@@ -18,7 +18,7 @@ use common::{check, Tape};
 use sea_core::{
     ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, RetryPolicy, SecurePlatform, SessionResult,
 };
-use sea_hw::{CpuId, FaultPlan, Platform, SimDuration, RATE_DENOM};
+use sea_hw::{CpuId, FaultKind, FaultPlan, Platform, SimDuration, TraceEvent, RATE_DENOM};
 use sea_tpm::{KeyStrength, Quote};
 
 /// Clears the worker-assignment field: which CPU a job landed on is a
@@ -226,6 +226,82 @@ fn chaos_env_pinned_seed() {
         .with_timer_rate(4000)
         .with_fatal_ratio(RATE_DENOM / 8);
     check_plan(plan, &reference).unwrap_or_else(|e| panic!("{e}"));
+}
+
+/// Every injected fault is answered: for each `FaultInjected` event in
+/// the machine trace there is a later recovery event for the **same
+/// session** — a retry, a kill, or a blocked attack for transport and
+/// memory faults; a preemption or a kill for timer expiries. Checked
+/// only when the bounded trace dropped nothing, so no pairing can have
+/// been evicted.
+#[test]
+fn every_injected_fault_is_paired_with_a_recovery_event() {
+    let plans = [
+        FaultPlan::new(7)
+            .with_tpm_rate(6000)
+            .with_mem_rate(6000)
+            .with_timer_rate(6000)
+            .with_fatal_ratio(0),
+        FaultPlan::new(5)
+            .with_tpm_rate(15_000)
+            .with_fatal_ratio(RATE_DENOM),
+        FaultPlan::new(2)
+            .with_tpm_rate(9000)
+            .with_mem_rate(2000)
+            .with_timer_rate(6000)
+            .with_fatal_ratio(RATE_DENOM / 8),
+    ];
+    for plan in plans {
+        let seed = plan.seed();
+        let mut pool = engine();
+        pool.set_fault_plan(Some(plan));
+        pool.run_batch_recovered(batch(), RetryPolicy::default())
+            .expect("batch runs");
+        let sea = pool.into_inner();
+        let trace = sea.platform().machine().trace();
+        assert_eq!(
+            trace.dropped(),
+            0,
+            "seed {seed}: trace evicted events; pairing check would be unsound"
+        );
+        let events: Vec<&TraceEvent> = trace.iter().map(|(_, e)| e).collect();
+        let injections: Vec<(usize, &FaultKind, u64)> = events
+            .iter()
+            .enumerate()
+            .filter_map(|(p, e)| match e {
+                TraceEvent::FaultInjected { kind, session } => Some((p, kind, *session)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            !injections.is_empty(),
+            "seed {seed}: plan injected nothing; the pairing check is vacuous"
+        );
+        for (p, kind, session) in injections {
+            let answered = events[p + 1..].iter().any(|e| match kind {
+                FaultKind::TimerExpiry => matches!(
+                    e,
+                    TraceEvent::SessionPreempted { session: s }
+                    | TraceEvent::SessionKilled { session: s } if *s == session
+                ),
+                FaultKind::TpmTransport { .. } | FaultKind::MemDenial => {
+                    matches!(
+                        e,
+                        TraceEvent::SessionRetried { session: s, .. }
+                        | TraceEvent::SessionKilled { session: s } if *s == session
+                    ) || matches!(e, TraceEvent::AttackBlocked { .. })
+                }
+                // `FaultKind` is non-exhaustive; a new kind must come
+                // with a pairing rule before this suite accepts it.
+                other => panic!("seed {seed}: unpaired fault kind {other:?}"),
+            });
+            assert!(
+                answered,
+                "seed {seed}: {kind:?} injected into session {session} at trace \
+                 position {p} with no later retry/kill/preemption for it"
+            );
+        }
+    }
 }
 
 /// The acceptance criterion spelled out: a 16-session batch under a
