@@ -1,18 +1,72 @@
 //! Runs the whole paper-artifact suite — Table 1, Table 2, Figure 2,
-//! Figure 3 and the concurrent-engine throughput sweep — either serially
-//! or across a worker pool, with byte-identical output.
+//! Figure 3 and the concurrent-engine sweeps — either serially or
+//! across a worker pool, with byte-identical output.
 //!
-//! Usage: `suite [WORKERS]` — omit or pass `1` for serial; `SEA_BENCH_SMOKE=1`
-//! shrinks the per-artifact workload for CI.
+//! Usage:
+//!
+//! ```text
+//! suite [WORKERS] [--json FILE]   # run; omit WORKERS or pass 1 for serial
+//! suite --validate FILE           # check an emitted BENCH_suite.json
+//! ```
+//!
+//! `--json FILE` additionally writes the machine-readable
+//! `BENCH_suite.json` artifact (schema in `EXPERIMENTS.md`);
+//! `SEA_BENCH_SMOKE=1` shrinks the per-artifact workload for CI.
 
-use sea_bench::driver::{render_suite, run_suite_parallel, run_suite_serial, SuiteConfig};
+use sea_bench::driver::{
+    render_suite, run_suite_parallel, run_suite_serial, suite_json, validate_suite_json,
+    SuiteConfig,
+};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("suite: {msg}");
+    std::process::exit(1);
+}
+
+fn validate(path: &str) -> ! {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    match validate_suite_json(&text) {
+        Ok(()) => {
+            println!("suite: {path} is a valid BENCH_suite.json");
+            std::process::exit(0);
+        }
+        Err(e) => fail(&format!("{path} is invalid: {e}")),
+    }
+}
 
 fn main() {
-    let workers: usize = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("WORKERS must be a number"))
-        .unwrap_or(1);
-    let cfg = if std::env::var_os("SEA_BENCH_SMOKE").is_some() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workers: usize = 1;
+    let mut json_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--validate" => {
+                let path = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| fail("--validate needs a FILE"));
+                validate(path);
+            }
+            "--json" => {
+                json_path = Some(
+                    args.get(i + 1)
+                        .unwrap_or_else(|| fail("--json needs a FILE"))
+                        .clone(),
+                );
+                i += 2;
+            }
+            arg => {
+                workers = arg
+                    .parse()
+                    .unwrap_or_else(|_| fail("WORKERS must be a number"));
+                i += 1;
+            }
+        }
+    }
+
+    let smoke = std::env::var_os("SEA_BENCH_SMOKE").is_some();
+    let cfg = if smoke {
         SuiteConfig::smoke()
     } else {
         SuiteConfig::default()
@@ -30,4 +84,9 @@ fn main() {
         if workers.max(1) == 1 { "" } else { "s" },
     );
     print!("{}", render_suite(&artifacts));
+    if let Some(path) = json_path {
+        let text = suite_json(&artifacts, smoke);
+        std::fs::write(&path, &text).unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!("suite: wrote {path} ({} bytes)", text.len());
+    }
 }

@@ -1,25 +1,36 @@
 //! The experiment suite driver: every paper artifact rendered to a
-//! string, runnable serially or across a worker pool with
-//! **byte-identical** output either way.
+//! string **and** aggregated into structured metrics, runnable serially
+//! or across a worker pool with **byte-identical** output either way.
 //!
 //! Each experiment is self-contained — it builds its own platform and
-//! TPMs from fixed seeds — so the unit of parallelism is the whole
-//! artifact. Jobs are assigned statically (job *i* → worker *i* mod
-//! `workers`) and collected in job-index order, which makes
-//! [`run_suite_parallel`] byte-identical to [`run_suite_serial`] at any
-//! worker count: no shared mutable state crosses a thread boundary, so
-//! the interleaving cannot leak into the rendered text.
+//! TPMs from fixed seeds, plus its own recording observability sink —
+//! so the unit of parallelism is the whole artifact. Jobs are assigned
+//! statically (job *i* → worker *i* mod `workers`) and collected in
+//! job-index order, which makes [`run_suite_parallel`] byte-identical
+//! to [`run_suite_serial`] at any worker count: no shared mutable state
+//! crosses a thread boundary, so the interleaving cannot leak into the
+//! rendered text or the metrics.
+//!
+//! Alongside the plain-text report, [`suite_json`] serializes the
+//! structured rows as the versioned `BENCH_suite.json` artifact
+//! (schema: [`SUITE_SCHEMA_VERSION`]), which [`validate_suite_json`]
+//! checks — CI fails if the file is missing, unparseable, or its
+//! per-layer attribution stops summing to each experiment's total.
 //!
 //! The `suite` binary drives this module; `tests/parallel_determinism.rs`
-//! asserts the byte-identity contract.
+//! and `tests/observability.rs` assert the byte-identity contract.
 
-use sea_hw::SimDuration;
+use sea_hw::{Layer, Obs, SimDuration};
 use sea_tpm::TpmOp;
 
 use crate::experiments::{
-    crash_sweep, fault_sweep, figure2, figure3, figure3_tpms, table1, table2, throughput, PAL_SIZES,
+    crash_sweep_with_obs, fault_sweep_with_obs, figure2_with_obs, figure3_tpms, figure3_with_obs,
+    table1_with_obs, table2, throughput_with_obs, CrashSweepPoint, FaultSweepPoint, Figure2Bar,
+    Figure3Cell, Table1Row, ThroughputPoint, CRASH_SWEEP_SEED, FAULT_SWEEP_SEED, PAL_SIZES,
 };
 use crate::format::{ms, render_table, us};
+use crate::json::Json;
+use crate::metrics::ExperimentMetrics;
 
 /// Figure 2 session runs used by the full-size suite (the binary's 100).
 pub const FIGURE2_RUNS: usize = 100;
@@ -41,6 +52,10 @@ pub const CRASH_SWEEP_RATES: [u32; 4] = [0, 4000, 16_000, 32_000];
 /// interleaving, so the committed/relaunched split (never the final
 /// results) could vary between runs.
 pub const CRASH_SWEEP_WORKERS: usize = 1;
+
+/// Schema version of the `BENCH_suite.json` artifact. Bump on any
+/// field rename/removal; additions are backward-compatible.
+pub const SUITE_SCHEMA_VERSION: u64 = 1;
 
 /// How much work the suite gives each artifact; shrink it for tests.
 #[derive(Debug, Clone, Copy)]
@@ -82,16 +97,38 @@ impl SuiteConfig {
     }
 }
 
-/// One rendered paper artifact.
+/// One paper artifact: the rendered plain-text table/figure plus the
+/// structured metrics aggregated from its instrumented run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Artifact {
     /// Artifact name ("Table 1", "Figure 2", ...).
     pub name: String,
     /// The rendered plain-text table/figure.
     pub rendered: String,
+    /// Per-layer latency attribution, counters, and experiment inputs.
+    pub metrics: ExperimentMetrics,
 }
 
-type Job = (&'static str, Box<dyn FnOnce() -> String + Send>);
+type Job = (
+    &'static str,
+    Box<dyn FnOnce() -> (String, ExperimentMetrics) + Send>,
+);
+
+/// Runs one experiment under a fresh recording sink and aggregates the
+/// snapshot, tagging the metrics with the experiment's integer inputs.
+fn observed<T>(
+    run: impl FnOnce(Obs) -> T,
+    render: impl FnOnce(&T) -> String,
+    scalars: &[(&'static str, u64)],
+) -> (String, ExperimentMetrics) {
+    let (obs, sink) = Obs::recording();
+    let data = run(obs);
+    let mut metrics = ExperimentMetrics::from_snapshot(&sink.snapshot());
+    for &(name, value) in scalars {
+        metrics = metrics.with_scalar(name, value);
+    }
+    (render(&data), metrics)
+}
 
 fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
     let SuiteConfig {
@@ -102,35 +139,95 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
         crash_jobs,
     } = *cfg;
     vec![
-        ("Table 1", Box::new(render_table1)),
-        ("Table 2", Box::new(render_table2)),
-        ("Figure 2", Box::new(move || render_figure2(figure2_runs))),
-        ("Figure 3", Box::new(move || render_figure3(figure3_trials))),
+        (
+            "Table 1",
+            Box::new(|| observed(table1_with_obs, |rows| render_table1_rows(rows), &[])),
+        ),
+        (
+            "Table 2",
+            // Table 2 reads the virtualization cost model without
+            // executing anything, so its attribution is legitimately
+            // all-zero.
+            Box::new(|| (render_table2(), ExperimentMetrics::default())),
+        ),
+        (
+            "Figure 2",
+            Box::new(move || {
+                observed(
+                    |obs| figure2_with_obs(figure2_runs, obs),
+                    |bars| render_figure2_bars(bars, figure2_runs),
+                    &[("runs", figure2_runs as u64)],
+                )
+            }),
+        ),
+        (
+            "Figure 3",
+            Box::new(move || {
+                observed(
+                    |obs| figure3_with_obs(figure3_trials, obs),
+                    |cells| render_figure3_cells(cells, figure3_trials),
+                    &[("trials", figure3_trials as u64)],
+                )
+            }),
+        ),
         (
             "Throughput",
             Box::new(move || {
-                render_throughput(&THROUGHPUT_CORES, throughput_jobs, SimDuration::from_ms(10))
+                let work = SimDuration::from_ms(10);
+                observed(
+                    |obs| throughput_with_obs(&THROUGHPUT_CORES, throughput_jobs, work, obs),
+                    |points| render_throughput_points(points, throughput_jobs, work),
+                    &[("jobs", throughput_jobs as u64), ("work_ns", work.as_ns())],
+                )
             }),
         ),
         (
             "Fault sweep",
             Box::new(move || {
-                render_fault_sweep(
-                    &FAULT_SWEEP_RATES,
-                    fault_jobs,
-                    SimDuration::from_ms(10),
-                    FAULT_SWEEP_WORKERS,
+                let work = SimDuration::from_ms(10);
+                observed(
+                    |obs| {
+                        fault_sweep_with_obs(
+                            &FAULT_SWEEP_RATES,
+                            fault_jobs,
+                            work,
+                            FAULT_SWEEP_WORKERS,
+                            obs,
+                        )
+                    },
+                    |points| {
+                        render_fault_sweep_points(points, fault_jobs, work, FAULT_SWEEP_WORKERS)
+                    },
+                    &[
+                        ("jobs", fault_jobs as u64),
+                        ("workers", FAULT_SWEEP_WORKERS as u64),
+                        ("seed", FAULT_SWEEP_SEED),
+                    ],
                 )
             }),
         ),
         (
             "Crash sweep",
             Box::new(move || {
-                render_crash_sweep(
-                    &CRASH_SWEEP_RATES,
-                    crash_jobs,
-                    SimDuration::from_ms(10),
-                    CRASH_SWEEP_WORKERS,
+                let work = SimDuration::from_ms(10);
+                observed(
+                    |obs| {
+                        crash_sweep_with_obs(
+                            &CRASH_SWEEP_RATES,
+                            crash_jobs,
+                            work,
+                            CRASH_SWEEP_WORKERS,
+                            obs,
+                        )
+                    },
+                    |points| {
+                        render_crash_sweep_points(points, crash_jobs, work, CRASH_SWEEP_WORKERS)
+                    },
+                    &[
+                        ("jobs", crash_jobs as u64),
+                        ("workers", CRASH_SWEEP_WORKERS as u64),
+                        ("seed", CRASH_SWEEP_SEED),
+                    ],
                 )
             }),
         ),
@@ -141,16 +238,22 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
 pub fn run_suite_serial(cfg: &SuiteConfig) -> Vec<Artifact> {
     suite_jobs(cfg)
         .into_iter()
-        .map(|(name, f)| Artifact {
-            name: name.to_string(),
-            rendered: f(),
+        .map(|(name, f)| {
+            let (rendered, metrics) = f();
+            Artifact {
+                name: name.to_string(),
+                rendered,
+                metrics,
+            }
         })
         .collect()
 }
 
-/// Runs the same artifacts across `workers` threads. Output is
-/// byte-identical to [`run_suite_serial`]: assignment is static (job *i*
-/// → worker *i* mod `workers`) and results are collected by job index.
+/// Runs the same artifacts across `workers` threads. Output — rendered
+/// text and metrics alike — is byte-identical to [`run_suite_serial`]:
+/// assignment is static (job *i* → worker *i* mod `workers`), results
+/// are collected by job index, and every artifact records into its own
+/// sink.
 ///
 /// # Panics
 ///
@@ -172,11 +275,13 @@ pub fn run_suite_parallel(cfg: &SuiteConfig, workers: usize) -> Vec<Artifact> {
                     assigned
                         .into_iter()
                         .map(|(i, (name, f))| {
+                            let (rendered, metrics) = f();
                             (
                                 i,
                                 Artifact {
                                     name: name.to_string(),
-                                    rendered: f(),
+                                    rendered,
+                                    metrics,
                                 },
                             )
                         })
@@ -211,16 +316,154 @@ pub fn render_suite(artifacts: &[Artifact]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// BENCH_suite.json: the machine-readable suite artifact
+// ---------------------------------------------------------------------
+
+fn experiment_json(a: &Artifact) -> Json {
+    let m = &a.metrics;
+    let layers = Json::Obj(
+        Layer::ALL
+            .iter()
+            .zip(m.layer_ns)
+            .map(|(l, ns)| (l.as_str().to_string(), Json::UInt(ns)))
+            .collect(),
+    );
+    Json::Obj(vec![
+        ("name".to_string(), Json::Str(a.name.clone())),
+        (
+            "total_virtual_ns".to_string(),
+            Json::UInt(m.total_virtual_ns),
+        ),
+        ("layers_ns".to_string(), layers),
+        ("spans".to_string(), Json::UInt(m.spans)),
+        ("leaf_spans".to_string(), Json::UInt(m.leaf_spans)),
+        (
+            "scalars".to_string(),
+            Json::Obj(
+                m.scalars
+                    .iter()
+                    .map(|&(k, v)| (k.to_string(), Json::UInt(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "counters".to_string(),
+            Json::Obj(
+                m.counters
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Serializes the suite's structured rows as the versioned
+/// `BENCH_suite.json` document. Deterministic: the same artifacts (and
+/// smoke flag) always produce the same bytes, at any worker count.
+///
+/// See `EXPERIMENTS.md` ("The BENCH_suite.json artifact") for the
+/// schema.
+pub fn suite_json(artifacts: &[Artifact], smoke: bool) -> String {
+    Json::Obj(vec![
+        (
+            "schema".to_string(),
+            Json::Str("minimal-tcb/bench-suite".to_string()),
+        ),
+        (
+            "schema_version".to_string(),
+            Json::UInt(SUITE_SCHEMA_VERSION),
+        ),
+        ("smoke".to_string(), Json::Bool(smoke)),
+        (
+            "seeds".to_string(),
+            Json::Obj(vec![
+                ("fault_sweep".to_string(), Json::UInt(FAULT_SWEEP_SEED)),
+                ("crash_sweep".to_string(), Json::UInt(CRASH_SWEEP_SEED)),
+            ]),
+        ),
+        (
+            "experiments".to_string(),
+            Json::Arr(artifacts.iter().map(experiment_json).collect()),
+        ),
+    ])
+    .render()
+}
+
+/// Validates a `BENCH_suite.json` document: parses it, checks the
+/// schema version, and re-derives every experiment's
+/// `total_virtual_ns` from its per-layer attribution.
+///
+/// # Errors
+///
+/// Returns a message describing the first failure: unparseable JSON, a
+/// missing/mismatched field, or an attribution that does not sum.
+pub fn validate_suite_json(text: &str) -> Result<(), String> {
+    let doc = crate::json::parse(text)?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SUITE_SCHEMA_VERSION {
+        return Err(format!(
+            "schema_version {version} != supported {SUITE_SCHEMA_VERSION}"
+        ));
+    }
+    doc.get("smoke")
+        .and_then(Json::as_bool)
+        .ok_or("missing smoke flag")?;
+    doc.get("seeds").ok_or("missing seeds")?;
+    let experiments = doc
+        .get("experiments")
+        .and_then(Json::as_array)
+        .ok_or("missing experiments array")?;
+    if experiments.is_empty() {
+        return Err("experiments array is empty".to_string());
+    }
+    for e in experiments {
+        let name = e
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("experiment missing name")?;
+        let total = e
+            .get("total_virtual_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{name}: missing total_virtual_ns"))?;
+        let layers = e
+            .get("layers_ns")
+            .ok_or_else(|| format!("{name}: missing layers_ns"))?;
+        let mut sum = 0u64;
+        for layer in Layer::ALL {
+            sum += layers
+                .get(layer.as_str())
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: missing layers_ns.{}", layer.as_str()))?;
+        }
+        if sum != total {
+            return Err(format!(
+                "{name}: layers_ns sums to {sum} but total_virtual_ns is {total}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Per-artifact renderers (shared by the suite and the one-shot binaries)
 // ---------------------------------------------------------------------
 
 /// Renders Table 1 exactly as the `table1` binary prints it.
 pub fn render_table1() -> String {
+    render_table1_rows(&crate::experiments::table1())
+}
+
+/// Renders already-measured Table 1 rows.
+pub fn render_table1_rows(data: &[Table1Row]) -> String {
     let mut out = String::from(
         "Table 1: SKINIT and SENTER benchmarks (ms)\n(paper values in parentheses)\n\n",
     );
     let mut rows = Vec::new();
-    for row in table1() {
+    for row in data {
         let mut cells = vec![
             if row.tpm_present { "Yes" } else { "No" }.to_string(),
             row.system.clone(),
@@ -269,9 +512,13 @@ pub fn render_table2() -> String {
 /// Renders Figure 2 (table + terminal bar chart) as the `figure2`
 /// binary prints it.
 pub fn render_figure2(runs: usize) -> String {
+    render_figure2_bars(&crate::experiments::figure2(runs), runs)
+}
+
+/// Renders already-measured Figure 2 bars.
+pub fn render_figure2_bars(bars: &[Figure2Bar], runs: usize) -> String {
     let mut out =
         format!("Figure 2: SEA session overheads on HP dc5750 (avg of {runs} runs, ms)\n\n");
-    let bars = figure2(runs);
     let rows: Vec<Vec<String>> = bars
         .iter()
         .map(|b| {
@@ -292,7 +539,7 @@ pub fn render_figure2(runs: usize) -> String {
 
     // A terminal rendition of the stacked bars.
     out.push_str("\n  (1 char ≈ 20 ms)\n");
-    for b in &bars {
+    for b in bars {
         let seg = |v: f64, c: char| c.to_string().repeat((v / 20.0).round() as usize);
         out.push_str(&format!(
             "  {:>8} |{}{}{}{}| {:.0} ms\n",
@@ -315,8 +562,12 @@ pub fn render_figure2(runs: usize) -> String {
 
 /// Renders Figure 3 exactly as the `figure3` binary prints it.
 pub fn render_figure3(trials: usize) -> String {
+    render_figure3_cells(&crate::experiments::figure3(trials), trials)
+}
+
+/// Renders already-measured Figure 3 cells.
+pub fn render_figure3_cells(cells: &[Figure3Cell], trials: usize) -> String {
     let mut out = format!("Figure 3: TPM benchmarks, mean ± stddev over {trials} trials (ms)\n\n");
-    let cells = figure3(trials);
     let tpms: Vec<&str> = figure3_tpms().iter().map(|(_, l)| *l).collect();
 
     let mut rows = Vec::new();
@@ -348,7 +599,19 @@ pub fn render_figure3(trials: usize) -> String {
 /// Renders the concurrent-engine throughput sweep: aggregate PAL
 /// throughput vs core count on the proposed hardware.
 pub fn render_throughput(worker_counts: &[usize], jobs: usize, work: SimDuration) -> String {
-    let points = throughput(worker_counts, jobs, work);
+    render_throughput_points(
+        &crate::experiments::throughput(worker_counts, jobs, work),
+        jobs,
+        work,
+    )
+}
+
+/// Renders already-measured throughput points.
+pub fn render_throughput_points(
+    points: &[ThroughputPoint],
+    jobs: usize,
+    work: SimDuration,
+) -> String {
     let mut out = format!(
         "Throughput: {jobs} PAL sessions ({work} of work each) on the proposed\n\
          hardware's concurrent engine, virtual time, by core count\n\n"
@@ -386,7 +649,21 @@ pub fn render_throughput(worker_counts: &[usize], jobs: usize, work: SimDuration
 /// Renders the fault sweep: goodput vs injected fault rate under the
 /// recovery layer's default retry policy.
 pub fn render_fault_sweep(rates: &[u32], jobs: usize, work: SimDuration, workers: usize) -> String {
-    let points = fault_sweep(rates, jobs, work, workers);
+    render_fault_sweep_points(
+        &crate::experiments::fault_sweep(rates, jobs, work, workers),
+        jobs,
+        work,
+        workers,
+    )
+}
+
+/// Renders already-measured fault-sweep points.
+pub fn render_fault_sweep_points(
+    points: &[FaultSweepPoint],
+    jobs: usize,
+    work: SimDuration,
+    workers: usize,
+) -> String {
     let mut out = format!(
         "Fault sweep: {jobs} PAL sessions ({work} of work each) on {workers} cores\n\
          under injected hardware faults, default retry policy, virtual time\n\n"
@@ -427,7 +704,21 @@ pub fn render_fault_sweep(rates: &[u32], jobs: usize, work: SimDuration, workers
 /// Renders the crash sweep: goodput vs injected power-loss rate under
 /// the crash-consistent durable engine.
 pub fn render_crash_sweep(rates: &[u32], jobs: usize, work: SimDuration, workers: usize) -> String {
-    let points = crash_sweep(rates, jobs, work, workers);
+    render_crash_sweep_points(
+        &crate::experiments::crash_sweep(rates, jobs, work, workers),
+        jobs,
+        work,
+        workers,
+    )
+}
+
+/// Renders already-measured crash-sweep points.
+pub fn render_crash_sweep_points(
+    points: &[CrashSweepPoint],
+    jobs: usize,
+    work: SimDuration,
+    workers: usize,
+) -> String {
     let mut out = format!(
         "Crash sweep: {jobs} PAL sessions ({work} of work each) on {workers} cores\n\
          under injected power losses, journaled NVRAM checkpoints, virtual time\n\n"
@@ -495,6 +786,33 @@ mod tests {
         for a in &arts {
             assert!(!a.rendered.is_empty(), "{} rendered nothing", a.name);
         }
+        // Every executing experiment carries a non-trivial attribution
+        // whose layers sum to its total (Table 2 only reads a cost
+        // model, so its attribution is all-zero by design).
+        for a in &arts {
+            let m = &a.metrics;
+            assert_eq!(
+                m.layer_ns.iter().sum::<u64>(),
+                m.total_virtual_ns,
+                "{}: layers do not sum",
+                a.name
+            );
+            if a.name != "Table 2" {
+                assert!(m.total_virtual_ns > 0, "{}: no attribution", a.name);
+                assert!(m.leaf_spans > 0, "{}: no leaf spans", a.name);
+            }
+        }
+        // The concurrent artifacts surface their engine counters.
+        let crash = arts.iter().find(|a| a.name == "Crash sweep").unwrap();
+        assert!(
+            crash
+                .metrics
+                .counters
+                .iter()
+                .any(|(k, _)| k == "journal.commits"),
+            "{:?}",
+            crash.metrics.counters
+        );
     }
 
     #[test]
@@ -505,10 +823,25 @@ mod tests {
             let par = run_suite_parallel(&cfg, workers);
             assert_eq!(serial, par, "diverged at {workers} workers");
         }
-        assert_eq!(
-            render_suite(&serial),
-            render_suite(&run_suite_parallel(&cfg, 3))
-        );
+        let par3 = run_suite_parallel(&cfg, 3);
+        assert_eq!(render_suite(&serial), render_suite(&par3));
+        // The machine-readable artifact is byte-identical too.
+        assert_eq!(suite_json(&serial, true), suite_json(&par3, true));
+    }
+
+    #[test]
+    fn suite_json_validates_and_breaks_loudly() {
+        let arts = run_suite_serial(&SuiteConfig::smoke());
+        let text = suite_json(&arts, true);
+        validate_suite_json(&text).expect("fresh suite JSON validates");
+        // Unparseable and schema-violating documents are rejected.
+        assert!(validate_suite_json("not json").is_err());
+        assert!(validate_suite_json("{}").is_err());
+        let wrong_version = text.replace("\"schema_version\": 1", "\"schema_version\": 999");
+        assert!(validate_suite_json(&wrong_version).is_err());
+        // A total that stops summing is caught.
+        let broken = text.replace("\"total_virtual_ns\": 0", "\"total_virtual_ns\": 12345");
+        assert!(validate_suite_json(&broken).is_err());
     }
 
     #[test]

@@ -5,7 +5,9 @@ use sea_core::{
     ConcurrentJob, ConcurrentSea, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, RetryPolicy,
     SecurePlatform, SessionReport, SessionResult,
 };
-use sea_hw::{CpuId, FaultPlan, PageIndex, PageRange, Platform, ResetPlan, SimDuration, TpmKind};
+use sea_hw::{
+    CpuId, FaultPlan, Obs, PageIndex, PageRange, Platform, ResetPlan, SimDuration, TpmKind,
+};
 use sea_os::{LegacyBatch, Scheduler};
 use sea_tpm::{KeyStrength, PcrIndex, Tpm, TpmOp, TpmTimingModel};
 
@@ -36,6 +38,13 @@ pub struct Table1Row {
 /// Reproduces Table 1 by *executing* a late launch of each size on each
 /// of the paper's three machines and reading the virtual clock.
 pub fn table1() -> Vec<Table1Row> {
+    table1_with_obs(Obs::null())
+}
+
+/// [`table1`] with an observability handle installed into every
+/// platform it builds, so each late launch's charges (CPU init plus the
+/// measurement transfer/hash) land in the span stream.
+pub fn table1_with_obs(obs: Obs) -> Vec<Table1Row> {
     let configs: [(Platform, bool, [f64; 6]); 3] = [
         (
             Platform::hp_dc5750(),
@@ -62,6 +71,7 @@ pub fn table1() -> Vec<Table1Row> {
                 .map(|&size| {
                     // Fresh platform per point: late launch mutates PCRs.
                     let mut sp = platform(p.clone(), b"table1");
+                    sp.install_obs(obs.clone());
                     let pages = ((size as u32).div_ceil(4096)).max(1);
                     let range = PageRange::new(PageIndex(8), pages);
                     let image = vec![0x90u8; size];
@@ -173,9 +183,22 @@ impl Figure2Bar {
 ///
 /// Panics if `runs == 0`.
 pub fn figure2(runs: usize) -> Vec<Figure2Bar> {
+    figure2_with_obs(runs, Obs::null())
+}
+
+/// [`figure2`] with an observability handle installed into the one
+/// platform it runs every session on: each session emits a
+/// `session.legacy` frame bracketing its charged leaves, and the
+/// snapshot's total equals the machine clock's advance exactly.
+///
+/// # Panics
+///
+/// Panics if `runs == 0`.
+pub fn figure2_with_obs(runs: usize, obs: Obs) -> Vec<Figure2Bar> {
     assert!(runs > 0, "need at least one run");
-    let mut sea =
-        LegacySea::new(platform(Platform::hp_dc5750(), b"figure2")).expect("platform fits");
+    let mut sp = platform(Platform::hp_dc5750(), b"figure2");
+    sp.install_obs(obs);
+    let mut sea = LegacySea::new(sp).expect("platform fits");
 
     let mut gen_total = SessionReport::default();
     let mut use_total = SessionReport::default();
@@ -273,22 +296,34 @@ pub fn figure3_tpms() -> Vec<(TpmKind, &'static str)> {
 ///
 /// Panics if `trials == 0`.
 pub fn figure3(trials: usize) -> Vec<Figure3Cell> {
+    figure3_with_obs(trials, Obs::null())
+}
+
+/// [`figure3`] with an observability handle installed directly into
+/// each bare TPM (there is no full platform here, so the chip's own
+/// `cost()` choke point is the attribution site): every command lands
+/// as a `tpm.*` leaf and the snapshot's total equals the sum of the
+/// commands' elapsed times exactly.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn figure3_with_obs(trials: usize, obs: Obs) -> Vec<Figure3Cell> {
     assert!(trials > 0, "need at least one trial");
     let mut out = Vec::new();
     for (kind, label) in figure3_tpms() {
         let mut tpm = Tpm::new(kind, KeyStrength::Demo512, b"figure3");
+        tpm.install_obs(obs.clone());
         for op in TpmOp::FIGURE3_OPS {
             let samples: Vec<f64> = (0..trials)
                 .map(|i| run_tpm_op(&mut tpm, op, i).as_ms_f64())
                 .collect();
-            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            let var =
-                samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / samples.len() as f64;
+            let s = crate::stats::Summary::of(&samples);
             out.push(Figure3Cell {
                 tpm: label.to_string(),
                 op: op.label().to_string(),
-                mean_ms: mean,
-                stddev_ms: var.sqrt(),
+                mean_ms: s.mean,
+                stddev_ms: s.stddev,
             });
         }
     }
@@ -705,10 +740,24 @@ pub struct ThroughputPoint {
 /// overlap; the baseline hardware of §4.2 would serialize them at
 /// `aggregate_ms` regardless of core count.
 pub fn throughput(worker_counts: &[usize], jobs: usize, work: SimDuration) -> Vec<ThroughputPoint> {
+    throughput_with_obs(worker_counts, jobs, work, Obs::null())
+}
+
+/// [`throughput`] with an observability handle installed into each
+/// sweep point's engine. Per-layer totals and counters are additive, so
+/// the aggregated metrics are invariant to worker interleaving even
+/// though this path's sessions are unkeyed.
+pub fn throughput_with_obs(
+    worker_counts: &[usize],
+    jobs: usize,
+    work: SimDuration,
+    obs: Obs,
+) -> Vec<ThroughputPoint> {
     worker_counts
         .iter()
         .map(|&w| {
-            let p = platform(Platform::recommended(w as u16), b"throughput");
+            let mut p = platform(Platform::recommended(w as u16), b"throughput");
+            p.install_obs(obs.clone());
             let mut sea = ConcurrentSea::new(p, w).expect("pool fits platform");
             let batch: Vec<ConcurrentJob> = (0..jobs)
                 .map(|i| {
@@ -782,10 +831,25 @@ pub fn fault_sweep(
     work: SimDuration,
     workers: usize,
 ) -> Vec<FaultSweepPoint> {
+    fault_sweep_with_obs(rates, jobs, work, workers, Obs::null())
+}
+
+/// [`fault_sweep`] with an observability handle installed into each
+/// sweep point's engine: sessions are keyed (batch index = track), so
+/// retries surface as `recovery.backoff` leaves and `core.retries`
+/// counts on the faulted session's own track.
+pub fn fault_sweep_with_obs(
+    rates: &[u32],
+    jobs: usize,
+    work: SimDuration,
+    workers: usize,
+    obs: Obs,
+) -> Vec<FaultSweepPoint> {
     rates
         .iter()
         .map(|&rate| {
-            let p = platform(Platform::recommended(workers as u16), b"fault-sweep");
+            let mut p = platform(Platform::recommended(workers as u16), b"fault-sweep");
+            p.install_obs(obs.clone());
             let mut sea = ConcurrentSea::new(p, workers).expect("pool fits platform");
             sea.set_fault_plan(Some(
                 FaultPlan::new(FAULT_SWEEP_SEED)
@@ -887,10 +951,25 @@ pub fn crash_sweep(
     work: SimDuration,
     workers: usize,
 ) -> Vec<CrashSweepPoint> {
+    crash_sweep_with_obs(rates, jobs, work, workers, Obs::null())
+}
+
+/// [`crash_sweep`] with an observability handle installed into each
+/// sweep point's engine: journal checkpoints and reboot recovery land
+/// on the platform-wide track ([`sea_hw::PLATFORM_TRACK`]) as
+/// `journal.seal`/`journal.unseal` leaves plus `journal.*` counters.
+pub fn crash_sweep_with_obs(
+    rates: &[u32],
+    jobs: usize,
+    work: SimDuration,
+    workers: usize,
+    obs: Obs,
+) -> Vec<CrashSweepPoint> {
     rates
         .iter()
         .map(|&rate| {
-            let p = platform(Platform::recommended(workers as u16), b"crash-sweep");
+            let mut p = platform(Platform::recommended(workers as u16), b"crash-sweep");
+            p.install_obs(obs.clone());
             let mut sea = ConcurrentSea::new(p, workers).expect("pool fits platform");
             sea.set_fault_plan(Some(FaultPlan::fault_free()));
             let plan = ResetPlan::new(CRASH_SWEEP_SEED)

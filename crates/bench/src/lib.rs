@@ -26,6 +26,8 @@
 pub mod driver;
 pub mod experiments;
 pub mod format;
+pub mod json;
+pub mod metrics;
 pub mod stats;
 pub mod timing;
 

@@ -51,6 +51,22 @@ impl Summary {
     }
 }
 
+/// Nearest-rank percentile over an **already sorted** sample: `p` in
+/// `[0, 1]` selects `sorted[round((n - 1) · p)]`. This is the one
+/// percentile definition the whole workspace uses (wall-clock harness
+/// and virtual-time aggregation alike), consolidated here so the two
+/// can never drift.
+///
+/// # Panics
+///
+/// Panics on an empty sample.
+pub fn percentile_sorted<T: Copy>(sorted: &[T], p: f64) -> T {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let n = sorted.len();
+    let idx = ((n - 1) as f64 * p).round() as usize;
+    sorted[idx.min(n - 1)]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,5 +103,21 @@ mod tests {
     #[should_panic(expected = "empty sample")]
     fn empty_sample_panics() {
         let _ = Summary::of(&[]);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted = [10, 20, 30, 40, 50];
+        assert_eq!(percentile_sorted(&sorted, 0.0), 10);
+        assert_eq!(percentile_sorted(&sorted, 0.5), 30);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 50);
+        assert_eq!(percentile_sorted(&sorted, 1.0), 50);
+        assert_eq!(percentile_sorted(&[7.5], 0.5), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn percentile_empty_panics() {
+        let _: f64 = percentile_sorted(&[], 0.5);
     }
 }

@@ -40,12 +40,9 @@ pub struct Timing {
 
 impl Timing {
     /// The p-th percentile (0.0..=1.0) by nearest-rank on the sorted
-    /// sample vector.
+    /// sample vector (delegates to [`crate::stats::percentile_sorted`]).
     pub fn percentile(&self, p: f64) -> Duration {
-        let n = self.samples.len();
-        assert!(n > 0, "no samples");
-        let idx = ((n - 1) as f64 * p).round() as usize;
-        self.samples[idx.min(n - 1)]
+        crate::stats::percentile_sorted(&self.samples, p)
     }
 
     /// Median (p50) iteration time.
@@ -83,9 +80,9 @@ pub fn fmt_duration(d: Duration) -> String {
 /// median, p95, min, and sample count. Returns the samples for callers
 /// (e.g. throughput post-processing).
 ///
-/// In full mode the function warms up for [`WARMUP_BUDGET`], then
-/// samples until [`SAMPLE_BUDGET`] or [`MAX_SAMPLES`] is reached; smoke
-/// mode runs one warmup and [`SMOKE_SAMPLES`] timed iterations.
+/// In full mode the function warms up for `WARMUP_BUDGET`, then
+/// samples until `SAMPLE_BUDGET` or `MAX_SAMPLES` is reached; smoke
+/// mode runs one warmup and `SMOKE_SAMPLES` timed iterations.
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Timing {
     let smoke = smoke_mode();
 

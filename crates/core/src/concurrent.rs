@@ -37,8 +37,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use sea_hw::{
-    CpuId, FaultPlan, ResetPlan, SharedClock, SimDuration, SimTime, TraceEvent,
-    TRANSPORT_FAULT_COST,
+    CpuId, FaultPlan, Layer, ResetPlan, SharedClock, SimDuration, SimTime, TraceEvent,
+    PLATFORM_TRACK, TRANSPORT_FAULT_COST,
 };
 use sea_tpm::{Quote, SealedBlob, TpmError};
 
@@ -367,6 +367,29 @@ impl ConcurrentSea {
         self.workers
     }
 
+    /// Installs the observability handle into the shared engine's
+    /// machine: every keyed session operation then emits lifecycle
+    /// spans and attributed charges on the session's own track.
+    pub fn install_obs(&self, obs: sea_hw::Obs) {
+        self.sea
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .platform_mut()
+            .install_obs(obs);
+    }
+
+    /// The shared engine's observability handle (null unless
+    /// [`ConcurrentSea::install_obs`] was called).
+    pub fn obs(&self) -> sea_hw::Obs {
+        self.sea
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .platform()
+            .machine()
+            .obs()
+            .clone()
+    }
+
     /// The shared virtual clock the batch timeline folds into.
     pub fn clock(&self) -> &Arc<SharedClock> {
         &self.clock
@@ -660,6 +683,8 @@ impl ConcurrentSea {
             // crash would lose it.
             resets += 1;
             let mut guard = self.sea.lock().unwrap_or_else(|e| e.into_inner());
+            let obs = guard.platform().machine().obs().clone();
+            obs.add("journal.resets", 1);
             recovery_latency += guard.power_cycle();
             let recovered = {
                 let tpm = guard.platform_mut().tpm_mut().ok_or(SeaError::NoTpm)?;
@@ -668,6 +693,7 @@ impl ConcurrentSea {
                         let blob = SealedBlob::from_bytes(&bytes)?;
                         let opened = tpm.unseal(&blob)?;
                         recovery_latency += opened.elapsed;
+                        obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.unseal", opened.elapsed);
                         SessionJournal::from_bytes(&opened.value)?
                     }
                     None => SessionJournal::new(),
@@ -696,6 +722,7 @@ impl ConcurrentSea {
                     pending.push((i, job));
                 }
             }
+            obs.add("journal.relaunches", pending.len() as u64);
             let machine = guard.platform_mut().machine_mut();
             for (i, _) in &pending {
                 let now = machine.now();
@@ -888,6 +915,7 @@ fn durable_worker(
                     } else {
                         let bytes = wal.to_bytes();
                         drop(wal);
+                        let obs = guard.platform().machine().obs().clone();
                         // Seal to the empty PCR selection: the blob
                         // must unseal on the rebooted platform, whose
                         // PCRs have all reset.
@@ -895,6 +923,10 @@ fn durable_worker(
                         let sealed = tpm.seal(&bytes, &[])?;
                         tpm.nvram_mut()
                             .store_blob(JOURNAL_NV_INDEX, &sealed.value.to_bytes());
+                        // Checkpoint time serializes against the whole
+                        // batch, not one session: platform track.
+                        obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.seal", sealed.elapsed);
+                        obs.add("journal.commits", 1);
                         *journal_overhead.lock().unwrap_or_else(|e| e.into_inner()) +=
                             sealed.elapsed;
                         DurableAttempt::Committed(session)
@@ -955,9 +987,15 @@ fn fault_handling_cost(error: &SeaError) -> SimDuration {
     }
 }
 
-/// Records a [`TraceEvent::SessionRetried`] on the shared engine.
-fn record_retry(sea: &Mutex<EnhancedSea>, key: u64, attempt: u32) {
+/// Records a [`TraceEvent::SessionRetried`] on the shared engine, plus
+/// the retry's backoff as a `recovery.backoff` leaf span on the
+/// session's own track (backoff burns CPU-local time, never the shared
+/// machine clock, so it is not a [`sea_hw::Machine::charge`]).
+fn record_retry(sea: &Mutex<EnhancedSea>, key: u64, attempt: u32, backoff: SimDuration) {
     let mut guard = sea.lock().unwrap_or_else(|e| e.into_inner());
+    let obs = guard.platform().machine().obs().clone();
+    obs.leaf_on(key, Layer::Core, "recovery.backoff", backoff);
+    obs.add("core.retries", 1);
     let machine = guard.platform_mut().machine_mut();
     let now = machine.now();
     machine.trace_mut().record(
@@ -984,8 +1022,9 @@ fn try_absorb(
 ) -> bool {
     if policy.is_retryable(error) && *retries < policy.max_retries() {
         *retries += 1;
-        *recovery_cost += fault_handling_cost(error) + policy.backoff_for(*retries);
-        record_retry(sea, key, *retries);
+        let backoff = policy.backoff_for(*retries);
+        *recovery_cost += fault_handling_cost(error) + backoff;
+        record_retry(sea, key, *retries, backoff);
         true
     } else {
         *recovery_cost += fault_handling_cost(error);
@@ -1027,7 +1066,18 @@ fn run_one_recovered(
         };
         if RetryPolicy::is_saturation(&error) {
             // Graceful degradation: the sePCR bank is full, not faulty.
-            let done = lock(sea).run_legacy_fallback(&mut *job.logic, &job.input, cpu)?;
+            // The fallback is not a keyed engine op, so pin the track
+            // and lifecycle frame here, under the same engine lock.
+            let done = {
+                let mut guard = lock(sea);
+                let obs = guard.platform().machine().obs().clone();
+                obs.set_track(key);
+                obs.open(Layer::Core, "session.fallback");
+                let done = guard.run_legacy_fallback(&mut *job.logic, &job.input, cpu);
+                obs.close();
+                obs.add("core.degraded", 1);
+                done?
+            };
             return Ok(SessionResult::Degraded {
                 job: index,
                 output: done.output,

@@ -23,8 +23,8 @@
 use std::collections::HashMap;
 
 use sea_hw::{
-    CpuId, FaultKind, FaultPlan, PageIndex, PageRange, SimDuration, TraceEvent, PAGE_SIZE,
-    TRANSPORT_FAULT_COST,
+    CpuId, FaultKind, FaultPlan, Layer, Obs, PageIndex, PageRange, SimDuration, TraceEvent,
+    PAGE_SIZE, TRANSPORT_FAULT_COST,
 };
 use sea_tpm::{Quote, Timed, TpmError};
 
@@ -170,6 +170,11 @@ impl EnhancedSea {
         &mut self.platform
     }
 
+    /// The machine's observability handle (cheap clone of an `Arc`).
+    fn obs(&self) -> Obs {
+        self.platform.machine().obs().clone()
+    }
+
     /// Cost of one suspend/resume pair on this platform (§5.7 expects
     /// the proposed context switch to cost about this much).
     pub fn context_switch_cost(&self) -> SimDuration {
@@ -275,9 +280,9 @@ impl EnhancedSea {
                 return Err(e.into());
             }
         };
-        machine.advance(timed.elapsed);
+        machine.charge(Layer::Tpm, "tpm.slaunch_measure", timed.elapsed);
         let routing_cost = if matches!(secb.interrupt_policy(), InterruptPolicy::Forward(_)) {
-            machine.advance(INTERRUPT_ROUTING_COST);
+            machine.charge(Layer::Hw, "hw.interrupt_routing", INTERRUPT_ROUTING_COST);
             INTERRUPT_ROUTING_COST
         } else {
             SimDuration::ZERO
@@ -380,7 +385,11 @@ impl EnhancedSea {
             _ => 0,
         };
         let step_switches = switch_cost * preemptions as u64;
-        machine.advance(seal + unseal + tpm_other + work + step_switches);
+        machine.charge(Layer::Tpm, "tpm.seal", seal);
+        machine.charge(Layer::Tpm, "tpm.unseal", unseal);
+        machine.charge(Layer::Tpm, "tpm.other", tpm_other);
+        machine.charge(Layer::Core, "core.pal_work", work);
+        machine.charge(Layer::Hw, "hw.context_switch", step_switches);
 
         // Write back state (this CPU still owns the pages).
         write_state(machine, range, state_off, state_cap, cpu, &new_state)?;
@@ -404,7 +413,7 @@ impl EnhancedSea {
                 for h in helpers {
                     machine.cpu_mut(h)?.leave_secure();
                 }
-                machine.advance(virt.vm_exit);
+                machine.charge(Layer::Hw, "hw.vm_exit", virt.vm_exit);
                 Ok(PalStep::Yielded)
             }
             PalOutcome::Exit(output) => {
@@ -468,10 +477,11 @@ impl EnhancedSea {
         machine.cpu_mut(cpu)?.enter_secure(range.base_addr());
         let vm_enter = machine.platform().virt.vm_enter;
         let mut resume_cost = vm_enter;
+        machine.charge(Layer::Hw, "hw.vm_enter", vm_enter);
         if routing {
             resume_cost += INTERRUPT_ROUTING_COST;
+            machine.charge(Layer::Hw, "hw.interrupt_routing", INTERRUPT_ROUTING_COST);
         }
-        machine.advance(resume_cost);
 
         let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
         assert!(run.secb.transition(PalLifecycle::Protect));
@@ -511,7 +521,7 @@ impl EnhancedSea {
         }
         machine.controller_mut().release_pages(range)?;
         let timed = tpm.sepcr_skill(handle)?;
-        machine.advance(timed.elapsed);
+        machine.charge(Layer::Tpm, "tpm.skill", timed.elapsed);
         Ok(())
     }
 
@@ -539,7 +549,7 @@ impl EnhancedSea {
         let tpm = tpm.ok_or(SeaError::NoTpm)?;
         let quote = tpm.sepcr_quote(handle, nonce)?;
         tpm.sepcr_free(handle)?;
-        machine.advance(quote.elapsed);
+        machine.charge(Layer::Tpm, "tpm.quote", quote.elapsed);
         Ok(quote)
     }
 
@@ -698,7 +708,7 @@ impl EnhancedSea {
             match &result {
                 Err(SeaError::Tpm(TpmError::TransportFault { .. })) => {
                     let machine = self.platform.machine_mut();
-                    machine.advance(TRANSPORT_FAULT_COST);
+                    machine.charge(Layer::Tpm, "tpm.transport_fault", TRANSPORT_FAULT_COST);
                     let now = machine.now();
                     machine
                         .trace_mut()
@@ -731,10 +741,15 @@ impl EnhancedSea {
         preemption_timer: Option<SimDuration>,
         key: u64,
     ) -> Result<PalId, SeaError> {
+        let obs = self.obs();
+        obs.set_track(key);
+        obs.open(Layer::Core, "session.slaunch");
         let rolled = self.roll_tpm(key);
-        self.with_tpm_fault(rolled, key, |sea| {
+        let result = self.with_tpm_fault(rolled, key, |sea| {
             sea.slaunch(pal, input, cpu, preemption_timer)
-        })
+        });
+        obs.close();
+        result
     }
 
     /// [`EnhancedSea::step`] under the fault plan: a spurious
@@ -747,6 +762,20 @@ impl EnhancedSea {
     ///
     /// As for [`EnhancedSea::step`].
     pub fn step_keyed(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        id: PalId,
+        key: u64,
+    ) -> Result<PalStep, SeaError> {
+        let obs = self.obs();
+        obs.set_track(key);
+        obs.open(Layer::Core, "session.step");
+        let result = self.step_keyed_impl(pal, id, key);
+        obs.close();
+        result
+    }
+
+    fn step_keyed_impl(
         &mut self,
         pal: &mut dyn PalLogic,
         id: PalId,
@@ -783,6 +812,15 @@ impl EnhancedSea {
     /// As for [`EnhancedSea::resume`], plus [`SeaError::Hw`] with
     /// [`sea_hw::HwError::AccessDenied`] for injected denials.
     pub fn resume_keyed(&mut self, id: PalId, cpu: CpuId, key: u64) -> Result<(), SeaError> {
+        let obs = self.obs();
+        obs.set_track(key);
+        obs.open(Layer::Core, "session.resume");
+        let result = self.resume_keyed_impl(id, cpu, key);
+        obs.close();
+        result
+    }
+
+    fn resume_keyed_impl(&mut self, id: PalId, cpu: CpuId, key: u64) -> Result<(), SeaError> {
         let denial = self.roll_mem(key);
         if denial {
             self.platform
@@ -829,8 +867,13 @@ impl EnhancedSea {
         nonce: &[u8],
         key: u64,
     ) -> Result<Timed<Quote>, SeaError> {
+        let obs = self.obs();
+        obs.set_track(key);
+        obs.open(Layer::Core, "session.quote");
         let rolled = self.roll_tpm(key);
-        self.with_tpm_fault(rolled, key, |sea| sea.quote_and_free(id, nonce))
+        let result = self.with_tpm_fault(rolled, key, |sea| sea.quote_and_free(id, nonce));
+        obs.close();
+        result
     }
 
     /// Forcibly suspends an `Execute`-state PAL without running its
@@ -864,7 +907,7 @@ impl EnhancedSea {
         for h in helpers {
             machine.cpu_mut(h)?.leave_secure();
         }
-        machine.advance(vm_exit);
+        machine.charge(Layer::Hw, "hw.vm_exit", vm_exit);
 
         let run = self.pals.get_mut(&id.0).ok_or(SeaError::NoSuchPal(id.0))?;
         run.report.context_switch += vm_exit;
@@ -882,6 +925,15 @@ impl EnhancedSea {
     /// [`SeaError::NoSuchPal`] for unknown identifiers and
     /// [`SeaError::WrongLifecycle`] for PALs still mid-launch.
     pub fn kill_session(&mut self, id: PalId, key: u64) -> Result<(), SeaError> {
+        let obs = self.obs();
+        obs.set_track(key);
+        obs.open(Layer::Core, "session.kill");
+        let result = self.kill_session_impl(id, key);
+        obs.close();
+        result
+    }
+
+    fn kill_session_impl(&mut self, id: PalId, key: u64) -> Result<(), SeaError> {
         let lifecycle = self
             .pals
             .get(&id.0)
@@ -978,7 +1030,10 @@ impl EnhancedSea {
             report.unseal += ctx.unseal_cost;
             report.tpm_other += ctx.tpm_other_cost;
             report.pal_work += ctx.work_done;
-            machine.advance(ctx.seal_cost + ctx.unseal_cost + ctx.tpm_other_cost + ctx.work_done);
+            machine.charge(Layer::Tpm, "tpm.seal", ctx.seal_cost);
+            machine.charge(Layer::Tpm, "tpm.unseal", ctx.unseal_cost);
+            machine.charge(Layer::Tpm, "tpm.other", ctx.tpm_other_cost);
+            machine.charge(Layer::Core, "core.pal_work", ctx.work_done);
             state = ctx.into_state();
             match outcome {
                 Ok(PalOutcome::Exit(bytes)) => break Ok(bytes),

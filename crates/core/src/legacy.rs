@@ -13,7 +13,7 @@
 //!    all but one of the processors to be in a special idle state"
 //!    (§4.2), so even unrelated cores lose >1 s per PAL-Use session.
 
-use sea_hw::{CpuId, PageIndex, PageRange, SimDuration, PAGE_SIZE};
+use sea_hw::{CpuId, Layer, PageIndex, PageRange, SimDuration, PAGE_SIZE};
 use sea_tpm::{PcrIndex, Quote, Timed};
 
 use crate::error::SeaError;
@@ -132,6 +132,18 @@ impl LegacySea {
         pal: &mut dyn PalLogic,
         input: &[u8],
     ) -> Result<LegacySessionResult, SeaError> {
+        let obs = self.platform.machine().obs().clone();
+        obs.open(Layer::Core, "session.legacy");
+        let result = self.run_session_impl(pal, input);
+        obs.close();
+        result
+    }
+
+    fn run_session_impl(
+        &mut self,
+        pal: &mut dyn PalLogic,
+        input: &[u8],
+    ) -> Result<LegacySessionResult, SeaError> {
         let image = pal.image();
         if image.len() > self.slb.byte_len() {
             return Err(SeaError::RegionTooSmall {
@@ -182,8 +194,14 @@ impl LegacySea {
             context_switch: SimDuration::ZERO,
             pal_work: ctx.work_done,
         };
-        // The launch cost is already on the clock; add the rest.
-        machine.advance(report.total() - launch.total());
+        // The launch cost is already on the clock; charge the rest as
+        // attributed leaf spans. Quote and context-switch are zero on
+        // this path, so these four sum to exactly
+        // `report.total() - launch.total()`.
+        machine.charge(Layer::Tpm, "tpm.seal", report.seal);
+        machine.charge(Layer::Tpm, "tpm.unseal", report.unseal);
+        machine.charge(Layer::Tpm, "tpm.other", report.tpm_other);
+        machine.charge(Layer::Core, "core.pal_work", report.pal_work);
 
         // 5. Resume the untrusted system regardless of PAL outcome.
         self.platform.late_launch_exit(self.launch_cpu, self.slb)?;
@@ -214,7 +232,9 @@ impl LegacySea {
         let selection = self.measurement_pcrs();
         let tpm = self.platform.require_tpm()?;
         let timed = tpm.quote(nonce, &selection)?;
-        self.platform.machine_mut().advance(timed.elapsed);
+        self.platform
+            .machine_mut()
+            .charge(Layer::Tpm, "tpm.quote", timed.elapsed);
         Ok(timed)
     }
 }

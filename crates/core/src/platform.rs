@@ -2,7 +2,9 @@
 //! primitive both SEA generations build on.
 
 use sea_crypto::Sha1;
-use sea_hw::{CpuId, LateLaunchModel, Machine, PageRange, Platform, SimDuration, TpmKind};
+use sea_hw::{
+    CpuId, LateLaunchModel, Layer, Machine, Obs, PageRange, Platform, SimDuration, TpmKind,
+};
 use sea_tpm::{KeyStrength, Locality, PcrIndex, PcrValue, Tpm};
 
 use crate::error::SeaError;
@@ -106,6 +108,16 @@ impl SecurePlatform {
         (&mut self.machine, self.tpm.as_mut())
     }
 
+    /// Installs the observability handle into the machine, through which
+    /// every charge site in this crate attributes latency. Deliberately
+    /// *not* installed into the TPM: on a full platform, TPM command
+    /// costs are attributed at the caller's charge sites (where exact
+    /// accounting against the clock is guaranteed); the TPM's own hook
+    /// is for bare-chip benchmarks.
+    pub fn install_obs(&mut self, obs: Obs) {
+        self.machine.install_obs(obs);
+    }
+
     /// Simulates a power cycle: machine state persists (memory is not
     /// modelled as cleared), the TPM applies reboot PCR semantics.
     pub fn reboot(&mut self) {
@@ -179,27 +191,36 @@ impl SecurePlatform {
         self.machine.controller_mut().set_dev(slb, true)?;
         self.machine.cpu_mut(cpu)?.enter_secure(slb.base_addr());
 
-        let launch = match self.machine.platform().late_launch {
+        let (launch, transfer_attr) = match self.machine.platform().late_launch {
             LateLaunchModel::AmdSkinit { cpu_init } => {
-                let (transfer, pal_value, pcrs) = match &mut self.tpm {
+                let (transfer, pal_value, pcrs, attr) = match &mut self.tpm {
                     Some(tpm) => {
                         tpm.hash_start(Locality::Cpu)?;
                         let t = tpm.hash_data(&image)?.elapsed;
                         let v = tpm.hash_end()?.value;
-                        (t, Some(v), vec![PcrIndex(17)])
+                        (
+                            t,
+                            Some(v),
+                            vec![PcrIndex(17)],
+                            (Layer::Tpm, "tpm.hash_image"),
+                        )
                     }
                     None => (
                         self.machine.lpc().transfer_time(image.len()),
                         None,
                         Vec::new(),
+                        (Layer::Hw, "hw.lpc_transfer"),
                     ),
                 };
-                LateLaunch {
-                    cpu_init,
-                    transfer_hash: transfer,
-                    measured_pcrs: pcrs,
-                    pal_pcr_value: pal_value,
-                }
+                (
+                    LateLaunch {
+                        cpu_init,
+                        transfer_hash: transfer,
+                        measured_pcrs: pcrs,
+                        pal_pcr_value: pal_value,
+                    },
+                    attr,
+                )
             }
             LateLaunchModel::IntelSenter {
                 acmod_cost,
@@ -214,16 +235,25 @@ impl SecurePlatform {
                 // only the 20-byte digest into PCR 18 (§4.3.2).
                 let pal_digest = Sha1::digest(&image);
                 let v = tpm.extend(PcrIndex(18), &pal_digest)?.value;
-                LateLaunch {
-                    cpu_init: SimDuration::ZERO,
-                    transfer_hash: acmod_cost
-                        + SimDuration::from_ns_f64(image.len() as f64 * cpu_hash_ns_per_byte),
-                    measured_pcrs: vec![PcrIndex(17), PcrIndex(18)],
-                    pal_pcr_value: Some(v),
-                }
+                (
+                    LateLaunch {
+                        cpu_init: SimDuration::ZERO,
+                        transfer_hash: acmod_cost
+                            + SimDuration::from_ns_f64(image.len() as f64 * cpu_hash_ns_per_byte),
+                        measured_pcrs: vec![PcrIndex(17), PcrIndex(18)],
+                        pal_pcr_value: Some(v),
+                    },
+                    (Layer::Hw, "hw.senter_acmod"),
+                )
             }
         };
-        self.machine.advance(launch.total());
+        // Charge the launch as attributed leaf spans whose sum is exactly
+        // `launch.total()` — CPU trusted-state init on the hw layer, the
+        // transfer+hash on whichever component dominated it.
+        self.machine
+            .charge(Layer::Hw, "hw.cpu_init", launch.cpu_init);
+        self.machine
+            .charge(transfer_attr.0, transfer_attr.1, launch.transfer_hash);
         Ok(launch)
     }
 

@@ -50,6 +50,7 @@ mod fault;
 mod lpc;
 mod machine;
 mod memory;
+pub mod obs;
 mod platform;
 mod reset;
 mod time;
@@ -63,6 +64,10 @@ pub use fault::{FaultKind, FaultPlan, RATE_DENOM, TRANSPORT_FAULT_COST};
 pub use lpc::LpcBus;
 pub use machine::{Device, Machine, MachineBuilder};
 pub use memory::Memory;
+pub use obs::{
+    check_well_nested, Layer, LayerHistogram, NullSink, Obs, ObsSnapshot, RecordingSink, Sink,
+    SpanKind, SpanRecord, HISTOGRAM_BUCKETS, PLATFORM_TRACK,
+};
 pub use platform::{CpuVendor, LateLaunchModel, Platform, TpmKind, VirtTiming};
 pub use reset::{ResetPlan, RESET_REBOOT_COST};
 pub use time::{CpuClockDomain, SharedClock, SimClock, SimDuration, SimTime};

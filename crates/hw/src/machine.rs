@@ -11,6 +11,7 @@ use crate::cpu::Cpu;
 use crate::error::HwError;
 use crate::lpc::LpcBus;
 use crate::memory::Memory;
+use crate::obs::{Layer, Obs, PLATFORM_TRACK};
 use crate::platform::Platform;
 use crate::reset::RESET_REBOOT_COST;
 use crate::time::{SimClock, SimDuration, SimTime};
@@ -68,6 +69,7 @@ pub struct Machine {
     lpc: LpcBus,
     devices: Vec<Device>,
     trace: Trace,
+    obs: Obs,
     // -- volatile half: rebuilt from scratch by [`Machine::reset`] ---
     volatile: VolatileState,
 }
@@ -118,6 +120,27 @@ impl Machine {
     /// Advances virtual time.
     pub fn advance(&mut self, d: SimDuration) {
         self.clock.advance(d);
+    }
+
+    /// Advances virtual time by `d` *and* records an attributed leaf
+    /// span on the observability sink. This is the instrumented twin of
+    /// [`Machine::advance`]: the sum of charges always equals the clock
+    /// movement, so per-layer attribution and total virtual time agree
+    /// by construction.
+    pub fn charge(&mut self, layer: Layer, op: &'static str, d: SimDuration) {
+        self.obs.leaf(layer, op, d);
+        self.clock.advance(d);
+    }
+
+    /// Installs the observability handle charges emit through. The
+    /// default is the null sink.
+    pub fn install_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The machine's observability handle (cheap to clone).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Advances virtual time to `t` if in the future.
@@ -182,6 +205,10 @@ impl Machine {
         let at = self.clock.now();
         self.trace.record(at, TraceEvent::PlatformReset);
         self.volatile = VolatileState::fresh(&self.platform);
+        // A reboot belongs to no session: charge it on the platform
+        // track so per-session span streams stay interleaving-free.
+        self.obs
+            .leaf_on(PLATFORM_TRACK, Layer::Hw, "hw.reset", RESET_REBOOT_COST);
         self.clock.advance(RESET_REBOOT_COST);
         RESET_REBOOT_COST
     }
@@ -386,6 +413,7 @@ impl MachineBuilder {
             devices,
             platform: self.platform,
             trace: Trace::new(),
+            obs: Obs::null(),
         }
     }
 }

@@ -461,12 +461,20 @@ impl ParallelScheduler {
     /// Queues a PAL job. Unlike [`Scheduler::add_job`] the logic must be
     /// [`Send`]: it will execute on a worker thread.
     pub fn add_job(&mut self, logic: Box<dyn PalLogic + Send>, input: &[u8]) {
+        self.pool.obs().add("os.enqueued", 1);
         self.jobs.push(ConcurrentJob::new(logic, input.to_vec()));
     }
 
     /// Worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// Installs the observability handle into the pool's shared engine.
+    /// The scheduler then emits `os.*` counters (queue depth, dispatch,
+    /// relaunch, reset) alongside the engine's session spans.
+    pub fn install_obs(&self, obs: sea_hw::Obs) {
+        self.pool.install_obs(obs);
     }
 
     /// Runs every queued job across the pool, then accounts legacy CPU
@@ -480,6 +488,8 @@ impl ParallelScheduler {
         if self.jobs.is_empty() {
             return Err(OsError::NothingToRun);
         }
+        let obs = self.pool.obs();
+        obs.add("os.dispatched", self.jobs.len() as u64);
         if let Some(plan) = self.reset_plan.clone() {
             // Crash-consistent path: the pool journals every terminal
             // session to sealed NVRAM and this scheduler's run queue is
@@ -493,6 +503,8 @@ impl ParallelScheduler {
             let legacy_available =
                 SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
             let (outputs, reports, killed, degraded) = unpack_sessions(&outcome.sessions);
+            obs.add("os.relaunched", outcome.relaunched.len() as u64);
+            obs.add("os.resets", outcome.resets as u64);
             return Ok(ScheduleOutcome {
                 wall: outcome.wall,
                 pal_busy,

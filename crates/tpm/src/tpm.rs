@@ -6,7 +6,7 @@
 //! value so callers account its cost on the virtual clock.
 
 use sea_crypto::{Drbg, RsaPrivateKey, RsaPublicKey, Sha1, Sha1Digest};
-use sea_hw::{CpuId, SimDuration, TpmKind};
+use sea_hw::{CpuId, Layer, Obs, SimDuration, TpmKind};
 
 use crate::error::TpmError;
 use crate::lock::TpmLock;
@@ -103,6 +103,7 @@ pub struct Tpm {
     hash_session: Option<HashSession>,
     armed_fault: Option<bool>,
     nvram: Nvram,
+    obs: Obs,
 }
 
 impl Tpm {
@@ -136,7 +137,17 @@ impl Tpm {
             hash_session: None,
             armed_fault: None,
             nvram: Nvram::new(seed),
+            obs: Obs::null(),
         }
+    }
+
+    /// Installs the observability handle the timing model emits leaf
+    /// spans through. The default is the null sink; bare-TPM benchmarks
+    /// (Figure 3) install a recording sink here, while full platforms
+    /// attribute TPM costs at the charge sites in `sea-core` instead —
+    /// installing both would double-count.
+    pub fn install_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Equips the TPM with `count` secure-execution PCRs (builder-style).
@@ -275,11 +286,13 @@ impl Tpm {
     }
 
     fn cost(&mut self, op: TpmOp) -> SimDuration {
-        if self.nominal_timing {
+        let d = if self.nominal_timing {
             self.timing.mean(op)
         } else {
             self.timing.sample(op, &mut self.noise)
-        }
+        };
+        self.obs.leaf(Layer::Tpm, op.label(), d);
+        d
     }
 
     // ---------------------------------------------------------------

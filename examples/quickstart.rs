@@ -8,12 +8,14 @@
 //! hardware via `LegacySea` — paying SKINIT + TPM Seal/Unseal on every
 //! invocation — and (b) on the paper's recommended hardware via
 //! `EnhancedSea` — measured once, context-switched at VM-entry cost.
-//! Both runs end with an attestation an external verifier accepts.
+//! Both runs end with an attestation an external verifier accepts, and
+//! the baseline run records an observability span stream showing where
+//! every nanosecond of virtual time went.
 
 use minimal_tcb::core::{
     EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, SecurePlatform, Verifier,
 };
-use minimal_tcb::hw::{CpuId, Platform, SimDuration};
+use minimal_tcb::hw::{CpuId, Layer, Obs, Platform, SimDuration};
 use minimal_tcb::tpm::KeyStrength;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -32,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     // ---- (a) Baseline: today's hardware (HP dc5750, Broadcom TPM) ----
-    let platform = SecurePlatform::new(Platform::hp_dc5750(), KeyStrength::Demo512, b"qs");
+    let mut platform = SecurePlatform::new(Platform::hp_dc5750(), KeyStrength::Demo512, b"qs");
+    // Record an observability span stream: every charged latency lands
+    // as a leaf span attributed to a layer (hw/tpm/core/os).
+    let (obs, sink) = Obs::recording();
+    platform.install_obs(obs);
     let mut legacy = LegacySea::new(platform)?;
     let mut pal = make_pal();
     let image = pal.image();
@@ -76,5 +82,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "improvement: {:.0}x",
         baseline_switch.as_ns() as f64 / proposed_switch.as_ns() as f64
     );
+
+    // ---- Where did the baseline's time go? Ask the span stream. ----
+    let snap = sink.snapshot();
+    println!(
+        "\nbaseline attribution ({} spans recorded):",
+        snap.spans.len()
+    );
+    for layer in Layer::ALL {
+        println!("  {:>4}: {}", layer.as_str(), snap.layer_total(layer));
+    }
+    println!(" total: {} of charged virtual time", snap.total());
     Ok(())
 }

@@ -18,8 +18,14 @@ cargo clippy --workspace --offline --all-targets -- -D warnings
 echo "== cargo build --release (offline) =="
 cargo build --release --workspace --offline
 
+echo "== cargo doc (offline, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
+
 echo "== cargo test (offline) =="
 cargo test -q --workspace --offline
+
+echo "== quickstart example (offline) =="
+cargo run -q --release --offline -p minimal-tcb --example quickstart
 
 echo "== chaos suite (fixed fault seed, offline) =="
 SEA_CHAOS_SEED=20080317 cargo test -q -p minimal-tcb --offline --test fault_recovery
@@ -32,5 +38,12 @@ SEA_BENCH_SMOKE=1 cargo bench -q -p sea-bench --offline
 
 echo "== fault-sweep bench (smoke mode, offline) =="
 SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin fault_sweep
+
+echo "== suite + BENCH_suite.json (smoke mode, offline) =="
+SUITE_JSON=target/BENCH_suite.json
+rm -f "$SUITE_JSON"
+SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin suite -- 2 --json "$SUITE_JSON" > /dev/null
+[ -s "$SUITE_JSON" ] || { echo "ci.sh: $SUITE_JSON missing or empty" >&2; exit 1; }
+cargo run -q --release -p sea-bench --offline --bin suite -- --validate "$SUITE_JSON"
 
 echo "== ci.sh: all green =="

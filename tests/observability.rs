@@ -1,0 +1,202 @@
+//! Property tests for the observability layer (`sea_hw::obs`).
+//!
+//! The contract under test, end to end across the stack:
+//!
+//! 1. the span stream of a faulted, recovered batch is **well-nested**
+//!    per track and **byte-identical** between a 1-worker and a
+//!    4-worker run — spans carry track-relative offsets, so host
+//!    interleaving cannot leak in;
+//! 2. in a faulted **and reset** durable batch, every layer's histogram
+//!    total equals the sum of that layer's charged leaf durations, and
+//!    journal/reset activity lands on the platform-wide track;
+//! 3. attribution is *exact*, anchored two ways: a legacy session's
+//!    observed total equals the machine clock's advance, and a bare
+//!    TPM's observed total equals the sum of its commands' elapsed
+//!    times.
+
+use minimal_tcb::core::{
+    ConcurrentJob, ConcurrentSea, FnPal, LegacySea, PalOutcome, RetryPolicy, SecurePlatform,
+};
+use minimal_tcb::hw::{
+    check_well_nested, FaultPlan, Layer, Obs, ObsSnapshot, Platform, ResetPlan, SimDuration,
+    SpanKind, TpmKind, PLATFORM_TRACK, RATE_DENOM,
+};
+use minimal_tcb::tpm::{KeyStrength, PcrIndex, Tpm};
+
+fn batch(n: usize) -> Vec<ConcurrentJob> {
+    (0..n)
+        .map(|i| {
+            let work = SimDuration::from_us(10 * (1 + (i as u64 % 5)));
+            ConcurrentJob::new(
+                Box::new(FnPal::new(&format!("obs-{i}"), move |ctx| {
+                    ctx.work(work);
+                    Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                })),
+                b"",
+            )
+        })
+        .collect()
+}
+
+/// Runs a faulted batch under the recovery layer with a recording sink
+/// installed and returns the snapshot.
+fn recovered_snapshot(workers: usize, jobs: usize) -> ObsSnapshot {
+    let mut platform =
+        SecurePlatform::new(Platform::recommended(8), KeyStrength::Demo512, b"obs-prop");
+    let (obs, sink) = Obs::recording();
+    platform.install_obs(obs);
+    let mut sea = ConcurrentSea::new(platform, workers).expect("pool fits");
+    sea.set_fault_plan(Some(
+        FaultPlan::new(7)
+            .with_tpm_rate(12_000)
+            .with_mem_rate(3000)
+            .with_timer_rate(3000)
+            .with_fatal_ratio(RATE_DENOM / 8),
+    ));
+    sea.run_batch_recovered(batch(jobs), RetryPolicy::default())
+        .expect("batch runs");
+    sink.snapshot()
+}
+
+/// Satellite property: span trees are well-nested and the whole
+/// snapshot — spans, counters, histograms — is byte-identical between
+/// a serial and a 4-worker run of the same faulted batch.
+#[test]
+fn recovered_span_stream_is_well_nested_and_worker_count_invariant() {
+    let serial = recovered_snapshot(1, 12);
+    let parallel = recovered_snapshot(4, 12);
+
+    check_well_nested(&serial.spans).expect("serial spans well-nested");
+    check_well_nested(&parallel.spans).expect("parallel spans well-nested");
+
+    // The stream is non-trivial: lifecycle frames bracket charged
+    // leaves, and the fault plan actually bit.
+    assert!(serial
+        .spans
+        .iter()
+        .any(|s| s.kind == SpanKind::Interior && s.op == "session.slaunch"));
+    assert!(serial.leaves().count() > 0);
+    assert!(serial.counter("core.retries") > 0, "fault plan never bit");
+
+    assert_eq!(serial, parallel, "snapshot diverged across worker counts");
+}
+
+/// Satellite property: in a faulted + reset durable batch, each layer's
+/// histogram total and count equal the per-layer sum/count of charged
+/// leaf spans, and journal traffic serializes on the platform track.
+#[test]
+fn histogram_totals_equal_leaf_sums_in_faulted_reset_batch() {
+    let mut platform = SecurePlatform::new(
+        Platform::recommended(8),
+        KeyStrength::Demo512,
+        b"obs-durable",
+    );
+    let (obs, sink) = Obs::recording();
+    platform.install_obs(obs);
+    let mut sea = ConcurrentSea::new(platform, 1).expect("pool fits");
+    sea.set_fault_plan(Some(FaultPlan::new(11).with_tpm_rate(5000)));
+    // A moderate per-commit loss rate: low enough that some sessions
+    // commit to NVRAM before the first crash (so recovery has a journal
+    // to unseal), high enough that the plug is pulled at least once.
+    let plan = ResetPlan::new(5)
+        .with_reset_rate(RATE_DENOM / 4)
+        .with_max_resets(3);
+    let out = sea
+        .run_batch_durable(batch(10), RetryPolicy::default(), plan)
+        .expect("batch runs");
+    assert!(out.resets >= 1, "reset plan never pulled the plug");
+
+    let snap = sink.snapshot();
+    check_well_nested(&snap.spans).expect("spans well-nested");
+
+    for (hist, layer) in snap.layers.iter().zip(Layer::ALL) {
+        let leaf_sum: SimDuration = snap
+            .leaves()
+            .filter(|s| s.layer == layer)
+            .map(|s| s.duration())
+            .sum();
+        let leaf_count = snap.leaves().filter(|s| s.layer == layer).count() as u64;
+        assert_eq!(
+            hist.total,
+            leaf_sum,
+            "{}: histogram total != leaf sum",
+            layer.as_str()
+        );
+        assert_eq!(
+            hist.count,
+            leaf_count,
+            "{}: histogram count != leaf count",
+            layer.as_str()
+        );
+        assert_eq!(hist.buckets.iter().sum::<u64>(), leaf_count);
+        assert_eq!(snap.layer_total(layer), leaf_sum);
+    }
+
+    // Reboots and journal checkpoints charge the platform, not any one
+    // session.
+    assert!(snap.counter("journal.resets") >= 1);
+    assert!(snap.counter("journal.commits") >= 1);
+    for op in ["hw.reset", "journal.seal", "journal.unseal"] {
+        assert!(
+            snap.leaves()
+                .any(|s| s.track == PLATFORM_TRACK && s.op == op),
+            "no {op} leaf on the platform track"
+        );
+    }
+}
+
+/// Anchor: a legacy session + quote attribute exactly the virtual time
+/// the machine clock advanced — no charge is lost or double-counted.
+#[test]
+fn legacy_session_attribution_matches_machine_clock() {
+    let mut platform =
+        SecurePlatform::new(Platform::hp_dc5750(), KeyStrength::Demo512, b"obs-anchor");
+    let (obs, sink) = Obs::recording();
+    platform.install_obs(obs);
+    let mut sea = LegacySea::new(platform).expect("platform fits");
+    let t0 = sea.platform().machine().now();
+
+    let mut pal = FnPal::new("anchor", |ctx| {
+        let blob = ctx.seal(b"anchored state")?;
+        let _ = ctx.unseal(&blob)?;
+        ctx.work(SimDuration::from_ms(3));
+        Ok(PalOutcome::Exit(vec![]))
+    })
+    .with_image_size(32 * 1024);
+    sea.run_session(&mut pal, b"").expect("session runs");
+    sea.quote(b"anchor nonce").expect("quote");
+
+    let t1 = sea.platform().machine().now();
+    let snap = sink.snapshot();
+    assert_eq!(snap.total(), t1.duration_since(t0));
+    assert!(snap
+        .spans
+        .iter()
+        .any(|s| s.kind == SpanKind::Interior && s.op == "session.legacy"));
+    check_well_nested(&snap.spans).expect("spans well-nested");
+}
+
+/// Anchor: a bare TPM (no platform — the chip's own `cost()` choke
+/// point attributes) observes exactly the sum of its commands' elapsed
+/// times, all on the TPM layer.
+#[test]
+fn bare_tpm_attribution_matches_command_elapsed() {
+    let mut tpm = Tpm::new(TpmKind::Infineon, KeyStrength::Demo512, b"obs-tpm");
+    let (obs, sink) = Obs::recording();
+    tpm.install_obs(obs);
+
+    let digest = minimal_tcb::crypto::Sha1::digest(b"anchor");
+    let mut total = SimDuration::ZERO;
+    total += tpm.extend(PcrIndex(17), &digest).expect("extend").elapsed;
+    let sealed = tpm.seal(b"state", &[PcrIndex(17)]).expect("seal");
+    total += sealed.elapsed;
+    total += tpm.unseal(&sealed.value).expect("unseal").elapsed;
+    total += tpm.quote(b"nonce", &[PcrIndex(17)]).expect("quote").elapsed;
+    total += tpm.get_random(128).elapsed;
+
+    let snap = sink.snapshot();
+    assert_eq!(snap.total(), total);
+    assert_eq!(snap.layer_total(Layer::Tpm), total);
+    assert!(snap.leaves().all(|s| s.layer == Layer::Tpm));
+    assert_eq!(snap.leaves().count(), snap.spans.len());
+}
