@@ -2,8 +2,8 @@
 //! data the binaries print and the tests assert against.
 
 use sea_core::{
-    ConcurrentJob, ConcurrentSea, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, RetryPolicy,
-    SecurePlatform, SessionReport, SessionResult,
+    BatchPolicy, ConcurrentJob, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, RetryPolicy,
+    SecurePlatform, SessionEngine, SessionReport, SessionResult,
 };
 use sea_hw::{
     CpuId, FaultPlan, Obs, PageIndex, PageRange, Platform, ResetPlan, SimDuration, TpmKind,
@@ -734,8 +734,8 @@ pub struct ThroughputPoint {
 
 /// Aggregate PAL throughput vs core count on the proposed hardware:
 /// pushes `jobs` identical sessions (launch, then `work` of PAL
-/// computation, then attestation) through [`ConcurrentSea`] at each
-/// worker count. §5.4's
+/// computation, then attestation) through a plain-policy
+/// [`SessionEngine`] batch at each worker count. §5.4's
 /// per-PAL sePCRs and the access-control table are what let the sessions
 /// overlap; the baseline hardware of §4.2 would serialize them at
 /// `aggregate_ms` regardless of core count.
@@ -758,7 +758,8 @@ pub fn throughput_with_obs(
         .map(|&w| {
             let mut p = platform(Platform::recommended(w as u16), b"throughput");
             p.install_obs(obs.clone());
-            let mut sea = ConcurrentSea::new(p, w).expect("pool fits platform");
+            let mut sea =
+                SessionEngine::<sea_core::Slaunch>::new(p, w).expect("pool fits platform");
             let batch: Vec<ConcurrentJob> = (0..jobs)
                 .map(|i| {
                     ConcurrentJob::new(
@@ -770,7 +771,7 @@ pub fn throughput_with_obs(
                     )
                 })
                 .collect();
-            let out = sea.run_batch(batch).expect("batch runs");
+            let out = sea.run(batch, &BatchPolicy::plain()).expect("batch runs");
             ThroughputPoint {
                 workers: w,
                 jobs,
@@ -816,7 +817,7 @@ pub struct FaultSweepPoint {
 }
 
 /// Goodput vs injected fault rate: pushes `jobs` identical sessions
-/// through [`ConcurrentSea::run_batch_recovered`] at each TPM-transport
+/// through [`SessionEngine::run`] under a retrying policy at each TPM-transport
 /// fault rate (per-roll probability `rate`/[`sea_hw::RATE_DENOM`],
 /// memory-denial and timer-expiry rates at half that), under the default
 /// [`RetryPolicy`]. Every batch replays the same deterministic fault
@@ -850,7 +851,8 @@ pub fn fault_sweep_with_obs(
         .map(|&rate| {
             let mut p = platform(Platform::recommended(workers as u16), b"fault-sweep");
             p.install_obs(obs.clone());
-            let mut sea = ConcurrentSea::new(p, workers).expect("pool fits platform");
+            let mut sea =
+                SessionEngine::<sea_core::Slaunch>::new(p, workers).expect("pool fits platform");
             sea.set_fault_plan(Some(
                 FaultPlan::new(FAULT_SWEEP_SEED)
                     .with_tpm_rate(rate)
@@ -870,7 +872,10 @@ pub fn fault_sweep_with_obs(
                 })
                 .collect();
             let out = sea
-                .run_batch_recovered(batch, RetryPolicy::default())
+                .run(
+                    batch,
+                    &BatchPolicy::plain().with_retry(RetryPolicy::default()),
+                )
                 .expect("batch runs");
             let retries = out
                 .sessions
@@ -934,7 +939,7 @@ pub struct CrashSweepPoint {
 }
 
 /// Goodput vs injected power-loss rate: pushes `jobs` identical sessions
-/// through [`ConcurrentSea::run_batch_durable`] at each per-commit
+/// through [`SessionEngine::run`] under a durable policy at each per-commit
 /// power-loss probability (`rate`/[`sea_hw::RATE_DENOM`]), capped at
 /// [`CRASH_SWEEP_MAX_RESETS`] reboots. Every batch replays the same
 /// deterministic power-loss tape ([`CRASH_SWEEP_SEED`]); the final
@@ -970,7 +975,8 @@ pub fn crash_sweep_with_obs(
         .map(|&rate| {
             let mut p = platform(Platform::recommended(workers as u16), b"crash-sweep");
             p.install_obs(obs.clone());
-            let mut sea = ConcurrentSea::new(p, workers).expect("pool fits platform");
+            let mut sea =
+                SessionEngine::<sea_core::Slaunch>::new(p, workers).expect("pool fits platform");
             sea.set_fault_plan(Some(FaultPlan::fault_free()));
             let plan = ResetPlan::new(CRASH_SWEEP_SEED)
                 .with_reset_rate(rate)
@@ -987,7 +993,12 @@ pub fn crash_sweep_with_obs(
                 })
                 .collect();
             let out = sea
-                .run_batch_durable(batch, RetryPolicy::default(), plan)
+                .run(
+                    batch,
+                    &BatchPolicy::plain()
+                        .with_retry(RetryPolicy::default())
+                        .with_durability(plan),
+                )
                 .expect("batch runs");
             CrashSweepPoint {
                 rate,

@@ -1,4 +1,11 @@
 //! Small summary-statistics helpers for the experiment harness.
+//!
+//! Derived *rates* are not computed here: [`rate_per_sec`] and
+//! [`speedup`] are re-exports of the engine's own canonical math, so a
+//! number in bench JSON and the same number on a [`sea_core::BatchOutcome`]
+//! come from one implementation and can never disagree.
+
+pub use sea_core::engine::{rate_per_sec, speedup};
 
 /// Summary statistics of a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]

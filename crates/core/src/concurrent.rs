@@ -1,64 +1,27 @@
-//! The concurrent session engine: many PAL sessions executing in
-//! parallel across the platform's CPUs (§5.4, §6).
+//! The batch data model, plus the retired concurrent-engine facade.
 //!
-//! The paper's proposed hardware explicitly supports concurrent PALs —
-//! "the number of sePCRs present in a TPM establishes the limit for the
-//! number of concurrently executing PALs" (§5.4) — with the memory
-//! controller's per-page × per-CPU access table keeping simultaneously
-//! live PALs isolated from each other. [`ConcurrentSea`] realises that:
-//! a [`std::thread`] worker pool (worker *k* plays CPU *k*) drives a
-//! batch of sessions against **one shared** [`EnhancedSea`], so every
-//! `SLAUNCH`, page-table transition, and sePCR allocation really is
-//! arbitrated through the shared state machines while other PALs are
-//! live.
-//!
-//! # Determinism
-//!
-//! Results are independent of thread interleaving, by construction:
-//!
-//! * **Static assignment** — job *i* always runs on worker/CPU
-//!   `i % workers`, so the set of jobs charged to each CPU is fixed.
-//! * **Per-job costs are intrinsic** — a session's [`SessionReport`]
-//!   depends only on the platform's cost model and that job's image /
-//!   input / work, never on what other CPUs are doing or on absolute
-//!   clock readings.
-//! * **Clock joins commute** — per-CPU busy time folds into the shared
-//!   timeline via [`sea_hw::SharedClock::advance_to`] (an atomic max),
-//!   and batch wall time is the max over per-CPU busy sums.
-//! * **Ordered collection** — outputs, reports, and quote digests are
-//!   returned in job-index order, not completion order.
-//!
-//! The sePCR *handle* a job receives (and the physical pages backing its
-//! region) may differ between interleavings — the paper makes handles
-//! authority-free (§5.4.2) precisely so this doesn't matter — and
-//! neither influences any cost or output.
+//! The executor itself lives in [`crate::engine`]: one generic
+//! [`SessionEngine`] whose behavior is composed from a
+//! [`BatchPolicy`]. This module keeps what batches are *made of* —
+//! [`ConcurrentJob`], [`JobResult`], [`SessionResult`] — and the
+//! historical [`ConcurrentSea`] facade with its three outcome structs,
+//! as thin deprecated shims over the unified engine so the
+//! equivalence tests can prove old-vs-new byte-identity.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use sea_hw::{CpuId, FaultPlan, ResetPlan, SimDuration};
+use sea_tpm::Quote;
 
-use sea_hw::{
-    CpuId, FaultPlan, Layer, ResetPlan, SharedClock, SimDuration, SimTime, TraceEvent,
-    PLATFORM_TRACK, TRANSPORT_FAULT_COST,
-};
-use sea_tpm::{Quote, SealedBlob, TpmError};
-
-use crate::enhanced::{EnhancedSea, PalId, PalStep};
+use crate::engine::{rate_per_sec, speedup, BatchPolicy, SessionEngine, SessionTally, Slaunch};
 use crate::error::SeaError;
-use crate::journal::SessionJournal;
 use crate::pal::PalLogic;
 use crate::platform::SecurePlatform;
 use crate::recovery::RetryPolicy;
 use crate::report::SessionReport;
 
-/// TPM NVRAM index where the durable engine parks the sealed session
-/// journal ("SJNL" in ASCII). One checkpoint blob lives here at a time;
-/// each terminal commit overwrites it.
-pub const JOURNAL_NV_INDEX: u32 = 0x534a_4e4c;
-
 /// One unit of work for the pool: a PAL plus its input.
 pub struct ConcurrentJob {
-    logic: Box<dyn PalLogic + Send>,
-    input: Vec<u8>,
+    pub(crate) logic: Box<dyn PalLogic + Send>,
+    pub(crate) input: Vec<u8>,
 }
 
 impl ConcurrentJob {
@@ -91,7 +54,8 @@ impl JobResult {
     }
 }
 
-/// Aggregate outcome of one [`ConcurrentSea::run_batch`].
+/// Aggregate outcome of one [`ConcurrentSea::run_batch`], retired in
+/// favor of [`crate::engine::BatchOutcome`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConcurrentOutcome {
     /// Per-job results, in job-index order.
@@ -111,27 +75,16 @@ impl ConcurrentOutcome {
 
     /// Sessions completed per virtual second of batch wall time.
     pub fn throughput_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            self.results.len() as f64 / secs
-        }
+        rate_per_sec(self.results.len(), self.wall)
     }
 
     /// Parallel speedup over running the same batch on one CPU.
     pub fn speedup(&self) -> f64 {
-        let wall = self.wall.as_secs_f64();
-        if wall == 0.0 {
-            1.0
-        } else {
-            self.aggregate().as_secs_f64() / wall
-        }
+        speedup(self.aggregate(), self.wall)
     }
 }
 
-/// Outcome of one job driven by the recovery layer
-/// ([`ConcurrentSea::run_batch_recovered`]).
+/// Outcome of one job driven by the recovery layer.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SessionResult {
@@ -196,7 +149,8 @@ impl SessionResult {
     }
 }
 
-/// Aggregate outcome of one [`ConcurrentSea::run_batch_recovered`].
+/// Aggregate outcome of one [`ConcurrentSea::run_batch_recovered`],
+/// retired in favor of [`crate::engine::BatchOutcome`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveredOutcome {
     /// Per-job outcomes, in job-index order.
@@ -210,35 +164,24 @@ pub struct RecoveredOutcome {
 impl RecoveredOutcome {
     /// Number of sessions that completed with a quote.
     pub fn quoted(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_quoted()).count()
+        SessionTally::of(&self.sessions).quoted
     }
 
     /// Number of sessions killed after exhausting their retry budget.
     pub fn killed(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_killed()).count()
+        SessionTally::of(&self.sessions).killed
     }
 
     /// Completed (quoted or degraded) sessions per virtual second of
     /// batch wall time.
     pub fn goodput_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            (self.sessions.len() - self.killed()) as f64 / secs
-        }
+        rate_per_sec(SessionTally::of(&self.sessions).completed(), self.wall)
     }
 }
 
-/// Aggregate outcome of one [`ConcurrentSea::run_batch_durable`]: a
-/// recovered batch plus its crash history.
-///
-/// The per-session results are byte-identical to the crash-free run of
-/// the same batch at any worker count: committed sessions are restored
-/// verbatim from the journal, and relaunched sessions re-derive the
-/// identical result because fault rolls are a pure function of
-/// `(plan, session key, operation order)` and fault cursors rewind at
-/// reset.
+/// Aggregate outcome of one [`ConcurrentSea::run_batch_durable`],
+/// retired in favor of [`crate::engine::BatchOutcome`]: a recovered
+/// batch plus its crash history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DurableOutcome {
     /// Per-job outcomes, in job-index order.
@@ -268,1259 +211,136 @@ pub struct DurableOutcome {
 impl DurableOutcome {
     /// Number of sessions that completed with a quote.
     pub fn quoted(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_quoted()).count()
+        SessionTally::of(&self.sessions).quoted
     }
 
     /// Number of sessions that completed on the degraded slow path.
     pub fn degraded(&self) -> usize {
-        self.sessions
-            .iter()
-            .filter(|s| matches!(s, SessionResult::Degraded { .. }))
-            .count()
+        SessionTally::of(&self.sessions).degraded
     }
 
     /// Number of sessions killed after exhausting their retry budget.
     pub fn killed(&self) -> usize {
-        self.sessions.iter().filter(|s| s.is_killed()).count()
+        SessionTally::of(&self.sessions).killed
     }
 
     /// Completed (quoted or degraded) sessions per virtual second of
     /// batch wall time — the crash sweep's goodput axis.
     pub fn goodput_per_sec(&self) -> f64 {
-        let secs = self.wall.as_secs_f64();
-        if secs == 0.0 {
-            0.0
-        } else {
-            (self.sessions.len() - self.killed()) as f64 / secs
-        }
+        rate_per_sec(SessionTally::of(&self.sessions).completed(), self.wall)
     }
 }
 
-/// A multi-core concurrent session engine over one shared
-/// [`EnhancedSea`].
-///
-/// # Example
-///
-/// ```
-/// use sea_core::{ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, SecurePlatform};
-/// use sea_hw::Platform;
-/// use sea_tpm::KeyStrength;
-///
-/// let platform =
-///     SecurePlatform::new(Platform::recommended(4), KeyStrength::Demo512, b"pool");
-/// let mut pool = ConcurrentSea::new(platform, 4).unwrap();
-/// let jobs = (0..8u8)
-///     .map(|i| {
-///         ConcurrentJob::new(
-///             Box::new(FnPal::new("job", move |_| Ok(PalOutcome::Exit(vec![i])))),
-///             [],
-///         )
-///     })
-///     .collect();
-/// let outcome = pool.run_batch(jobs).unwrap();
-/// assert_eq!(outcome.results[3].output, vec![3]);
-/// assert!(outcome.speedup() > 1.0);
-/// ```
+/// The retired multi-core engine facade: a thin wrapper over
+/// [`SessionEngine<Slaunch>`], kept so the equivalence tests can prove
+/// the unified executor reproduces the historical entry points byte
+/// for byte. New code should hold a [`SessionEngine`] directly and
+/// compose a [`BatchPolicy`].
 pub struct ConcurrentSea {
-    sea: Arc<Mutex<EnhancedSea>>,
-    clock: Arc<SharedClock>,
-    workers: usize,
+    engine: SessionEngine<Slaunch>,
 }
 
 impl ConcurrentSea {
     /// Builds a pool of `workers` worker threads (worker *k* drives CPU
-    /// *k*) over a fresh [`EnhancedSea`] on `platform`.
+    /// *k*) over a fresh [`crate::EnhancedSea`] on `platform`.
     ///
     /// # Errors
     ///
-    /// [`SeaError::SlaunchUnsupported`] / [`SeaError::NoTpm`] as for
-    /// [`EnhancedSea::new`]; [`SeaError::NotEnoughCpus`] when `workers`
-    /// is zero or exceeds the platform's CPU count (each worker needs a
-    /// CPU of its own).
-    pub fn new(mut platform: SecurePlatform, workers: usize) -> Result<Self, SeaError> {
-        let n_cpus = platform.machine().cpus().len();
-        if workers == 0 || workers > n_cpus {
-            return Err(SeaError::NotEnoughCpus {
-                requested: workers,
-                available: n_cpus,
-            });
-        }
-        // Pin TPM latencies to their nominal means: with jitter, a
-        // command's sampled cost depends on its position in the shared
-        // noise stream — i.e. on thread interleaving — which would break
-        // the byte-identical serial/parallel contract. (A PAL that emits
-        // TPM RNG output verbatim is likewise outside the contract; the
-        // RNG stream is shared for the same reason.)
-        if let Some(tpm) = platform.tpm_mut() {
-            tpm.set_nominal_timing(true);
-        }
-        let sea = EnhancedSea::new(platform)?;
+    /// As for [`SessionEngine::new`].
+    pub fn new(platform: SecurePlatform, workers: usize) -> Result<Self, SeaError> {
         Ok(ConcurrentSea {
-            sea: Arc::new(Mutex::new(sea)),
-            clock: Arc::new(SharedClock::new()),
-            workers,
-        })
-    }
-
-    /// Number of worker threads (= CPUs driven).
-    pub fn workers(&self) -> usize {
-        self.workers
-    }
-
-    /// Installs the observability handle into the shared engine's
-    /// machine: every keyed session operation then emits lifecycle
-    /// spans and attributed charges on the session's own track.
-    pub fn install_obs(&self, obs: sea_hw::Obs) {
-        self.sea
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .platform_mut()
-            .install_obs(obs);
-    }
-
-    /// The shared engine's observability handle (null unless
-    /// [`ConcurrentSea::install_obs`] was called).
-    pub fn obs(&self) -> sea_hw::Obs {
-        self.sea
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .platform()
-            .machine()
-            .obs()
-            .clone()
-    }
-
-    /// The shared virtual clock the batch timeline folds into.
-    pub fn clock(&self) -> &Arc<SharedClock> {
-        &self.clock
-    }
-
-    /// Runs a batch of jobs to completion across the worker pool and
-    /// collects results in job-index order.
-    ///
-    /// Job *i* is statically assigned to worker `i % workers`; each
-    /// session is `SLAUNCH`ed, stepped to exit, quoted, and freed, with
-    /// the shared engine locked per *operation* (not per job) so
-    /// sessions genuinely overlap: while one PAL steps, others hold
-    /// pages in the access table and sePCRs in `Exclusive`.
-    ///
-    /// # Errors
-    ///
-    /// The first error any job hits (by job index) is returned; jobs on
-    /// other workers still run to completion.
-    pub fn run_batch(&mut self, jobs: Vec<ConcurrentJob>) -> Result<ConcurrentOutcome, SeaError> {
-        let n_jobs = jobs.len();
-        let workers = self.workers;
-
-        // Hand each worker its statically-assigned slice of jobs.
-        let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, job) in jobs.into_iter().enumerate() {
-            per_worker[i % workers].push((i, job));
-        }
-
-        let mut slots: Vec<Option<Result<JobResult, SeaError>>> =
-            (0..n_jobs).map(|_| None).collect();
-        let mut cpu_busy = vec![SimDuration::ZERO; workers];
-
-        // Every domain anchors at the batch's start: reading the clock
-        // inside each worker would skew late-spawned domains by however
-        // far an early sibling had already published.
-        let epoch = self.clock.now();
-        std::thread::scope(|scope| -> Result<(), SeaError> {
-            let handles: Vec<_> = per_worker
-                .into_iter()
-                .enumerate()
-                .map(|(k, assigned)| {
-                    let sea = Arc::clone(&self.sea);
-                    let clock = Arc::clone(&self.clock);
-                    scope.spawn(move || worker_loop(k, assigned, &sea, &clock, epoch))
-                })
-                .collect();
-            for (k, handle) in handles.into_iter().enumerate() {
-                let (results, busy) = handle
-                    .join()
-                    .map_err(|_| SeaError::EngineFault("worker thread panicked"))?;
-                cpu_busy[k] = busy;
-                for (i, result) in results {
-                    slots[i] = Some(result);
-                }
-            }
-            Ok(())
-        })?;
-
-        let mut results = Vec::with_capacity(n_jobs);
-        for slot in slots {
-            let result = slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?;
-            results.push(result?);
-        }
-        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
-        Ok(ConcurrentOutcome {
-            results,
-            cpu_busy,
-            wall,
+            engine: SessionEngine::new(platform, workers)?,
         })
     }
 
     /// Installs (or clears) a deterministic fault plan on the shared
-    /// engine. Only [`ConcurrentSea::run_batch_recovered`] sessions are
-    /// exposed to it; each job rolls faults against its own batch index,
-    /// so serial and parallel runs of the same batch see identical
-    /// injections.
+    /// engine.
     pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
-        self.sea
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .set_fault_plan(plan);
+        self.engine.set_fault_plan(plan);
     }
 
-    /// Runs a batch under the installed fault plan with `policy`-bounded
-    /// recovery: transient faults are retried with virtual-time backoff,
-    /// sePCR-bank saturation degrades the job to the legacy slow path,
-    /// and exhausted or fatal sessions are torn down via `SKILL` (their
-    /// sePCR and pages reclaimed) without aborting the rest of the
-    /// batch. With a fault-free plan (or none), every session is
-    /// [`SessionResult::Quoted`] with zero retries and the per-job
-    /// results match [`ConcurrentSea::run_batch`].
+    /// Runs a plain batch. Retired: compose
+    /// [`SessionEngine::run`] with [`BatchPolicy::plain`] instead.
     ///
     /// # Errors
     ///
-    /// Only infrastructure failures (lifecycle violations, missing
-    /// CPUs, …) surface as `Err`; per-session fault deaths are reported
-    /// in-band as [`SessionResult::Killed`].
+    /// As for [`SessionEngine::run`] on the plain path.
+    #[deprecated(note = "use SessionEngine::run with BatchPolicy::plain()")]
+    pub fn run_batch(&mut self, jobs: Vec<ConcurrentJob>) -> Result<ConcurrentOutcome, SeaError> {
+        let out = self.engine.run(jobs, &BatchPolicy::plain())?;
+        let mut results = Vec::with_capacity(out.sessions.len());
+        for session in out.sessions {
+            match session {
+                SessionResult::Quoted { result, .. } => results.push(result),
+                _ => {
+                    return Err(SeaError::EngineFault(
+                        "plain batch yielded a non-quoted session",
+                    ))
+                }
+            }
+        }
+        Ok(ConcurrentOutcome {
+            results,
+            cpu_busy: out.cpu_busy,
+            wall: out.wall,
+        })
+    }
+
+    /// Runs a batch with `policy`-bounded fault recovery. Retired:
+    /// compose [`SessionEngine::run`] with
+    /// [`BatchPolicy::with_retry`] instead.
+    ///
+    /// # Errors
+    ///
+    /// As for [`SessionEngine::run`] under a retry policy.
+    #[deprecated(note = "use SessionEngine::run with BatchPolicy::plain().with_retry(..)")]
     pub fn run_batch_recovered(
         &mut self,
         jobs: Vec<ConcurrentJob>,
         policy: RetryPolicy,
     ) -> Result<RecoveredOutcome, SeaError> {
-        let n_jobs = jobs.len();
-        let workers = self.workers;
-
-        let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, job) in jobs.into_iter().enumerate() {
-            per_worker[i % workers].push((i, job));
-        }
-
-        let mut slots: Vec<Option<Result<SessionResult, SeaError>>> =
-            (0..n_jobs).map(|_| None).collect();
-        let mut cpu_busy = vec![SimDuration::ZERO; workers];
-
-        // Every domain anchors at the batch's start: reading the clock
-        // inside each worker would skew late-spawned domains by however
-        // far an early sibling had already published.
-        let epoch = self.clock.now();
-        std::thread::scope(|scope| -> Result<(), SeaError> {
-            let handles: Vec<_> = per_worker
-                .into_iter()
-                .enumerate()
-                .map(|(k, assigned)| {
-                    let sea = Arc::clone(&self.sea);
-                    let clock = Arc::clone(&self.clock);
-                    scope.spawn(move || {
-                        let cpu = CpuId(k as u16);
-                        let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(&clock), epoch);
-                        let mut results = Vec::with_capacity(assigned.len());
-                        for (i, mut job) in assigned {
-                            let result = run_one_recovered(cpu, i, &mut job, &sea, policy, None);
-                            if let Ok(r) = &result {
-                                domain.advance(r.cost());
-                            }
-                            domain.publish();
-                            results.push((i, result));
-                        }
-                        (results, domain.busy())
-                    })
-                })
-                .collect();
-            for (k, handle) in handles.into_iter().enumerate() {
-                let (results, busy) = handle
-                    .join()
-                    .map_err(|_| SeaError::EngineFault("worker thread panicked"))?;
-                cpu_busy[k] = busy;
-                for (i, result) in results {
-                    slots[i] = Some(result);
-                }
-            }
-            Ok(())
-        })?;
-
-        let mut sessions = Vec::with_capacity(n_jobs);
-        for slot in slots {
-            let result = slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?;
-            sessions.push(result?);
-        }
-        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let out = self
+            .engine
+            .run(jobs, &BatchPolicy::plain().with_retry(policy))?;
         Ok(RecoveredOutcome {
-            sessions,
-            cpu_busy,
-            wall,
+            sessions: out.sessions,
+            cpu_busy: out.cpu_busy,
+            wall: out.wall,
         })
     }
 
-    /// Runs a batch with `policy`-bounded fault recovery **and**
-    /// crash-consistency under the power-loss plan: each terminal
-    /// session result is committed to a write-ahead journal, sealed,
-    /// and parked in TPM NVRAM before it counts. When `plan` cuts the
-    /// power (at a trace-event boundary, a scheduled virtual time, or a
-    /// rate roll at a commit gate), every volatile structure evaporates
-    /// — live PALs, page protections, sePCR bindings, un-checkpointed
-    /// results — and recovery reboots the platform, unseals the
-    /// journal, restores committed sessions byte-for-byte, and
-    /// relaunches the rest.
-    ///
-    /// The final per-session results are byte-identical to the
-    /// crash-free run of the same batch, at any worker count, because
-    /// relaunched sessions re-roll their fault streams from scratch
-    /// (fault cursors are volatile) and quotes depend only on the PAL
-    /// measurement chain and nonce — never on sePCR handles, pages, or
-    /// time. Two caveats bound the contract: PAL logic must be
-    /// restartable (a pure function of its input and page-resident
-    /// state — closures mutating captured state are outside it), and
-    /// jobs must not emit shared-RNG output verbatim (checkpoint seals
-    /// consume the TPM RNG stream).
+    /// Runs a batch with fault recovery **and** crash-consistency.
+    /// Retired: compose [`SessionEngine::run`] with
+    /// [`BatchPolicy::with_retry`] + [`BatchPolicy::with_durability`]
+    /// instead.
     ///
     /// # Errors
     ///
-    /// Infrastructure failures ([`SeaError::EngineFault`], lifecycle
-    /// violations) and an unreadable journal
-    /// ([`SeaError::JournalCorrupt`]) surface as `Err`; per-session
-    /// fault deaths are in-band [`SessionResult::Killed`] values.
+    /// As for [`SessionEngine::run`] under a durability policy.
+    #[deprecated(
+        note = "use SessionEngine::run with BatchPolicy::plain().with_retry(..).with_durability(..)"
+    )]
     pub fn run_batch_durable(
         &mut self,
         jobs: Vec<ConcurrentJob>,
         policy: RetryPolicy,
         plan: ResetPlan,
     ) -> Result<DurableOutcome, SeaError> {
-        let n_jobs = jobs.len();
-        let workers = self.workers;
-
-        let journal = Mutex::new(SessionJournal::new());
-        let triggers = Mutex::new(ResetTriggers::new(plan));
-        let journal_overhead = Mutex::new(SimDuration::ZERO);
-        let mut cpu_busy = vec![SimDuration::ZERO; workers];
-        let mut final_slots: Vec<Option<SessionResult>> = (0..n_jobs).map(|_| None).collect();
-        let mut pending: Vec<(usize, ConcurrentJob)> = jobs.into_iter().enumerate().collect();
-        let mut resets = 0u32;
-        let mut committed: Vec<u64> = Vec::new();
-        let mut relaunched: Vec<u64> = Vec::new();
-        let mut recovery_latency = SimDuration::ZERO;
-
-        loop {
-            let crashed = AtomicBool::new(false);
-            let epoch = self.clock.now();
-            let reset_epoch = resets as u64;
-
-            // Jobs keep their original static assignment (job i →
-            // worker/CPU i % workers) across relaunch epochs, so a
-            // relaunched session lands on the same CPU as crash-free.
-            let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (i, job) in pending.drain(..) {
-                per_worker[i % workers].push((i, job));
-            }
-
-            let mut attempts: Vec<Option<DurableAttempt>> = (0..n_jobs).map(|_| None).collect();
-            std::thread::scope(|scope| -> Result<(), SeaError> {
-                let handles: Vec<_> = per_worker
-                    .into_iter()
-                    .enumerate()
-                    .map(|(k, assigned)| {
-                        let sea = Arc::clone(&self.sea);
-                        let clock = Arc::clone(&self.clock);
-                        let journal = &journal;
-                        let triggers = &triggers;
-                        let journal_overhead = &journal_overhead;
-                        let crashed = &crashed;
-                        scope.spawn(move || {
-                            durable_worker(
-                                k,
-                                assigned,
-                                &sea,
-                                &clock,
-                                epoch,
-                                reset_epoch,
-                                policy,
-                                journal,
-                                triggers,
-                                journal_overhead,
-                                crashed,
-                            )
-                        })
-                    })
-                    .collect();
-                for (k, handle) in handles.into_iter().enumerate() {
-                    let (results, busy) = handle
-                        .join()
-                        .map_err(|_| SeaError::EngineFault("worker thread panicked"))??;
-                    cpu_busy[k] += busy;
-                    for (i, attempt) in results {
-                        attempts[i] = Some(attempt);
-                    }
-                }
-                Ok(())
-            })?;
-
-            if !crashed.load(Ordering::SeqCst) {
-                // Clean epoch: every surviving attempt is final.
-                for (i, attempt) in attempts.into_iter().enumerate() {
-                    match attempt {
-                        Some(DurableAttempt::Committed(s) | DurableAttempt::Volatile(s, _)) => {
-                            final_slots[i] = Some(s)
-                        }
-                        Some(DurableAttempt::Torn(_)) => {
-                            return Err(SeaError::EngineFault("torn session in a clean epoch"))
-                        }
-                        None => {}
-                    }
-                }
-                break;
-            }
-
-            // Power loss. Reboot the platform, then rebuild the world
-            // from the sealed journal alone — every in-memory result
-            // past the last checkpoint is discarded, exactly as a real
-            // crash would lose it.
-            resets += 1;
-            let mut guard = self.sea.lock().unwrap_or_else(|e| e.into_inner());
-            let obs = guard.platform().machine().obs().clone();
-            obs.add("journal.resets", 1);
-            recovery_latency += guard.power_cycle();
-            let recovered = {
-                let tpm = guard.platform_mut().tpm_mut().ok_or(SeaError::NoTpm)?;
-                match tpm.nvram().read_blob(JOURNAL_NV_INDEX).map(<[u8]>::to_vec) {
-                    Some(bytes) => {
-                        let blob = SealedBlob::from_bytes(&bytes)?;
-                        let opened = tpm.unseal(&blob)?;
-                        recovery_latency += opened.elapsed;
-                        obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.unseal", opened.elapsed);
-                        SessionJournal::from_bytes(&opened.value)?
-                    }
-                    None => SessionJournal::new(),
-                }
-            };
-            let restored = recovered.restore()?;
-            committed = restored.iter().map(|(key, _)| *key).collect();
-            final_slots.fill(None);
-            for (key, session) in restored {
-                let slot = final_slots
-                    .get_mut(key as usize)
-                    .ok_or(SeaError::JournalCorrupt("session key out of range"))?;
-                *slot = Some(session);
-            }
-            *journal.lock().unwrap_or_else(|e| e.into_inner()) = recovered;
-
-            // Everything without a checkpointed terminal relaunches.
-            relaunched.clear();
-            for (i, attempt) in attempts.into_iter().enumerate() {
-                let job = match attempt {
-                    Some(DurableAttempt::Torn(job) | DurableAttempt::Volatile(_, job)) => job,
-                    Some(DurableAttempt::Committed(_)) | None => continue,
-                };
-                if final_slots[i].is_none() {
-                    relaunched.push(i as u64);
-                    pending.push((i, job));
-                }
-            }
-            obs.add("journal.relaunches", pending.len() as u64);
-            let machine = guard.platform_mut().machine_mut();
-            for (i, _) in &pending {
-                let now = machine.now();
-                machine
-                    .trace_mut()
-                    .record(now, TraceEvent::SessionRelaunched { session: *i as u64 });
-            }
-        }
-
-        let journal_overhead = journal_overhead
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner());
-        let mut sessions = Vec::with_capacity(n_jobs);
-        for slot in final_slots {
-            sessions.push(slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?);
-        }
-        // Reboots and checkpoint seals serialize against everything, so
-        // they extend the batch beyond the busiest CPU's overlap.
-        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO)
-            + recovery_latency
-            + journal_overhead;
+        let out = self.engine.run(
+            jobs,
+            &BatchPolicy::plain()
+                .with_retry(policy)
+                .with_durability(plan),
+        )?;
         Ok(DurableOutcome {
-            sessions,
-            cpu_busy,
-            wall,
-            resets,
-            committed,
-            relaunched,
-            recovery_latency,
-            journal_overhead,
+            sessions: out.sessions,
+            cpu_busy: out.cpu_busy,
+            wall: out.wall,
+            resets: out.resets,
+            committed: out.committed,
+            relaunched: out.relaunched,
+            recovery_latency: out.recovery_latency,
+            journal_overhead: out.journal_overhead,
         })
-    }
-
-    /// Tears the pool down, returning the shared engine (e.g. to
-    /// inspect the platform's final state in tests).
-    ///
-    /// # Panics
-    ///
-    /// Panics if worker threads still hold the engine (they cannot:
-    /// [`ConcurrentSea::run_batch`] joins them before returning).
-    pub fn into_inner(self) -> EnhancedSea {
-        Arc::try_unwrap(self.sea)
-            .map_err(|_| ())
-            .expect("no workers are live outside run_batch")
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-    }
-}
-
-/// Drives one worker's assigned jobs on CPU `k`, locking the shared
-/// engine once per operation. Returns per-job results plus the CPU's
-/// accumulated virtual busy time.
-#[allow(clippy::type_complexity)]
-fn worker_loop(
-    k: usize,
-    assigned: Vec<(usize, ConcurrentJob)>,
-    sea: &Mutex<EnhancedSea>,
-    clock: &Arc<SharedClock>,
-    epoch: SimTime,
-) -> (Vec<(usize, Result<JobResult, SeaError>)>, SimDuration) {
-    let cpu = CpuId(k as u16);
-    let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(clock), epoch);
-    let mut results = Vec::with_capacity(assigned.len());
-    for (i, job) in assigned {
-        let result = run_one(cpu, i, job, sea);
-        if let Ok(r) = &result {
-            domain.advance(r.total());
-        }
-        domain.publish();
-        results.push((i, result));
-    }
-    (results, domain.busy())
-}
-
-/// What one durable worker produced for one job at its commit gate.
-enum DurableAttempt {
-    /// Terminal result checkpointed to NVRAM — survives any later crash.
-    Committed(SessionResult),
-    /// A kill, deliberately not checkpointed (see
-    /// [`crate::journal::SessionJournal::commit`]): final only if the
-    /// epoch ends cleanly, relaunched — and deterministically re-killed
-    /// — otherwise.
-    Volatile(SessionResult, ConcurrentJob),
-    /// The crash beat the commit: the session must relaunch.
-    Torn(ConcurrentJob),
-}
-
-/// Driver-side reset state for one durable batch: the plan plus
-/// once-only bookkeeping for the event cut and the reset budget.
-struct ResetTriggers {
-    plan: ResetPlan,
-    cut_fired: bool,
-    fired: u32,
-}
-
-impl ResetTriggers {
-    fn new(plan: ResetPlan) -> Self {
-        ResetTriggers {
-            plan,
-            cut_fired: false,
-            fired: 0,
-        }
-    }
-
-    /// Decides, at one commit boundary, whether the power fails there.
-    /// `epoch` counts resets already survived, `key` is the committing
-    /// session, `recorded` the trace's cumulative event count, `now`
-    /// the machine clock. The budget cap guarantees the recovery loop
-    /// terminates even under a 100% reset rate.
-    fn check(&mut self, epoch: u64, key: u64, recorded: u64, now: SimTime) -> bool {
-        if self.fired >= self.plan.max_resets() {
-            return false;
-        }
-        let cut = !self.cut_fired && self.plan.cut_due(recorded);
-        if cut {
-            self.cut_fired = true;
-        }
-        let fire = cut || self.plan.take_due(now) > 0 || self.plan.roll_power_loss(epoch, key);
-        if fire {
-            self.fired += 1;
-        }
-        fire
-    }
-}
-
-/// Drives one durable worker's assigned jobs on CPU `k`: run the
-/// session with bounded recovery, then pass its commit gate — under the
-/// engine lock, decide whether the power fails at this boundary, and if
-/// not, checkpoint the journal into NVRAM.
-#[allow(clippy::too_many_arguments, clippy::type_complexity)]
-fn durable_worker(
-    k: usize,
-    assigned: Vec<(usize, ConcurrentJob)>,
-    sea: &Mutex<EnhancedSea>,
-    clock: &Arc<SharedClock>,
-    epoch: SimTime,
-    reset_epoch: u64,
-    policy: RetryPolicy,
-    journal: &Mutex<SessionJournal>,
-    triggers: &Mutex<ResetTriggers>,
-    journal_overhead: &Mutex<SimDuration>,
-    crashed: &AtomicBool,
-) -> Result<(Vec<(usize, DurableAttempt)>, SimDuration), SeaError> {
-    let cpu = CpuId(k as u16);
-    let mut domain = sea_hw::CpuClockDomain::at(Arc::clone(clock), epoch);
-    let mut results = Vec::with_capacity(assigned.len());
-    for (i, mut job) in assigned {
-        let key = i as u64;
-        if crashed.load(Ordering::SeqCst) {
-            // The platform is already dark; this job never started.
-            results.push((i, DurableAttempt::Torn(job)));
-            continue;
-        }
-        journal
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .record_intent(key);
-        let session = run_one_recovered(cpu, i, &mut job, sea, policy, Some(journal))?;
-
-        // Commit gate. Holding the engine lock makes the read of the
-        // trace counter, the reset decision, and the NVRAM checkpoint
-        // one atomic boundary — no other worker can slip a commit in
-        // between.
-        let attempt = {
-            let mut guard = sea.lock().unwrap_or_else(|e| e.into_inner());
-            if crashed.load(Ordering::SeqCst) {
-                DurableAttempt::Torn(job)
-            } else {
-                let (recorded, now) = {
-                    let machine = guard.platform().machine();
-                    (machine.trace().recorded(), machine.now())
-                };
-                let fire = triggers.lock().unwrap_or_else(|e| e.into_inner()).check(
-                    reset_epoch,
-                    key,
-                    recorded,
-                    now,
-                );
-                if fire {
-                    // The cord is yanked before this record reaches
-                    // NVRAM: the committing session is torn too.
-                    crashed.store(true, Ordering::SeqCst);
-                    DurableAttempt::Torn(job)
-                } else {
-                    let mut wal = journal.lock().unwrap_or_else(|e| e.into_inner());
-                    wal.commit(key, &session);
-                    if session.is_killed() {
-                        drop(wal);
-                        DurableAttempt::Volatile(session, job)
-                    } else {
-                        let bytes = wal.to_bytes();
-                        drop(wal);
-                        let obs = guard.platform().machine().obs().clone();
-                        // Seal to the empty PCR selection: the blob
-                        // must unseal on the rebooted platform, whose
-                        // PCRs have all reset.
-                        let tpm = guard.platform_mut().tpm_mut().ok_or(SeaError::NoTpm)?;
-                        let sealed = tpm.seal(&bytes, &[])?;
-                        tpm.nvram_mut()
-                            .store_blob(JOURNAL_NV_INDEX, &sealed.value.to_bytes());
-                        // Checkpoint time serializes against the whole
-                        // batch, not one session: platform track.
-                        obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.seal", sealed.elapsed);
-                        obs.add("journal.commits", 1);
-                        *journal_overhead.lock().unwrap_or_else(|e| e.into_inner()) +=
-                            sealed.elapsed;
-                        DurableAttempt::Committed(session)
-                    }
-                }
-            }
-        };
-        if let DurableAttempt::Committed(s) | DurableAttempt::Volatile(s, _) = &attempt {
-            domain.advance(s.cost());
-        }
-        domain.publish();
-        results.push((i, attempt));
-    }
-    Ok((results, domain.busy()))
-}
-
-/// Runs a single session to completion: `SLAUNCH` → step/resume loop →
-/// quote → free, with the lock released between operations.
-fn run_one(
-    cpu: CpuId,
-    index: usize,
-    mut job: ConcurrentJob,
-    sea: &Mutex<EnhancedSea>,
-) -> Result<JobResult, SeaError> {
-    fn lock<'a>(sea: &'a Mutex<EnhancedSea>) -> std::sync::MutexGuard<'a, EnhancedSea> {
-        sea.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    let id: PalId = lock(sea).slaunch(&mut *job.logic, &job.input, cpu, None)?;
-    let output = loop {
-        let step = lock(sea).step(&mut *job.logic, id)?;
-        match step {
-            PalStep::Yielded => lock(sea).resume(id, cpu)?,
-            PalStep::Exited { output } => break output,
-        }
-    };
-    let report = lock(sea).report(id)?;
-    // Deterministic per-job nonce: ties the quote to the batch index.
-    let nonce = (index as u64).to_le_bytes();
-    let quote = lock(sea).quote_and_free(id, &nonce)?;
-    Ok(JobResult {
-        output,
-        report,
-        quote_cost: quote.elapsed,
-        cpu,
-    })
-}
-
-/// Deterministic virtual cost of handling one injected fault of the
-/// given error class, as charged to the faulted session's CPU. (The
-/// fault substrate also advances the shared machine clock; this local
-/// accounting is what flows into per-CPU busy time and wall time, and
-/// is a pure function of the error — never of the machine clock.)
-fn fault_handling_cost(error: &SeaError) -> SimDuration {
-    match error {
-        SeaError::Tpm(TpmError::TransportFault { .. }) => TRANSPORT_FAULT_COST,
-        _ => SimDuration::ZERO,
-    }
-}
-
-/// Records a [`TraceEvent::SessionRetried`] on the shared engine, plus
-/// the retry's backoff as a `recovery.backoff` leaf span on the
-/// session's own track (backoff burns CPU-local time, never the shared
-/// machine clock, so it is not a [`sea_hw::Machine::charge`]).
-fn record_retry(sea: &Mutex<EnhancedSea>, key: u64, attempt: u32, backoff: SimDuration) {
-    let mut guard = sea.lock().unwrap_or_else(|e| e.into_inner());
-    let obs = guard.platform().machine().obs().clone();
-    obs.leaf_on(key, Layer::Core, "recovery.backoff", backoff);
-    obs.add("core.retries", 1);
-    let machine = guard.platform_mut().machine_mut();
-    let now = machine.now();
-    machine.trace_mut().record(
-        now,
-        TraceEvent::SessionRetried {
-            session: key,
-            attempt,
-        },
-    );
-}
-
-/// Applies the retry policy to one failed attempt. On a retryable error
-/// with budget left: consumes a retry, charges the fault-handling cost
-/// plus backoff, records the retry, and returns `true` (caller loops).
-/// Otherwise charges the handling cost and returns `false` (caller
-/// kills the session).
-fn try_absorb(
-    sea: &Mutex<EnhancedSea>,
-    policy: &RetryPolicy,
-    key: u64,
-    error: &SeaError,
-    retries: &mut u32,
-    recovery_cost: &mut SimDuration,
-) -> bool {
-    if policy.is_retryable(error) && *retries < policy.max_retries() {
-        *retries += 1;
-        let backoff = policy.backoff_for(*retries);
-        *recovery_cost += fault_handling_cost(error) + backoff;
-        record_retry(sea, key, *retries, backoff);
-        true
-    } else {
-        *recovery_cost += fault_handling_cost(error);
-        false
-    }
-}
-
-/// Runs a single session under the fault plan with bounded recovery:
-/// `SLAUNCH` → step/resume loop → quote, retrying transient faults per
-/// `policy`, degrading to the legacy slow path on sePCR saturation, and
-/// `SKILL`ing the session when the budget runs out.
-///
-/// The job is borrowed, not consumed, so a durable driver can relaunch
-/// it after a platform reset. When `journal` is given, the launch is
-/// recorded in it (the durable engine's `launched` write-ahead record).
-fn run_one_recovered(
-    cpu: CpuId,
-    index: usize,
-    job: &mut ConcurrentJob,
-    sea: &Mutex<EnhancedSea>,
-    policy: RetryPolicy,
-    journal: Option<&Mutex<SessionJournal>>,
-) -> Result<SessionResult, SeaError> {
-    fn lock<'a>(sea: &'a Mutex<EnhancedSea>) -> std::sync::MutexGuard<'a, EnhancedSea> {
-        sea.lock().unwrap_or_else(|e| e.into_inner())
-    }
-
-    let key = index as u64;
-    let mut retries: u32 = 0;
-    let mut recovery_cost = SimDuration::ZERO;
-
-    // Phase 1: SLAUNCH. A faulted launch has already rolled its pages
-    // back to `ALL` (Figure 7's failure path), so retrying is a plain
-    // re-launch and exhaustion needs no SKILL.
-    let id: PalId = loop {
-        let error = match lock(sea).slaunch_keyed(&mut *job.logic, &job.input, cpu, None, key) {
-            Ok(id) => break id,
-            Err(e) => e,
-        };
-        if RetryPolicy::is_saturation(&error) {
-            // Graceful degradation: the sePCR bank is full, not faulty.
-            // The fallback is not a keyed engine op, so pin the track
-            // and lifecycle frame here, under the same engine lock.
-            let done = {
-                let mut guard = lock(sea);
-                let obs = guard.platform().machine().obs().clone();
-                obs.set_track(key);
-                obs.open(Layer::Core, "session.fallback");
-                let done = guard.run_legacy_fallback(&mut *job.logic, &job.input, cpu);
-                obs.close();
-                obs.add("core.degraded", 1);
-                done?
-            };
-            return Ok(SessionResult::Degraded {
-                job: index,
-                output: done.output,
-                report: done.report,
-            });
-        }
-        if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
-            continue;
-        }
-        // No SKILL to issue — the faulted launch rolled its pages back —
-        // but the death is still a recovery decision, so the trace pairs
-        // the injected fault with a kill like every other path.
-        {
-            let mut guard = lock(sea);
-            let machine = guard.platform_mut().machine_mut();
-            let now = machine.now();
-            machine
-                .trace_mut()
-                .record(now, TraceEvent::SessionKilled { session: key });
-        }
-        return Ok(SessionResult::Killed {
-            job: index,
-            attempts: retries + 1,
-            error,
-            wasted: recovery_cost,
-        });
-    };
-    if let Some(journal) = journal {
-        journal
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .record_launched(key);
-    }
-
-    // Phase 2: step/resume loop. Injected timer expiries surface as
-    // extra `Yielded` steps; injected resume denials retry in place
-    // (the SECB stays `Suspend`). Each engine call is bound to a local
-    // first so its lock guard drops before recovery takes the lock
-    // again.
-    let output = loop {
-        let step = lock(sea).step_keyed(&mut *job.logic, id, key);
-        match step {
-            Ok(PalStep::Exited { output }) => break output,
-            Ok(PalStep::Yielded) => loop {
-                let resumed = lock(sea).resume_keyed(id, cpu, key);
-                match resumed {
-                    Ok(()) => break,
-                    Err(error) => {
-                        if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
-                            continue;
-                        }
-                        lock(sea).kill_session(id, key)?;
-                        return Ok(SessionResult::Killed {
-                            job: index,
-                            attempts: retries + 1,
-                            error,
-                            wasted: recovery_cost,
-                        });
-                    }
-                }
-            },
-            Err(error) => {
-                if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
-                    continue;
-                }
-                lock(sea).kill_session(id, key)?;
-                return Ok(SessionResult::Killed {
-                    job: index,
-                    attempts: retries + 1,
-                    error,
-                    wasted: recovery_cost,
-                });
-            }
-        }
-    };
-
-    let report = lock(sea).report(id)?;
-    let nonce = (index as u64).to_le_bytes();
-    // Phase 3: quote. A faulted quote leaves the sePCR in the Quote
-    // state, so it can be retried; on exhaustion the kill path frees
-    // the slot without an attestation.
-    let quote = loop {
-        let attempt = lock(sea).quote_and_free_keyed(id, &nonce, key);
-        match attempt {
-            Ok(q) => break q,
-            Err(error) => {
-                if try_absorb(sea, &policy, key, &error, &mut retries, &mut recovery_cost) {
-                    continue;
-                }
-                lock(sea).kill_session(id, key)?;
-                return Ok(SessionResult::Killed {
-                    job: index,
-                    attempts: retries + 1,
-                    error,
-                    wasted: recovery_cost,
-                });
-            }
-        }
-    };
-    Ok(SessionResult::Quoted {
-        result: JobResult {
-            output,
-            report,
-            quote_cost: quote.elapsed,
-            cpu,
-        },
-        quote: quote.value,
-        retries,
-        recovery_cost,
-    })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::pal::{FnPal, PalOutcome};
-    use sea_hw::Platform;
-    use sea_tpm::KeyStrength;
-
-    fn platform(n_cpus: u16) -> SecurePlatform {
-        SecurePlatform::new(
-            Platform::recommended(n_cpus),
-            KeyStrength::Demo512,
-            b"concurrent test",
-        )
-    }
-
-    fn jobs(n: usize, work_us: u64) -> Vec<ConcurrentJob> {
-        (0..n)
-            .map(|i| {
-                ConcurrentJob::new(
-                    Box::new(FnPal::new(&format!("job-{i}"), move |ctx| {
-                        ctx.work(SimDuration::from_us(work_us));
-                        Ok(PalOutcome::Exit(vec![i as u8]))
-                    })),
-                    (i as u32).to_le_bytes(),
-                )
-            })
-            .collect()
-    }
-
-    #[test]
-    fn rejects_more_workers_than_cpus() {
-        assert!(matches!(
-            ConcurrentSea::new(platform(2), 3),
-            Err(SeaError::NotEnoughCpus {
-                requested: 3,
-                available: 2
-            })
-        ));
-        assert!(ConcurrentSea::new(platform(2), 0).is_err());
-    }
-
-    #[test]
-    fn outputs_arrive_in_job_index_order() {
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        let outcome = pool.run_batch(jobs(13, 5)).unwrap();
-        assert_eq!(outcome.results.len(), 13);
-        for (i, r) in outcome.results.iter().enumerate() {
-            assert_eq!(r.output, vec![i as u8]);
-            assert_eq!(r.cpu, CpuId((i % 4) as u16));
-        }
-    }
-
-    #[test]
-    fn batch_results_match_single_worker_byte_for_byte() {
-        // The determinism contract: 1-worker and 4-worker runs of the
-        // same batch produce identical outputs and identical per-job
-        // virtual costs.
-        let run = |workers: usize| {
-            let mut pool = ConcurrentSea::new(platform(4), workers).unwrap();
-            pool.run_batch(jobs(12, 40)).unwrap()
-        };
-        let serial = run(1);
-        let parallel = run(4);
-        assert_eq!(serial.results.len(), parallel.results.len());
-        for (s, p) in serial.results.iter().zip(&parallel.results) {
-            assert_eq!(s.output, p.output);
-            assert_eq!(s.report, p.report);
-            assert_eq!(s.quote_cost, p.quote_cost);
-        }
-        assert_eq!(serial.aggregate(), parallel.aggregate());
-    }
-
-    #[test]
-    fn parallel_wall_time_beats_serial() {
-        let mut serial = ConcurrentSea::new(platform(4), 1).unwrap();
-        let mut parallel = ConcurrentSea::new(platform(4), 4).unwrap();
-        let s = serial.run_batch(jobs(8, 100)).unwrap();
-        let p = parallel.run_batch(jobs(8, 100)).unwrap();
-        // Same total virtual work...
-        assert_eq!(s.aggregate(), p.aggregate());
-        // ...but 4 CPUs overlap it: 8 equal jobs → 2 per CPU → 4×.
-        assert_eq!(s.wall, s.aggregate());
-        assert_eq!(p.wall, p.aggregate() / 4);
-        assert!((p.speedup() - 4.0).abs() < 1e-9);
-        assert!(p.throughput_per_sec() > s.throughput_per_sec());
-    }
-
-    #[test]
-    fn engine_state_is_clean_after_batch() {
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        pool.run_batch(jobs(9, 10)).unwrap();
-        let sea = pool.into_inner();
-        // Every sePCR came back to Free and every page back to ALL.
-        let tpm = sea.platform().tpm().expect("tpm");
-        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
-        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
-        assert_eq!((cpus_pages, none_pages), (0, 0));
-    }
-
-    #[test]
-    fn fault_free_recovered_batch_matches_plain_batch() {
-        let mut plain = ConcurrentSea::new(platform(4), 4).unwrap();
-        let p = plain.run_batch(jobs(8, 20)).unwrap();
-
-        let mut recovered = ConcurrentSea::new(platform(4), 4).unwrap();
-        recovered.set_fault_plan(Some(FaultPlan::fault_free()));
-        let r = recovered
-            .run_batch_recovered(jobs(8, 20), RetryPolicy::default())
-            .unwrap();
-
-        assert_eq!(r.quoted(), 8);
-        assert_eq!(r.killed(), 0);
-        for (jr, s) in p.results.iter().zip(&r.sessions) {
-            match s {
-                SessionResult::Quoted {
-                    result,
-                    retries,
-                    recovery_cost,
-                    ..
-                } => {
-                    assert_eq!(result, jr);
-                    assert_eq!(*retries, 0);
-                    assert_eq!(*recovery_cost, SimDuration::ZERO);
-                }
-                other => panic!("expected Quoted, got {other:?}"),
-            }
-        }
-        assert_eq!(p.wall, r.wall);
-        assert_eq!(p.cpu_busy, r.cpu_busy);
-    }
-
-    #[test]
-    fn transient_faults_are_retried_and_nothing_leaks() {
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        pool.set_fault_plan(Some(
-            FaultPlan::new(7)
-                .with_tpm_rate(6000)
-                .with_mem_rate(6000)
-                .with_timer_rate(6000)
-                .with_fatal_ratio(0),
-        ));
-        let out = pool
-            .run_batch_recovered(jobs(16, 10), RetryPolicy::default())
-            .unwrap();
-        assert_eq!(out.sessions.len(), 16);
-        // Every retryable fault was absorbed: with fatal_ratio 0 and a
-        // 4-retry budget, this seed completes the whole batch.
-        assert_eq!(out.killed(), 0);
-        assert_eq!(out.quoted(), 16);
-        let total_retries: u32 = out
-            .sessions
-            .iter()
-            .map(|s| match s {
-                SessionResult::Quoted { retries, .. } => *retries,
-                _ => 0,
-            })
-            .sum();
-        assert!(total_retries > 0, "seed 7 at ~9% rates must inject");
-
-        // Recovery reclaimed everything: sePCRs all Free, pages all ALL.
-        let sea = pool.into_inner();
-        let tpm = sea.platform().tpm().expect("tpm");
-        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
-        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
-        assert_eq!((cpus_pages, none_pages), (0, 0));
-    }
-
-    #[test]
-    fn fatal_faults_kill_cleanly_without_leaking() {
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        pool.set_fault_plan(Some(
-            FaultPlan::new(42)
-                .with_tpm_rate(20_000)
-                .with_fatal_ratio(sea_hw::RATE_DENOM),
-        ));
-        let out = pool
-            .run_batch_recovered(jobs(16, 10), RetryPolicy::default())
-            .unwrap();
-        assert!(out.killed() > 0, "seed 42 at ~30% fatal rate must kill");
-        assert_eq!(out.killed() + out.quoted(), 16);
-        for s in &out.sessions {
-            match s {
-                SessionResult::Killed {
-                    error, attempts, ..
-                } => {
-                    // Fatal transport faults are not retried.
-                    assert_eq!(*attempts, 1);
-                    assert!(matches!(
-                        error,
-                        SeaError::Tpm(TpmError::TransportFault { retryable: false })
-                    ));
-                }
-                SessionResult::Quoted { retries, .. } => assert_eq!(*retries, 0),
-                other => panic!("unexpected outcome {other:?}"),
-            }
-        }
-
-        let sea = pool.into_inner();
-        let tpm = sea.platform().tpm().expect("tpm");
-        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
-        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
-        assert_eq!((cpus_pages, none_pages), (0, 0));
-        // Kills left their mark in the hardware trace.
-        assert!(sea
-            .platform()
-            .machine()
-            .trace()
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::SessionKilled { .. })));
-    }
-
-    #[test]
-    fn durable_batch_without_resets_matches_recovered_and_checkpoints() {
-        let mut plain = ConcurrentSea::new(platform(4), 4).unwrap();
-        plain.set_fault_plan(Some(FaultPlan::fault_free()));
-        let r = plain
-            .run_batch_recovered(jobs(8, 20), RetryPolicy::default())
-            .unwrap();
-
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        pool.set_fault_plan(Some(FaultPlan::fault_free()));
-        let d = pool
-            .run_batch_durable(jobs(8, 20), RetryPolicy::default(), ResetPlan::reset_free())
-            .unwrap();
-
-        assert_eq!(d.resets, 0);
-        assert!(d.committed.is_empty() && d.relaunched.is_empty());
-        assert_eq!(d.recovery_latency, SimDuration::ZERO);
-        assert_eq!(d.sessions, r.sessions);
-        assert_eq!(d.cpu_busy, r.cpu_busy);
-        // Checkpointing is the only wall-time delta.
-        assert!(d.journal_overhead > SimDuration::ZERO);
-        assert_eq!(d.wall, r.wall + d.journal_overhead);
-
-        // The final checkpoint sits in NVRAM and replays every session.
-        let sea = pool.into_inner();
-        let tpm = sea.platform().tpm().expect("tpm");
-        let blob = tpm.nvram().read_blob(JOURNAL_NV_INDEX).expect("checkpoint");
-        let blob = SealedBlob::from_bytes(blob).unwrap();
-        let mut sea = sea;
-        let bytes = sea
-            .platform_mut()
-            .tpm_mut()
-            .unwrap()
-            .unseal(&blob)
-            .unwrap()
-            .value;
-        let journal = SessionJournal::from_bytes(&bytes).unwrap();
-        assert_eq!(journal.restore().unwrap().len(), 8);
-        assert!(journal.torn().is_empty());
-    }
-
-    #[test]
-    fn durable_batch_survives_an_event_cut() {
-        let reference = {
-            let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-            pool.set_fault_plan(Some(FaultPlan::fault_free()));
-            pool.run_batch_recovered(jobs(8, 20), RetryPolicy::default())
-                .unwrap()
-                .sessions
-        };
-
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        pool.set_fault_plan(Some(FaultPlan::fault_free()));
-        // A fault-free batch records no trace events, so cut at 0: the
-        // cord is yanked at the very first commit gate, before anything
-        // reaches NVRAM — the whole batch must relaunch.
-        let d = pool
-            .run_batch_durable(
-                jobs(8, 20),
-                RetryPolicy::default(),
-                ResetPlan::reset_free().with_cut_after_events(0),
-            )
-            .unwrap();
-
-        assert_eq!(d.resets, 1);
-        assert!(d.committed.is_empty());
-        assert_eq!(d.relaunched.len(), 8);
-        assert!(d.recovery_latency >= sea_hw::RESET_REBOOT_COST);
-        // The recovered batch is byte-identical to the crash-free run.
-        assert_eq!(d.sessions, reference);
-
-        // Nothing leaked across the reset, and the trace tells the story.
-        let sea = pool.into_inner();
-        let tpm = sea.platform().tpm().expect("tpm");
-        assert_eq!(tpm.sepcrs().free_count(), tpm.sepcrs().count());
-        let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
-        assert_eq!((cpus_pages, none_pages), (0, 0));
-        let trace = sea.platform().machine().trace();
-        assert!(trace
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::PlatformReset)));
-        assert!(trace
-            .iter()
-            .any(|(_, e)| matches!(e, TraceEvent::SessionRelaunched { .. })));
-    }
-
-    #[test]
-    fn durable_batch_with_rate_resets_terminates_within_budget() {
-        let mut pool = ConcurrentSea::new(platform(4), 4).unwrap();
-        pool.set_fault_plan(Some(FaultPlan::fault_free()));
-        let d = pool
-            .run_batch_durable(
-                jobs(12, 10),
-                RetryPolicy::default(),
-                ResetPlan::new(9)
-                    .with_reset_rate(sea_hw::RATE_DENOM / 3)
-                    .with_max_resets(3),
-            )
-            .unwrap();
-        assert!(d.resets >= 1, "one-in-three rate over 12 gates must fire");
-        assert!(d.resets <= 3, "budget caps the reset count");
-        assert_eq!(d.quoted() + d.degraded() + d.killed(), 12);
-        assert_eq!(d.quoted(), 12);
-        for (i, s) in d.sessions.iter().enumerate() {
-            match s {
-                SessionResult::Quoted { result, .. } => {
-                    assert_eq!(result.output, vec![i as u8]);
-                    assert_eq!(result.cpu, CpuId((i % 4) as u16));
-                }
-                other => panic!("expected Quoted, got {other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn shared_clock_reflects_batch_wall_time() {
-        let mut pool = ConcurrentSea::new(platform(2), 2).unwrap();
-        let outcome = pool.run_batch(jobs(4, 50)).unwrap();
-        // Every domain published busy-so-far at each job boundary; the
-        // final shared reading is the busiest CPU's timeline.
-        assert_eq!(pool.clock().now().as_ns(), outcome.wall.as_ns());
     }
 }

@@ -1,0 +1,1548 @@
+//! The unified session engine: one generic lifecycle over pluggable
+//! architectures, with batch behavior composed from policy objects.
+//!
+//! The paper's central claim (§5) is that legacy `SKINIT`/`SENTER`
+//! sessions and the recommended `SLAUNCH`/sePCR sessions are the *same
+//! lifecycle* realised on different hardware primitives. This module
+//! encodes that claim in the type system:
+//!
+//! * [`Architecture`] is the pluggable hardware binding — [`Skinit`]
+//!   (today's hardware: full teardown + `TPM_Seal`/`Unseal` per
+//!   invocation, one session at a time) and [`Slaunch`] (the proposed
+//!   hardware: `SYIELD`/resume, sePCR-bound quotes, `SKILL`).
+//! * [`Session`] is a typestate handle walking `Launched → Stepping →
+//!   Sealed`; the terminal outcomes (`Quoted`/`Killed`/`Degraded`) are
+//!   the [`SessionResult`] variants. Illegal transitions (resuming an
+//!   exited PAL, quoting a live one) do not compile.
+//! * [`SessionEngine`] is the one batch executor. Its behavior is
+//!   composed from a [`BatchPolicy`]: add a [`RetryPolicy`] for
+//!   bounded fault recovery, add a [`ResetPlan`] for crash-consistent
+//!   durability (write-ahead [`SessionJournal`] sealed into TPM
+//!   NVRAM), pick a worker count for concurrency. Every combination
+//!   returns the same [`BatchOutcome`].
+//!
+//! # Determinism
+//!
+//! The executor inherits the concurrent engine's contract: job *i*
+//! runs on worker/CPU `i % workers`, per-job costs are intrinsic,
+//! per-CPU busy time folds into the shared timeline via an atomic max,
+//! and results return in job-index order — so outcomes are
+//! byte-identical across worker counts and host interleavings.
+//!
+//! # Lock scope
+//!
+//! The shared runtime is locked **per operation**, never per job, and
+//! the hot path keeps obs emission for retries *outside* the engine
+//! lock: a retry's `recovery.backoff` leaf lands on the session's own
+//! track (owned by exactly one worker, ordered by a per-track
+//! sequence) and counters are order-insensitive, so neither needs the
+//! lock. Only shared-state mutations — trace records, journal commit
+//! gates, `PLATFORM_TRACK` spans — still serialize on it.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use sea_hw::{
+    CpuClockDomain, CpuId, FaultPlan, Layer, Obs, ResetPlan, SharedClock, SimDuration, SimTime,
+    TraceEvent, PLATFORM_TRACK, TRANSPORT_FAULT_COST,
+};
+use sea_tpm::{Quote, SealedBlob, Timed, TpmError};
+
+use crate::concurrent::{ConcurrentJob, JobResult, SessionResult};
+use crate::enhanced::{EnhancedSea, PalId, PalStep};
+use crate::error::SeaError;
+use crate::journal::SessionJournal;
+use crate::legacy::LegacySea;
+use crate::pal::PalLogic;
+use crate::platform::SecurePlatform;
+use crate::recovery::RetryPolicy;
+use crate::report::SessionReport;
+
+/// TPM NVRAM index where the durable engine parks the sealed session
+/// journal ("SJNL" in ASCII). One checkpoint blob lives here at a time;
+/// each terminal commit overwrites it.
+pub const JOURNAL_NV_INDEX: u32 = 0x534a_4e4c;
+
+/// Locks a mutex, riding through poison (a panicked worker must not
+/// wedge the batch driver).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Completions per virtual second of wall time — the one rate formula
+/// every outcome struct and bench table shares (`sea_bench::stats`
+/// re-exports it), so engine outcomes and bench JSON cannot disagree.
+pub fn rate_per_sec(completed: usize, wall: SimDuration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs == 0.0 {
+        0.0
+    } else {
+        completed as f64 / secs
+    }
+}
+
+/// Parallel speedup: aggregate (serial) virtual cost over batch wall
+/// time. `1.0` for an empty batch. Shared with `sea_bench::stats` for
+/// the same reason as [`rate_per_sec`].
+pub fn speedup(aggregate: SimDuration, wall: SimDuration) -> f64 {
+    let wall = wall.as_secs_f64();
+    if wall == 0.0 {
+        1.0
+    } else {
+        aggregate.as_secs_f64() / wall
+    }
+}
+
+/// Terminal-variant counts for a slice of session results: the one
+/// shared tally every outcome struct derives its `quoted()` /
+/// `degraded()` / `killed()` counters from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionTally {
+    /// Sessions that completed with an attestation.
+    pub quoted: usize,
+    /// Sessions that completed on the degraded legacy slow path.
+    pub degraded: usize,
+    /// Sessions torn down after exhausting their retry budget.
+    pub killed: usize,
+}
+
+impl SessionTally {
+    /// Tallies the terminal variants in `sessions`.
+    pub fn of(sessions: &[SessionResult]) -> Self {
+        let mut tally = SessionTally::default();
+        for s in sessions {
+            match s {
+                SessionResult::Quoted { .. } => tally.quoted += 1,
+                SessionResult::Degraded { .. } => tally.degraded += 1,
+                SessionResult::Killed { .. } => tally.killed += 1,
+            }
+        }
+        tally
+    }
+
+    /// Sessions that produced an output (quoted or degraded).
+    pub fn completed(&self) -> usize {
+        self.quoted + self.degraded
+    }
+}
+
+/// A hardware binding for the unified session lifecycle.
+///
+/// The engine drives every architecture through the same sequence —
+/// launch, step/resume to exit, report, quote — and the architecture
+/// maps each step onto its primitives. Operations take the runtime
+/// behind a [`Mutex`] and lock it **per operation**, so concurrent
+/// sessions genuinely interleave on a shared runtime.
+///
+/// `key` is `Some` when the recovery layer drives the session (keyed
+/// operations roll injected faults and pin obs tracks) and `None` on
+/// the plain fast path.
+pub trait Architecture: Send + Sync + 'static {
+    /// The shared engine state (one per platform).
+    type Runtime: Send;
+    /// Handle to one live session.
+    type Live: Send;
+
+    /// Architecture name, for diagnostics and policy errors.
+    const NAME: &'static str;
+    /// Whether multiple sessions may be live at once (drives the
+    /// worker-count cap: non-concurrent architectures serialize).
+    const CONCURRENT: bool;
+    /// Whether sessions can persist across a platform reset (required
+    /// for durable batches).
+    const DURABLE: bool;
+
+    /// Boots the runtime on `platform`.
+    fn boot(platform: SecurePlatform) -> Result<Self::Runtime, SeaError>;
+
+    /// Installs (or clears) a deterministic fault plan. A no-op on
+    /// architectures without fault hooks.
+    fn set_fault_plan(rt: &mut Self::Runtime, plan: Option<FaultPlan>);
+
+    /// The underlying platform.
+    fn platform(rt: &Self::Runtime) -> &SecurePlatform;
+
+    /// The underlying platform, mutably.
+    fn platform_mut(rt: &mut Self::Runtime) -> &mut SecurePlatform;
+
+    /// Reboots the platform after a power loss, returning the virtual
+    /// reboot cost. Only reachable when [`Architecture::DURABLE`].
+    fn power_cycle(rt: &mut Self::Runtime) -> SimDuration;
+
+    /// Launches a session for `logic` on `cpu`.
+    fn launch(
+        rt: &Mutex<Self::Runtime>,
+        logic: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        key: Option<u64>,
+    ) -> Result<Self::Live, SeaError>;
+
+    /// Runs the session until it yields or exits.
+    fn step(
+        rt: &Mutex<Self::Runtime>,
+        live: &mut Self::Live,
+        logic: &mut dyn PalLogic,
+        key: Option<u64>,
+    ) -> Result<PalStep, SeaError>;
+
+    /// Resumes a yielded session on `cpu`.
+    fn resume(
+        rt: &Mutex<Self::Runtime>,
+        live: &mut Self::Live,
+        cpu: CpuId,
+        key: Option<u64>,
+    ) -> Result<(), SeaError>;
+
+    /// The exited session's cost breakdown.
+    fn report(rt: &Mutex<Self::Runtime>, live: &Self::Live) -> Result<SessionReport, SeaError>;
+
+    /// Attests the exited session over `nonce` and retires it.
+    fn quote(
+        rt: &Mutex<Self::Runtime>,
+        live: &mut Self::Live,
+        nonce: &[u8],
+        key: Option<u64>,
+    ) -> Result<Timed<Quote>, SeaError>;
+
+    /// Tears a session down mid-flight, reclaiming its resources.
+    fn kill(rt: &Mutex<Self::Runtime>, live: &mut Self::Live, key: u64) -> Result<(), SeaError>;
+
+    /// Runs `logic` to completion on the architecture's degraded slow
+    /// path (no per-session attestation). Only reachable where session
+    /// slots can saturate.
+    fn degrade(
+        rt: &Mutex<Self::Runtime>,
+        logic: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        key: u64,
+    ) -> Result<(Vec<u8>, SessionReport), SeaError>;
+}
+
+/// The paper's recommended hardware (§5): `SLAUNCH` over an
+/// [`EnhancedSea`] runtime — suspendable sessions, sePCR-bound quotes,
+/// `SKILL` teardown, graceful degradation to the legacy slow path on
+/// sePCR saturation. Concurrent and durable.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Slaunch;
+
+impl Architecture for Slaunch {
+    type Runtime = EnhancedSea;
+    type Live = PalId;
+
+    const NAME: &'static str = "slaunch";
+    const CONCURRENT: bool = true;
+    const DURABLE: bool = true;
+
+    fn boot(platform: SecurePlatform) -> Result<EnhancedSea, SeaError> {
+        EnhancedSea::new(platform)
+    }
+
+    fn set_fault_plan(rt: &mut EnhancedSea, plan: Option<FaultPlan>) {
+        rt.set_fault_plan(plan);
+    }
+
+    fn platform(rt: &EnhancedSea) -> &SecurePlatform {
+        rt.platform()
+    }
+
+    fn platform_mut(rt: &mut EnhancedSea) -> &mut SecurePlatform {
+        rt.platform_mut()
+    }
+
+    fn power_cycle(rt: &mut EnhancedSea) -> SimDuration {
+        rt.power_cycle()
+    }
+
+    fn launch(
+        rt: &Mutex<EnhancedSea>,
+        logic: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        key: Option<u64>,
+    ) -> Result<PalId, SeaError> {
+        match key {
+            None => lock(rt).slaunch(logic, input, cpu, None),
+            Some(key) => lock(rt).slaunch_keyed(logic, input, cpu, None, key),
+        }
+    }
+
+    fn step(
+        rt: &Mutex<EnhancedSea>,
+        live: &mut PalId,
+        logic: &mut dyn PalLogic,
+        key: Option<u64>,
+    ) -> Result<PalStep, SeaError> {
+        match key {
+            None => lock(rt).step(logic, *live),
+            Some(key) => lock(rt).step_keyed(logic, *live, key),
+        }
+    }
+
+    fn resume(
+        rt: &Mutex<EnhancedSea>,
+        live: &mut PalId,
+        cpu: CpuId,
+        key: Option<u64>,
+    ) -> Result<(), SeaError> {
+        match key {
+            None => lock(rt).resume(*live, cpu),
+            Some(key) => lock(rt).resume_keyed(*live, cpu, key),
+        }
+    }
+
+    fn report(rt: &Mutex<EnhancedSea>, live: &PalId) -> Result<SessionReport, SeaError> {
+        lock(rt).report(*live)
+    }
+
+    fn quote(
+        rt: &Mutex<EnhancedSea>,
+        live: &mut PalId,
+        nonce: &[u8],
+        key: Option<u64>,
+    ) -> Result<Timed<Quote>, SeaError> {
+        match key {
+            None => lock(rt).quote_and_free(*live, nonce),
+            Some(key) => lock(rt).quote_and_free_keyed(*live, nonce, key),
+        }
+    }
+
+    fn kill(rt: &Mutex<EnhancedSea>, live: &mut PalId, key: u64) -> Result<(), SeaError> {
+        lock(rt).kill_session(*live, key)
+    }
+
+    fn degrade(
+        rt: &Mutex<EnhancedSea>,
+        logic: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        key: u64,
+    ) -> Result<(Vec<u8>, SessionReport), SeaError> {
+        // The fallback is not a keyed engine op, so pin the track and
+        // lifecycle frame here, under the same engine lock.
+        let mut guard = lock(rt);
+        let obs = guard.platform().machine().obs().clone();
+        obs.set_track(key);
+        obs.open(Layer::Core, "session.fallback");
+        let done = guard.run_legacy_fallback(logic, input, cpu);
+        obs.close();
+        obs.add("core.degraded", 1);
+        let done = done?;
+        Ok((done.output, done.report))
+    }
+}
+
+/// Today's (2007) hardware: `SKINIT`/`SENTER` over a [`LegacySea`]
+/// runtime. A launch suspends the whole platform and runs the PAL to
+/// completion — full teardown plus `TPM_Seal`/`Unseal` per invocation
+/// — so the architecture is neither concurrent nor durable, and
+/// "stepping" a session observes the already-finished run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Skinit;
+
+/// A completed legacy invocation held by the lifecycle: `SKINIT` runs
+/// the PAL to completion at launch, so the live handle carries the
+/// finished output and report for the later stages to observe.
+#[derive(Debug)]
+pub struct SkinitLive {
+    output: Vec<u8>,
+    report: SessionReport,
+}
+
+impl Architecture for Skinit {
+    type Runtime = LegacySea;
+    type Live = SkinitLive;
+
+    const NAME: &'static str = "skinit";
+    const CONCURRENT: bool = false;
+    const DURABLE: bool = false;
+
+    fn boot(platform: SecurePlatform) -> Result<LegacySea, SeaError> {
+        LegacySea::new(platform)
+    }
+
+    fn set_fault_plan(_rt: &mut LegacySea, _plan: Option<FaultPlan>) {
+        // The legacy engine has no fault hooks; injection plans only
+        // apply to the keyed SLAUNCH operations.
+    }
+
+    fn platform(rt: &LegacySea) -> &SecurePlatform {
+        rt.platform()
+    }
+
+    fn platform_mut(rt: &mut LegacySea) -> &mut SecurePlatform {
+        rt.platform_mut()
+    }
+
+    fn power_cycle(_rt: &mut LegacySea) -> SimDuration {
+        // Unreachable: `DURABLE = false`, so the executor rejects
+        // durable policies before any reset can fire.
+        SimDuration::ZERO
+    }
+
+    fn launch(
+        rt: &Mutex<LegacySea>,
+        logic: &mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        _key: Option<u64>,
+    ) -> Result<SkinitLive, SeaError> {
+        // SKINIT is atomic from the OS's point of view: suspend,
+        // launch, run to completion, unseal/seal state, resume. The
+        // target CPU is moot — every other CPU is forcibly idled.
+        let _ = cpu;
+        let done = lock(rt).run_session(logic, input)?;
+        Ok(SkinitLive {
+            output: done.output.unwrap_or_default(),
+            report: done.report,
+        })
+    }
+
+    fn step(
+        _rt: &Mutex<LegacySea>,
+        live: &mut SkinitLive,
+        _logic: &mut dyn PalLogic,
+        _key: Option<u64>,
+    ) -> Result<PalStep, SeaError> {
+        Ok(PalStep::Exited {
+            output: std::mem::take(&mut live.output),
+        })
+    }
+
+    fn resume(
+        _rt: &Mutex<LegacySea>,
+        _live: &mut SkinitLive,
+        _cpu: CpuId,
+        _key: Option<u64>,
+    ) -> Result<(), SeaError> {
+        // Legacy sessions never yield: launch ran them to completion.
+        Ok(())
+    }
+
+    fn report(_rt: &Mutex<LegacySea>, live: &SkinitLive) -> Result<SessionReport, SeaError> {
+        Ok(live.report)
+    }
+
+    fn quote(
+        rt: &Mutex<LegacySea>,
+        _live: &mut SkinitLive,
+        nonce: &[u8],
+        _key: Option<u64>,
+    ) -> Result<Timed<Quote>, SeaError> {
+        // Legacy attestation covers the platform's static PCRs — there
+        // is no per-session sePCR to free.
+        lock(rt).quote(nonce)
+    }
+
+    fn kill(_rt: &Mutex<LegacySea>, _live: &mut SkinitLive, _key: u64) -> Result<(), SeaError> {
+        // Teardown already happened inside the atomic launch.
+        Ok(())
+    }
+
+    fn degrade(
+        _rt: &Mutex<LegacySea>,
+        _logic: &mut dyn PalLogic,
+        _input: &[u8],
+        _cpu: CpuId,
+        _key: u64,
+    ) -> Result<(Vec<u8>, SessionReport), SeaError> {
+        // Unreachable: only sePCR saturation degrades, and the legacy
+        // engine has no sePCRs to saturate.
+        Err(SeaError::EngineFault("skinit has no degraded slow path"))
+    }
+}
+
+mod sealed {
+    /// Closes the [`super::Stage`] set: the lifecycle has exactly the
+    /// states Figure 6 has.
+    pub trait Sealed {}
+    impl Sealed for super::Launched {}
+    impl Sealed for super::Stepping {}
+    impl Sealed for super::Sealed {}
+}
+
+/// A typestate marker for the session lifecycle (`Launched → Stepping
+/// → Sealed`). The set is closed — the lifecycle has exactly the
+/// states the paper's Figure 6 has.
+pub trait Stage: sealed::Sealed {}
+
+/// The session is live and has not yet been stepped to a boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct Launched;
+
+/// The session yielded (`SYIELD`) and awaits a resume.
+#[derive(Debug, Clone, Copy)]
+pub struct Stepping;
+
+/// The PAL exited: its output is sealed in the handle and the session
+/// awaits its attestation.
+#[derive(Debug, Clone, Copy)]
+pub struct Sealed;
+
+impl Stage for Launched {}
+impl Stage for Stepping {}
+impl Stage for Sealed {}
+
+/// A live session walking the typestate lifecycle over architecture
+/// `A`. Obtain one from [`SessionEngine::launch`]; consume it through
+/// [`Session::step`] / [`Session::resume`] / [`Session::quote_and_free`].
+/// Transitions Figure 6 lacks do not compile.
+pub struct Session<'e, A: Architecture, S: Stage> {
+    rt: &'e Mutex<A::Runtime>,
+    logic: &'e mut dyn PalLogic,
+    live: A::Live,
+    cpu: CpuId,
+    index: usize,
+    key: Option<u64>,
+    output: Vec<u8>,
+    _stage: PhantomData<S>,
+}
+
+/// Result of stepping a launched session: it either yielded (resume
+/// it) or exited (quote it).
+pub enum Stepped<'e, A: Architecture> {
+    /// The PAL yielded the CPU; the session awaits a resume.
+    Yielded(Session<'e, A, Stepping>),
+    /// The PAL exited; the session awaits its attestation.
+    Exited(Session<'e, A, Sealed>),
+}
+
+impl<'e, A: Architecture, S: Stage> Session<'e, A, S> {
+    /// The job's index in its batch (also the default session key and
+    /// quote-nonce seed).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The CPU the session runs on.
+    pub fn cpu(&self) -> CpuId {
+        self.cpu
+    }
+
+    /// Moves the handle to another stage. Private: the public
+    /// transition methods are the only legal edges.
+    fn into_stage<T: Stage>(self) -> Session<'e, A, T> {
+        Session {
+            rt: self.rt,
+            logic: self.logic,
+            live: self.live,
+            cpu: self.cpu,
+            index: self.index,
+            key: self.key,
+            output: self.output,
+            _stage: PhantomData,
+        }
+    }
+
+    /// Tears the session down mid-flight via the architecture's kill
+    /// primitive (`SKILL` on [`Slaunch`]), reclaiming its resources.
+    fn kill_inner(mut self) -> Result<(), SeaError> {
+        let key = self.key.unwrap_or(self.index as u64);
+        A::kill(self.rt, &mut self.live, key)
+    }
+}
+
+impl<'e, A: Architecture> Session<'e, A, Launched> {
+    /// Launches a session: the entry edge of the lifecycle.
+    fn start(
+        rt: &'e Mutex<A::Runtime>,
+        logic: &'e mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        index: usize,
+        key: Option<u64>,
+    ) -> Result<Self, SeaError> {
+        let live = A::launch(rt, logic, input, cpu, key)?;
+        Ok(Session {
+            rt,
+            logic,
+            live,
+            cpu,
+            index,
+            key,
+            output: Vec::new(),
+            _stage: PhantomData,
+        })
+    }
+
+    /// Runs the PAL until it yields or exits.
+    pub fn step(mut self) -> Result<Stepped<'e, A>, SeaError> {
+        match A::step(self.rt, &mut self.live, self.logic, self.key)? {
+            PalStep::Yielded => Ok(Stepped::Yielded(self.into_stage())),
+            PalStep::Exited { output } => {
+                self.output = output;
+                Ok(Stepped::Exited(self.into_stage()))
+            }
+        }
+    }
+
+    /// Tears the live session down without an attestation.
+    pub fn kill(self) -> Result<(), SeaError> {
+        self.kill_inner()
+    }
+}
+
+impl<'e, A: Architecture> Session<'e, A, Stepping> {
+    /// Resumes the yielded PAL on its CPU.
+    pub fn resume(mut self) -> Result<Session<'e, A, Launched>, SeaError> {
+        A::resume(self.rt, &mut self.live, self.cpu, self.key)?;
+        Ok(self.into_stage())
+    }
+
+    /// Tears the suspended session down without an attestation.
+    pub fn kill(self) -> Result<(), SeaError> {
+        self.kill_inner()
+    }
+}
+
+impl<A: Architecture> Session<'_, A, Sealed> {
+    /// Attests the exited session over `nonce` and retires it,
+    /// returning the job's result and the quote.
+    pub fn quote_and_free(mut self, nonce: &[u8]) -> Result<(JobResult, Quote), SeaError> {
+        let report = A::report(self.rt, &self.live)?;
+        let quote = A::quote(self.rt, &mut self.live, nonce, self.key)?;
+        Ok((
+            JobResult {
+                output: self.output,
+                report,
+                quote_cost: quote.elapsed,
+                cpu: self.cpu,
+            },
+            quote.value,
+        ))
+    }
+}
+
+/// Drives one job through the typestate lifecycle on the fast path
+/// (no fault plan exposure, no keyed operations): launch → step/resume
+/// to exit → quote. Mirrors the retired `run_one` byte for byte.
+fn drive_plain<A: Architecture>(
+    rt: &Mutex<A::Runtime>,
+    cpu: CpuId,
+    index: usize,
+    job: &mut ConcurrentJob,
+) -> Result<SessionResult, SeaError> {
+    let mut session =
+        Session::<A, Launched>::start(rt, &mut *job.logic, &job.input, cpu, index, None)?;
+    let sealed = loop {
+        match session.step()? {
+            Stepped::Exited(s) => break s,
+            Stepped::Yielded(s) => session = s.resume()?,
+        }
+    };
+    // Deterministic per-job nonce: ties the quote to the batch index.
+    let nonce = (index as u64).to_le_bytes();
+    let (result, quote) = sealed.quote_and_free(&nonce)?;
+    Ok(SessionResult::Quoted {
+        result,
+        quote,
+        retries: 0,
+        recovery_cost: SimDuration::ZERO,
+    })
+}
+
+/// Deterministic virtual cost of handling one injected fault of the
+/// given error class, as charged to the faulted session's CPU. (The
+/// fault substrate also advances the shared machine clock; this local
+/// accounting is what flows into per-CPU busy time and wall time, and
+/// is a pure function of the error — never of the machine clock.)
+fn fault_handling_cost(error: &SeaError) -> SimDuration {
+    match error {
+        SeaError::Tpm(TpmError::TransportFault { .. }) => TRANSPORT_FAULT_COST,
+        _ => SimDuration::ZERO,
+    }
+}
+
+/// Builds the in-band record of a session death.
+fn killed(index: usize, retries: u32, error: SeaError, wasted: SimDuration) -> SessionResult {
+    SessionResult::Killed {
+        job: index,
+        attempts: retries + 1,
+        error,
+        wasted,
+    }
+}
+
+/// Records a retry: the backoff leaf and counter are emitted *before*
+/// taking the engine lock — the leaf lands on the session's own track
+/// (owned by exactly one worker, ordered by its per-track sequence)
+/// and counters are order-insensitive, so neither needs the lock. Only
+/// the [`TraceEvent::SessionRetried`] record mutates shared state and
+/// still serializes on it. (Backoff burns CPU-local time, never the
+/// shared machine clock, so it is not a `Machine::charge`.)
+fn record_retry<A: Architecture>(
+    rt: &Mutex<A::Runtime>,
+    obs: &Obs,
+    key: u64,
+    attempt: u32,
+    backoff: SimDuration,
+) {
+    obs.leaf_on(key, Layer::Core, "recovery.backoff", backoff);
+    obs.add("core.retries", 1);
+    let mut guard = lock(rt);
+    let machine = A::platform_mut(&mut guard).machine_mut();
+    let now = machine.now();
+    machine.trace_mut().record(
+        now,
+        TraceEvent::SessionRetried {
+            session: key,
+            attempt,
+        },
+    );
+}
+
+/// Applies the retry policy to one failed attempt. On a retryable error
+/// with budget left: consumes a retry, charges the fault-handling cost
+/// plus backoff, records the retry, and returns `true` (caller loops).
+/// Otherwise charges the handling cost and returns `false` (caller
+/// kills the session).
+fn try_absorb<A: Architecture>(
+    rt: &Mutex<A::Runtime>,
+    obs: &Obs,
+    policy: &RetryPolicy,
+    key: u64,
+    error: &SeaError,
+    retries: &mut u32,
+    recovery_cost: &mut SimDuration,
+) -> bool {
+    if policy.is_retryable(error) && *retries < policy.max_retries() {
+        *retries += 1;
+        let backoff = policy.backoff_for(*retries);
+        *recovery_cost += fault_handling_cost(error) + backoff;
+        record_retry::<A>(rt, obs, key, *retries, backoff);
+        true
+    } else {
+        *recovery_cost += fault_handling_cost(error);
+        false
+    }
+}
+
+/// Drives one job under the fault plan with bounded recovery: launch →
+/// step/resume loop → quote, retrying transient faults per `policy`,
+/// degrading to the architecture's slow path on saturation, and
+/// killing the session when the budget runs out.
+///
+/// Deliberately *not* written over the typestate handle: recovery
+/// re-enters the same stage after a failed transition (a faulted
+/// resume retries in place, a faulted quote retries the quote), which
+/// a move-based typestate cannot express without giving the handle
+/// back on error — so this driver works the raw [`Architecture`] ops.
+///
+/// The job is borrowed, not consumed, so the durable driver can
+/// relaunch it after a platform reset. When `journal` is given, the
+/// launch is recorded in it (the write-ahead `launched` record).
+fn drive_recovered<A: Architecture>(
+    rt: &Mutex<A::Runtime>,
+    obs: &Obs,
+    cpu: CpuId,
+    index: usize,
+    job: &mut ConcurrentJob,
+    policy: RetryPolicy,
+    journal: Option<&Mutex<SessionJournal>>,
+) -> Result<SessionResult, SeaError> {
+    let key = index as u64;
+    let mut retries: u32 = 0;
+    let mut recovery_cost = SimDuration::ZERO;
+
+    // Phase 1: launch. A faulted launch has already rolled its pages
+    // back to `ALL` (Figure 7's failure path), so retrying is a plain
+    // re-launch and exhaustion needs no kill.
+    let mut live: A::Live = loop {
+        let error = match A::launch(rt, &mut *job.logic, &job.input, cpu, Some(key)) {
+            Ok(live) => break live,
+            Err(e) => e,
+        };
+        if RetryPolicy::is_saturation(&error) {
+            // Graceful degradation: the session bank is full, not
+            // faulty.
+            let (output, report) = A::degrade(rt, &mut *job.logic, &job.input, cpu, key)?;
+            return Ok(SessionResult::Degraded {
+                job: index,
+                output,
+                report,
+            });
+        }
+        if try_absorb::<A>(
+            rt,
+            obs,
+            &policy,
+            key,
+            &error,
+            &mut retries,
+            &mut recovery_cost,
+        ) {
+            continue;
+        }
+        // No kill to issue — the faulted launch rolled its pages back —
+        // but the death is still a recovery decision, so the trace pairs
+        // the injected fault with a kill like every other path.
+        {
+            let mut guard = lock(rt);
+            let machine = A::platform_mut(&mut guard).machine_mut();
+            let now = machine.now();
+            machine
+                .trace_mut()
+                .record(now, TraceEvent::SessionKilled { session: key });
+        }
+        return Ok(killed(index, retries, error, recovery_cost));
+    };
+    if let Some(journal) = journal {
+        lock(journal).record_launched(key);
+    }
+
+    // Phase 2: step/resume loop. Injected timer expiries surface as
+    // extra `Yielded` steps; injected resume denials retry in place
+    // (the SECB stays `Suspend`). Each engine call is bound to a local
+    // first so its lock guard drops before recovery takes the lock
+    // again.
+    let output = loop {
+        let step = A::step(rt, &mut live, &mut *job.logic, Some(key));
+        match step {
+            Ok(PalStep::Exited { output }) => break output,
+            Ok(PalStep::Yielded) => loop {
+                let resumed = A::resume(rt, &mut live, cpu, Some(key));
+                match resumed {
+                    Ok(()) => break,
+                    Err(error) => {
+                        if try_absorb::<A>(
+                            rt,
+                            obs,
+                            &policy,
+                            key,
+                            &error,
+                            &mut retries,
+                            &mut recovery_cost,
+                        ) {
+                            continue;
+                        }
+                        A::kill(rt, &mut live, key)?;
+                        return Ok(killed(index, retries, error, recovery_cost));
+                    }
+                }
+            },
+            Err(error) => {
+                if try_absorb::<A>(
+                    rt,
+                    obs,
+                    &policy,
+                    key,
+                    &error,
+                    &mut retries,
+                    &mut recovery_cost,
+                ) {
+                    continue;
+                }
+                A::kill(rt, &mut live, key)?;
+                return Ok(killed(index, retries, error, recovery_cost));
+            }
+        }
+    };
+
+    let report = A::report(rt, &live)?;
+    let nonce = (index as u64).to_le_bytes();
+    // Phase 3: quote. A faulted quote leaves the sePCR in the Quote
+    // state, so it can be retried; on exhaustion the kill path frees
+    // the slot without an attestation.
+    let quote = loop {
+        let attempt = A::quote(rt, &mut live, &nonce, Some(key));
+        match attempt {
+            Ok(q) => break q,
+            Err(error) => {
+                if try_absorb::<A>(
+                    rt,
+                    obs,
+                    &policy,
+                    key,
+                    &error,
+                    &mut retries,
+                    &mut recovery_cost,
+                ) {
+                    continue;
+                }
+                A::kill(rt, &mut live, key)?;
+                return Ok(killed(index, retries, error, recovery_cost));
+            }
+        }
+    };
+    Ok(SessionResult::Quoted {
+        result: JobResult {
+            output,
+            report,
+            quote_cost: quote.elapsed,
+            cpu,
+        },
+        quote: quote.value,
+        retries,
+        recovery_cost,
+    })
+}
+
+/// Composable batch behavior for [`SessionEngine::run`]: start from
+/// [`BatchPolicy::plain`] and layer on the policy objects the batch
+/// needs. Concurrency is not a policy — it is the engine's worker
+/// count.
+///
+/// | composition                    | retired entry point      |
+/// |--------------------------------|--------------------------|
+/// | `plain()`                      | `run_batch`              |
+/// | `.with_retry(...)`             | `run_batch_recovered`    |
+/// | `.with_retry(...).with_durability(...)` | `run_batch_durable` |
+#[derive(Debug, Clone, Default)]
+pub struct BatchPolicy {
+    retry: Option<RetryPolicy>,
+    durability: Option<ResetPlan>,
+}
+
+impl BatchPolicy {
+    /// The fast path: no fault exposure, no journaling.
+    pub fn plain() -> Self {
+        BatchPolicy::default()
+    }
+
+    /// Adds bounded fault recovery: sessions run keyed (exposed to the
+    /// installed fault plan), transient faults retry with virtual-time
+    /// backoff, saturation degrades, exhaustion kills in-band.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Adds crash-consistent durability: terminal results are committed
+    /// to a write-ahead journal sealed into TPM NVRAM, and `plan`'s
+    /// power losses reboot the platform and relaunch whatever had not
+    /// committed. Implies keyed (recovered) driving — with no explicit
+    /// retry policy, [`RetryPolicy::default`] applies.
+    pub fn with_durability(mut self, plan: ResetPlan) -> Self {
+        self.durability = Some(plan);
+        self
+    }
+
+    /// The retry policy, if fault recovery was requested.
+    pub fn retry(&self) -> Option<RetryPolicy> {
+        self.retry
+    }
+
+    /// The reset plan, if durability was requested.
+    pub fn durability(&self) -> Option<&ResetPlan> {
+        self.durability.as_ref()
+    }
+}
+
+/// Aggregate outcome of one [`SessionEngine::run`], subsuming the
+/// retired `ConcurrentOutcome` / `RecoveredOutcome` / `DurableOutcome`
+/// triple: the crash-history fields are zero / empty for batches whose
+/// policy carried no [`ResetPlan`].
+///
+/// The per-session results are byte-identical across worker counts,
+/// and — for durable batches — byte-identical to the crash-free run of
+/// the same batch: committed sessions are restored verbatim from the
+/// journal, and relaunched sessions re-derive the identical result
+/// because fault rolls are a pure function of `(plan, session key,
+/// operation order)` and fault cursors rewind at reset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Per-job outcomes, in job-index order.
+    pub sessions: Vec<SessionResult>,
+    /// Virtual busy time accumulated by each worker/CPU, including work
+    /// torn by crashes and redone after recovery.
+    pub cpu_busy: Vec<SimDuration>,
+    /// Virtual wall time of the batch: the busiest CPU's total plus the
+    /// serial recovery and journal-checkpoint overheads (both zero
+    /// without a durability policy).
+    pub wall: SimDuration,
+    /// Platform resets the batch survived (0 without durability).
+    pub resets: u32,
+    /// Session keys restored from the journal at the *last* recovery
+    /// (empty when no reset fired).
+    pub committed: Vec<u64>,
+    /// Session keys relaunched at the *last* recovery (empty when no
+    /// reset fired). With `resets > 0`,
+    /// `committed.len() + relaunched.len()` equals the batch size.
+    pub relaunched: Vec<u64>,
+    /// Virtual time spent on reboots and journal unsealing across all
+    /// recoveries.
+    pub recovery_latency: SimDuration,
+    /// Virtual time spent sealing journal checkpoints into NVRAM.
+    pub journal_overhead: SimDuration,
+}
+
+impl BatchOutcome {
+    /// Tally of terminal variants across the batch.
+    pub fn tally(&self) -> SessionTally {
+        SessionTally::of(&self.sessions)
+    }
+
+    /// Number of sessions that completed with a quote.
+    pub fn quoted(&self) -> usize {
+        self.tally().quoted
+    }
+
+    /// Number of sessions that completed on the degraded slow path.
+    pub fn degraded(&self) -> usize {
+        self.tally().degraded
+    }
+
+    /// Number of sessions killed after exhausting their retry budget.
+    pub fn killed(&self) -> usize {
+        self.tally().killed
+    }
+
+    /// Sum of all sessions' virtual costs (the serial-execution wall
+    /// time).
+    pub fn aggregate(&self) -> SimDuration {
+        self.sessions.iter().map(SessionResult::cost).sum()
+    }
+
+    /// Sessions completed per virtual second of batch wall time.
+    pub fn throughput_per_sec(&self) -> f64 {
+        rate_per_sec(self.sessions.len(), self.wall)
+    }
+
+    /// Completed (quoted or degraded) sessions per virtual second of
+    /// batch wall time — the fault/crash sweeps' goodput axis.
+    pub fn goodput_per_sec(&self) -> f64 {
+        rate_per_sec(self.tally().completed(), self.wall)
+    }
+
+    /// Parallel speedup over running the same batch on one CPU.
+    pub fn speedup(&self) -> f64 {
+        speedup(self.aggregate(), self.wall)
+    }
+}
+
+/// What one worker produced for one job in one epoch.
+enum Attempt {
+    /// Non-durable modes: the job's result (or the infrastructure
+    /// error), final as soon as the epoch ends.
+    Done(Result<SessionResult, SeaError>),
+    /// Terminal result checkpointed to NVRAM — survives any later
+    /// crash.
+    Committed(SessionResult),
+    /// A kill, deliberately not checkpointed (see
+    /// [`SessionJournal::commit`]): final only if the epoch ends
+    /// cleanly, relaunched — and deterministically re-killed —
+    /// otherwise.
+    Volatile(SessionResult, ConcurrentJob),
+    /// The crash beat the commit: the session must relaunch.
+    Torn(ConcurrentJob),
+}
+
+/// Driver-side reset state for one durable batch: the plan plus
+/// once-only bookkeeping for the event cut and the reset budget.
+struct ResetTriggers {
+    plan: ResetPlan,
+    cut_fired: bool,
+    fired: u32,
+}
+
+impl ResetTriggers {
+    fn new(plan: ResetPlan) -> Self {
+        ResetTriggers {
+            plan,
+            cut_fired: false,
+            fired: 0,
+        }
+    }
+
+    /// Decides, at one commit boundary, whether the power fails there.
+    /// `epoch` counts resets already survived, `key` is the committing
+    /// session, `recorded` the trace's cumulative event count, `now`
+    /// the machine clock. The budget cap guarantees the recovery loop
+    /// terminates even under a 100% reset rate.
+    fn check(&mut self, epoch: u64, key: u64, recorded: u64, now: SimTime) -> bool {
+        if self.fired >= self.plan.max_resets() {
+            return false;
+        }
+        let cut = !self.cut_fired && self.plan.cut_due(recorded);
+        if cut {
+            self.cut_fired = true;
+        }
+        let fire = cut || self.plan.take_due(now) > 0 || self.plan.roll_power_loss(epoch, key);
+        if fire {
+            self.fired += 1;
+        }
+        fire
+    }
+}
+
+/// How one epoch's workers drive their jobs, resolved once from the
+/// [`BatchPolicy`].
+#[derive(Clone, Copy)]
+enum WorkerMode<'a> {
+    /// Fast path: unkeyed lifecycle, errors surface per job.
+    Plain,
+    /// Keyed lifecycle with bounded fault recovery.
+    Recovered {
+        /// The retry budget and backoff schedule.
+        retry: RetryPolicy,
+    },
+    /// Recovered driving plus write-ahead journaling and a power-loss
+    /// gate at each session commit.
+    Durable {
+        retry: RetryPolicy,
+        reset_epoch: u64,
+        journal: &'a Mutex<SessionJournal>,
+        triggers: &'a Mutex<ResetTriggers>,
+        journal_overhead: &'a Mutex<SimDuration>,
+        crashed: &'a AtomicBool,
+    },
+}
+
+/// Drives one worker's statically-assigned jobs on CPU `k` under the
+/// epoch's mode. Returns per-job attempts plus the CPU's accumulated
+/// virtual busy time.
+#[allow(clippy::type_complexity)]
+fn batch_worker<A: Architecture>(
+    k: usize,
+    assigned: Vec<(usize, ConcurrentJob)>,
+    rt: &Mutex<A::Runtime>,
+    obs: &Obs,
+    clock: &Arc<SharedClock>,
+    epoch: SimTime,
+    mode: WorkerMode<'_>,
+) -> Result<(Vec<(usize, Attempt)>, SimDuration), SeaError> {
+    let cpu = CpuId(k as u16);
+    let mut domain = CpuClockDomain::at(Arc::clone(clock), epoch);
+    let mut results = Vec::with_capacity(assigned.len());
+    for (i, mut job) in assigned {
+        match mode {
+            WorkerMode::Plain => {
+                let result = drive_plain::<A>(rt, cpu, i, &mut job);
+                if let Ok(r) = &result {
+                    domain.advance(r.cost());
+                }
+                domain.publish();
+                results.push((i, Attempt::Done(result)));
+            }
+            WorkerMode::Recovered { retry } => {
+                let result = drive_recovered::<A>(rt, obs, cpu, i, &mut job, retry, None);
+                if let Ok(r) = &result {
+                    domain.advance(r.cost());
+                }
+                domain.publish();
+                results.push((i, Attempt::Done(result)));
+            }
+            WorkerMode::Durable {
+                retry,
+                reset_epoch,
+                journal,
+                triggers,
+                journal_overhead,
+                crashed,
+            } => {
+                let key = i as u64;
+                if crashed.load(Ordering::SeqCst) {
+                    // The platform is already dark; this job never
+                    // started.
+                    results.push((i, Attempt::Torn(job)));
+                    continue;
+                }
+                lock(journal).record_intent(key);
+                let session =
+                    drive_recovered::<A>(rt, obs, cpu, i, &mut job, retry, Some(journal))?;
+
+                // Commit gate. Holding the engine lock makes the read
+                // of the trace counter, the reset decision, and the
+                // NVRAM checkpoint one atomic boundary — no other
+                // worker can slip a commit in between. (This is the
+                // one place obs emission stays under the lock: the
+                // journal spans land on the shared PLATFORM_TRACK, so
+                // their ordering must serialize with the commits.)
+                let attempt = {
+                    let mut guard = lock(rt);
+                    if crashed.load(Ordering::SeqCst) {
+                        Attempt::Torn(job)
+                    } else {
+                        let (recorded, now) = {
+                            let machine = A::platform(&guard).machine();
+                            (machine.trace().recorded(), machine.now())
+                        };
+                        let fire = lock(triggers).check(reset_epoch, key, recorded, now);
+                        if fire {
+                            // The cord is yanked before this record
+                            // reaches NVRAM: the committing session is
+                            // torn too.
+                            crashed.store(true, Ordering::SeqCst);
+                            Attempt::Torn(job)
+                        } else {
+                            let mut wal = lock(journal);
+                            wal.commit(key, &session);
+                            if session.is_killed() {
+                                drop(wal);
+                                Attempt::Volatile(session, job)
+                            } else {
+                                let bytes = wal.to_bytes();
+                                drop(wal);
+                                // Seal to the empty PCR selection: the
+                                // blob must unseal on the rebooted
+                                // platform, whose PCRs have all reset.
+                                let tpm = A::platform_mut(&mut guard)
+                                    .tpm_mut()
+                                    .ok_or(SeaError::NoTpm)?;
+                                let sealed = tpm.seal(&bytes, &[])?;
+                                tpm.nvram_mut()
+                                    .store_blob(JOURNAL_NV_INDEX, &sealed.value.to_bytes());
+                                // Checkpoint time serializes against
+                                // the whole batch, not one session:
+                                // platform track.
+                                obs.leaf_on(
+                                    PLATFORM_TRACK,
+                                    Layer::Tpm,
+                                    "journal.seal",
+                                    sealed.elapsed,
+                                );
+                                obs.add("journal.commits", 1);
+                                *lock(journal_overhead) += sealed.elapsed;
+                                Attempt::Committed(session)
+                            }
+                        }
+                    }
+                };
+                if let Attempt::Committed(s) | Attempt::Volatile(s, _) = &attempt {
+                    domain.advance(s.cost());
+                }
+                domain.publish();
+                results.push((i, attempt));
+            }
+        }
+    }
+    Ok((results, domain.busy()))
+}
+
+/// The unified batch engine: a worker pool (worker *k* plays CPU *k*)
+/// driving sessions of architecture `A` against **one shared** runtime,
+/// with batch behavior composed from a [`BatchPolicy`].
+///
+/// # Example
+///
+/// ```
+/// use sea_core::engine::{BatchPolicy, SessionEngine, Slaunch};
+/// use sea_core::{ConcurrentJob, FnPal, PalOutcome, SecurePlatform};
+/// use sea_hw::Platform;
+/// use sea_tpm::KeyStrength;
+///
+/// let platform =
+///     SecurePlatform::new(Platform::recommended(4), KeyStrength::Demo512, b"pool");
+/// let mut engine = SessionEngine::<Slaunch>::new(platform, 4).unwrap();
+/// let jobs = (0..8u8)
+///     .map(|i| {
+///         ConcurrentJob::new(
+///             Box::new(FnPal::new("job", move |_| Ok(PalOutcome::Exit(vec![i])))),
+///             [],
+///         )
+///     })
+///     .collect();
+/// let outcome = engine.run(jobs, &BatchPolicy::plain()).unwrap();
+/// assert_eq!(outcome.quoted(), 8);
+/// assert!(outcome.speedup() > 1.0);
+/// ```
+pub struct SessionEngine<A: Architecture = Slaunch> {
+    rt: Arc<Mutex<A::Runtime>>,
+    clock: Arc<SharedClock>,
+    workers: usize,
+}
+
+impl<A: Architecture> SessionEngine<A> {
+    /// Boots an engine of `workers` worker threads (worker *k* drives
+    /// CPU *k*) over a fresh `A::Runtime` on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`Architecture::boot`] raises (e.g.
+    /// [`SeaError::SlaunchUnsupported`] / [`SeaError::NoTpm`]), plus
+    /// [`SeaError::NotEnoughCpus`] when `workers` is zero or exceeds
+    /// the platform's CPU count — capped at **one** worker on
+    /// non-[`Architecture::CONCURRENT`] architectures, whose launches
+    /// monopolize the whole platform.
+    pub fn new(mut platform: SecurePlatform, workers: usize) -> Result<Self, SeaError> {
+        let n_cpus = platform.machine().cpus().len();
+        let cap = if A::CONCURRENT { n_cpus } else { 1 };
+        if workers == 0 || workers > cap {
+            return Err(SeaError::NotEnoughCpus {
+                requested: workers,
+                available: cap,
+            });
+        }
+        // Pin TPM latencies to their nominal means: with jitter, a
+        // command's sampled cost depends on its position in the shared
+        // noise stream — i.e. on thread interleaving — which would break
+        // the byte-identical serial/parallel contract. (A PAL that emits
+        // TPM RNG output verbatim is likewise outside the contract; the
+        // RNG stream is shared for the same reason.)
+        if let Some(tpm) = platform.tpm_mut() {
+            tpm.set_nominal_timing(true);
+        }
+        let rt = A::boot(platform)?;
+        Ok(SessionEngine {
+            rt: Arc::new(Mutex::new(rt)),
+            clock: Arc::new(SharedClock::new()),
+            workers,
+        })
+    }
+
+    /// Number of worker threads (= CPUs driven).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Installs the observability handle into the shared runtime's
+    /// machine: every keyed session operation then emits lifecycle
+    /// spans and attributed charges on the session's own track.
+    pub fn install_obs(&self, obs: Obs) {
+        A::platform_mut(&mut lock(&self.rt)).install_obs(obs);
+    }
+
+    /// The shared runtime's observability handle (null unless
+    /// [`SessionEngine::install_obs`] was called).
+    pub fn obs(&self) -> Obs {
+        A::platform(&lock(&self.rt)).machine().obs().clone()
+    }
+
+    /// The shared virtual clock the batch timeline folds into.
+    pub fn clock(&self) -> &Arc<SharedClock> {
+        &self.clock
+    }
+
+    /// Installs (or clears) a deterministic fault plan on the shared
+    /// runtime. Only keyed (retry-policy) sessions are exposed to it;
+    /// each job rolls faults against its own batch index, so serial
+    /// and parallel runs of the same batch see identical injections.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        A::set_fault_plan(&mut lock(&self.rt), plan);
+    }
+
+    /// Launches one session by hand, returning the typestate handle
+    /// for step-by-step driving (outside any batch).
+    ///
+    /// # Errors
+    ///
+    /// Whatever the architecture's launch primitive raises.
+    pub fn launch<'e>(
+        &'e self,
+        logic: &'e mut dyn PalLogic,
+        input: &[u8],
+        cpu: CpuId,
+        index: usize,
+    ) -> Result<Session<'e, A, Launched>, SeaError> {
+        Session::start(&self.rt, logic, input, cpu, index, None)
+    }
+
+    /// Runs a batch of jobs to completion across the worker pool under
+    /// `policy` and collects results in job-index order.
+    ///
+    /// Job *i* is statically assigned to worker `i % workers` (across
+    /// relaunch epochs too, so a relaunched session lands on the same
+    /// CPU as crash-free); the shared runtime is locked per
+    /// *operation*, so sessions genuinely overlap.
+    ///
+    /// # Errors
+    ///
+    /// [`SeaError::PolicyUnsupported`] when the policy requests
+    /// durability on a non-[`Architecture::DURABLE`] architecture.
+    /// Otherwise only infrastructure failures surface as `Err` — on the
+    /// plain path the first per-job error (by job index), under a retry
+    /// policy per-session fault deaths are in-band
+    /// [`SessionResult::Killed`] values, and an unreadable journal is
+    /// [`SeaError::JournalCorrupt`].
+    pub fn run(
+        &mut self,
+        jobs: Vec<ConcurrentJob>,
+        policy: &BatchPolicy,
+    ) -> Result<BatchOutcome, SeaError> {
+        if policy.durability().is_some() && !A::DURABLE {
+            return Err(SeaError::PolicyUnsupported {
+                architecture: A::NAME,
+                capability: "durable batches",
+            });
+        }
+        let n_jobs = jobs.len();
+        let workers = self.workers;
+        let retry = policy.retry();
+
+        let journal = Mutex::new(SessionJournal::new());
+        let triggers = policy
+            .durability()
+            .map(|plan| Mutex::new(ResetTriggers::new(plan.clone())));
+        let journal_overhead = Mutex::new(SimDuration::ZERO);
+        let mut cpu_busy = vec![SimDuration::ZERO; workers];
+        let mut final_slots: Vec<Option<Result<SessionResult, SeaError>>> =
+            (0..n_jobs).map(|_| None).collect();
+        let mut pending: Vec<(usize, ConcurrentJob)> = jobs.into_iter().enumerate().collect();
+        let mut resets = 0u32;
+        let mut committed: Vec<u64> = Vec::new();
+        let mut relaunched: Vec<u64> = Vec::new();
+        let mut recovery_latency = SimDuration::ZERO;
+
+        loop {
+            let crashed = AtomicBool::new(false);
+            // Every domain anchors at the epoch's start: reading the
+            // clock inside each worker would skew late-spawned domains
+            // by however far an early sibling had already published.
+            let epoch = self.clock.now();
+            let reset_epoch = resets as u64;
+            // One obs handle for the whole epoch, cloned before the
+            // workers spawn so the hot path never locks the runtime
+            // just to reach the sink.
+            let obs = self.obs();
+            let mode = match (retry, &triggers) {
+                (r, Some(triggers)) => WorkerMode::Durable {
+                    retry: r.unwrap_or_default(),
+                    reset_epoch,
+                    journal: &journal,
+                    triggers,
+                    journal_overhead: &journal_overhead,
+                    crashed: &crashed,
+                },
+                (Some(retry), None) => WorkerMode::Recovered { retry },
+                (None, None) => WorkerMode::Plain,
+            };
+
+            // Jobs keep their static assignment (job i → worker/CPU
+            // i % workers) in every epoch.
+            let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
+                (0..workers).map(|_| Vec::new()).collect();
+            for (i, job) in pending.drain(..) {
+                per_worker[i % workers].push((i, job));
+            }
+
+            let mut attempts: Vec<Option<Attempt>> = (0..n_jobs).map(|_| None).collect();
+            std::thread::scope(|scope| -> Result<(), SeaError> {
+                let handles: Vec<_> = per_worker
+                    .into_iter()
+                    .enumerate()
+                    .map(|(k, assigned)| {
+                        let rt = Arc::clone(&self.rt);
+                        let clock = Arc::clone(&self.clock);
+                        let obs = &obs;
+                        scope.spawn(move || {
+                            batch_worker::<A>(k, assigned, &rt, obs, &clock, epoch, mode)
+                        })
+                    })
+                    .collect();
+                for (k, handle) in handles.into_iter().enumerate() {
+                    let (results, busy) = handle
+                        .join()
+                        .map_err(|_| SeaError::EngineFault("worker thread panicked"))??;
+                    cpu_busy[k] += busy;
+                    for (i, attempt) in results {
+                        attempts[i] = Some(attempt);
+                    }
+                }
+                Ok(())
+            })?;
+
+            if !crashed.load(Ordering::SeqCst) {
+                // Clean epoch: every surviving attempt is final.
+                for (i, attempt) in attempts.into_iter().enumerate() {
+                    match attempt {
+                        Some(Attempt::Done(result)) => final_slots[i] = Some(result),
+                        Some(Attempt::Committed(s) | Attempt::Volatile(s, _)) => {
+                            final_slots[i] = Some(Ok(s))
+                        }
+                        Some(Attempt::Torn(_)) => {
+                            return Err(SeaError::EngineFault("torn session in a clean epoch"))
+                        }
+                        None => {}
+                    }
+                }
+                break;
+            }
+
+            // Power loss (durable mode only). Reboot the platform, then
+            // rebuild the world from the sealed journal alone — every
+            // in-memory result past the last checkpoint is discarded,
+            // exactly as a real crash would lose it.
+            resets += 1;
+            let mut guard = lock(&self.rt);
+            obs.add("journal.resets", 1);
+            recovery_latency += A::power_cycle(&mut guard);
+            let recovered = {
+                let tpm = A::platform_mut(&mut guard)
+                    .tpm_mut()
+                    .ok_or(SeaError::NoTpm)?;
+                match tpm.nvram().read_blob(JOURNAL_NV_INDEX).map(<[u8]>::to_vec) {
+                    Some(bytes) => {
+                        let blob = SealedBlob::from_bytes(&bytes)?;
+                        let opened = tpm.unseal(&blob)?;
+                        recovery_latency += opened.elapsed;
+                        obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.unseal", opened.elapsed);
+                        SessionJournal::from_bytes(&opened.value)?
+                    }
+                    None => SessionJournal::new(),
+                }
+            };
+            let restored = recovered.restore()?;
+            committed = restored.iter().map(|(key, _)| *key).collect();
+            final_slots.fill(None);
+            for (key, session) in restored {
+                let slot = final_slots
+                    .get_mut(key as usize)
+                    .ok_or(SeaError::JournalCorrupt("session key out of range"))?;
+                *slot = Some(Ok(session));
+            }
+            *lock(&journal) = recovered;
+
+            // Everything without a checkpointed terminal relaunches.
+            relaunched.clear();
+            for (i, attempt) in attempts.into_iter().enumerate() {
+                let job = match attempt {
+                    Some(Attempt::Torn(job) | Attempt::Volatile(_, job)) => job,
+                    Some(Attempt::Committed(_) | Attempt::Done(_)) | None => continue,
+                };
+                if final_slots[i].is_none() {
+                    relaunched.push(i as u64);
+                    pending.push((i, job));
+                }
+            }
+            obs.add("journal.relaunches", pending.len() as u64);
+            let machine = A::platform_mut(&mut guard).machine_mut();
+            for (i, _) in &pending {
+                let now = machine.now();
+                machine
+                    .trace_mut()
+                    .record(now, TraceEvent::SessionRelaunched { session: *i as u64 });
+            }
+        }
+
+        let journal_overhead = journal_overhead
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        let mut sessions = Vec::with_capacity(n_jobs);
+        for slot in final_slots {
+            let result = slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?;
+            sessions.push(result?);
+        }
+        // Reboots and checkpoint seals serialize against everything, so
+        // they extend the batch beyond the busiest CPU's overlap.
+        let wall = cpu_busy.iter().copied().max().unwrap_or(SimDuration::ZERO)
+            + recovery_latency
+            + journal_overhead;
+        Ok(BatchOutcome {
+            sessions,
+            cpu_busy,
+            wall,
+            resets,
+            committed,
+            relaunched,
+            recovery_latency,
+            journal_overhead,
+        })
+    }
+
+    /// Tears the engine down, returning the shared runtime (e.g. to
+    /// inspect the platform's final state in tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if worker threads still hold the runtime (they cannot:
+    /// [`SessionEngine::run`] joins them before returning).
+    pub fn into_inner(self) -> A::Runtime {
+        Arc::try_unwrap(self.rt)
+            .map_err(|_| ())
+            .expect("no workers are live outside run")
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,7 +1,8 @@
 //! The write-ahead session journal — what makes a batch crash-consistent.
 //!
-//! The durable engine ([`crate::ConcurrentSea::run_batch_durable`])
-//! records each session's progress as `intent → launched → terminal`:
+//! A durable batch ([`crate::SessionEngine::run`] under a policy with
+//! [`crate::BatchPolicy::with_durability`]) records each session's
+//! progress as `intent → launched → terminal`:
 //!
 //! * **Intent** — a worker picked the job up; nothing irreversible yet.
 //! * **Launched** — `SLAUNCH` succeeded; pages and a sePCR are bound.

@@ -58,10 +58,11 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod attest;
 mod concurrent;
+pub mod engine;
 mod enhanced;
 mod error;
 mod journal;
@@ -77,7 +78,11 @@ mod secb;
 pub use attest::{TrustPolicy, Verifier, VerifyError};
 pub use concurrent::{
     ConcurrentJob, ConcurrentOutcome, ConcurrentSea, DurableOutcome, JobResult, RecoveredOutcome,
-    SessionResult, JOURNAL_NV_INDEX,
+    SessionResult,
+};
+pub use engine::{
+    Architecture, BatchOutcome, BatchPolicy, Session, SessionEngine, SessionTally, Skinit, Slaunch,
+    Stepped, JOURNAL_NV_INDEX,
 };
 pub use enhanced::{EnhancedSea, PalDone, PalId, PalStep};
 pub use error::SeaError;

@@ -27,7 +27,7 @@
 //!
 //! Everything is integer nanoseconds; no floats, no wall-clock reads,
 //! no allocation on the null path. Sinks are `Send + Sync`, so
-//! `ConcurrentSea` workers emit through the same handle they already
+//! `SessionEngine` workers emit through the same handle they already
 //! serialize on (the engine lock).
 
 use std::collections::BTreeMap;

@@ -16,8 +16,8 @@
 //! CPU time available under each.
 
 use sea_core::{
-    ConcurrentJob, ConcurrentSea, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, RetryPolicy,
-    SecurePlatform, SessionReport, SessionResult,
+    BatchPolicy, ConcurrentJob, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, RetryPolicy,
+    SecurePlatform, SessionEngine, SessionReport, SessionResult,
 };
 use sea_hw::{CpuId, FaultPlan, ResetPlan, SimDuration, SimTime};
 
@@ -393,8 +393,8 @@ fn unpack_sessions(
 }
 
 /// The OS feeding the multi-core concurrent session engine: queued jobs
-/// are dispatched to [`ConcurrentSea`]'s worker pool (real threads, one
-/// per simulated CPU) instead of being stepped round-robin on the
+/// are dispatched to a [`SessionEngine`]'s worker pool (real threads,
+/// one per simulated CPU) instead of being stepped round-robin on the
 /// caller's thread.
 ///
 /// Reports the same [`ScheduleOutcome`] as [`Scheduler`], so the
@@ -403,7 +403,7 @@ fn unpack_sessions(
 /// are byte-identical between [`Scheduler`] (cooperative, serial host
 /// execution) and [`ParallelScheduler`] at any worker count.
 pub struct ParallelScheduler {
-    pool: ConcurrentSea,
+    pool: SessionEngine,
     n_cpus: u16,
     jobs: Vec<ConcurrentJob>,
     retry_policy: Option<RetryPolicy>,
@@ -424,11 +424,11 @@ impl ParallelScheduler {
     ///
     /// # Errors
     ///
-    /// As for [`ConcurrentSea::new`].
+    /// As for [`SessionEngine::new`].
     pub fn new(platform: SecurePlatform, workers: usize) -> Result<Self, OsError> {
         let n_cpus = platform.machine().platform().n_cpus;
         Ok(ParallelScheduler {
-            pool: ConcurrentSea::new(platform, workers)?,
+            pool: SessionEngine::new(platform, workers)?,
             n_cpus,
             jobs: Vec::new(),
             retry_policy: None,
@@ -490,72 +490,39 @@ impl ParallelScheduler {
         }
         let obs = self.pool.obs();
         obs.add("os.dispatched", self.jobs.len() as u64);
-        if let Some(plan) = self.reset_plan.clone() {
-            // Crash-consistent path: the pool journals every terminal
-            // session to sealed NVRAM and this scheduler's run queue is
-            // rebuilt from that journal after each power loss.
-            let policy = self.retry_policy.unwrap_or_default();
-            let outcome =
-                self.pool
-                    .run_batch_durable(std::mem::take(&mut self.jobs), policy, plan)?;
-            let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
-            let horizon = horizon.max(outcome.wall);
-            let legacy_available =
-                SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
-            let (outputs, reports, killed, degraded) = unpack_sessions(&outcome.sessions);
-            obs.add("os.relaunched", outcome.relaunched.len() as u64);
-            obs.add("os.resets", outcome.resets as u64);
-            return Ok(ScheduleOutcome {
-                wall: outcome.wall,
-                pal_busy,
-                stalled: SimDuration::ZERO,
-                legacy_available,
-                outputs,
-                reports,
-                killed,
-                degraded,
-                relaunched: outcome.relaunched.clone(),
-                resets: outcome.resets,
-            });
-        }
-        if let Some(policy) = self.retry_policy {
-            let outcome = self
-                .pool
-                .run_batch_recovered(std::mem::take(&mut self.jobs), policy)?;
-            let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
-            let horizon = horizon.max(outcome.wall);
-            let legacy_available =
-                SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
-            let (outputs, reports, killed, degraded) = unpack_sessions(&outcome.sessions);
-            return Ok(ScheduleOutcome {
-                wall: outcome.wall,
-                pal_busy,
-                stalled: SimDuration::ZERO,
-                legacy_available,
-                outputs,
-                reports,
-                killed,
-                degraded,
-                relaunched: Vec::new(),
-                resets: 0,
-            });
-        }
-        let outcome = self.pool.run_batch(std::mem::take(&mut self.jobs))?;
+        // The scheduler's knobs compose directly into a batch policy:
+        // a reset plan turns on the crash-consistent journal (retry
+        // defaults on, since relaunches ride the recovery driver), a
+        // retry policy alone turns on fault recovery, neither runs the
+        // plain fault-free path.
+        let policy = match (self.retry_policy, self.reset_plan.clone()) {
+            (retry, Some(plan)) => BatchPolicy::plain()
+                .with_retry(retry.unwrap_or_default())
+                .with_durability(plan),
+            (Some(retry), None) => BatchPolicy::plain().with_retry(retry),
+            (None, None) => BatchPolicy::plain(),
+        };
+        let outcome = self.pool.run(std::mem::take(&mut self.jobs), &policy)?;
         let pal_busy: SimDuration = outcome.cpu_busy.iter().copied().sum();
         let horizon = horizon.max(outcome.wall);
         let legacy_available =
             SimDuration::from_ns(horizon.as_ns() * self.n_cpus as u64 - pal_busy.as_ns());
+        let (outputs, reports, killed, degraded) = unpack_sessions(&outcome.sessions);
+        if self.reset_plan.is_some() {
+            obs.add("os.relaunched", outcome.relaunched.len() as u64);
+            obs.add("os.resets", outcome.resets as u64);
+        }
         Ok(ScheduleOutcome {
             wall: outcome.wall,
             pal_busy,
             stalled: SimDuration::ZERO,
             legacy_available,
-            outputs: outcome.results.iter().map(|r| r.output.clone()).collect(),
-            reports: outcome.results.iter().map(|r| r.report).collect(),
-            killed: Vec::new(),
-            degraded: Vec::new(),
-            relaunched: Vec::new(),
-            resets: 0,
+            outputs,
+            reports,
+            killed,
+            degraded,
+            relaunched: outcome.relaunched,
+            resets: outcome.resets,
         })
     }
 }

@@ -27,6 +27,27 @@ cargo test -q --workspace --offline
 echo "== quickstart example (offline) =="
 cargo run -q --release --offline -p minimal-tcb --example quickstart
 
+echo "== unified-engine guardrails =="
+# sea-core's public API must stay fully documented (the crate-level
+# lint is load-bearing: rustdoc warnings above only catch broken links).
+grep -q '^#!\[deny(missing_docs)\]' crates/core/src/lib.rs \
+  || { echo "ci.sh: crates/core/src/lib.rs must keep #![deny(missing_docs)]" >&2; exit 1; }
+# The retired batch entry points may be *called* only by their shim and
+# the equivalence suite that pins the shim to SessionEngine::run.
+strays=$(grep -rn '\.run_batch_recovered(\|\.run_batch_durable(' crates tests examples \
+  --include='*.rs' \
+  | grep -v 'crates/core/src/concurrent.rs' \
+  | grep -v 'tests/engine_equivalence.rs' || true)
+if [ -n "$strays" ]; then
+  echo "ci.sh: deprecated batch entry points called outside the shim/equivalence suite:" >&2
+  echo "$strays" >&2
+  exit 1
+fi
+
+echo "== engine examples (offline) =="
+cargo run -q --release --offline -p minimal-tcb --example multi_pal_server > /dev/null
+cargo run -q --release --offline -p minimal-tcb --example full_system > /dev/null
+
 echo "== chaos suite (fixed fault seed, offline) =="
 SEA_CHAOS_SEED=20080317 cargo test -q -p minimal-tcb --offline --test fault_recovery
 

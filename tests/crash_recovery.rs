@@ -3,7 +3,8 @@
 //! The contract under test: take a 16-session reference batch under a
 //! fault-injecting (but fatal-free) plan, record how many trace events
 //! the crash-free run emits, then re-run the batch through
-//! [`run_batch_durable`] with the power cord yanked at **every**
+//! [`SessionEngine::run`] under a durable policy with the power cord
+//! yanked at **every**
 //! trace-event boundary. At every cut point the batch must finish with
 //! sessions byte-identical to the crash-free run, no Exclusive sePCR or
 //! protected page left behind, `committed + relaunched = jobs` for the
@@ -12,12 +13,10 @@
 //!
 //! `SEA_CRASH_SEED` selects the fault tape the reference batch replays
 //! (scripts/ci.sh pins one).
-//!
-//! [`run_batch_durable`]: ConcurrentSea::run_batch_durable
 
 use sea_core::{
-    ConcurrentJob, ConcurrentSea, DurableOutcome, FnPal, PalOutcome, RetryPolicy, SecurePlatform,
-    SessionJournal, SessionResult, JOURNAL_NV_INDEX,
+    BatchOutcome, BatchPolicy, ConcurrentJob, FnPal, PalOutcome, RetryPolicy, SecurePlatform,
+    SessionEngine, SessionJournal, SessionResult, Slaunch, JOURNAL_NV_INDEX,
 };
 use sea_hw::{CpuId, FaultPlan, Platform, ResetPlan, SimDuration, TraceEvent};
 use sea_tpm::{KeyStrength, SealedBlob};
@@ -25,13 +24,13 @@ use sea_tpm::{KeyStrength, SealedBlob};
 const JOBS: usize = 16;
 const WORKERS: usize = 4;
 
-fn engine(workers: usize) -> ConcurrentSea {
+fn engine(workers: usize) -> SessionEngine<Slaunch> {
     let platform = SecurePlatform::new(
         Platform::recommended(WORKERS as u16),
         KeyStrength::Demo512,
         b"crash",
     );
-    ConcurrentSea::new(platform, workers).expect("pool fits platform")
+    SessionEngine::new(platform, workers).expect("pool fits platform")
 }
 
 /// The reference fault plan: transient-only (no kills), hot enough that
@@ -96,7 +95,10 @@ fn reference(seed: u64) -> (Vec<SessionResult>, u64) {
     let mut pool = engine(WORKERS);
     pool.set_fault_plan(Some(fault_plan(seed)));
     let out = pool
-        .run_batch_recovered(batch(), RetryPolicy::default())
+        .run(
+            batch(),
+            &BatchPolicy::plain().with_retry(RetryPolicy::default()),
+        )
         .expect("reference batch runs");
     assert_eq!(
         out.quoted(),
@@ -115,14 +117,15 @@ fn reference(seed: u64) -> (Vec<SessionResult>, u64) {
 /// Runs the durable batch with the cord yanked after `cut` trace events
 /// and checks the full crash-point contract. Returns the outcome for
 /// caller-side comparisons.
-fn check_cut(seed: u64, workers: usize, cut: u64, reference: &[SessionResult]) -> DurableOutcome {
+fn check_cut(seed: u64, workers: usize, cut: u64, reference: &[SessionResult]) -> BatchOutcome {
     let mut pool = engine(workers);
     pool.set_fault_plan(Some(fault_plan(seed)));
     let d = pool
-        .run_batch_durable(
+        .run(
             batch(),
-            RetryPolicy::default(),
-            ResetPlan::reset_free().with_cut_after_events(cut),
+            &BatchPolicy::plain()
+                .with_retry(RetryPolicy::default())
+                .with_durability(ResetPlan::reset_free().with_cut_after_events(cut)),
         )
         .unwrap_or_else(|e| panic!("seed {seed} cut {cut}: batch aborted: {e}"));
 

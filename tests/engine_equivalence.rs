@@ -1,0 +1,147 @@
+//! Equivalence suite for the retired batch entry points.
+//!
+//! `ConcurrentSea::run_batch`, `run_batch_recovered`, and
+//! `run_batch_durable` are deprecated shims over
+//! [`SessionEngine::run`] with the corresponding [`BatchPolicy`]
+//! composition. This suite is the only place (outside the shim itself)
+//! allowed to call them — scripts/ci.sh greps for strays — and it pins
+//! the shims to the unified engine field by field, so the deprecation
+//! window cannot silently drift from the real implementation.
+#![allow(deprecated)]
+
+use sea_core::{
+    BatchPolicy, ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, RetryPolicy, SecurePlatform,
+    SessionEngine, SessionResult, Slaunch,
+};
+use sea_hw::{FaultPlan, Platform, ResetPlan, SimDuration, RATE_DENOM};
+use sea_tpm::KeyStrength;
+
+const JOBS: usize = 12;
+const WORKERS: usize = 4;
+
+fn platform() -> SecurePlatform {
+    SecurePlatform::new(
+        Platform::recommended(WORKERS as u16),
+        KeyStrength::Demo512,
+        b"equivalence",
+    )
+}
+
+/// Yield-twice restartable jobs so every lifecycle edge (launch, step,
+/// resume, quote) sits on both code paths.
+fn batch() -> Vec<ConcurrentJob> {
+    (0..JOBS)
+        .map(|i| {
+            ConcurrentJob::new(
+                Box::new(FnPal::new(&format!("eq-{i}"), move |ctx| {
+                    ctx.work(SimDuration::from_us(20 * (1 + (i as u64 % 3))));
+                    let done = ctx.state().first().copied().unwrap_or(0) + 1;
+                    ctx.set_state(vec![done]);
+                    if done == 3 {
+                        Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                    } else {
+                        Ok(PalOutcome::Yield)
+                    }
+                })),
+                b"",
+            )
+        })
+        .collect()
+}
+
+fn fault_plan() -> FaultPlan {
+    FaultPlan::new(0xEC)
+        .with_tpm_rate(8000)
+        .with_mem_rate(4000)
+        .with_timer_rate(4000)
+        .with_fatal_ratio(RATE_DENOM / 8)
+}
+
+fn reset_plan() -> ResetPlan {
+    ResetPlan::new(0xEC)
+        .with_reset_rate(RATE_DENOM / 4)
+        .with_max_resets(2)
+}
+
+#[test]
+fn run_batch_shim_equals_plain_policy() {
+    let mut engine = SessionEngine::<Slaunch>::new(platform(), WORKERS).unwrap();
+    let unified = engine.run(batch(), &BatchPolicy::plain()).unwrap();
+
+    let mut shim = ConcurrentSea::new(platform(), WORKERS).unwrap();
+    let legacy = shim.run_batch(batch()).unwrap();
+
+    assert_eq!(legacy.results.len(), unified.sessions.len());
+    for (r, s) in legacy.results.iter().zip(&unified.sessions) {
+        match s {
+            SessionResult::Quoted { result, .. } => assert_eq!(r, result),
+            other => panic!("plain batch must quote everything, got {other:?}"),
+        }
+    }
+    assert_eq!(legacy.cpu_busy, unified.cpu_busy);
+    assert_eq!(legacy.wall, unified.wall);
+    assert_eq!(legacy.aggregate(), unified.aggregate());
+    assert_eq!(legacy.throughput_per_sec(), unified.throughput_per_sec());
+    assert_eq!(legacy.speedup(), unified.speedup());
+}
+
+#[test]
+fn run_batch_recovered_shim_equals_retry_policy() {
+    let mut engine = SessionEngine::<Slaunch>::new(platform(), WORKERS).unwrap();
+    engine.set_fault_plan(Some(fault_plan()));
+    let unified = engine
+        .run(
+            batch(),
+            &BatchPolicy::plain().with_retry(RetryPolicy::default()),
+        )
+        .unwrap();
+
+    let mut shim = ConcurrentSea::new(platform(), WORKERS).unwrap();
+    shim.set_fault_plan(Some(fault_plan()));
+    let legacy = shim
+        .run_batch_recovered(batch(), RetryPolicy::default())
+        .unwrap();
+
+    assert_eq!(legacy.sessions, unified.sessions);
+    assert_eq!(legacy.cpu_busy, unified.cpu_busy);
+    assert_eq!(legacy.wall, unified.wall);
+    assert_eq!(legacy.quoted(), unified.quoted());
+    assert_eq!(legacy.killed(), unified.killed());
+    assert_eq!(legacy.goodput_per_sec(), unified.goodput_per_sec());
+}
+
+#[test]
+fn run_batch_durable_shim_equals_durable_policy() {
+    // Serial on both sides: the committed/relaunched split at a
+    // rate-based reset depends on which commit gate is reached first,
+    // which only a single worker pins down (the crash-sweep contract).
+    // Session results themselves are interleaving-invariant and are
+    // covered at four workers by the golden differential suite.
+    let mut engine = SessionEngine::<Slaunch>::new(platform(), 1).unwrap();
+    engine.set_fault_plan(Some(fault_plan()));
+    let unified = engine
+        .run(
+            batch(),
+            &BatchPolicy::plain()
+                .with_retry(RetryPolicy::default())
+                .with_durability(reset_plan()),
+        )
+        .unwrap();
+
+    let mut shim = ConcurrentSea::new(platform(), 1).unwrap();
+    shim.set_fault_plan(Some(fault_plan()));
+    let legacy = shim
+        .run_batch_durable(batch(), RetryPolicy::default(), reset_plan())
+        .unwrap();
+
+    assert!(legacy.resets >= 1, "the pinned plan must pull the plug");
+    assert_eq!(legacy.sessions, unified.sessions);
+    assert_eq!(legacy.cpu_busy, unified.cpu_busy);
+    assert_eq!(legacy.wall, unified.wall);
+    assert_eq!(legacy.resets, unified.resets);
+    assert_eq!(legacy.committed, unified.committed);
+    assert_eq!(legacy.relaunched, unified.relaunched);
+    assert_eq!(legacy.recovery_latency, unified.recovery_latency);
+    assert_eq!(legacy.journal_overhead, unified.journal_overhead);
+    assert_eq!(legacy.goodput_per_sec(), unified.goodput_per_sec());
+}

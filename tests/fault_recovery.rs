@@ -1,7 +1,8 @@
 //! Chaos suite for the fault-injection substrate and recovery layer.
 //!
 //! The contract under test: for **any** seeded [`FaultPlan`], a
-//! [`ConcurrentSea`] batch driven by [`run_batch_recovered`] terminates
+//! [`SessionEngine`] batch driven under a retrying [`BatchPolicy`]
+//! terminates
 //! (never hangs), and every session either completes with a quote
 //! **byte-identical** to the fault-free run's or is reported as a typed
 //! [`SessionResult::Killed`] — and afterwards no sePCR is left
@@ -9,14 +10,13 @@
 //!
 //! `SEA_CHAOS_SEED` selects an extra directed seed for CI
 //! reproducibility (scripts/ci.sh pins one).
-//!
-//! [`run_batch_recovered`]: ConcurrentSea::run_batch_recovered
 
 mod common;
 
 use common::{check, Tape};
 use sea_core::{
-    ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, RetryPolicy, SecurePlatform, SessionResult,
+    BatchPolicy, ConcurrentJob, FnPal, PalOutcome, RetryPolicy, SecurePlatform, SessionEngine,
+    SessionResult, Slaunch,
 };
 use sea_hw::{CpuId, FaultKind, FaultPlan, Platform, SimDuration, TraceEvent, RATE_DENOM};
 use sea_tpm::{KeyStrength, Quote};
@@ -36,13 +36,17 @@ fn normalize(mut sessions: Vec<SessionResult>) -> Vec<SessionResult> {
 const JOBS: usize = 16;
 const WORKERS: usize = 4;
 
-fn engine() -> ConcurrentSea {
+fn engine() -> SessionEngine<Slaunch> {
     let platform = SecurePlatform::new(
         Platform::recommended(WORKERS as u16),
         KeyStrength::Demo512,
         b"chaos",
     );
-    ConcurrentSea::new(platform, WORKERS).expect("pool fits platform")
+    SessionEngine::new(platform, WORKERS).expect("pool fits platform")
+}
+
+fn recovering() -> BatchPolicy {
+    BatchPolicy::plain().with_retry(RetryPolicy::default())
 }
 
 /// Jobs that yield twice, so the step, resume, and timer paths are all
@@ -72,7 +76,7 @@ fn reference_quotes() -> Vec<Quote> {
     let mut pool = engine();
     pool.set_fault_plan(Some(FaultPlan::fault_free()));
     let out = pool
-        .run_batch_recovered(batch(), RetryPolicy::default())
+        .run(batch(), &recovering())
         .expect("fault-free batch runs");
     out.sessions
         .into_iter()
@@ -91,7 +95,7 @@ fn check_plan(plan: FaultPlan, reference: &[Quote]) -> Result<(), String> {
     let mut pool = engine();
     pool.set_fault_plan(Some(plan));
     let out = pool
-        .run_batch_recovered(batch(), RetryPolicy::default())
+        .run(batch(), &recovering())
         .map_err(|e| format!("seed {seed}: batch aborted: {e}"))?;
     if out.sessions.len() != JOBS {
         return Err(format!(
@@ -255,8 +259,7 @@ fn every_injected_fault_is_paired_with_a_recovery_event() {
         let seed = plan.seed();
         let mut pool = engine();
         pool.set_fault_plan(Some(plan));
-        pool.run_batch_recovered(batch(), RetryPolicy::default())
-            .expect("batch runs");
+        pool.run(batch(), &recovering()).expect("batch runs");
         let sea = pool.into_inner();
         let trace = sea.platform().machine().trace();
         assert_eq!(
@@ -323,11 +326,9 @@ fn acceptance_sixteen_sessions_nonzero_faults_serial_equals_parallel() {
             KeyStrength::Demo512,
             b"chaos",
         );
-        let mut pool = ConcurrentSea::new(platform, workers).expect("pool fits");
+        let mut pool = SessionEngine::<Slaunch>::new(platform, workers).expect("pool fits");
         pool.set_fault_plan(Some(plan()));
-        let out = pool
-            .run_batch_recovered(batch(), RetryPolicy::default())
-            .expect("batch runs");
+        let out = pool.run(batch(), &recovering()).expect("batch runs");
         let sessions = out.sessions.clone();
         let sea = pool.into_inner();
         let tpm = sea.platform().tpm().expect("tpm");

@@ -15,7 +15,8 @@
 //!    times.
 
 use minimal_tcb::core::{
-    ConcurrentJob, ConcurrentSea, FnPal, LegacySea, PalOutcome, RetryPolicy, SecurePlatform,
+    BatchPolicy, ConcurrentJob, FnPal, LegacySea, PalOutcome, RetryPolicy, SecurePlatform,
+    SessionEngine, Slaunch,
 };
 use minimal_tcb::hw::{
     check_well_nested, FaultPlan, Layer, Obs, ObsSnapshot, Platform, ResetPlan, SimDuration,
@@ -45,7 +46,7 @@ fn recovered_snapshot(workers: usize, jobs: usize) -> ObsSnapshot {
         SecurePlatform::new(Platform::recommended(8), KeyStrength::Demo512, b"obs-prop");
     let (obs, sink) = Obs::recording();
     platform.install_obs(obs);
-    let mut sea = ConcurrentSea::new(platform, workers).expect("pool fits");
+    let mut sea = SessionEngine::<Slaunch>::new(platform, workers).expect("pool fits");
     sea.set_fault_plan(Some(
         FaultPlan::new(7)
             .with_tpm_rate(12_000)
@@ -53,8 +54,11 @@ fn recovered_snapshot(workers: usize, jobs: usize) -> ObsSnapshot {
             .with_timer_rate(3000)
             .with_fatal_ratio(RATE_DENOM / 8),
     ));
-    sea.run_batch_recovered(batch(jobs), RetryPolicy::default())
-        .expect("batch runs");
+    sea.run(
+        batch(jobs),
+        &BatchPolicy::plain().with_retry(RetryPolicy::default()),
+    )
+    .expect("batch runs");
     sink.snapshot()
 }
 
@@ -93,7 +97,7 @@ fn histogram_totals_equal_leaf_sums_in_faulted_reset_batch() {
     );
     let (obs, sink) = Obs::recording();
     platform.install_obs(obs);
-    let mut sea = ConcurrentSea::new(platform, 1).expect("pool fits");
+    let mut sea = SessionEngine::<Slaunch>::new(platform, 1).expect("pool fits");
     sea.set_fault_plan(Some(FaultPlan::new(11).with_tpm_rate(5000)));
     // A moderate per-commit loss rate: low enough that some sessions
     // commit to NVRAM before the first crash (so recovery has a journal
@@ -102,7 +106,12 @@ fn histogram_totals_equal_leaf_sums_in_faulted_reset_batch() {
         .with_reset_rate(RATE_DENOM / 4)
         .with_max_resets(3);
     let out = sea
-        .run_batch_durable(batch(10), RetryPolicy::default(), plan)
+        .run(
+            batch(10),
+            &BatchPolicy::plain()
+                .with_retry(RetryPolicy::default())
+                .with_durability(plan),
+        )
         .expect("batch runs");
     assert!(out.resets >= 1, "reset plan never pulled the plug");
 

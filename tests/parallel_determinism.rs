@@ -8,7 +8,10 @@
 //! so thread interleaving must never leak into an output.
 
 use sea_bench::driver::{run_suite_parallel, run_suite_serial, SuiteConfig};
-use sea_core::{ConcurrentJob, ConcurrentSea, FnPal, PalOutcome, RetryPolicy, SecurePlatform};
+use sea_core::{
+    BatchPolicy, ConcurrentJob, FnPal, PalOutcome, RetryPolicy, SecurePlatform, SessionEngine,
+    SessionResult, Slaunch,
+};
 use sea_hw::{CpuId, FaultPlan, Platform, SimDuration};
 use sea_tpm::{KeyStrength, PcrValue, SePcrState, SharedSePcrBank};
 
@@ -111,11 +114,18 @@ fn run(workers: usize, jobs: usize) -> Vec<(Vec<u8>, SimDuration)> {
         KeyStrength::Demo512,
         b"determinism",
     );
-    let mut sea = ConcurrentSea::new(platform, workers).expect("pool fits");
-    let out = sea.run_batch(batch(jobs)).expect("batch runs");
-    out.results
+    let mut sea = SessionEngine::<Slaunch>::new(platform, workers).expect("pool fits");
+    let out = sea
+        .run(batch(jobs), &BatchPolicy::plain())
+        .expect("batch runs");
+    out.sessions
         .into_iter()
-        .map(|r| (r.output, r.report.total() + r.quote_cost))
+        .map(|s| match s {
+            SessionResult::Quoted { result, .. } => {
+                (result.output, result.report.total() + result.quote_cost)
+            }
+            other => panic!("plain batch must quote every session, got {other:?}"),
+        })
         .collect()
 }
 
@@ -130,23 +140,26 @@ fn sixteen_worker_batch_matches_serial_batch() {
 // Recovery layer: serial vs parallel under the same fault tape
 // ---------------------------------------------------------------------
 
-fn run_recovered(workers: usize, jobs: usize, plan: FaultPlan) -> Vec<sea_core::SessionResult> {
+fn run_recovered(workers: usize, jobs: usize, plan: FaultPlan) -> Vec<SessionResult> {
     let platform = SecurePlatform::new(
         Platform::recommended(16),
         KeyStrength::Demo512,
         b"determinism",
     );
-    let mut sea = ConcurrentSea::new(platform, workers).expect("pool fits");
+    let mut sea = SessionEngine::<Slaunch>::new(platform, workers).expect("pool fits");
     sea.set_fault_plan(Some(plan));
     let out = sea
-        .run_batch_recovered(batch(jobs), RetryPolicy::default())
+        .run(
+            batch(jobs),
+            &BatchPolicy::plain().with_retry(RetryPolicy::default()),
+        )
         .expect("batch runs");
     // Which CPU a job landed on is a function of the worker count, not
     // of the recovery outcome — normalize it before comparing.
     out.sessions
         .into_iter()
         .map(|mut s| {
-            if let sea_core::SessionResult::Quoted { result, .. } = &mut s {
+            if let SessionResult::Quoted { result, .. } = &mut s {
                 result.cpu = CpuId(0);
             }
             s
