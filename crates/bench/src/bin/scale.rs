@@ -1,0 +1,20 @@
+//! Durable-batch goodput vs virtual-CPU count on the discrete-event
+//! executor — platforms far wider than any host's core count, modeled
+//! on one OS thread.
+//!
+//! Usage: `scale [JOBS]`; `SEA_BENCH_SMOKE=1` shrinks the batch for CI.
+
+use sea_bench::driver::{render_scale, SCALE_CPUS};
+use sea_bench::timing::smoke_mode;
+use sea_hw::SimDuration;
+
+fn main() {
+    let jobs = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke_mode() { 256 } else { 2048 });
+    print!(
+        "{}",
+        render_scale(&SCALE_CPUS, jobs, SimDuration::from_ms(10))
+    );
+}

@@ -25,8 +25,9 @@ use sea_tpm::TpmOp;
 
 use crate::experiments::{
     crash_sweep_with_obs, fault_sweep_with_obs, figure2_with_obs, figure3_tpms, figure3_with_obs,
-    table1_with_obs, table2, throughput_with_obs, CrashSweepPoint, FaultSweepPoint, Figure2Bar,
-    Figure3Cell, Table1Row, ThroughputPoint, CRASH_SWEEP_SEED, FAULT_SWEEP_SEED, PAL_SIZES,
+    scale_with_obs, table1_with_obs, table2, throughput_with_obs, CrashSweepPoint, FaultSweepPoint,
+    Figure2Bar, Figure3Cell, ScalePoint, Table1Row, ThroughputPoint, CRASH_SWEEP_SEED,
+    FAULT_SWEEP_SEED, PAL_SIZES, SCALE_SEED,
 };
 use crate::format::{ms, render_table, us};
 use crate::json::Json;
@@ -52,6 +53,9 @@ pub const CRASH_SWEEP_RATES: [u32; 4] = [0, 4000, 16_000, 32_000];
 /// interleaving, so the committed/relaunched split (never the final
 /// results) could vary between runs.
 pub const CRASH_SWEEP_WORKERS: usize = 1;
+/// Virtual-CPU counts the scale artifact sweeps on the discrete-event
+/// executor — the largest far past any host's physical core count.
+pub const SCALE_CPUS: [usize; 5] = [4, 16, 64, 256, 1024];
 
 /// Schema version of the `BENCH_suite.json` artifact. Bump on any
 /// field rename/removal; additions are backward-compatible.
@@ -70,6 +74,8 @@ pub struct SuiteConfig {
     pub fault_jobs: usize,
     /// Sessions per batch in the crash sweep.
     pub crash_jobs: usize,
+    /// Sessions per batch in the virtual-CPU scale sweep.
+    pub scale_jobs: usize,
 }
 
 impl Default for SuiteConfig {
@@ -80,6 +86,7 @@ impl Default for SuiteConfig {
             throughput_jobs: 16,
             fault_jobs: 16,
             crash_jobs: 16,
+            scale_jobs: 2048,
         }
     }
 }
@@ -93,6 +100,7 @@ impl SuiteConfig {
             throughput_jobs: 8,
             fault_jobs: 8,
             crash_jobs: 8,
+            scale_jobs: 256,
         }
     }
 }
@@ -137,6 +145,7 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
         throughput_jobs,
         fault_jobs,
         crash_jobs,
+        scale_jobs,
     } = *cfg;
     vec![
         (
@@ -227,6 +236,21 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
                         ("jobs", crash_jobs as u64),
                         ("workers", CRASH_SWEEP_WORKERS as u64),
                         ("seed", CRASH_SWEEP_SEED),
+                    ],
+                )
+            }),
+        ),
+        (
+            "Scale",
+            Box::new(move || {
+                let work = SimDuration::from_ms(10);
+                observed(
+                    |obs| scale_with_obs(&SCALE_CPUS, scale_jobs, work, obs),
+                    |points| render_scale_points(points, scale_jobs, work),
+                    &[
+                        ("jobs", scale_jobs as u64),
+                        ("work_ns", work.as_ns()),
+                        ("seed", SCALE_SEED),
                     ],
                 )
             }),
@@ -380,6 +404,7 @@ pub fn suite_json(artifacts: &[Artifact], smoke: bool) -> String {
             Json::Obj(vec![
                 ("fault_sweep".to_string(), Json::UInt(FAULT_SWEEP_SEED)),
                 ("crash_sweep".to_string(), Json::UInt(CRASH_SWEEP_SEED)),
+                ("scale".to_string(), Json::UInt(SCALE_SEED)),
             ]),
         ),
         (
@@ -763,6 +788,62 @@ pub fn render_crash_sweep_points(
     out
 }
 
+/// Renders the virtual-CPU scale sweep: durable-batch goodput vs
+/// platform width on the discrete-event executor.
+pub fn render_scale(cpu_counts: &[usize], jobs: usize, work: SimDuration) -> String {
+    render_scale_points(
+        &crate::experiments::scale(cpu_counts, jobs, work),
+        jobs,
+        work,
+    )
+}
+
+/// Renders already-measured scale points.
+pub fn render_scale_points(points: &[ScalePoint], jobs: usize, work: SimDuration) -> String {
+    let mut out = format!(
+        "Scale: {jobs} durable attested sessions ({work} of work each) on the\n\
+         discrete-event executor, virtual time, by virtual-CPU count\n\n"
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.cpus.to_string(),
+                p.resets.to_string(),
+                p.committed.to_string(),
+                p.relaunched.to_string(),
+                p.quoted.to_string(),
+                ms(p.wall_ms),
+                ms(p.aggregate_ms),
+                format!("{:.2}x", p.speedup),
+                format!("{:.2}", p.goodput_per_sec),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "vCPUs",
+            "resets",
+            "committed",
+            "relaunched",
+            "quoted",
+            "wall (ms)",
+            "aggregate (ms)",
+            "speedup",
+            "goodput/s",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nEach point models the whole platform — CPUs, TPM arbitration, journal\n\
+         commits, injected power losses — as one event-ordered timeline on a\n\
+         single OS thread, so the widest machine here is a thousand virtual\n\
+         CPUs on any host. The schedule is structural: every column, including\n\
+         the committed/relaunched split, is byte-identical run to run.\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -780,7 +861,8 @@ mod tests {
                 "Figure 3",
                 "Throughput",
                 "Fault sweep",
-                "Crash sweep"
+                "Crash sweep",
+                "Scale"
             ]
         );
         for a in &arts {

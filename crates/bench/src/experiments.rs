@@ -2,8 +2,8 @@
 //! data the binaries print and the tests assert against.
 
 use sea_core::{
-    BatchPolicy, ConcurrentJob, EnhancedSea, FnPal, LegacySea, PalLogic, PalOutcome, RetryPolicy,
-    SecurePlatform, SessionEngine, SessionReport, SessionResult,
+    BatchPolicy, ConcurrentJob, EnhancedSea, Executor, FnPal, LegacySea, PalLogic, PalOutcome,
+    RetryPolicy, SecurePlatform, SessionEngine, SessionReport, SessionResult,
 };
 use sea_hw::{
     CpuId, FaultPlan, Obs, PageIndex, PageRange, Platform, ResetPlan, SimDuration, TpmKind,
@@ -1016,6 +1016,115 @@ pub fn crash_sweep_with_obs(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Scale: virtual-CPU counts past any host's physical cores
+// ---------------------------------------------------------------------
+
+/// The seed of the scale sweep's power-loss tape.
+pub const SCALE_SEED: u64 = 0x5CA1E;
+
+/// Per-commit power-loss rate the scale sweep injects (numerator over
+/// [`sea_hw::RATE_DENOM`]).
+pub const SCALE_RESET_RATE: u32 = sea_hw::RATE_DENOM / 64;
+
+/// Reboot cap of the scale sweep's reset plan.
+pub const SCALE_MAX_RESETS: u32 = 2;
+
+/// One point of the platform-scale sweep.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Virtual CPUs modeled (= engine workers under the event queue).
+    pub cpus: usize,
+    /// Sessions in the batch.
+    pub jobs: usize,
+    /// Sessions that completed with a quote.
+    pub quoted: usize,
+    /// Platform reboots the power-loss tape forced.
+    pub resets: u32,
+    /// Sessions restored from the sealed journal across all reboots.
+    pub committed: usize,
+    /// Sessions relaunched after losing uncommitted work.
+    pub relaunched: usize,
+    /// Virtual wall time of the batch (ms).
+    pub wall_ms: f64,
+    /// Sum of every session's virtual cost (ms) — the one-CPU wall time.
+    pub aggregate_ms: f64,
+    /// Parallel speedup over one CPU.
+    pub speedup: f64,
+    /// Completed sessions per virtual second of wall time.
+    pub goodput_per_sec: f64,
+}
+
+/// Durable-batch goodput vs platform width, far past the host's core
+/// count: pushes `jobs` identical attested sessions through a
+/// crash-consistent [`SessionEngine`] batch on the **discrete-event
+/// executor** ([`Executor::DiscreteEvent`]) at each virtual-CPU count —
+/// the thread-pool backend would need one OS thread per simulated CPU
+/// and so caps out at the host. Every point replays the same power-loss
+/// tape ([`SCALE_SEED`]), and because the event queue's schedule is
+/// structural, the *whole* ledger — resets, the committed/relaunched
+/// split, recovery accounting — is byte-identical run to run at every
+/// width (the thread pool can promise that only at one worker).
+pub fn scale(cpu_counts: &[usize], jobs: usize, work: SimDuration) -> Vec<ScalePoint> {
+    scale_with_obs(cpu_counts, jobs, work, Obs::null())
+}
+
+/// [`scale`] with an observability handle installed into each sweep
+/// point's engine: journal checkpoints and reboot recovery land on
+/// [`sea_hw::PLATFORM_TRACK`] exactly as in the crash sweep.
+pub fn scale_with_obs(
+    cpu_counts: &[usize],
+    jobs: usize,
+    work: SimDuration,
+    obs: Obs,
+) -> Vec<ScalePoint> {
+    cpu_counts
+        .iter()
+        .map(|&cpus| {
+            let mut p = platform(Platform::recommended(cpus as u16), b"scale");
+            p.install_obs(obs.clone());
+            let mut sea =
+                SessionEngine::<sea_core::Slaunch>::new(p, cpus).expect("pool fits platform");
+            sea.set_fault_plan(Some(FaultPlan::fault_free()));
+            let plan = ResetPlan::new(SCALE_SEED)
+                .with_reset_rate(SCALE_RESET_RATE)
+                .with_max_resets(SCALE_MAX_RESETS);
+            let batch: Vec<ConcurrentJob> = (0..jobs)
+                .map(|i| {
+                    ConcurrentJob::new(
+                        Box::new(FnPal::new(&format!("sc-{i}"), move |ctx| {
+                            ctx.work(work);
+                            Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                        })),
+                        b"",
+                    )
+                })
+                .collect();
+            let out = sea
+                .run(
+                    batch,
+                    &BatchPolicy::plain()
+                        .with_retry(RetryPolicy::default())
+                        .with_durability(plan)
+                        .with_executor(Executor::DiscreteEvent),
+                )
+                .expect("batch runs");
+            ScalePoint {
+                cpus,
+                jobs,
+                quoted: out.quoted(),
+                resets: out.resets,
+                committed: out.committed.len(),
+                relaunched: out.relaunched.len(),
+                wall_ms: out.wall.as_ms_f64(),
+                aggregate_ms: out.aggregate().as_ms_f64(),
+                speedup: out.speedup(),
+                goodput_per_sec: out.goodput_per_sec(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1232,6 +1341,41 @@ mod tests {
             stressed.goodput_per_sec < points[0].goodput_per_sec,
             "{points:?}"
         );
+    }
+
+    #[test]
+    fn scale_sweep_holds_at_a_thousand_cpus() {
+        // The 1024 width runs twice: the second pass is the
+        // determinism probe at the bottom.
+        let points = scale(&[1, 1024, 1024], 256, SimDuration::from_ms(1));
+        for p in &points {
+            // Every session quoted, every reset accounted for.
+            assert_eq!(p.quoted, p.jobs, "{p:?}");
+            assert!(p.resets <= SCALE_MAX_RESETS, "{p:?}");
+            if p.resets > 0 {
+                assert_eq!(p.committed + p.relaunched, p.jobs, "{p:?}");
+            } else {
+                assert_eq!((p.committed, p.relaunched), (0, 0), "{p:?}");
+            }
+        }
+        // The power-loss tape must actually pull the plug somewhere.
+        assert!(points.iter().any(|p| p.resets > 0), "{points:?}");
+        // Final sessions are width-invariant, so the aggregate virtual
+        // compute is too.
+        for p in &points[1..] {
+            assert!(
+                (p.aggregate_ms - points[0].aggregate_ms).abs() < 1e-6,
+                "{p:?}"
+            );
+        }
+        // Adding virtual CPUs never makes the batch slower.
+        for w in points.windows(2) {
+            assert!(w[1].wall_ms <= w[0].wall_ms + 1e-9, "{w:?}");
+        }
+        // The event queue's schedule is structural: the whole ledger —
+        // including the committed/relaunched crash split — reproduces
+        // byte-identically even at 1024 virtual CPUs.
+        assert_eq!(format!("{:?}", points[1]), format!("{:?}", points[2]));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | `ablation_sepcr` | §5.4 — concurrency limit vs sePCR count |
 //! | `fault_sweep` | recovery layer — goodput vs injected fault rate |
 //! | `crash_sweep` | durable engine — goodput vs injected power-loss rate |
+//! | `scale` | discrete-event executor — durable batches on up to 1024 virtual CPUs |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -21,13 +21,30 @@
 //!   NVRAM), pick a worker count for concurrency. Every combination
 //!   returns the same [`BatchOutcome`].
 //!
+//! # Executors
+//!
+//! The engine runs each batch epoch on one of two interchangeable
+//! backends, selected by [`Executor`] (engine-wide via
+//! [`SessionEngine::with_executor`] or the `SEA_EXECUTOR` environment
+//! variable, per batch via [`BatchPolicy::with_executor`]):
+//!
+//! * [`Executor::ThreadPool`] — one OS thread per simulated CPU (the
+//!   original backend; see `crate::threadpool`).
+//! * [`Executor::DiscreteEvent`] — virtual CPUs stepped by a
+//!   deterministic `(time, session id)` event queue on one OS thread,
+//!   so a batch can model far more CPUs than the host has cores (see
+//!   `crate::des`).
+//!
 //! # Determinism
 //!
-//! The executor inherits the concurrent engine's contract: job *i*
+//! Both executors inherit the concurrent engine's contract: job *i*
 //! runs on worker/CPU `i % workers`, per-job costs are intrinsic,
 //! per-CPU busy time folds into the shared timeline via an atomic max,
 //! and results return in job-index order — so outcomes are
-//! byte-identical across worker counts and host interleavings.
+//! byte-identical across worker counts, host interleavings, *and
+//! executors*. The differential suites (`tests/golden_differential.rs`,
+//! `tests/executor_differential.rs`) pin the two backends against each
+//! other.
 //!
 //! # Lock scope
 //!
@@ -44,10 +61,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
 use sea_hw::{
-    CpuClockDomain, CpuId, FaultPlan, Layer, Obs, ResetPlan, SharedClock, SimDuration, SimTime,
-    TraceEvent, PLATFORM_TRACK, TRANSPORT_FAULT_COST,
+    CpuId, FaultPlan, Layer, Obs, ResetPlan, SharedClock, SimDuration, SimTime, TraceEvent,
+    PLATFORM_TRACK,
 };
-use sea_tpm::{Quote, SealedBlob, Timed, TpmError};
+use sea_tpm::{Quote, SealedBlob, Timed};
 
 use crate::concurrent::{ConcurrentJob, JobResult, SessionResult};
 use crate::enhanced::{EnhancedSea, PalId, PalStep};
@@ -58,6 +75,7 @@ use crate::pal::PalLogic;
 use crate::platform::SecurePlatform;
 use crate::recovery::RetryPolicy;
 use crate::report::SessionReport;
+use crate::{des, threadpool};
 
 /// TPM NVRAM index where the durable engine parks the sealed session
 /// journal ("SJNL" in ASCII). One checkpoint blob lives here at a time;
@@ -66,8 +84,44 @@ pub const JOURNAL_NV_INDEX: u32 = 0x534a_4e4c;
 
 /// Locks a mutex, riding through poison (a panicked worker must not
 /// wedge the batch driver).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Which backend executes a batch epoch.
+///
+/// Both backends satisfy the engine's determinism contract and produce
+/// byte-identical session results, quotes, per-CPU busy times, and
+/// wall times for the same batch; they differ in *how* concurrency is
+/// realised — OS threads racing on locks versus virtual CPUs stepped
+/// by a deterministic event queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// One OS thread per simulated CPU (the default). Limited to the
+    /// host's appetite for threads; interleaving is host-dependent,
+    /// determinism is enforced by folding.
+    #[default]
+    ThreadPool,
+    /// Virtual CPUs on one OS thread, stepped in `(event time, session
+    /// id)` order by a discrete-event queue. Scales to platforms far
+    /// wider than the host (1024 virtual CPUs in one process) and makes
+    /// the whole schedule — including the machine trace — a pure
+    /// function of the batch.
+    DiscreteEvent,
+}
+
+impl Executor {
+    /// Resolves the executor from the `SEA_EXECUTOR` environment
+    /// variable: `des` / `discrete-event` / `event` select
+    /// [`Executor::DiscreteEvent`], `threads` / `thread-pool` /
+    /// `threadpool` select [`Executor::ThreadPool`], anything else
+    /// (including unset) falls back to the default thread pool.
+    pub fn from_env() -> Self {
+        match std::env::var("SEA_EXECUTOR").as_deref() {
+            Ok("des") | Ok("discrete-event") | Ok("event") => Executor::DiscreteEvent,
+            _ => Executor::ThreadPool,
+        }
+    }
 }
 
 /// Completions per virtual second of wall time — the one rate formula
@@ -615,270 +669,6 @@ impl<A: Architecture> Session<'_, A, Sealed> {
     }
 }
 
-/// Drives one job through the typestate lifecycle on the fast path
-/// (no fault plan exposure, no keyed operations): launch → step/resume
-/// to exit → quote. Mirrors the retired `run_one` byte for byte.
-fn drive_plain<A: Architecture>(
-    rt: &Mutex<A::Runtime>,
-    cpu: CpuId,
-    index: usize,
-    job: &mut ConcurrentJob,
-) -> Result<SessionResult, SeaError> {
-    let mut session =
-        Session::<A, Launched>::start(rt, &mut *job.logic, &job.input, cpu, index, None)?;
-    let sealed = loop {
-        match session.step()? {
-            Stepped::Exited(s) => break s,
-            Stepped::Yielded(s) => session = s.resume()?,
-        }
-    };
-    // Deterministic per-job nonce: ties the quote to the batch index.
-    let nonce = (index as u64).to_le_bytes();
-    let (result, quote) = sealed.quote_and_free(&nonce)?;
-    Ok(SessionResult::Quoted {
-        result,
-        quote,
-        retries: 0,
-        recovery_cost: SimDuration::ZERO,
-    })
-}
-
-/// Deterministic virtual cost of handling one injected fault of the
-/// given error class, as charged to the faulted session's CPU. (The
-/// fault substrate also advances the shared machine clock; this local
-/// accounting is what flows into per-CPU busy time and wall time, and
-/// is a pure function of the error — never of the machine clock.)
-fn fault_handling_cost(error: &SeaError) -> SimDuration {
-    match error {
-        SeaError::Tpm(TpmError::TransportFault { .. }) => TRANSPORT_FAULT_COST,
-        _ => SimDuration::ZERO,
-    }
-}
-
-/// Builds the in-band record of a session death.
-fn killed(index: usize, retries: u32, error: SeaError, wasted: SimDuration) -> SessionResult {
-    SessionResult::Killed {
-        job: index,
-        attempts: retries + 1,
-        error,
-        wasted,
-    }
-}
-
-/// Records a retry: the backoff leaf and counter are emitted *before*
-/// taking the engine lock — the leaf lands on the session's own track
-/// (owned by exactly one worker, ordered by its per-track sequence)
-/// and counters are order-insensitive, so neither needs the lock. Only
-/// the [`TraceEvent::SessionRetried`] record mutates shared state and
-/// still serializes on it. (Backoff burns CPU-local time, never the
-/// shared machine clock, so it is not a `Machine::charge`.)
-fn record_retry<A: Architecture>(
-    rt: &Mutex<A::Runtime>,
-    obs: &Obs,
-    key: u64,
-    attempt: u32,
-    backoff: SimDuration,
-) {
-    obs.leaf_on(key, Layer::Core, "recovery.backoff", backoff);
-    obs.add("core.retries", 1);
-    let mut guard = lock(rt);
-    let machine = A::platform_mut(&mut guard).machine_mut();
-    let now = machine.now();
-    machine.trace_mut().record(
-        now,
-        TraceEvent::SessionRetried {
-            session: key,
-            attempt,
-        },
-    );
-}
-
-/// Applies the retry policy to one failed attempt. On a retryable error
-/// with budget left: consumes a retry, charges the fault-handling cost
-/// plus backoff, records the retry, and returns `true` (caller loops).
-/// Otherwise charges the handling cost and returns `false` (caller
-/// kills the session).
-fn try_absorb<A: Architecture>(
-    rt: &Mutex<A::Runtime>,
-    obs: &Obs,
-    policy: &RetryPolicy,
-    key: u64,
-    error: &SeaError,
-    retries: &mut u32,
-    recovery_cost: &mut SimDuration,
-) -> bool {
-    if policy.is_retryable(error) && *retries < policy.max_retries() {
-        *retries += 1;
-        let backoff = policy.backoff_for(*retries);
-        *recovery_cost += fault_handling_cost(error) + backoff;
-        record_retry::<A>(rt, obs, key, *retries, backoff);
-        true
-    } else {
-        *recovery_cost += fault_handling_cost(error);
-        false
-    }
-}
-
-/// Drives one job under the fault plan with bounded recovery: launch →
-/// step/resume loop → quote, retrying transient faults per `policy`,
-/// degrading to the architecture's slow path on saturation, and
-/// killing the session when the budget runs out.
-///
-/// Deliberately *not* written over the typestate handle: recovery
-/// re-enters the same stage after a failed transition (a faulted
-/// resume retries in place, a faulted quote retries the quote), which
-/// a move-based typestate cannot express without giving the handle
-/// back on error — so this driver works the raw [`Architecture`] ops.
-///
-/// The job is borrowed, not consumed, so the durable driver can
-/// relaunch it after a platform reset. When `journal` is given, the
-/// launch is recorded in it (the write-ahead `launched` record).
-fn drive_recovered<A: Architecture>(
-    rt: &Mutex<A::Runtime>,
-    obs: &Obs,
-    cpu: CpuId,
-    index: usize,
-    job: &mut ConcurrentJob,
-    policy: RetryPolicy,
-    journal: Option<&Mutex<SessionJournal>>,
-) -> Result<SessionResult, SeaError> {
-    let key = index as u64;
-    let mut retries: u32 = 0;
-    let mut recovery_cost = SimDuration::ZERO;
-
-    // Phase 1: launch. A faulted launch has already rolled its pages
-    // back to `ALL` (Figure 7's failure path), so retrying is a plain
-    // re-launch and exhaustion needs no kill.
-    let mut live: A::Live = loop {
-        let error = match A::launch(rt, &mut *job.logic, &job.input, cpu, Some(key)) {
-            Ok(live) => break live,
-            Err(e) => e,
-        };
-        if RetryPolicy::is_saturation(&error) {
-            // Graceful degradation: the session bank is full, not
-            // faulty.
-            let (output, report) = A::degrade(rt, &mut *job.logic, &job.input, cpu, key)?;
-            return Ok(SessionResult::Degraded {
-                job: index,
-                output,
-                report,
-            });
-        }
-        if try_absorb::<A>(
-            rt,
-            obs,
-            &policy,
-            key,
-            &error,
-            &mut retries,
-            &mut recovery_cost,
-        ) {
-            continue;
-        }
-        // No kill to issue — the faulted launch rolled its pages back —
-        // but the death is still a recovery decision, so the trace pairs
-        // the injected fault with a kill like every other path.
-        {
-            let mut guard = lock(rt);
-            let machine = A::platform_mut(&mut guard).machine_mut();
-            let now = machine.now();
-            machine
-                .trace_mut()
-                .record(now, TraceEvent::SessionKilled { session: key });
-        }
-        return Ok(killed(index, retries, error, recovery_cost));
-    };
-    if let Some(journal) = journal {
-        lock(journal).record_launched(key);
-    }
-
-    // Phase 2: step/resume loop. Injected timer expiries surface as
-    // extra `Yielded` steps; injected resume denials retry in place
-    // (the SECB stays `Suspend`). Each engine call is bound to a local
-    // first so its lock guard drops before recovery takes the lock
-    // again.
-    let output = loop {
-        let step = A::step(rt, &mut live, &mut *job.logic, Some(key));
-        match step {
-            Ok(PalStep::Exited { output }) => break output,
-            Ok(PalStep::Yielded) => loop {
-                let resumed = A::resume(rt, &mut live, cpu, Some(key));
-                match resumed {
-                    Ok(()) => break,
-                    Err(error) => {
-                        if try_absorb::<A>(
-                            rt,
-                            obs,
-                            &policy,
-                            key,
-                            &error,
-                            &mut retries,
-                            &mut recovery_cost,
-                        ) {
-                            continue;
-                        }
-                        A::kill(rt, &mut live, key)?;
-                        return Ok(killed(index, retries, error, recovery_cost));
-                    }
-                }
-            },
-            Err(error) => {
-                if try_absorb::<A>(
-                    rt,
-                    obs,
-                    &policy,
-                    key,
-                    &error,
-                    &mut retries,
-                    &mut recovery_cost,
-                ) {
-                    continue;
-                }
-                A::kill(rt, &mut live, key)?;
-                return Ok(killed(index, retries, error, recovery_cost));
-            }
-        }
-    };
-
-    let report = A::report(rt, &live)?;
-    let nonce = (index as u64).to_le_bytes();
-    // Phase 3: quote. A faulted quote leaves the sePCR in the Quote
-    // state, so it can be retried; on exhaustion the kill path frees
-    // the slot without an attestation.
-    let quote = loop {
-        let attempt = A::quote(rt, &mut live, &nonce, Some(key));
-        match attempt {
-            Ok(q) => break q,
-            Err(error) => {
-                if try_absorb::<A>(
-                    rt,
-                    obs,
-                    &policy,
-                    key,
-                    &error,
-                    &mut retries,
-                    &mut recovery_cost,
-                ) {
-                    continue;
-                }
-                A::kill(rt, &mut live, key)?;
-                return Ok(killed(index, retries, error, recovery_cost));
-            }
-        }
-    };
-    Ok(SessionResult::Quoted {
-        result: JobResult {
-            output,
-            report,
-            quote_cost: quote.elapsed,
-            cpu,
-        },
-        quote: quote.value,
-        retries,
-        recovery_cost,
-    })
-}
-
 /// Composable batch behavior for [`SessionEngine::run`]: start from
 /// [`BatchPolicy::plain`] and layer on the policy objects the batch
 /// needs. Concurrency is not a policy — it is the engine's worker
@@ -893,6 +683,7 @@ fn drive_recovered<A: Architecture>(
 pub struct BatchPolicy {
     retry: Option<RetryPolicy>,
     durability: Option<ResetPlan>,
+    executor: Option<Executor>,
 }
 
 impl BatchPolicy {
@@ -919,6 +710,14 @@ impl BatchPolicy {
         self
     }
 
+    /// Overrides the engine's executor for batches run under this
+    /// policy (the engine's own choice — [`SessionEngine::with_executor`]
+    /// or `SEA_EXECUTOR` — applies otherwise).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = Some(executor);
+        self
+    }
+
     /// The retry policy, if fault recovery was requested.
     pub fn retry(&self) -> Option<RetryPolicy> {
         self.retry
@@ -927,6 +726,11 @@ impl BatchPolicy {
     /// The reset plan, if durability was requested.
     pub fn durability(&self) -> Option<&ResetPlan> {
         self.durability.as_ref()
+    }
+
+    /// The executor override, if one was requested.
+    pub fn executor(&self) -> Option<Executor> {
+        self.executor
     }
 }
 
@@ -1013,7 +817,7 @@ impl BatchOutcome {
 }
 
 /// What one worker produced for one job in one epoch.
-enum Attempt {
+pub(crate) enum Attempt {
     /// Non-durable modes: the job's result (or the infrastructure
     /// error), final as soon as the epoch ends.
     Done(Result<SessionResult, SeaError>),
@@ -1031,7 +835,7 @@ enum Attempt {
 
 /// Driver-side reset state for one durable batch: the plan plus
 /// once-only bookkeeping for the event cut and the reset budget.
-struct ResetTriggers {
+pub(crate) struct ResetTriggers {
     plan: ResetPlan,
     cut_fired: bool,
     fired: u32,
@@ -1067,10 +871,89 @@ impl ResetTriggers {
     }
 }
 
+/// Shared context for one durable epoch: the journal, the reset
+/// triggers, and the crash flag every worker/virtual CPU consults.
+#[derive(Clone, Copy)]
+pub(crate) struct DurableCtx<'a> {
+    /// The retry budget and backoff schedule.
+    pub(crate) retry: RetryPolicy,
+    /// Resets already survived (the power-loss roll's epoch key).
+    pub(crate) reset_epoch: u64,
+    /// The write-ahead journal.
+    pub(crate) journal: &'a Mutex<SessionJournal>,
+    /// Power-loss decision state.
+    pub(crate) triggers: &'a Mutex<ResetTriggers>,
+    /// Accumulated checkpoint-seal time.
+    pub(crate) journal_overhead: &'a Mutex<SimDuration>,
+    /// Set when the cord is yanked; later commits observe it and tear.
+    pub(crate) crashed: &'a AtomicBool,
+}
+
+impl DurableCtx<'_> {
+    /// The commit gate for one terminal session. Holding the engine
+    /// lock makes the read of the trace counter, the reset decision,
+    /// and the NVRAM checkpoint one atomic boundary — no other
+    /// worker can slip a commit in between. (This is the one place obs
+    /// emission stays under the lock: the journal spans land on the
+    /// shared PLATFORM_TRACK, so their ordering must serialize with
+    /// the commits.)
+    ///
+    /// Identical for both executors: on the thread pool the gate runs
+    /// on the worker's thread right after the drive; on the
+    /// discrete-event backend it runs at the session's terminal event,
+    /// in event order.
+    pub(crate) fn commit_gate<A: Architecture>(
+        &self,
+        rt: &Mutex<A::Runtime>,
+        obs: &Obs,
+        key: u64,
+        session: SessionResult,
+        job: ConcurrentJob,
+    ) -> Result<Attempt, SeaError> {
+        let mut guard = lock(rt);
+        if self.crashed.load(Ordering::SeqCst) {
+            return Ok(Attempt::Torn(job));
+        }
+        let (recorded, now) = {
+            let machine = A::platform(&guard).machine();
+            (machine.trace().recorded(), machine.now())
+        };
+        let fire = lock(self.triggers).check(self.reset_epoch, key, recorded, now);
+        if fire {
+            // The cord is yanked before this record reaches NVRAM: the
+            // committing session is torn too.
+            self.crashed.store(true, Ordering::SeqCst);
+            return Ok(Attempt::Torn(job));
+        }
+        let mut wal = lock(self.journal);
+        wal.commit(key, &session);
+        if session.is_killed() {
+            drop(wal);
+            return Ok(Attempt::Volatile(session, job));
+        }
+        let bytes = wal.to_bytes();
+        drop(wal);
+        // Seal to the empty PCR selection: the blob must unseal on the
+        // rebooted platform, whose PCRs have all reset.
+        let tpm = A::platform_mut(&mut guard)
+            .tpm_mut()
+            .ok_or(SeaError::NoTpm)?;
+        let sealed = tpm.seal(&bytes, &[])?;
+        tpm.nvram_mut()
+            .store_blob(JOURNAL_NV_INDEX, &sealed.value.to_bytes());
+        // Checkpoint time serializes against the whole batch, not one
+        // session: platform track.
+        obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.seal", sealed.elapsed);
+        obs.add("journal.commits", 1);
+        *lock(self.journal_overhead) += sealed.elapsed;
+        Ok(Attempt::Committed(session))
+    }
+}
+
 /// How one epoch's workers drive their jobs, resolved once from the
 /// [`BatchPolicy`].
 #[derive(Clone, Copy)]
-enum WorkerMode<'a> {
+pub(crate) enum WorkerMode<'a> {
     /// Fast path: unkeyed lifecycle, errors surface per job.
     Plain,
     /// Keyed lifecycle with bounded fault recovery.
@@ -1080,135 +963,7 @@ enum WorkerMode<'a> {
     },
     /// Recovered driving plus write-ahead journaling and a power-loss
     /// gate at each session commit.
-    Durable {
-        retry: RetryPolicy,
-        reset_epoch: u64,
-        journal: &'a Mutex<SessionJournal>,
-        triggers: &'a Mutex<ResetTriggers>,
-        journal_overhead: &'a Mutex<SimDuration>,
-        crashed: &'a AtomicBool,
-    },
-}
-
-/// Drives one worker's statically-assigned jobs on CPU `k` under the
-/// epoch's mode. Returns per-job attempts plus the CPU's accumulated
-/// virtual busy time.
-#[allow(clippy::type_complexity)]
-fn batch_worker<A: Architecture>(
-    k: usize,
-    assigned: Vec<(usize, ConcurrentJob)>,
-    rt: &Mutex<A::Runtime>,
-    obs: &Obs,
-    clock: &Arc<SharedClock>,
-    epoch: SimTime,
-    mode: WorkerMode<'_>,
-) -> Result<(Vec<(usize, Attempt)>, SimDuration), SeaError> {
-    let cpu = CpuId(k as u16);
-    let mut domain = CpuClockDomain::at(Arc::clone(clock), epoch);
-    let mut results = Vec::with_capacity(assigned.len());
-    for (i, mut job) in assigned {
-        match mode {
-            WorkerMode::Plain => {
-                let result = drive_plain::<A>(rt, cpu, i, &mut job);
-                if let Ok(r) = &result {
-                    domain.advance(r.cost());
-                }
-                domain.publish();
-                results.push((i, Attempt::Done(result)));
-            }
-            WorkerMode::Recovered { retry } => {
-                let result = drive_recovered::<A>(rt, obs, cpu, i, &mut job, retry, None);
-                if let Ok(r) = &result {
-                    domain.advance(r.cost());
-                }
-                domain.publish();
-                results.push((i, Attempt::Done(result)));
-            }
-            WorkerMode::Durable {
-                retry,
-                reset_epoch,
-                journal,
-                triggers,
-                journal_overhead,
-                crashed,
-            } => {
-                let key = i as u64;
-                if crashed.load(Ordering::SeqCst) {
-                    // The platform is already dark; this job never
-                    // started.
-                    results.push((i, Attempt::Torn(job)));
-                    continue;
-                }
-                lock(journal).record_intent(key);
-                let session =
-                    drive_recovered::<A>(rt, obs, cpu, i, &mut job, retry, Some(journal))?;
-
-                // Commit gate. Holding the engine lock makes the read
-                // of the trace counter, the reset decision, and the
-                // NVRAM checkpoint one atomic boundary — no other
-                // worker can slip a commit in between. (This is the
-                // one place obs emission stays under the lock: the
-                // journal spans land on the shared PLATFORM_TRACK, so
-                // their ordering must serialize with the commits.)
-                let attempt = {
-                    let mut guard = lock(rt);
-                    if crashed.load(Ordering::SeqCst) {
-                        Attempt::Torn(job)
-                    } else {
-                        let (recorded, now) = {
-                            let machine = A::platform(&guard).machine();
-                            (machine.trace().recorded(), machine.now())
-                        };
-                        let fire = lock(triggers).check(reset_epoch, key, recorded, now);
-                        if fire {
-                            // The cord is yanked before this record
-                            // reaches NVRAM: the committing session is
-                            // torn too.
-                            crashed.store(true, Ordering::SeqCst);
-                            Attempt::Torn(job)
-                        } else {
-                            let mut wal = lock(journal);
-                            wal.commit(key, &session);
-                            if session.is_killed() {
-                                drop(wal);
-                                Attempt::Volatile(session, job)
-                            } else {
-                                let bytes = wal.to_bytes();
-                                drop(wal);
-                                // Seal to the empty PCR selection: the
-                                // blob must unseal on the rebooted
-                                // platform, whose PCRs have all reset.
-                                let tpm = A::platform_mut(&mut guard)
-                                    .tpm_mut()
-                                    .ok_or(SeaError::NoTpm)?;
-                                let sealed = tpm.seal(&bytes, &[])?;
-                                tpm.nvram_mut()
-                                    .store_blob(JOURNAL_NV_INDEX, &sealed.value.to_bytes());
-                                // Checkpoint time serializes against
-                                // the whole batch, not one session:
-                                // platform track.
-                                obs.leaf_on(
-                                    PLATFORM_TRACK,
-                                    Layer::Tpm,
-                                    "journal.seal",
-                                    sealed.elapsed,
-                                );
-                                obs.add("journal.commits", 1);
-                                *lock(journal_overhead) += sealed.elapsed;
-                                Attempt::Committed(session)
-                            }
-                        }
-                    }
-                };
-                if let Attempt::Committed(s) | Attempt::Volatile(s, _) = &attempt {
-                    domain.advance(s.cost());
-                }
-                domain.publish();
-                results.push((i, attempt));
-            }
-        }
-    }
-    Ok((results, domain.busy()))
+    Durable(DurableCtx<'a>),
 }
 
 /// The unified batch engine: a worker pool (worker *k* plays CPU *k*)
@@ -1242,6 +997,7 @@ pub struct SessionEngine<A: Architecture = Slaunch> {
     rt: Arc<Mutex<A::Runtime>>,
     clock: Arc<SharedClock>,
     workers: usize,
+    executor: Executor,
 }
 
 impl<A: Architecture> SessionEngine<A> {
@@ -1256,6 +1012,12 @@ impl<A: Architecture> SessionEngine<A> {
     /// the platform's CPU count — capped at **one** worker on
     /// non-[`Architecture::CONCURRENT`] architectures, whose launches
     /// monopolize the whole platform.
+    ///
+    /// The executor backend defaults to [`Executor::from_env`]
+    /// (`SEA_EXECUTOR`); override with [`SessionEngine::with_executor`].
+    /// On the discrete-event backend "worker threads" are virtual CPUs
+    /// on one OS thread, so `workers` may far exceed the host's cores —
+    /// the cap is still the *platform's* CPU count.
     pub fn new(mut platform: SecurePlatform, workers: usize) -> Result<Self, SeaError> {
         let n_cpus = platform.machine().cpus().len();
         let cap = if A::CONCURRENT { n_cpus } else { 1 };
@@ -1279,12 +1041,30 @@ impl<A: Architecture> SessionEngine<A> {
             rt: Arc::new(Mutex::new(rt)),
             clock: Arc::new(SharedClock::new()),
             workers,
+            executor: Executor::from_env(),
         })
     }
 
     /// Number of worker threads (= CPUs driven).
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Selects the executor backend (builder form).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Selects the executor backend in place.
+    pub fn set_executor(&mut self, executor: Executor) {
+        self.executor = executor;
+    }
+
+    /// The engine's executor backend (a [`BatchPolicy::with_executor`]
+    /// override still takes precedence per batch).
+    pub fn executor(&self) -> Executor {
+        self.executor
     }
 
     /// Installs the observability handle into the shared runtime's
@@ -1351,6 +1131,30 @@ impl<A: Architecture> SessionEngine<A> {
         jobs: Vec<ConcurrentJob>,
         policy: &BatchPolicy,
     ) -> Result<BatchOutcome, SeaError> {
+        self.run_indexed(jobs.into_iter().enumerate().collect(), policy)
+    }
+
+    /// Runs a batch whose jobs carry explicit indices, in any
+    /// submission order.
+    ///
+    /// The indices must form a permutation of `0..jobs.len()`; job *i*
+    /// keeps its static CPU assignment (`i % workers`) and its slot in
+    /// [`BatchOutcome::sessions`] regardless of the order jobs appear
+    /// in the vector. The engine sorts pending work by index before
+    /// each epoch, so the outcome is *structurally* invariant to
+    /// submission order — the permutation property test in
+    /// `tests/proptest_invariants.rs` pins this.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`SessionEngine::run`] raises, plus
+    /// [`SeaError::EngineFault`] when the indices are not a permutation
+    /// of `0..jobs.len()`.
+    pub fn run_indexed(
+        &mut self,
+        jobs: Vec<(usize, ConcurrentJob)>,
+        policy: &BatchPolicy,
+    ) -> Result<BatchOutcome, SeaError> {
         if policy.durability().is_some() && !A::DURABLE {
             return Err(SeaError::PolicyUnsupported {
                 architecture: A::NAME,
@@ -1358,8 +1162,17 @@ impl<A: Architecture> SessionEngine<A> {
             });
         }
         let n_jobs = jobs.len();
+        let mut seen = vec![false; n_jobs];
+        for (i, _) in &jobs {
+            if *i >= n_jobs || std::mem::replace(&mut seen[*i], true) {
+                return Err(SeaError::EngineFault(
+                    "job indices must form a permutation of 0..jobs.len()",
+                ));
+            }
+        }
         let workers = self.workers;
         let retry = policy.retry();
+        let exec = policy.executor().unwrap_or(self.executor);
 
         let journal = Mutex::new(SessionJournal::new());
         let triggers = policy
@@ -1369,7 +1182,7 @@ impl<A: Architecture> SessionEngine<A> {
         let mut cpu_busy = vec![SimDuration::ZERO; workers];
         let mut final_slots: Vec<Option<Result<SessionResult, SeaError>>> =
             (0..n_jobs).map(|_| None).collect();
-        let mut pending: Vec<(usize, ConcurrentJob)> = jobs.into_iter().enumerate().collect();
+        let mut pending: Vec<(usize, ConcurrentJob)> = jobs;
         let mut resets = 0u32;
         let mut committed: Vec<u64> = Vec::new();
         let mut relaunched: Vec<u64> = Vec::new();
@@ -1387,51 +1200,48 @@ impl<A: Architecture> SessionEngine<A> {
             // just to reach the sink.
             let obs = self.obs();
             let mode = match (retry, &triggers) {
-                (r, Some(triggers)) => WorkerMode::Durable {
+                (r, Some(triggers)) => WorkerMode::Durable(DurableCtx {
                     retry: r.unwrap_or_default(),
                     reset_epoch,
                     journal: &journal,
                     triggers,
                     journal_overhead: &journal_overhead,
                     crashed: &crashed,
-                },
+                }),
                 (Some(retry), None) => WorkerMode::Recovered { retry },
                 (None, None) => WorkerMode::Plain,
             };
 
-            // Jobs keep their static assignment (job i → worker/CPU
-            // i % workers) in every epoch.
-            let mut per_worker: Vec<Vec<(usize, ConcurrentJob)>> =
-                (0..workers).map(|_| Vec::new()).collect();
-            for (i, job) in pending.drain(..) {
-                per_worker[i % workers].push((i, job));
+            // Sorting pending work by index makes the epoch's schedule
+            // a pure function of *which* jobs are pending, never the
+            // order they were submitted or re-queued in.
+            pending.sort_unstable_by_key(|(i, _)| *i);
+            let pending_epoch = std::mem::take(&mut pending);
+            let (attempts, busy) = match exec {
+                Executor::ThreadPool => threadpool::run_epoch::<A>(
+                    workers,
+                    n_jobs,
+                    pending_epoch,
+                    &self.rt,
+                    &obs,
+                    &self.clock,
+                    epoch,
+                    mode,
+                )?,
+                Executor::DiscreteEvent => des::run_epoch::<A>(
+                    workers,
+                    n_jobs,
+                    pending_epoch,
+                    &self.rt,
+                    &obs,
+                    &self.clock,
+                    epoch,
+                    mode,
+                )?,
+            };
+            for (k, b) in busy.into_iter().enumerate() {
+                cpu_busy[k] += b;
             }
-
-            let mut attempts: Vec<Option<Attempt>> = (0..n_jobs).map(|_| None).collect();
-            std::thread::scope(|scope| -> Result<(), SeaError> {
-                let handles: Vec<_> = per_worker
-                    .into_iter()
-                    .enumerate()
-                    .map(|(k, assigned)| {
-                        let rt = Arc::clone(&self.rt);
-                        let clock = Arc::clone(&self.clock);
-                        let obs = &obs;
-                        scope.spawn(move || {
-                            batch_worker::<A>(k, assigned, &rt, obs, &clock, epoch, mode)
-                        })
-                    })
-                    .collect();
-                for (k, handle) in handles.into_iter().enumerate() {
-                    let (results, busy) = handle
-                        .join()
-                        .map_err(|_| SeaError::EngineFault("worker thread panicked"))??;
-                    cpu_busy[k] += busy;
-                    for (i, attempt) in results {
-                        attempts[i] = Some(attempt);
-                    }
-                }
-                Ok(())
-            })?;
 
             if !crashed.load(Ordering::SeqCst) {
                 // Clean epoch: every surviving attempt is final.

@@ -62,6 +62,8 @@
 
 mod attest;
 mod concurrent;
+mod des;
+mod driver;
 pub mod engine;
 mod enhanced;
 mod error;
@@ -74,6 +76,7 @@ mod protocol;
 mod recovery;
 mod report;
 mod secb;
+mod threadpool;
 
 pub use attest::{TrustPolicy, Verifier, VerifyError};
 pub use concurrent::{
@@ -81,8 +84,8 @@ pub use concurrent::{
     SessionResult,
 };
 pub use engine::{
-    Architecture, BatchOutcome, BatchPolicy, Session, SessionEngine, SessionTally, Skinit, Slaunch,
-    Stepped, JOURNAL_NV_INDEX,
+    Architecture, BatchOutcome, BatchPolicy, Executor, Session, SessionEngine, SessionTally,
+    Skinit, Slaunch, Stepped, JOURNAL_NV_INDEX,
 };
 pub use enhanced::{EnhancedSea, PalDone, PalId, PalStep};
 pub use error::SeaError;

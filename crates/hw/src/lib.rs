@@ -46,6 +46,7 @@
 mod controller;
 mod cpu;
 mod error;
+mod event;
 mod fault;
 mod lpc;
 mod machine;
@@ -60,6 +61,7 @@ mod types;
 pub use controller::{MemoryController, PageAccess};
 pub use cpu::{Cpu, CpuExecState};
 pub use error::HwError;
+pub use event::{Event, EventQueue};
 pub use fault::{FaultKind, FaultPlan, RATE_DENOM, TRANSPORT_FAULT_COST};
 pub use lpc::LpcBus;
 pub use machine::{Device, Machine, MachineBuilder};
@@ -73,5 +75,6 @@ pub use reset::{ResetPlan, RESET_REBOOT_COST};
 pub use time::{CpuClockDomain, SharedClock, SimClock, SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};
 pub use types::{
-    AccessKind, CpuId, CpuMask, DeviceId, PageIndex, PageRange, PhysAddr, Requester, PAGE_SIZE,
+    AccessKind, CpuId, CpuMask, DeviceId, PageIndex, PageRange, PhysAddr, Requester, MAX_CPUS,
+    PAGE_SIZE,
 };

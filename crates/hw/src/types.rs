@@ -19,7 +19,14 @@ impl fmt::Display for CpuId {
     }
 }
 
-/// A set of CPU cores, represented as a bitmask (up to 64 cores).
+/// Highest representable CPU id plus one — the [`CpuMask`] width.
+pub const MAX_CPUS: u16 = 1024;
+
+const MASK_WORDS: usize = (MAX_CPUS as usize) / 64;
+
+/// A set of CPU cores, represented as a bitmask (up to [`MAX_CPUS`]
+/// cores, so discrete-event platforms can model fleets far past
+/// physical core counts).
 ///
 /// The proposed access-control table binds pages to the CPU executing a
 /// PAL (§5.2); the §6 *Multicore PALs* extension adds a `join` operation
@@ -34,62 +41,66 @@ impl fmt::Display for CpuId {
 /// assert!(mask.contains(CpuId(0)));
 /// assert!(!mask.contains(CpuId(1)));
 /// mask.insert(CpuId(1));
-/// assert_eq!(mask.len(), 2);
+/// mask.insert(CpuId(512));
+/// assert_eq!(mask.len(), 3);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-pub struct CpuMask(u64);
+pub struct CpuMask([u64; MASK_WORDS]);
 
 impl CpuMask {
     /// The empty set.
-    pub const EMPTY: CpuMask = CpuMask(0);
+    pub const EMPTY: CpuMask = CpuMask([0; MASK_WORDS]);
 
     /// A set containing exactly `cpu`.
     ///
     /// # Panics
     ///
-    /// Panics for CPU ids ≥ 64 (the mask width).
+    /// Panics for CPU ids ≥ [`MAX_CPUS`] (the mask width).
     pub fn single(cpu: CpuId) -> Self {
-        let mut m = CpuMask(0);
+        let mut m = CpuMask::EMPTY;
         m.insert(cpu);
         m
     }
 
     /// Whether `cpu` is in the set.
     pub fn contains(self, cpu: CpuId) -> bool {
-        cpu.0 < 64 && self.0 & (1u64 << cpu.0) != 0
+        cpu.0 < MAX_CPUS && self.0[cpu.0 as usize / 64] & (1u64 << (cpu.0 % 64)) != 0
     }
 
     /// Adds `cpu` to the set.
     ///
     /// # Panics
     ///
-    /// Panics for CPU ids ≥ 64.
+    /// Panics for CPU ids ≥ [`MAX_CPUS`].
     pub fn insert(&mut self, cpu: CpuId) {
-        assert!(cpu.0 < 64, "CpuMask supports CPU ids below 64");
-        self.0 |= 1u64 << cpu.0;
+        assert!(
+            cpu.0 < MAX_CPUS,
+            "CpuMask supports CPU ids below {MAX_CPUS}"
+        );
+        self.0[cpu.0 as usize / 64] |= 1u64 << (cpu.0 % 64);
     }
 
     /// Removes `cpu` from the set.
     pub fn remove(&mut self, cpu: CpuId) {
-        if cpu.0 < 64 {
-            self.0 &= !(1u64 << cpu.0);
+        if cpu.0 < MAX_CPUS {
+            self.0[cpu.0 as usize / 64] &= !(1u64 << (cpu.0 % 64));
         }
     }
 
     /// Number of CPUs in the set.
     pub fn len(self) -> u32 {
-        self.0.count_ones()
+        self.0.iter().map(|w| w.count_ones()).sum()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(self) -> bool {
-        self.0 == 0
+        self.0 == [0; MASK_WORDS]
     }
 
     /// Iterates over the member CPU ids in ascending order.
     pub fn iter(self) -> impl Iterator<Item = CpuId> {
-        (0u16..64)
-            .filter(move |&i| self.0 & (1u64 << i) != 0)
+        (0..MAX_CPUS)
+            .filter(move |&i| self.0[i as usize / 64] & (1u64 << (i % 64)) != 0)
             .map(CpuId)
     }
 }
@@ -294,6 +305,10 @@ mod tests {
         assert!(m.contains(CpuId(5)));
         assert!(!m.contains(CpuId(1)));
         assert!(!m.contains(CpuId(64)));
+        assert!(!m.contains(CpuId(MAX_CPUS)));
+        m.insert(CpuId(999));
+        assert!(m.contains(CpuId(999)));
+        m.remove(CpuId(999));
         m.remove(CpuId(0));
         assert!(!m.contains(CpuId(0)));
         assert_eq!(m.iter().collect::<Vec<_>>(), vec![CpuId(5)]);
@@ -302,10 +317,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "below 64")]
+    #[should_panic(expected = "below 1024")]
     fn cpu_mask_rejects_wide_ids() {
         let mut m = CpuMask::EMPTY;
-        m.insert(CpuId(64));
+        m.insert(CpuId(MAX_CPUS));
     }
 
     #[test]

@@ -16,8 +16,8 @@
 //! CPU time available under each.
 
 use sea_core::{
-    BatchPolicy, ConcurrentJob, EnhancedSea, LegacySea, PalId, PalLogic, PalStep, RetryPolicy,
-    SecurePlatform, SessionEngine, SessionReport, SessionResult,
+    BatchPolicy, ConcurrentJob, EnhancedSea, Executor, LegacySea, PalId, PalLogic, PalStep,
+    RetryPolicy, SecurePlatform, SessionEngine, SessionReport, SessionResult,
 };
 use sea_hw::{CpuId, FaultPlan, ResetPlan, SimDuration, SimTime};
 
@@ -446,6 +446,20 @@ impl ParallelScheduler {
     /// [`Scheduler::set_retry_policy`] does for the cooperative driver.
     pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>) {
         self.retry_policy = policy;
+    }
+
+    /// Selects the execution backend for the pool: real OS threads
+    /// (the default) or the deterministic discrete-event executor,
+    /// which steps the same sessions as virtual CPUs on one thread —
+    /// letting the scheduler model platforms far wider than the host.
+    pub fn set_executor(&mut self, executor: Executor) {
+        self.pool.set_executor(executor);
+    }
+
+    /// The pool's currently selected execution backend.
+    #[must_use]
+    pub fn executor(&self) -> Executor {
+        self.pool.executor()
     }
 
     /// Installs (or clears) a platform reset plan. With a plan set,

@@ -7,7 +7,7 @@
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
-use sea_hw::CpuId;
+use sea_hw::{CpuId, SimTime};
 
 use crate::error::TpmError;
 
@@ -163,6 +163,108 @@ impl SharedTpmLock {
     }
 }
 
+/// The hardware TPM lock as a *virtual-time* resource: CPUs file
+/// requests stamped with the virtual instant they reached the TPM, and
+/// the arbiter grants in deterministic `(time, cpu)` order.
+///
+/// [`SharedTpmLock`] resolves contention by whichever OS thread's
+/// compare-and-swap lands first — correct, but host-scheduling-
+/// dependent. A discrete-event executor has no racing threads, so the
+/// grant order can instead be a pure function of the event timeline:
+/// earliest requester wins, ties broken by the lower CPU id. This is
+/// the same policy the paper's hardware arbiter could implement with a
+/// fixed-priority daisy chain, and it makes TPM serialization
+/// replayable.
+///
+/// # Example
+///
+/// ```
+/// use sea_tpm::EventOrderedTpmLock;
+/// use sea_hw::{CpuId, SimTime};
+///
+/// let mut arbiter = EventOrderedTpmLock::new();
+/// arbiter.request(SimTime::from_ns(20), CpuId(1));
+/// arbiter.request(SimTime::from_ns(10), CpuId(3));
+/// arbiter.request(SimTime::from_ns(10), CpuId(2));
+/// // Earliest request wins; equal times resolve to the lower CPU id.
+/// assert_eq!(arbiter.grant(), Some(CpuId(2)));
+/// assert_eq!(arbiter.grant(), None); // held until released
+/// arbiter.release(CpuId(2)).unwrap();
+/// assert_eq!(arbiter.grant(), Some(CpuId(3)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EventOrderedTpmLock {
+    holder: Option<CpuId>,
+    /// Pending requests as `(request time, cpu)`, unsorted; `grant`
+    /// selects the minimum, so the queue never depends on arrival
+    /// order beyond the timestamps themselves.
+    pending: Vec<(SimTime, CpuId)>,
+}
+
+impl EventOrderedTpmLock {
+    /// Creates an unheld arbiter with no pending requests.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The CPU currently granted the TPM, if any.
+    pub fn holder(&self) -> Option<CpuId> {
+        self.holder
+    }
+
+    /// Number of CPUs waiting for a grant.
+    pub fn waiting(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Files a request from `cpu` stamped `at`. Duplicate requests from
+    /// the same CPU keep the earliest stamp (hardware sees one request
+    /// line per CPU).
+    pub fn request(&mut self, at: SimTime, cpu: CpuId) {
+        if self.holder == Some(cpu) {
+            return; // reentrant: the holder already owns the TPM
+        }
+        match self.pending.iter_mut().find(|(_, c)| *c == cpu) {
+            Some(slot) => slot.0 = slot.0.min(at),
+            None => self.pending.push((at, cpu)),
+        }
+    }
+
+    /// Grants the lock to the best pending requester — earliest stamp,
+    /// ties to the lowest CPU id — if the TPM is free. Returns the
+    /// winner, or `None` if the lock is held or nobody is waiting.
+    pub fn grant(&mut self) -> Option<CpuId> {
+        if self.holder.is_some() || self.pending.is_empty() {
+            return None;
+        }
+        let best = self
+            .pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(t, c))| (t, c))
+            .map(|(i, _)| i)?;
+        let (_, cpu) = self.pending.swap_remove(best);
+        self.holder = Some(cpu);
+        Some(cpu)
+    }
+
+    /// Releases the grant.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::LockHeld`] if `cpu` is not the holder.
+    pub fn release(&mut self, cpu: CpuId) -> Result<(), TpmError> {
+        match self.holder {
+            Some(h) if h == cpu => {
+                self.holder = None;
+                Ok(())
+            }
+            Some(h) => Err(TpmError::LockHeld { holder: h }),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +316,45 @@ mod tests {
         lock.release(CpuId(0)).unwrap();
         assert!(lock.release(CpuId(0)).is_ok());
         assert!(lock.acquire(CpuId(1)).is_ok());
+    }
+
+    #[test]
+    fn event_ordered_grants_resolve_time_then_cpu() {
+        let mut arb = EventOrderedTpmLock::new();
+        arb.request(SimTime::from_ns(50), CpuId(0));
+        arb.request(SimTime::from_ns(10), CpuId(9));
+        arb.request(SimTime::from_ns(10), CpuId(4));
+        assert_eq!(arb.waiting(), 3);
+        // t=10 beats t=50; cpu4 beats cpu9 at equal time.
+        assert_eq!(arb.grant(), Some(CpuId(4)));
+        assert_eq!(arb.holder(), Some(CpuId(4)));
+        assert_eq!(arb.grant(), None);
+        arb.release(CpuId(4)).unwrap();
+        assert_eq!(arb.grant(), Some(CpuId(9)));
+        arb.release(CpuId(9)).unwrap();
+        assert_eq!(arb.grant(), Some(CpuId(0)));
+        arb.release(CpuId(0)).unwrap();
+        assert_eq!(arb.grant(), None);
+    }
+
+    #[test]
+    fn event_ordered_dedupes_requests_and_guards_release() {
+        let mut arb = EventOrderedTpmLock::new();
+        arb.request(SimTime::from_ns(30), CpuId(1));
+        arb.request(SimTime::from_ns(5), CpuId(1)); // earlier stamp wins
+        arb.request(SimTime::from_ns(20), CpuId(2));
+        assert_eq!(arb.waiting(), 2);
+        assert_eq!(arb.grant(), Some(CpuId(1)));
+        // The holder re-requesting is a no-op, not a queued duplicate.
+        arb.request(SimTime::from_ns(40), CpuId(1));
+        assert_eq!(arb.waiting(), 1);
+        assert_eq!(
+            arb.release(CpuId(2)),
+            Err(TpmError::LockHeld { holder: CpuId(1) })
+        );
+        arb.release(CpuId(1)).unwrap();
+        assert!(arb.release(CpuId(1)).is_ok()); // releasing unheld is harmless
+        assert_eq!(arb.grant(), Some(CpuId(2)));
     }
 
     #[test]

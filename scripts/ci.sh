@@ -24,6 +24,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --offline --quiet
 echo "== cargo test (offline) =="
 cargo test -q --workspace --offline
 
+echo "== cargo test under the discrete-event executor (offline) =="
+SEA_EXECUTOR=des cargo test -q --workspace --offline
+
 echo "== quickstart example (offline) =="
 cargo run -q --release --offline -p minimal-tcb --example quickstart
 
@@ -37,10 +40,21 @@ grep -q '^#!\[deny(missing_docs)\]' crates/core/src/lib.rs \
 strays=$(grep -rn '\.run_batch_recovered(\|\.run_batch_durable(' crates tests examples \
   --include='*.rs' \
   | grep -v 'crates/core/src/concurrent.rs' \
-  | grep -v 'tests/engine_equivalence.rs' || true)
+  | grep -v 'tests/engine_equivalence.rs' \
+  | grep -v 'tests/engine.rs' || true)
 if [ -n "$strays" ]; then
   echo "ci.sh: deprecated batch entry points called outside the shim/equivalence suite:" >&2
   echo "$strays" >&2
+  exit 1
+fi
+# The thread-pool executor module is the only place in sea-core allowed
+# to spawn OS threads; everything else must go through an Executor.
+threads=$(grep -rn 'thread::spawn\|thread::scope' crates/core/src \
+  --include='*.rs' \
+  | grep -v 'crates/core/src/threadpool.rs' || true)
+if [ -n "$threads" ]; then
+  echo "ci.sh: OS threads spawned in sea-core outside src/threadpool.rs:" >&2
+  echo "$threads" >&2
   exit 1
 fi
 
@@ -59,6 +73,9 @@ SEA_BENCH_SMOKE=1 cargo bench -q -p sea-bench --offline
 
 echo "== fault-sweep bench (smoke mode, offline) =="
 SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin fault_sweep
+
+echo "== scale bench: 1024 virtual CPUs on the event queue (smoke mode, offline) =="
+SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin scale
 
 echo "== suite + BENCH_suite.json (smoke mode, offline) =="
 SUITE_JSON=target/BENCH_suite.json

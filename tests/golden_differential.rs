@@ -1,30 +1,40 @@
 //! Golden differential suite for the batch engine.
 //!
-//! The files under `tests/golden/` were recorded from the engine as it
-//! stood *before* the unified `SessionEngine` refactor: one pinned-seed
-//! faulted + reset batch, dumped session by session (outputs, reports,
-//! quotes, retry counts, terminal variants) at one worker and at four,
-//! plus the full platform ledger (reset history, recovery latency,
-//! journal overhead, wall time, machine trace) for the serial run,
-//! where host interleaving cannot perturb it.
+//! The `durable_*` files under `tests/golden/` were recorded from the
+//! engine as it stood *before* the unified `SessionEngine` refactor:
+//! one pinned-seed faulted + reset batch, dumped session by session
+//! (outputs, reports, quotes, retry counts, terminal variants) at one
+//! worker and at four, plus the full platform ledger (reset history,
+//! recovery latency, journal overhead, wall time, machine trace) for
+//! the serial run, where host interleaving cannot perturb it. The
+//! `plain_*` and `recovered_*` files extend the oracle to the other two
+//! batch paths — fault-free and faulted-with-retries — with ledgers at
+//! both worker counts (those paths never reset, so their ledgers are
+//! deterministic even at four workers; only the serial ledgers carry
+//! the machine trace).
 //!
-//! The tests assert the engine of today reproduces those recordings
-//! **byte-identically**. Any drift in fault rolls, retry accounting,
-//! journal commit gates, quote bytes, or clock folding shows up as a
-//! diff against the recording, not as a silent behavior change.
+//! Every test replays its scenario on **both** executors — the
+//! thread-pool backend and the discrete-event backend — and asserts
+//! each reproduces the same recording **byte-identically**. Any drift
+//! in fault rolls, retry accounting, journal commit gates, quote bytes,
+//! clock folding, or event-queue scheduling shows up as a diff against
+//! the recording, not as a silent behavior change.
 //!
 //! Set `SEA_GOLDEN_REGEN=1` to re-record (only after deliberately
 //! changing engine semantics — the diff is the review artifact).
 
 use sea_core::{
-    BatchOutcome, BatchPolicy, ConcurrentJob, FnPal, PalOutcome, RetryPolicy, SecurePlatform,
-    SessionEngine, SessionResult, Slaunch,
+    BatchOutcome, BatchPolicy, ConcurrentJob, Executor, FnPal, PalOutcome, RetryPolicy,
+    SecurePlatform, SessionEngine, SessionResult, Slaunch,
 };
 use sea_hw::{FaultPlan, Platform, ResetPlan, SimDuration, RATE_DENOM};
 use sea_tpm::KeyStrength;
 
 const JOBS: usize = 12;
 const GOLDEN_SEED: u64 = 0x601D;
+
+/// Both backends, thread pool first (the historical recording source).
+const EXECUTORS: [Executor; 2] = [Executor::ThreadPool, Executor::DiscreteEvent];
 
 fn fault_plan() -> FaultPlan {
     FaultPlan::new(GOLDEN_SEED)
@@ -62,19 +72,46 @@ fn batch() -> Vec<ConcurrentJob> {
         .collect()
 }
 
-/// Runs the pinned scenario and returns the outcome plus a dump of the
-/// machine trace (only meaningful serially, where it is deterministic).
-fn run(workers: usize) -> (BatchOutcome, String) {
-    let platform = SecurePlatform::new(Platform::recommended(4), KeyStrength::Demo512, b"golden");
-    let mut pool = SessionEngine::<Slaunch>::new(platform, workers).expect("pool fits platform");
-    pool.set_fault_plan(Some(fault_plan()));
-    let out = pool
-        .run(
-            batch(),
-            &BatchPolicy::plain()
+/// The three recorded batch paths.
+#[derive(Clone, Copy)]
+enum Scenario {
+    /// Fault-free, no retries, no journal.
+    Plain,
+    /// The golden fault tape absorbed by the default retry policy.
+    Recovered,
+    /// Faults plus the golden power-loss tape through the journal.
+    Durable,
+}
+
+impl Scenario {
+    fn policy(self) -> BatchPolicy {
+        match self {
+            Scenario::Plain => BatchPolicy::plain(),
+            Scenario::Recovered => BatchPolicy::plain().with_retry(RetryPolicy::default()),
+            Scenario::Durable => BatchPolicy::plain()
                 .with_retry(RetryPolicy::default())
                 .with_durability(reset_plan()),
-        )
+        }
+    }
+
+    fn faults(self) -> Option<FaultPlan> {
+        match self {
+            Scenario::Plain => None,
+            Scenario::Recovered | Scenario::Durable => Some(fault_plan()),
+        }
+    }
+}
+
+/// Runs the pinned scenario on the given backend and returns the
+/// outcome plus a dump of the machine trace (only recorded serially,
+/// where it is deterministic under both executors).
+fn run(workers: usize, executor: Executor, scenario: Scenario) -> (BatchOutcome, String) {
+    let platform = SecurePlatform::new(Platform::recommended(4), KeyStrength::Demo512, b"golden");
+    let mut pool = SessionEngine::<Slaunch>::new(platform, workers).expect("pool fits platform");
+    pool.set_executor(executor);
+    pool.set_fault_plan(scenario.faults());
+    let out = pool
+        .run(batch(), &scenario.policy())
         .expect("golden batch runs");
     let sea = pool.into_inner();
     let mut trace = String::new();
@@ -86,7 +123,7 @@ fn run(workers: usize) -> (BatchOutcome, String) {
 
 /// Per-session dump: everything worker-count-invariant (the CPU a job
 /// lands on is `i % workers`, so it is fixed *per worker count* and the
-/// two recordings legitimately differ in that one field).
+/// recordings at different counts legitimately differ in that field).
 fn dump_sessions(sessions: &[SessionResult]) -> String {
     let mut s = String::new();
     for (i, r) in sessions.iter().enumerate() {
@@ -95,19 +132,27 @@ fn dump_sessions(sessions: &[SessionResult]) -> String {
     s
 }
 
-/// Serial-only platform ledger: reset history and clock folding.
-fn dump_ledger(out: &BatchOutcome, trace: &str) -> String {
+/// Platform ledger: reset history and clock folding. The machine trace
+/// rides along only in the serial recordings; at four workers the
+/// thread pool's trace order depends on host interleaving (the
+/// discrete-event backend's does not, but the recordings must hold for
+/// both).
+fn dump_ledger(out: &BatchOutcome, trace: Option<&str>) -> String {
     let busy: Vec<u64> = out.cpu_busy.iter().map(|d| d.as_ns()).collect();
-    format!(
+    let mut s = format!(
         "resets={}\ncommitted={:?}\nrelaunched={:?}\nrecovery_latency_ns={}\n\
-         journal_overhead_ns={}\nwall_ns={}\ncpu_busy_ns={busy:?}\n== trace ==\n{trace}",
+         journal_overhead_ns={}\nwall_ns={}\ncpu_busy_ns={busy:?}\n",
         out.resets,
         out.committed,
         out.relaunched,
         out.recovery_latency.as_ns(),
         out.journal_overhead.as_ns(),
         out.wall.as_ns(),
-    )
+    );
+    if let Some(trace) = trace {
+        s.push_str(&format!("== trace ==\n{trace}"));
+    }
+    s
 }
 
 fn golden_path(name: &str) -> std::path::PathBuf {
@@ -116,9 +161,13 @@ fn golden_path(name: &str) -> std::path::PathBuf {
         .join(name)
 }
 
-fn check(name: &str, actual: &str) {
+/// Checks (or, under `SEA_GOLDEN_REGEN=1`, records) one golden file.
+/// Recording happens only from the thread-pool replay — the historical
+/// source of every recording; the discrete-event replay must then match
+/// the freshly-recorded bytes too.
+fn check(name: &str, executor: Executor, actual: &str) {
     let path = golden_path(name);
-    if std::env::var("SEA_GOLDEN_REGEN").is_ok() {
+    if std::env::var("SEA_GOLDEN_REGEN").is_ok() && executor == Executor::ThreadPool {
         std::fs::create_dir_all(path.parent().unwrap()).expect("mkdir tests/golden");
         std::fs::write(&path, actual).expect("write golden");
         return;
@@ -131,27 +180,76 @@ fn check(name: &str, actual: &str) {
     });
     assert_eq!(
         actual, expected,
-        "{name}: engine output diverged from the pre-refactor recording"
+        "{name}: {executor:?} output diverged from the recording"
     );
+}
+
+/// One scenario at one worker count, replayed on both backends against
+/// the same recordings. `ledger_trace` records the machine trace into
+/// the ledger (serial runs only); `ledger` can be off entirely (the
+/// durable split at four workers is interleaving-dependent on the
+/// thread pool).
+fn golden_case(prefix: &str, workers: usize, scenario: Scenario, ledger: bool, trace: bool) {
+    for executor in EXECUTORS {
+        let (out, trace_dump) = run(workers, executor, scenario);
+        check(
+            &format!("{prefix}_sessions.txt"),
+            executor,
+            &dump_sessions(&out.sessions),
+        );
+        if ledger {
+            let trace = trace.then_some(trace_dump.as_str());
+            check(
+                &format!("{prefix}_ledger.txt"),
+                executor,
+                &dump_ledger(&out, trace),
+            );
+        }
+    }
 }
 
 #[test]
 fn golden_faulted_reset_batch_one_worker() {
-    let (out, trace) = run(1);
+    let (out, _) = run(1, Executor::ThreadPool, Scenario::Durable);
     assert!(out.resets >= 1, "golden plan must pull the plug");
-    check("durable_w1_sessions.txt", &dump_sessions(&out.sessions));
-    check("durable_w1_ledger.txt", &dump_ledger(&out, &trace));
+    golden_case("durable_w1", 1, Scenario::Durable, true, true);
 }
 
 #[test]
 fn golden_faulted_reset_batch_four_workers() {
-    let (out, _) = run(4);
-    check("durable_w4_sessions.txt", &dump_sessions(&out.sessions));
+    golden_case("durable_w4", 4, Scenario::Durable, false, false);
 }
 
-/// The two recordings must agree wherever worker count cannot matter:
-/// same terminal variant, output, report, quote, and retry count per
-/// session — only the CPU field may differ.
+#[test]
+fn golden_plain_batch_one_worker() {
+    golden_case("plain_w1", 1, Scenario::Plain, true, true);
+}
+
+#[test]
+fn golden_plain_batch_four_workers() {
+    golden_case("plain_w4", 4, Scenario::Plain, true, false);
+}
+
+#[test]
+fn golden_recovered_batch_one_worker() {
+    let (out, _) = run(1, Executor::ThreadPool, Scenario::Recovered);
+    assert!(
+        out.sessions
+            .iter()
+            .any(|s| matches!(s, SessionResult::Quoted { retries, .. } if *retries > 0)),
+        "golden fault tape must force at least one retry"
+    );
+    golden_case("recovered_w1", 1, Scenario::Recovered, true, true);
+}
+
+#[test]
+fn golden_recovered_batch_four_workers() {
+    golden_case("recovered_w4", 4, Scenario::Recovered, true, false);
+}
+
+/// The recordings must agree wherever worker count cannot matter: same
+/// terminal variant, output, report, quote, and retry count per session
+/// — only the CPU field may differ.
 #[test]
 fn golden_recordings_agree_across_worker_counts() {
     let read = |name: &str| {
@@ -178,9 +276,11 @@ fn golden_recordings_agree_across_worker_counts() {
         }
         kept.join("\n")
     };
-    assert_eq!(
-        strip_cpu(read("durable_w1_sessions.txt")),
-        strip_cpu(read("durable_w4_sessions.txt")),
-        "worker count leaked into worker-count-invariant session data"
-    );
+    for prefix in ["durable", "plain", "recovered"] {
+        assert_eq!(
+            strip_cpu(read(&format!("{prefix}_w1_sessions.txt"))),
+            strip_cpu(read(&format!("{prefix}_w4_sessions.txt"))),
+            "{prefix}: worker count leaked into worker-count-invariant session data"
+        );
+    }
 }

@@ -409,3 +409,141 @@ fn blob_and_quote_wire_formats_roundtrip() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------------------------
+// Discrete-event executor invariants
+// ---------------------------------------------------------------------
+
+/// The event queue's published contract: events fire in virtual-time
+/// order, equal times resolve by ascending event id, and exact
+/// `(time, id)` ties resolve in scheduling (FIFO) order. The shadow
+/// model is a stable sort on `(time, id)`, which is that contract by
+/// construction.
+#[test]
+fn event_queue_equal_timestamp_events_resolve_in_tie_break_order() {
+    use minimal_tcb::hw::{EventQueue, SimTime};
+    check(
+        "event_queue_equal_timestamp_events_resolve_in_tie_break_order",
+        CASES,
+        |t| {
+            // Tiny time/id domains force heavy collisions, so the
+            // second and third tie-break rules carry real weight.
+            let entries = t.vec(0, 64, |t| {
+                let at = SimTime::from_ns(t.range(0, 8) as u64);
+                let id = t.range(0, 6) as u64;
+                (at, id)
+            });
+            let mut queue: EventQueue<usize> = EventQueue::new();
+            let mut shadow: Vec<(SimTime, u64, usize)> = Vec::new();
+            for (seq, &(at, id)) in entries.iter().enumerate() {
+                queue.schedule(at, id, seq);
+                shadow.push((at, id, seq));
+            }
+            shadow.sort_by_key(|&(at, id, _)| (at, id)); // stable: FIFO at full ties
+            prop_assert_eq!(queue.len(), shadow.len());
+            for &(at, id, seq) in &shadow {
+                let event = queue.pop().ok_or("queue ran dry early")?;
+                prop_assert_eq!(event.at, at);
+                prop_assert_eq!(event.id, id);
+                prop_assert_eq!(event.payload, seq);
+                // Popping advances virtual now monotonically.
+                prop_assert_eq!(queue.now(), at);
+            }
+            prop_assert!(queue.pop().is_none());
+            Ok(())
+        },
+    );
+}
+
+/// A durable faulted batch on 256 virtual CPUs is invariant to
+/// seed-preserving permutations of job submission order: the engine
+/// sorts pending work by job index before each epoch, so the whole
+/// outcome — sessions, quotes, ledger, busy times — is a pure function
+/// of the job *set*, never of the order `run_indexed` receives it in.
+#[test]
+fn engine_outcome_invariant_to_submission_order_on_256_virtual_cpus() {
+    use minimal_tcb::core::{
+        BatchOutcome, BatchPolicy, ConcurrentJob, Executor, FnPal, PalOutcome, RetryPolicy,
+        SecurePlatform, SessionEngine, Slaunch,
+    };
+    use minimal_tcb::hw::{FaultPlan, Platform, ResetPlan, SimDuration, RATE_DENOM};
+    use minimal_tcb::tpm::KeyStrength;
+
+    const PERM_JOBS: usize = 24;
+    const PERM_CPUS: usize = 256;
+
+    fn jobs() -> Vec<(usize, ConcurrentJob)> {
+        (0..PERM_JOBS)
+            .map(|i| {
+                let job = ConcurrentJob::new(
+                    Box::new(FnPal::new(&format!("perm-{i}"), move |ctx| {
+                        ctx.work(SimDuration::from_us(25 * (1 + (i as u64 % 5))));
+                        let done = ctx.state().first().copied().unwrap_or(0) + 1;
+                        ctx.set_state(vec![done]);
+                        if done == 2 {
+                            Ok(PalOutcome::Exit(i.to_le_bytes().to_vec()))
+                        } else {
+                            Ok(PalOutcome::Yield)
+                        }
+                    })),
+                    b"",
+                );
+                (i, job)
+            })
+            .collect()
+    }
+
+    fn run(order: &[usize]) -> BatchOutcome {
+        let platform = SecurePlatform::new(
+            Platform::recommended(PERM_CPUS as u16),
+            KeyStrength::Demo512,
+            b"perm",
+        );
+        let mut pool =
+            SessionEngine::<Slaunch>::new(platform, PERM_CPUS).expect("pool fits platform");
+        pool.set_executor(Executor::DiscreteEvent);
+        pool.set_fault_plan(Some(
+            FaultPlan::new(0x9E12)
+                .with_tpm_rate(8000)
+                .with_mem_rate(3000)
+                .with_timer_rate(3000)
+                .with_fatal_ratio(0),
+        ));
+        let mut by_index = jobs();
+        let mut permuted = Vec::with_capacity(PERM_JOBS);
+        for &i in order.iter().rev() {
+            permuted.push(
+                by_index.swap_remove(by_index.iter().position(|(k, _)| *k == i).expect("index")),
+            );
+        }
+        pool.run_indexed(
+            permuted,
+            &BatchPolicy::plain()
+                .with_retry(RetryPolicy::default())
+                .with_durability(
+                    ResetPlan::new(0x9E12)
+                        .with_reset_rate(RATE_DENOM / 8)
+                        .with_max_resets(1),
+                ),
+        )
+        .expect("permuted batch runs")
+    }
+
+    let identity: Vec<usize> = (0..PERM_JOBS).collect();
+    let reference = run(&identity);
+    assert_eq!(reference.sessions.len(), PERM_JOBS);
+    check(
+        "engine_outcome_invariant_to_submission_order_on_256_virtual_cpus",
+        8,
+        |t| {
+            let mut order: Vec<usize> = (0..PERM_JOBS).collect();
+            for i in (1..PERM_JOBS).rev() {
+                let j = t.range(0, i + 1);
+                order.swap(i, j);
+            }
+            let out = run(&order);
+            prop_assert_eq!(&out, &reference);
+            Ok(())
+        },
+    );
+}
