@@ -1,0 +1,17 @@
+//! Fleet-scale attestation: goodput and latency percentiles vs fleet
+//! size — sharded simulated platforms each quoting to one remote
+//! verifier service (certificate walks, session tickets, nonce
+//! freshness, TCB policy).
+//!
+//! Usage: `fleet [REQUESTS]`; `SEA_BENCH_SMOKE=1` shrinks the batch for CI.
+
+use sea_bench::driver::{render_fleet, FLEET_PLATFORMS};
+use sea_bench::timing::smoke_mode;
+
+fn main() {
+    let requests = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke_mode() { 32 } else { 512 });
+    print!("{}", render_fleet(&FLEET_PLATFORMS, requests));
+}

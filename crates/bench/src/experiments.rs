@@ -1125,6 +1125,96 @@ pub fn scale_with_obs(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Fleet: sharded platforms vs a remote verifier service
+// ---------------------------------------------------------------------
+
+/// Seed of the fleet sweep's hashed dispatch policy.
+pub const FLEET_SEED: u64 = 0xF1EE7;
+
+/// OS threads (shards) the fleet sweep runs each fleet over. The
+/// outcome is byte-identical at any shard count; this just bounds host
+/// threads.
+pub const FLEET_SHARDS: usize = 4;
+
+/// One point of the fleet-attestation sweep.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Platforms in the fleet.
+    pub platforms: usize,
+    /// Attestation requests dispatched across the fleet.
+    pub requests: usize,
+    /// Requests the remote verifier accepted.
+    pub accepted: usize,
+    /// Requests the remote verifier rejected.
+    pub rejected: usize,
+    /// AIK certificate-chain walks the verifier performed.
+    pub cert_walks: u64,
+    /// AIK session-ticket cache hits at the verifier.
+    pub ticket_hits: u64,
+    /// Virtual wall time until the last verdict (ms).
+    pub wall_ms: f64,
+    /// Median attestation latency, quote emission to verdict (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile attestation latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile attestation latency (ms).
+    pub p99_ms: f64,
+    /// Accepted attestations per virtual second of fleet wall time.
+    pub goodput_per_sec: f64,
+}
+
+/// Fleet-scale attestation: goodput and latency percentiles vs fleet
+/// size. Each point hash-dispatches ([`FLEET_SEED`]) `requests`
+/// attestation requests across a fleet of [`sea_fleet`] platforms,
+/// runs every platform's sessions to a wire quote, and drains the
+/// completions through the remote [`sea_fleet::VerifierService`] —
+/// certificate walks, session tickets, nonce freshness, TCB policy and
+/// all. Deterministic at every fleet size and shard count.
+pub fn fleet_sweep(platform_counts: &[usize], requests: usize) -> Vec<FleetPoint> {
+    fleet_sweep_with_obs(platform_counts, requests, Obs::null())
+}
+
+/// [`fleet_sweep`] with an observability handle installed into every
+/// platform in every fleet: session spans and layer charges from all
+/// shards land in one recording.
+pub fn fleet_sweep_with_obs(
+    platform_counts: &[usize],
+    requests: usize,
+    obs: Obs,
+) -> Vec<FleetPoint> {
+    platform_counts
+        .iter()
+        .map(|&platforms| {
+            let cfg = sea_fleet::FleetConfig::new(platforms, requests)
+                .with_shards(FLEET_SHARDS)
+                .with_policy(sea_os::DispatchPolicy::Hashed { seed: FLEET_SEED });
+            let out = sea_fleet::run_fleet_with_obs(&cfg, obs.clone());
+            let lat = out.latencies_sorted_ns();
+            let pct = |p: f64| {
+                if lat.is_empty() {
+                    0.0
+                } else {
+                    crate::stats::percentile_sorted(&lat, p) as f64 / 1e6
+                }
+            };
+            FleetPoint {
+                platforms,
+                requests,
+                accepted: out.accepted,
+                rejected: out.rejected,
+                cert_walks: out.cert_walks,
+                ticket_hits: out.ticket_hits,
+                wall_ms: out.wall_ns as f64 / 1e6,
+                p50_ms: pct(0.50),
+                p95_ms: pct(0.95),
+                p99_ms: pct(0.99),
+                goodput_per_sec: out.goodput_per_sec(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1376,6 +1466,27 @@ mod tests {
         // including the committed/relaunched crash split — reproduces
         // byte-identically even at 1024 virtual CPUs.
         assert_eq!(format!("{:?}", points[1]), format!("{:?}", points[2]));
+    }
+
+    #[test]
+    fn fleet_sweep_accepts_everything_and_scales() {
+        let points = fleet_sweep(&[1, 4], 8);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // An honest fleet is accepted wholesale.
+            assert_eq!(p.accepted, p.requests, "{p:?}");
+            assert_eq!(p.rejected, 0, "{p:?}");
+            // One certificate walk per platform the dispatcher used;
+            // every other quote rides a session ticket.
+            assert_eq!(p.cert_walks + p.ticket_hits, p.requests as u64, "{p:?}");
+            assert!(p.cert_walks <= p.platforms as u64, "{p:?}");
+            assert!(p.p50_ms <= p.p95_ms && p.p95_ms <= p.p99_ms, "{p:?}");
+            assert!(p.goodput_per_sec > 0.0, "{p:?}");
+        }
+        // A single platform forces exactly one certificate walk.
+        assert_eq!(points[0].cert_walks, 1, "{points:?}");
+        // More platforms never make the fleet slower overall.
+        assert!(points[1].wall_ms <= points[0].wall_ms + 1e-9, "{points:?}");
     }
 
     #[test]

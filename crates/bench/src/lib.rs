@@ -20,6 +20,7 @@
 //! | `fault_sweep` | recovery layer — goodput vs injected fault rate |
 //! | `crash_sweep` | durable engine — goodput vs injected power-loss rate |
 //! | `scale` | discrete-event executor — durable batches on up to 1024 virtual CPUs |
+//! | `fleet` | fleet-scale attestation — goodput and latency percentiles vs fleet size |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -397,7 +397,8 @@ mod tests {
             sea_tpm::KeyStrength::Demo512,
             b"journal test",
         );
-        tpm.quote(b"nonce", &[sea_tpm::PcrIndex(17)]).unwrap().value
+        let wire = tpm.quote(b"nonce", &[sea_tpm::PcrIndex(17)]).unwrap().value;
+        Quote::from_wire(&wire).expect("TPM emits well-formed wire")
     }
 
     #[test]

@@ -73,6 +73,22 @@ impl SecurePlatform {
         }
     }
 
+    /// Builds the platform around a *pre-provisioned* TPM — the fleet
+    /// path, where per-platform identity keys are generated once by a
+    /// key vault and injected via [`Tpm::with_keys`] instead of being
+    /// re-derived on every construction.
+    ///
+    /// The TPM is re-equipped with the platform's sePCR count, so the
+    /// proposed-hardware capability still follows the [`Platform`]
+    /// preset exactly as in [`SecurePlatform::new`].
+    pub fn with_tpm(platform: Platform, tpm: Tpm) -> Self {
+        let tpm = tpm.with_sepcrs(platform.sepcr_count);
+        SecurePlatform {
+            machine: Machine::new(platform),
+            tpm: Some(tpm),
+        }
+    }
+
     /// The live machine.
     pub fn machine(&self) -> &Machine {
         &self.machine

@@ -93,6 +93,46 @@ impl RsaPublicKey {
         h.finalize_fixed()
     }
 
+    /// Serializes the key as length-prefixed `n` then `e` (big-endian) —
+    /// the encoding AIK certificates embed.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for part in [self.n.to_bytes_be(), self.e.to_bytes_be()] {
+            out.extend_from_slice(&(part.len() as u32).to_be_bytes());
+            out.extend_from_slice(&part);
+        }
+        out
+    }
+
+    /// Deserializes a key written by [`RsaPublicKey::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidCiphertext`] for malformed input
+    /// (truncated fields, trailing bytes, or a zero modulus/exponent).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let mut cursor = bytes;
+        let mut read_part = || -> Result<BigUint, CryptoError> {
+            if cursor.len() < 4 {
+                return Err(CryptoError::InvalidCiphertext);
+            }
+            let len = u32::from_be_bytes(cursor[..4].try_into().expect("4 bytes")) as usize;
+            cursor = &cursor[4..];
+            if cursor.len() < len {
+                return Err(CryptoError::InvalidCiphertext);
+            }
+            let v = BigUint::from_bytes_be(&cursor[..len]);
+            cursor = &cursor[len..];
+            Ok(v)
+        };
+        let n = read_part()?;
+        let e = read_part()?;
+        if !cursor.is_empty() || n.is_zero() || e.is_zero() {
+            return Err(CryptoError::InvalidCiphertext);
+        }
+        Ok(RsaPublicKey { n, e })
+    }
+
     /// Raw RSA public operation `m^e mod n`.
     ///
     /// # Errors

@@ -1,0 +1,407 @@
+//! Sharded fleet execution with remote verification.
+//!
+//! A fleet is many simulated platforms — each a full [`SessionEngine`]
+//! on its own [`SecurePlatform`] — fed attestation requests by a
+//! deterministic [`Dispatcher`] and checked by one remote
+//! [`VerifierService`]. The pipeline has three phases, each of which is
+//! a pure function of the configuration:
+//!
+//! 1. **Dispatch**: request *r* goes to platform `assign(r)` — a pure
+//!    function of *r*, so submission order is irrelevant.
+//! 2. **Execute**: shard *s* runs the platforms with `p % shards == s`,
+//!    one OS thread per shard. Within a platform, the engine's static
+//!    job→CPU assignment and virtual-time accounting make completion
+//!    times independent of the executor backend and host scheduling.
+//! 3. **Verify**: completions merge through an [`EventQueue`] keyed by
+//!    `(completion time, request id)` — the fleet-level routing point —
+//!    and drain through the verifier modeled as a single queueing
+//!    server with virtual service times.
+//!
+//! Because every phase is deterministic, [`FleetOutcome`] is
+//! byte-identical across shard counts, dispatch submission orders, and
+//! executor backends — which `tests/verifier_differential.rs` pins for
+//! a 1000-platform fleet.
+
+use sea_core::{
+    BatchPolicy, ConcurrentJob, Executor, FnPal, PalLogic, PalOutcome, SecurePlatform,
+    SessionEngine, SessionResult, Slaunch,
+};
+use sea_hw::{EventQueue, FaultPlan, Obs, Platform, SimDuration, SimTime};
+use sea_os::{DispatchPolicy, Dispatcher};
+
+use crate::tcb::{TcbInfo, TcbStatus};
+use crate::vault::KeyVault;
+use crate::verifier::{Attestation, RejectReason, VerifierService};
+
+/// Name of the one trusted service every fleet platform runs. One name
+/// means one PAL image, hence one trusted build at the verifier.
+pub const FLEET_SERVICE: &str = "fleet-service";
+
+/// Virtual one-way network transit from a platform to the verifier.
+pub const NETWORK_RTT_NS: u64 = 200_000;
+
+/// The measured image of the fleet service PAL (what the verifier is
+/// provisioned to trust).
+pub fn service_image() -> Vec<u8> {
+    FnPal::new(FLEET_SERVICE, |_| Ok(PalOutcome::Exit(Vec::new()))).image()
+}
+
+/// Per-request PAL compute time: deterministic jitter over the request
+/// id so the dispatcher's choice of platform never changes the work.
+fn request_work(request: u64) -> SimDuration {
+    SimDuration::from_us(25 * (1 + request % 5))
+}
+
+/// Configuration of one fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of simulated platforms.
+    pub platforms: usize,
+    /// CPUs (and engine workers) per platform.
+    pub cpus_per_platform: u16,
+    /// Total attestation requests dispatched across the fleet.
+    pub requests: usize,
+    /// OS threads the platform set is sharded over.
+    pub shards: usize,
+    /// How requests map to platforms.
+    pub policy: DispatchPolicy,
+    /// Engine executor backend for every platform.
+    pub executor: Executor,
+    /// Version of the TCB table the verifier is provisioned with.
+    pub tcb_version: u32,
+}
+
+impl FleetConfig {
+    /// A fleet of `platforms` handling `requests`, single-sharded,
+    /// round-robin dispatched, on the discrete-event backend.
+    pub fn new(platforms: usize, requests: usize) -> Self {
+        assert!(platforms > 0, "a fleet needs at least one platform");
+        FleetConfig {
+            platforms,
+            cpus_per_platform: 2,
+            requests,
+            shards: 1,
+            policy: DispatchPolicy::RoundRobin,
+            executor: Executor::DiscreteEvent,
+            tcb_version: 1,
+        }
+    }
+
+    /// Overrides the shard count (builder-style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Overrides the dispatch policy (builder-style).
+    pub fn with_policy(mut self, policy: DispatchPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the executor backend (builder-style).
+    pub fn with_executor(mut self, executor: Executor) -> Self {
+        self.executor = executor;
+        self
+    }
+
+    /// Overrides the per-platform CPU count (builder-style).
+    pub fn with_cpus(mut self, cpus: u16) -> Self {
+        assert!(cpus > 0, "a platform needs at least one CPU");
+        self.cpus_per_platform = cpus;
+        self
+    }
+}
+
+/// One request's journey through the fleet, in verification order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// The request id.
+    pub request: u64,
+    /// The platform the dispatcher assigned it to.
+    pub platform: usize,
+    /// Virtual time the platform finished the session and emitted its
+    /// quote (or failed).
+    pub completed_ns: u64,
+    /// Virtual time the verifier finished deciding.
+    pub verified_ns: u64,
+    /// Attestation latency: transit + verifier queueing + service.
+    pub latency_ns: u64,
+    /// Whether the verifier's AIK session-ticket cache was hit.
+    pub ticket_hit: bool,
+    /// The exact wire bytes the platform emitted, when it produced a
+    /// quote (kept for tamper-property tests).
+    pub wire: Option<Vec<u8>>,
+    /// The verifier's decision.
+    pub verdict: Result<Attestation, RejectReason>,
+}
+
+/// The complete, deterministic result of a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetOutcome {
+    /// Per-request outcomes in verification (event-queue) order.
+    pub requests: Vec<RequestOutcome>,
+    /// Requests the verifier accepted.
+    pub accepted: usize,
+    /// Requests the verifier rejected.
+    pub rejected: usize,
+    /// Certificate-chain walks the verifier performed.
+    pub cert_walks: u64,
+    /// AIK session-ticket cache hits.
+    pub ticket_hits: u64,
+    /// Virtual wall time: when the last verdict landed.
+    pub wall_ns: u64,
+}
+
+impl FleetOutcome {
+    /// Attestation latencies, ascending.
+    pub fn latencies_sorted_ns(&self) -> Vec<u64> {
+        let mut l: Vec<u64> = self.requests.iter().map(|r| r.latency_ns).collect();
+        l.sort_unstable();
+        l
+    }
+
+    /// Accepted attestations per virtual second of fleet wall time.
+    pub fn goodput_per_sec(&self) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.accepted as f64 / (self.wall_ns as f64 / 1e9)
+    }
+}
+
+/// What one platform reports upward to the fleet-level merge.
+struct Completion {
+    request: u64,
+    platform: usize,
+    completed_ns: u64,
+    /// Wire quote bytes, or the typed reason there are none.
+    wire: Result<Vec<u8>, &'static str>,
+    nonce: Vec<u8>,
+}
+
+/// Runs the per-platform batch and computes virtual completion times
+/// from the engine's static job→CPU assignment (job *i* on CPU
+/// `i % workers`, sequential per CPU).
+fn run_platform(
+    cfg: &FleetConfig,
+    platform: usize,
+    requests: &[u64],
+    obs: &Obs,
+) -> Vec<Completion> {
+    let workers = cfg.cpus_per_platform as usize;
+    let mut secure = SecurePlatform::with_tpm(
+        Platform::recommended(cfg.cpus_per_platform),
+        KeyVault::global().tpm(platform),
+    );
+    secure.install_obs(obs.clone());
+    let mut engine =
+        SessionEngine::<Slaunch>::new(secure, workers).expect("workers fit the platform");
+    engine.set_fault_plan(Some(FaultPlan::fault_free()));
+    let jobs: Vec<ConcurrentJob> = requests
+        .iter()
+        .map(|&r| {
+            ConcurrentJob::new(
+                Box::new(FnPal::new(FLEET_SERVICE, move |ctx| {
+                    ctx.work(request_work(r));
+                    Ok(PalOutcome::Exit(r.to_le_bytes().to_vec()))
+                })),
+                b"",
+            )
+        })
+        .collect();
+    let out = engine
+        .run(jobs, &BatchPolicy::plain().with_executor(cfg.executor))
+        .expect("plain fleet batch runs");
+
+    let mut cpu_busy = vec![SimDuration::ZERO; workers];
+    out.sessions
+        .iter()
+        .enumerate()
+        .map(|(job, session)| {
+            let cpu = job % workers;
+            cpu_busy[cpu] += session.cost();
+            let wire = match session {
+                SessionResult::Quoted { quote, .. } => Ok(quote.to_bytes()),
+                SessionResult::Degraded { .. } => Err("degraded"),
+                SessionResult::Killed { .. } => Err("killed"),
+                _ => Err("unknown"),
+            };
+            Completion {
+                request: requests[job],
+                platform,
+                completed_ns: cpu_busy[cpu].as_ns(),
+                wire,
+                nonce: (job as u64).to_le_bytes().to_vec(),
+            }
+        })
+        .collect()
+}
+
+/// Runs the fleet: dispatch, sharded execution, fleet-level merge,
+/// remote verification. See the module docs for the determinism
+/// argument.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetOutcome {
+    run_fleet_with_obs(cfg, Obs::null())
+}
+
+/// [`run_fleet`] with an observability handle installed into every
+/// platform: session lifecycle spans and layer charges from all shards
+/// land in one recording.
+pub fn run_fleet_with_obs(cfg: &FleetConfig, obs: Obs) -> FleetOutcome {
+    let dispatcher = Dispatcher::new(cfg.platforms, cfg.policy);
+    let ids: Vec<u64> = (0..cfg.requests as u64).collect();
+    let per_platform = dispatcher.partition(&ids);
+
+    // Sharded execution: shard s owns platforms p with p % shards == s.
+    let shards = cfg.shards.min(cfg.platforms).max(1);
+    let mut completions: Vec<Option<Vec<Completion>>> = Vec::new();
+    completions.resize_with(cfg.platforms, || None);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..shards)
+            .map(|shard| {
+                let per_platform = &per_platform;
+                let obs = &obs;
+                scope.spawn(move || {
+                    (shard..cfg.platforms)
+                        .step_by(shards)
+                        .map(|p| (p, run_platform(cfg, p, &per_platform[p], obs)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (p, done) in handle.join().expect("shard thread") {
+                completions[p] = Some(done);
+            }
+        }
+    });
+
+    // Provision the verifier out-of-band: CA root, per-platform AIK
+    // certificates, the one trusted build, the TCB table, and a
+    // challenge per expected quote.
+    let vault = KeyVault::global();
+    let mut verifier = VerifierService::new(vault.ca_public());
+    let image = service_image();
+    verifier.trust(FLEET_SERVICE, &image, &[]);
+    verifier
+        .ingest_tcb(
+            TcbInfo::new(cfg.tcb_version)
+                .with_status(sea_crypto::Sha1::digest(&image), TcbStatus::UpToDate),
+        )
+        .expect("fresh verifier accepts any table");
+    for p in 0..cfg.platforms {
+        verifier.enroll(vault.certificate(p));
+    }
+
+    // Fleet-level merge: completions from every shard meet in one
+    // event queue ordered by (completion time, request id).
+    let mut queue: EventQueue<()> = EventQueue::new();
+    let mut by_request: Vec<Option<Completion>> = Vec::new();
+    by_request.resize_with(cfg.requests, || None);
+    for done in completions.into_iter().flatten() {
+        for c in done {
+            verifier.challenge(c.platform as u64, &c.nonce, 0);
+            queue.schedule(SimTime::from_ns(c.completed_ns), c.request, ());
+            let slot = c.request as usize;
+            by_request[slot] = Some(c);
+        }
+    }
+
+    // The verifier as a single queueing server in virtual time.
+    let mut requests = Vec::with_capacity(cfg.requests);
+    let mut busy_until = 0u64;
+    while let Some(event) = queue.pop() {
+        let c = by_request[event.id as usize]
+            .take()
+            .expect("every scheduled request has a completion");
+        let arrival = event.at.as_ns() + NETWORK_RTT_NS;
+        let start = busy_until.max(arrival);
+        let (verdict, wire) = match c.wire {
+            Ok(bytes) => {
+                let v = verifier.verify(c.platform as u64, &bytes, start);
+                (v, Some(bytes))
+            }
+            Err(kind) => (verifier.reject_missing(c.platform as u64, kind), None),
+        };
+        busy_until = start + verdict.cost_ns;
+        requests.push(RequestOutcome {
+            request: c.request,
+            platform: c.platform,
+            completed_ns: c.completed_ns,
+            verified_ns: busy_until,
+            latency_ns: busy_until - c.completed_ns,
+            ticket_hit: verdict.ticket_hit,
+            wire,
+            verdict: verdict.result,
+        });
+    }
+
+    let stats = *verifier.stats();
+    FleetOutcome {
+        wall_ns: requests.iter().map(|r| r.verified_ns).max().unwrap_or(0),
+        accepted: requests.iter().filter(|r| r.verdict.is_ok()).count(),
+        rejected: requests.iter().filter(|r| r.verdict.is_err()).count(),
+        cert_walks: stats.cert_walks,
+        ticket_hits: stats.ticket_hits,
+        requests,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcb::TcbStatus;
+
+    #[test]
+    fn small_fleet_attests_end_to_end() {
+        let out = run_fleet(&FleetConfig::new(3, 9));
+        assert_eq!(out.requests.len(), 9);
+        assert_eq!(out.accepted, 9);
+        assert_eq!(out.rejected, 0);
+        // One cert walk per platform, the rest served from tickets.
+        assert_eq!(out.cert_walks, 3);
+        assert_eq!(out.ticket_hits, 6);
+        assert!(out.wall_ns > 0);
+        assert!(out.goodput_per_sec() > 0.0);
+        for r in &out.requests {
+            let att = r.verdict.as_ref().expect("honest fleet accepted");
+            assert_eq!(att.service, FLEET_SERVICE);
+            assert_eq!(att.tcb, TcbStatus::UpToDate);
+            assert_eq!(att.platform, r.platform as u64);
+            assert!(r.verified_ns > r.completed_ns);
+            assert_eq!(r.latency_ns, r.verified_ns - r.completed_ns);
+        }
+    }
+
+    #[test]
+    fn round_robin_and_hashed_dispatch_both_complete() {
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::Hashed { seed: 7 },
+        ] {
+            let out = run_fleet(&FleetConfig::new(4, 8).with_policy(policy));
+            assert_eq!(out.accepted, 8);
+        }
+    }
+
+    #[test]
+    fn outcome_is_identical_across_shard_counts() {
+        let base = run_fleet(&FleetConfig::new(5, 10));
+        for shards in [2, 3, 5, 8] {
+            let sharded = run_fleet(&FleetConfig::new(5, 10).with_shards(shards));
+            assert_eq!(sharded, base, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn latencies_are_sorted_and_complete() {
+        let out = run_fleet(&FleetConfig::new(2, 6));
+        let lat = out.latencies_sorted_ns();
+        assert_eq!(lat.len(), 6);
+        assert!(lat.windows(2).all(|w| w[0] <= w[1]));
+        // Every latency includes at least the network transit.
+        assert!(lat[0] >= NETWORK_RTT_NS);
+    }
+}

@@ -1,0 +1,221 @@
+//! Versioned TCB-status policy — the verifier's *freshness* dimension.
+//!
+//! Knowing that a quote replays a trusted build's measurement chain is
+//! necessary but not sufficient: the build itself may have aged out.
+//! DCAP-style attestation separates the two concerns with a signed,
+//! versioned TCB-info structure whose per-component verdicts
+//! (`UpToDate` / `OutOfDate` / `Revoked`) are evaluated by a relying
+//! party *policy* — some deployments accept `OutOfDate` hardware, some
+//! do not. This module models that split: [`TcbInfo`] is the versioned
+//! table (image digest → status), [`TcbPolicy`] the composable policy
+//! that turns a status into a [`TcbVerdict`].
+
+use std::collections::BTreeMap;
+
+/// The TCB status a table assigns to one trusted build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TcbStatus {
+    /// The build is the current, fully patched one.
+    UpToDate,
+    /// The build is still trusted but superseded — a newer build fixes
+    /// known (non-fatal) issues.
+    OutOfDate,
+    /// The build is revoked: a vulnerability makes its attestations
+    /// worthless regardless of policy.
+    Revoked,
+}
+
+/// A versioned table mapping PAL image digests to their TCB status.
+///
+/// The version is monotone: a verifier that has seen version *n* must
+/// refuse to ingest an older table (rollback protection); this type
+/// enforces that at [`TcbInfo::merge`] time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcbInfo {
+    version: u32,
+    entries: BTreeMap<[u8; 20], TcbStatus>,
+}
+
+impl TcbInfo {
+    /// An empty table at `version`.
+    pub fn new(version: u32) -> Self {
+        TcbInfo {
+            version,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Table version.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Records `status` for the build with the given image digest
+    /// (builder-style).
+    pub fn with_status(mut self, image_digest: [u8; 20], status: TcbStatus) -> Self {
+        self.entries.insert(image_digest, status);
+        self
+    }
+
+    /// The status assigned to an image digest, if listed.
+    pub fn status(&self, image_digest: &[u8; 20]) -> Option<TcbStatus> {
+        self.entries.get(image_digest).copied()
+    }
+
+    /// Number of listed builds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no builds are listed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Replaces this table with `newer`, refusing rollback.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected table's version if it is older than the
+    /// current one.
+    pub fn merge(&mut self, newer: TcbInfo) -> Result<(), u32> {
+        if newer.version < self.version {
+            return Err(newer.version);
+        }
+        *self = newer;
+        Ok(())
+    }
+}
+
+/// What a policy decides about one status lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcbVerdict {
+    /// Accepted; carries the status so relying parties can still
+    /// surface "accepted, but out of date" to operators.
+    Accepted(TcbStatus),
+    /// Rejected: the build is superseded and the policy does not accept
+    /// stale TCBs.
+    OutOfDate,
+    /// Rejected: the build is revoked (no policy accepts this).
+    Revoked,
+    /// Rejected: the build is not listed in the table and the policy
+    /// requires listing.
+    Unlisted,
+}
+
+/// A composable acceptance policy over [`TcbStatus`] lookups.
+///
+/// # Example
+///
+/// ```
+/// use sea_fleet::{TcbPolicy, TcbStatus, TcbVerdict};
+///
+/// let strict = TcbPolicy::strict();
+/// assert_eq!(
+///     strict.evaluate(Some(TcbStatus::OutOfDate)),
+///     TcbVerdict::OutOfDate
+/// );
+/// let tolerant = TcbPolicy::strict().accept_out_of_date(true);
+/// assert_eq!(
+///     tolerant.evaluate(Some(TcbStatus::OutOfDate)),
+///     TcbVerdict::Accepted(TcbStatus::OutOfDate)
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcbPolicy {
+    accept_out_of_date: bool,
+    require_listed: bool,
+}
+
+impl TcbPolicy {
+    /// The strictest policy: only listed, up-to-date builds pass.
+    pub fn strict() -> Self {
+        TcbPolicy {
+            accept_out_of_date: false,
+            require_listed: true,
+        }
+    }
+
+    /// Also accept `OutOfDate` builds (builder-style).
+    pub fn accept_out_of_date(mut self, yes: bool) -> Self {
+        self.accept_out_of_date = yes;
+        self
+    }
+
+    /// Whether unlisted builds are rejected (builder-style). Disabling
+    /// this treats an unlisted build as `UpToDate` — the posture of a
+    /// deployment that has not yet published a table.
+    pub fn require_listed(mut self, yes: bool) -> Self {
+        self.require_listed = yes;
+        self
+    }
+
+    /// Evaluates one status lookup. `Revoked` is terminal under every
+    /// composition.
+    pub fn evaluate(&self, status: Option<TcbStatus>) -> TcbVerdict {
+        match status {
+            Some(TcbStatus::UpToDate) => TcbVerdict::Accepted(TcbStatus::UpToDate),
+            Some(TcbStatus::OutOfDate) if self.accept_out_of_date => {
+                TcbVerdict::Accepted(TcbStatus::OutOfDate)
+            }
+            Some(TcbStatus::OutOfDate) => TcbVerdict::OutOfDate,
+            Some(TcbStatus::Revoked) => TcbVerdict::Revoked,
+            None if self.require_listed => TcbVerdict::Unlisted,
+            None => TcbVerdict::Accepted(TcbStatus::UpToDate),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IMG: [u8; 20] = [7u8; 20];
+
+    #[test]
+    fn table_lookup_and_version() {
+        let t = TcbInfo::new(3).with_status(IMG, TcbStatus::OutOfDate);
+        assert_eq!(t.version(), 3);
+        assert_eq!(t.status(&IMG), Some(TcbStatus::OutOfDate));
+        assert_eq!(t.status(&[0u8; 20]), None);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn merge_refuses_rollback() {
+        let mut t = TcbInfo::new(5);
+        assert_eq!(t.merge(TcbInfo::new(4)), Err(4));
+        assert_eq!(t.version(), 5);
+        t.merge(TcbInfo::new(6).with_status(IMG, TcbStatus::Revoked))
+            .unwrap();
+        assert_eq!(t.version(), 6);
+        assert_eq!(t.status(&IMG), Some(TcbStatus::Revoked));
+    }
+
+    #[test]
+    fn revocation_is_terminal_under_every_policy() {
+        for policy in [
+            TcbPolicy::strict(),
+            TcbPolicy::strict().accept_out_of_date(true),
+            TcbPolicy::strict().require_listed(false),
+            TcbPolicy::strict()
+                .accept_out_of_date(true)
+                .require_listed(false),
+        ] {
+            assert_eq!(
+                policy.evaluate(Some(TcbStatus::Revoked)),
+                TcbVerdict::Revoked
+            );
+        }
+    }
+
+    #[test]
+    fn unlisted_depends_on_policy() {
+        assert_eq!(TcbPolicy::strict().evaluate(None), TcbVerdict::Unlisted);
+        assert_eq!(
+            TcbPolicy::strict().require_listed(false).evaluate(None),
+            TcbVerdict::Accepted(TcbStatus::UpToDate)
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Process-wide key vault for fleet provisioning.
+//!
+//! A 1000-platform fleet needs 1000 AIKs, a shared SRK, and a
+//! privacy-CA root — and RSA key generation is by far the most
+//! expensive operation in the simulator (milliseconds per key even at
+//! the demo strength). The vault derives every key deterministically
+//! from fixed seeds and caches it for the life of the process, so
+//! repeated fleet runs (and the differential suite's byte-identity
+//! sweeps) pay the generation cost once. Determinism is the point:
+//! platform *i* has the same AIK in every run, shard layout, and
+//! dispatch order.
+
+use std::sync::{Mutex, OnceLock};
+
+use sea_crypto::{Drbg, RsaPrivateKey, RsaPublicKey};
+use sea_hw::TpmKind;
+use sea_tpm::Tpm;
+
+use crate::cert::AikCert;
+
+/// RSA modulus size for fleet keys (the workspace's demo strength).
+const FLEET_KEY_BITS: usize = 512;
+
+/// Deterministic, process-cached key material for a simulated fleet.
+pub struct KeyVault {
+    ca: RsaPrivateKey,
+    srk: RsaPrivateKey,
+    aiks: Mutex<Vec<Option<RsaPrivateKey>>>,
+}
+
+static VAULT: OnceLock<KeyVault> = OnceLock::new();
+
+fn derive_key(seed: &[u8]) -> RsaPrivateKey {
+    RsaPrivateKey::generate(FLEET_KEY_BITS, &mut Drbg::new(seed))
+        .expect("fleet key generation from a fixed seed cannot fail")
+}
+
+impl KeyVault {
+    /// The process-wide vault, generating the CA root and shared SRK on
+    /// first use.
+    pub fn global() -> &'static KeyVault {
+        VAULT.get_or_init(|| KeyVault {
+            ca: derive_key(b"fleet/ca"),
+            srk: derive_key(b"fleet/srk"),
+            aiks: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The privacy-CA root public key (what verifiers are provisioned
+    /// with).
+    pub fn ca_public(&self) -> RsaPublicKey {
+        self.ca.public_key().clone()
+    }
+
+    /// Platform `index`'s AIK, derived from a per-platform seed and
+    /// cached.
+    pub fn aik(&self, index: usize) -> RsaPrivateKey {
+        let mut aiks = self.aiks.lock().expect("vault lock");
+        if aiks.len() <= index {
+            aiks.resize(index + 1, None);
+        }
+        aiks[index]
+            .get_or_insert_with(|| {
+                derive_key(&[b"fleet/aik/".as_slice(), &(index as u64).to_le_bytes()].concat())
+            })
+            .clone()
+    }
+
+    /// The privacy-CA certificate over platform `index`'s AIK.
+    pub fn certificate(&self, index: usize) -> AikCert {
+        AikCert::issue(&self.ca, index as u64, self.aik(index).public_key())
+    }
+
+    /// A TPM for platform `index`, provisioned with the vault's shared
+    /// SRK and the platform's AIK (proposed-hardware kind, so sePCR
+    /// quotes are available).
+    pub fn tpm(&self, index: usize) -> Tpm {
+        Tpm::with_keys(
+            TpmKind::FutureFast,
+            self.srk.clone(),
+            self.aik(index),
+            &[b"fleet/tpm/".as_slice(), &(index as u64).to_le_bytes()].concat(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let vault = KeyVault::global();
+        assert_eq!(vault.aik(3).public_key(), vault.aik(3).public_key());
+        assert_ne!(vault.aik(0).public_key(), vault.aik(1).public_key());
+        assert_eq!(vault.ca_public(), KeyVault::global().ca_public());
+    }
+
+    #[test]
+    fn certificates_verify_against_the_ca_root() {
+        let vault = KeyVault::global();
+        let cert = vault.certificate(5);
+        assert_eq!(cert.platform(), 5);
+        assert!(cert.verify(&vault.ca_public()));
+        assert_eq!(
+            &cert.aik().expect("embedded key"),
+            vault.aik(5).public_key()
+        );
+    }
+
+    #[test]
+    fn tpms_carry_the_vault_identity() {
+        let vault = KeyVault::global();
+        let tpm = vault.tpm(2);
+        assert_eq!(tpm.aik_public(), vault.aik(2).public_key());
+        assert_eq!(tpm.srk_public(), vault.srk.public_key());
+    }
+}

@@ -127,6 +127,17 @@ impl<T: Eq> EventQueue<T> {
         self.heap.peek().map(|e| e.at)
     }
 
+    /// `(time, id)` of the next event without removing it.
+    ///
+    /// Fleet-level routing uses this to merge many platform timelines
+    /// into one deterministic arrival order: each platform's completion
+    /// events are scheduled here, and whichever `(time, id)` is at the
+    /// head is the next request the verifier sees — independent of the
+    /// order the platforms were simulated in.
+    pub fn peek(&self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|e| (e.at, e.id))
+    }
+
     /// The queue's current virtual time: the due time of the last event
     /// popped ([`SimTime::ZERO`] before the first pop).
     pub fn now(&self) -> SimTime {

@@ -1,0 +1,162 @@
+//! Deterministic fleet dispatch: which platform serves which request.
+//!
+//! The untrusted OS is the resource manager (§5); at fleet scale the
+//! same role appears one level up — a dispatcher in front of many
+//! platforms deciding where each attestation request runs. The fleet's
+//! byte-identity contract ("same results across shard counts and
+//! dispatch orders") needs the assignment to be a **pure function of
+//! the request id**: if placement depended on arrival order, queue
+//! depth, or wall-clock load, two submissions of the same request
+//! stream in different orders would land work on different platforms
+//! and produce different (equally valid, but not comparable) results.
+//!
+//! [`Dispatcher::assign`] is that pure function, and
+//! [`Dispatcher::partition`] normalizes any submission order into
+//! per-platform work lists sorted by request id — so a permuted stream
+//! partitions identically to the sorted one.
+
+/// How the dispatcher maps request ids onto platforms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchPolicy {
+    /// Request `r` runs on platform `r mod platforms` — the static
+    /// striping the session engine itself uses for jobs within one
+    /// platform (job *i* → worker *i* mod workers).
+    RoundRobin,
+    /// Request `r` runs on platform `mix64(r xor seed) mod platforms` —
+    /// hashed load balancing. Spreads adjacent request ids apart (so a
+    /// burst of consecutive ids does not queue on one stripe) while
+    /// remaining a pure function of the id.
+    Hashed {
+        /// Salt mixed into every request id before hashing.
+        seed: u64,
+    },
+}
+
+/// Finalizer of SplitMix64 — a full-avalanche 64-bit mixer.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A deterministic request-to-platform dispatcher.
+///
+/// # Example
+///
+/// ```
+/// use sea_os::{DispatchPolicy, Dispatcher};
+///
+/// let d = Dispatcher::new(4, DispatchPolicy::RoundRobin);
+/// assert_eq!(d.assign(6), 2);
+/// // Partitioning is submission-order invariant.
+/// let a = d.partition(&[0, 1, 2, 3, 4, 5]);
+/// let b = d.partition(&[5, 3, 1, 4, 2, 0]);
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatcher {
+    platforms: usize,
+    policy: DispatchPolicy,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher over `platforms` platforms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `platforms` is zero.
+    pub fn new(platforms: usize, policy: DispatchPolicy) -> Self {
+        assert!(platforms > 0, "a fleet needs at least one platform");
+        Dispatcher { platforms, policy }
+    }
+
+    /// Number of platforms dispatched over.
+    pub fn platforms(&self) -> usize {
+        self.platforms
+    }
+
+    /// The policy in effect.
+    pub fn policy(&self) -> DispatchPolicy {
+        self.policy
+    }
+
+    /// The platform serving `request` — a pure function of the id.
+    pub fn assign(&self, request: u64) -> usize {
+        match self.policy {
+            DispatchPolicy::RoundRobin => (request % self.platforms as u64) as usize,
+            DispatchPolicy::Hashed { seed } => {
+                (mix64(request ^ seed) % self.platforms as u64) as usize
+            }
+        }
+    }
+
+    /// Splits a request stream into per-platform work lists, each
+    /// sorted by request id. Because assignment ignores order and the
+    /// output is sorted, any permutation of `requests` partitions
+    /// byte-identically — the property the fleet's differential suite
+    /// pins.
+    pub fn partition(&self, requests: &[u64]) -> Vec<Vec<u64>> {
+        let mut per: Vec<Vec<u64>> = (0..self.platforms).map(|_| Vec::new()).collect();
+        for &r in requests {
+            per[self.assign(r)].push(r);
+        }
+        for list in &mut per {
+            list.sort_unstable();
+        }
+        per
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_stripes_by_id() {
+        let d = Dispatcher::new(3, DispatchPolicy::RoundRobin);
+        let got: Vec<usize> = (0..7).map(|r| d.assign(r)).collect();
+        assert_eq!(got, [0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn partition_is_submission_order_invariant() {
+        for policy in [
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::Hashed { seed: 0xF1EE7 },
+        ] {
+            let d = Dispatcher::new(5, policy);
+            let sorted: Vec<u64> = (0..100).collect();
+            let mut shuffled = sorted.clone();
+            // Deterministic permutation: order by mixed id.
+            shuffled.sort_by_key(|&r| mix64(r));
+            assert_ne!(sorted, shuffled, "permutation must actually permute");
+            assert_eq!(d.partition(&sorted), d.partition(&shuffled), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_request_exactly_once() {
+        let d = Dispatcher::new(4, DispatchPolicy::Hashed { seed: 7 });
+        let reqs: Vec<u64> = (0..64).collect();
+        let parts = d.partition(&reqs);
+        assert_eq!(parts.len(), 4);
+        let mut all: Vec<u64> = parts.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, reqs);
+    }
+
+    #[test]
+    fn hashed_policy_spreads_consecutive_ids() {
+        // Adjacent ids should not all land on the same platform.
+        let d = Dispatcher::new(8, DispatchPolicy::Hashed { seed: 1 });
+        let hit: std::collections::BTreeSet<usize> = (0..64).map(|r| d.assign(r)).collect();
+        assert!(hit.len() >= 6, "only {} platforms hit", hit.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one platform")]
+    fn zero_platforms_is_a_bug() {
+        Dispatcher::new(0, DispatchPolicy::RoundRobin);
+    }
+}

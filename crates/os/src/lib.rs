@@ -38,12 +38,14 @@
 
 mod adversary;
 mod alloc;
+mod dispatch;
 mod error;
 mod scheduler;
 mod workload;
 
 pub use adversary::{Adversary, AttackOutcome};
 pub use alloc::PageAllocator;
+pub use dispatch::{DispatchPolicy, Dispatcher};
 pub use error::OsError;
 pub use scheduler::{LegacyBatch, ParallelScheduler, ScheduleOutcome, Scheduler};
 pub use workload::{simulate_service, ArrivalTrace, ResponseStats};

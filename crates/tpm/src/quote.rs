@@ -93,6 +93,65 @@ pub struct Quote {
 
 const QUOTE_TAG: &[u8] = b"TPM_QUOTE_v1";
 
+/// Magic prefix of the canonical quote wire format.
+pub const WIRE_QUOTE_MAGIC: [u8; 4] = *b"SEAQ";
+
+/// Version of the canonical quote wire format. Bump on any change to
+/// the field order or framing; a verifier must reject versions it does
+/// not understand rather than guess.
+pub const WIRE_QUOTE_VERSION: u16 = 2;
+
+/// The canonical serialized form of a [`Quote`] — what actually crosses
+/// the wire to a remote verifier.
+///
+/// The TPM emits *this* (not the in-memory [`Quote`] struct), so the
+/// platform and the verifier cannot silently share representation
+/// assumptions: both sides must go through the byte format. Layout
+/// (all lengths big-endian):
+///
+/// ```text
+/// [0..4)   magic  "SEAQ"                      (WIRE_QUOTE_MAGIC)
+/// [4..6)   format version, u16                (WIRE_QUOTE_VERSION)
+/// then 3 length-prefixed fields, in this order:
+///   u32 len ‖ source encoding   (tagged: 0x00 PCR selection, 0x01 sePCR)
+///   u32 len ‖ nonce
+///   u32 len ‖ AIK signature
+/// ```
+///
+/// Trailing bytes after the last field are a framing error. A
+/// `WireQuote` is an *unvalidated* container — [`Quote::from_wire`]
+/// performs the structural checks, [`Quote::verify_signature`] the
+/// cryptographic one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireQuote(Vec<u8>);
+
+impl WireQuote {
+    /// Wraps raw bytes received from the wire (unvalidated).
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        WireQuote(bytes)
+    }
+
+    /// The serialized quote.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Consumes the wrapper, yielding the serialized quote.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+
+    /// Serialized length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the container is empty (never true for TPM output).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
 /// The digest an AIK signs for a quote.
 pub(crate) fn quote_digest(source: &QuoteSource, nonce: &[u8]) -> Sha1Digest {
     let mut h = Sha1::new();
@@ -138,9 +197,11 @@ impl Quote {
         aik.verify_pkcs1v15(&digest, &self.signature)
     }
 
-    /// Serializes the quote for transmission to a remote verifier.
+    /// Serializes the quote into the canonical wire format (see
+    /// [`WireQuote`] for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = b"QUOTv1".to_vec();
+        let mut out = WIRE_QUOTE_MAGIC.to_vec();
+        out.extend_from_slice(&WIRE_QUOTE_VERSION.to_be_bytes());
         let src = self.source.encode();
         for part in [&src[..], &self.nonce, &self.signature.0] {
             out.extend_from_slice(&(part.len() as u32).to_be_bytes());
@@ -149,16 +210,32 @@ impl Quote {
         out
     }
 
+    /// Serializes the quote for transmission to a remote verifier.
+    pub fn to_wire(&self) -> WireQuote {
+        WireQuote(self.to_bytes())
+    }
+
     /// Deserializes a quote written by [`Quote::to_bytes`]. Structural
     /// validity only — authenticity comes from
     /// [`Quote::verify_signature`].
     ///
     /// # Errors
     ///
-    /// [`TpmError::InvalidBlob`] for malformed input.
+    /// [`TpmError::InvalidBlob`] for malformed input: wrong magic, an
+    /// unsupported format version, a truncated field, trailing bytes,
+    /// or an undecodable source encoding.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, TpmError> {
-        let rest = bytes.strip_prefix(b"QUOTv1").ok_or(TpmError::InvalidBlob)?;
-        let mut cursor = rest;
+        let rest = bytes
+            .strip_prefix(&WIRE_QUOTE_MAGIC[..])
+            .ok_or(TpmError::InvalidBlob)?;
+        if rest.len() < 2 {
+            return Err(TpmError::InvalidBlob);
+        }
+        let version = u16::from_be_bytes(rest[..2].try_into().expect("2 bytes"));
+        if version != WIRE_QUOTE_VERSION {
+            return Err(TpmError::InvalidBlob);
+        }
+        let mut cursor = &rest[2..];
         let mut next = || -> Result<Vec<u8>, TpmError> {
             if cursor.len() < 4 {
                 return Err(TpmError::InvalidBlob);
@@ -175,12 +252,24 @@ impl Quote {
         let src = next()?;
         let nonce = next()?;
         let signature = Signature(next()?);
+        if !cursor.is_empty() {
+            return Err(TpmError::InvalidBlob);
+        }
         let source = QuoteSource::decode(&src)?;
         Ok(Quote {
             source,
             nonce,
             signature,
         })
+    }
+
+    /// Parses a quote received over the wire.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Quote::from_bytes`].
+    pub fn from_wire(wire: &WireQuote) -> Result<Self, TpmError> {
+        Self::from_bytes(wire.as_bytes())
     }
 }
 
@@ -264,13 +353,17 @@ mod tests {
     #[test]
     fn deserialization_rejects_malformed_input() {
         assert!(Quote::from_bytes(b"").is_err());
-        assert!(Quote::from_bytes(b"QUOTv1").is_err());
+        assert!(Quote::from_bytes(b"SEAQ").is_err());
         assert!(Quote::from_bytes(b"NOPEv1xxxx").is_err());
         let key = aik();
         let bytes = signed(&key, sample_source(), b"n").to_bytes();
-        for cut in [7, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [5, bytes.len() / 2, bytes.len() - 1] {
             assert!(Quote::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
         }
+        // Trailing bytes are a framing error, not silently ignored.
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(Quote::from_bytes(&padded).is_err());
         // A wire-tampered quote still parses (structure intact) but the
         // signature no longer verifies.
         let mut tampered = bytes.clone();
@@ -278,6 +371,34 @@ mod tests {
         tampered[last] ^= 1;
         let parsed = Quote::from_bytes(&tampered).unwrap();
         assert!(!parsed.verify_signature(key.public_key()));
+    }
+
+    #[test]
+    fn wire_format_has_versioned_header() {
+        let key = aik();
+        let q = signed(&key, sample_source(), b"n");
+        let wire = q.to_wire();
+        assert_eq!(&wire.as_bytes()[..4], b"SEAQ");
+        assert_eq!(
+            u16::from_be_bytes(wire.as_bytes()[4..6].try_into().unwrap()),
+            WIRE_QUOTE_VERSION
+        );
+        assert!(!wire.is_empty());
+        assert_eq!(wire.len(), wire.as_bytes().len());
+        // Round-trips through the wire type.
+        assert_eq!(Quote::from_wire(&wire).unwrap(), q);
+        assert_eq!(
+            WireQuote::from_bytes(wire.clone().into_bytes()).as_bytes(),
+            wire.as_bytes()
+        );
+        // An unknown version is rejected outright, even with an intact
+        // body: the verifier must not guess at framing.
+        let mut future = wire.into_bytes();
+        future[5] = 0x63;
+        assert_eq!(
+            Quote::from_bytes(&future).unwrap_err(),
+            TpmError::InvalidBlob
+        );
     }
 
     #[test]

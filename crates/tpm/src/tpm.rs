@@ -12,7 +12,7 @@ use crate::error::TpmError;
 use crate::lock::TpmLock;
 use crate::nvram::Nvram;
 use crate::pcr::{PcrBank, PcrIndex, PcrValue};
-use crate::quote::{quote_digest, Quote, QuoteSource};
+use crate::quote::{quote_digest, Quote, QuoteSource, WireQuote};
 use crate::seal::{seal_payload, unseal_payload, SealSelection, SealedBlob};
 use crate::sepcr::{SePcrBank, SePcrHandle};
 use crate::timing::{TpmOp, TpmTimingModel};
@@ -123,6 +123,44 @@ impl Tpm {
             .expect("valid key size by construction");
         let aik = RsaPrivateKey::generate(strength.bits(), &mut key_rng)
             .expect("valid key size by construction");
+        Tpm {
+            kind,
+            pcrs: PcrBank::new(),
+            sepcrs: SePcrBank::new(0),
+            srk,
+            aik,
+            rng: Drbg::new(&[seed, b"/rng"].concat()),
+            noise: Drbg::new(&[seed, b"/noise"].concat()),
+            timing: TpmTimingModel::for_kind(kind),
+            nominal_timing: false,
+            lock: TpmLock::new(),
+            hash_session: None,
+            armed_fault: None,
+            nvram: Nvram::new(seed),
+            obs: Obs::null(),
+        }
+    }
+
+    /// Creates a TPM with *pre-generated* SRK and AIK keypairs — the
+    /// manufacture-time key-injection path.
+    ///
+    /// [`Tpm::new`] derives both keys from `seed`, which costs two RSA
+    /// key generations per TPM; a fleet of a thousand simulated
+    /// platforms would pay that thousands of times per sweep. Fleet
+    /// provisioning generates each platform's identity once (see
+    /// `sea-fleet`'s key vault), burns it in here, and reuses it across
+    /// runs. `seed` still drives the RNG, noise, and NVRAM streams, so
+    /// two TPMs with the same keys but different seeds remain
+    /// distinguishable in their entropy output.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`TpmKind::None`], as [`Tpm::new`] does.
+    pub fn with_keys(kind: TpmKind, srk: RsaPrivateKey, aik: RsaPrivateKey, seed: &[u8]) -> Self {
+        assert!(
+            kind.is_present(),
+            "an absent TPM is represented by not constructing one"
+        );
         Tpm {
             kind,
             pcrs: PcrBank::new(),
@@ -373,6 +411,13 @@ impl Tpm {
     /// `TPM_Quote`: signs the current values of `selection` and the
     /// verifier's `nonce` with the AIK.
     ///
+    /// Returns the canonical serialized wire format ([`WireQuote`]),
+    /// not the in-memory [`Quote`] struct: what leaves the TPM is
+    /// exactly what a remote verifier receives, so platform and
+    /// verifier cannot silently share representation assumptions.
+    /// Platform-side callers that need the parsed form go through
+    /// [`Quote::from_wire`].
+    ///
     /// # Errors
     ///
     /// [`TpmError::PcrOutOfRange`] for a bad selection.
@@ -380,7 +425,7 @@ impl Tpm {
         &mut self,
         nonce: &[u8],
         selection: &[PcrIndex],
-    ) -> Result<Timed<Quote>, TpmError> {
+    ) -> Result<Timed<WireQuote>, TpmError> {
         self.transport_gate()?;
         let values: Result<Vec<PcrValue>, TpmError> =
             selection.iter().map(|&i| self.pcrs.read(i)).collect();
@@ -391,7 +436,10 @@ impl Tpm {
         let digest = quote_digest(&source, nonce);
         let sig = self.aik.sign_pkcs1v15(&digest)?;
         let cost = self.cost(TpmOp::Quote);
-        Ok(Timed::new(Quote::new(source, nonce.to_vec(), sig), cost))
+        Ok(Timed::new(
+            Quote::new(source, nonce.to_vec(), sig).to_wire(),
+            cost,
+        ))
     }
 
     /// `TPM_GetRandom`.
@@ -567,6 +615,11 @@ impl Tpm {
     /// `TPM_Quote` over a sePCR in the Quote state — invocable by
     /// *untrusted* code, which received the handle as PAL output (§5.4.3).
     ///
+    /// Returns the canonical serialized wire format; see [`Tpm::quote`].
+    /// This is also the form the discrete-event executor's ordered TPM
+    /// lock path hands back, so DES-scheduled quotes cross the same
+    /// byte boundary as thread-pool ones.
+    ///
     /// # Errors
     ///
     /// [`TpmError::SePcrWrongState`] outside Quote.
@@ -574,14 +627,17 @@ impl Tpm {
         &mut self,
         handle: SePcrHandle,
         nonce: &[u8],
-    ) -> Result<Timed<Quote>, TpmError> {
+    ) -> Result<Timed<WireQuote>, TpmError> {
         self.transport_gate()?;
         let value = self.sepcrs.read_for_quote(handle)?;
         let source = QuoteSource::SePcr { value };
         let digest = quote_digest(&source, nonce);
         let sig = self.aik.sign_pkcs1v15(&digest)?;
         let cost = self.cost(TpmOp::Quote);
-        Ok(Timed::new(Quote::new(source, nonce.to_vec(), sig), cost))
+        Ok(Timed::new(
+            Quote::new(source, nonce.to_vec(), sig).to_wire(),
+            cost,
+        ))
     }
 
     /// `TPM_SEPCR_Free`: recycles a quoted sePCR (§5.4.3).
@@ -677,8 +733,30 @@ mod tests {
         let mut t = tpm();
         t.extend(PcrIndex(17), &Sha1::digest(b"pal")).unwrap();
         let q = t.quote(b"verifier nonce", &[PcrIndex(17)]).unwrap();
-        assert!(q.value.verify_signature(t.aik_public()));
+        // The TPM hands back wire bytes; the verifier parses them.
+        let parsed = Quote::from_wire(&q.value).unwrap();
+        assert!(parsed.verify_signature(t.aik_public()));
         assert!((q.elapsed.as_ms_f64() - 880.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn injected_keys_match_generated_identity() {
+        // A TPM provisioned via key injection is indistinguishable, at
+        // the attestation boundary, from one that generated the same
+        // keys itself from the matching seed.
+        let generated = tpm();
+        let mut key_rng = Drbg::new(&[b"test tpm".as_slice(), b"/keys"].concat());
+        let srk = RsaPrivateKey::generate(512, &mut key_rng).unwrap();
+        let aik = RsaPrivateKey::generate(512, &mut key_rng).unwrap();
+        assert_eq!(srk.public_key(), generated.srk_public());
+        let mut injected = Tpm::with_keys(TpmKind::Broadcom, srk, aik, b"test tpm");
+        assert_eq!(injected.aik_public(), generated.aik_public());
+        injected
+            .extend(PcrIndex(17), &Sha1::digest(b"pal"))
+            .unwrap();
+        let q = injected.quote(b"n", &[PcrIndex(17)]).unwrap();
+        let parsed = Quote::from_wire(&q.value).unwrap();
+        assert!(parsed.verify_signature(generated.aik_public()));
     }
 
     #[test]
@@ -773,7 +851,7 @@ mod tests {
         // Quote is not possible while Exclusive.
         assert!(t.sepcr_quote(h, b"n").is_err());
         t.sepcr_release_to_quote(h, CpuId(0)).unwrap();
-        let q = t.sepcr_quote(h, b"n").unwrap().value;
+        let q = Quote::from_wire(&t.sepcr_quote(h, b"n").unwrap().value).unwrap();
         assert!(q.verify_signature(t.aik_public()));
         match q.source() {
             QuoteSource::SePcr { value } => {

@@ -57,6 +57,17 @@ if [ -n "$threads" ]; then
   echo "$threads" >&2
   exit 1
 fi
+# The remote verifier is the relying party: it re-implements the
+# attestation chain from wire bytes and sea-crypto alone, and must
+# never reach into the platform stack it is auditing (that independence
+# is what tests/verifier_differential.rs is pinning).
+leaks=$(grep -n 'sea_hw::Machine\|sea_tpm::Tpm\|use sea_hw\|use sea_tpm\|use sea_os' \
+  crates/fleet/src/verifier.rs || true)
+if [ -n "$leaks" ]; then
+  echo "ci.sh: crates/fleet/src/verifier.rs must not import the platform stack:" >&2
+  echo "$leaks" >&2
+  exit 1
+fi
 
 echo "== engine examples (offline) =="
 cargo run -q --release --offline -p minimal-tcb --example multi_pal_server > /dev/null
@@ -76,6 +87,13 @@ SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin fault_swee
 
 echo "== scale bench: 1024 virtual CPUs on the event queue (smoke mode, offline) =="
 SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin scale
+
+echo "== fleet bench: sharded attestation fleet + remote verifier (smoke mode, offline) =="
+SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin fleet
+# The same fleet must produce byte-identical outcomes under both
+# executors (the debug test binary is already built by the test phases).
+cargo test -q -p minimal-tcb --offline --test verifier_differential \
+  fleet_outcome_is_executor_invariant
 
 echo "== suite + BENCH_suite.json (smoke mode, offline) =="
 SUITE_JSON=target/BENCH_suite.json

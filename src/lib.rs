@@ -22,6 +22,10 @@
 //!   threat model's ring-0 [`os::Adversary`].
 //! * [`pals`] — the paper's four applications: rootkit detector,
 //!   distributed factoring, certificate authority, SSH passwords.
+//! * [`fleet`] — fleet-scale attestation: sharded simulated platforms
+//!   behind a deterministic dispatcher, checked by a standalone remote
+//!   verifier service (certificate walks, nonce freshness, TCB-status
+//!   policy).
 //!
 //! See `README.md` for a quickstart, `DESIGN.md` for the system
 //! inventory, and `EXPERIMENTS.md` for the paper-vs-measured record of
@@ -49,6 +53,7 @@
 
 pub use sea_core as core;
 pub use sea_crypto as crypto;
+pub use sea_fleet as fleet;
 pub use sea_hw as hw;
 pub use sea_os as os;
 pub use sea_pals as pals;

@@ -1,0 +1,126 @@
+//! Edge-of-envelope tests for the hardware substrate: the event queue
+//! at the full [`MAX_CPUS`] fan-out a fleet-sized platform can
+//! schedule, and [`CpuMask`] behavior at the 64-bit word boundaries of
+//! its backing array.
+
+use minimal_tcb::hw::{CpuId, CpuMask, EventQueue, SimTime, MAX_CPUS};
+
+// ---------------------------------------------------------------------
+// EventQueue at MAX_CPUS fan-out
+// ---------------------------------------------------------------------
+
+#[test]
+fn event_queue_holds_an_event_per_cpu_at_max_width() {
+    let width = MAX_CPUS as u64;
+    let mut q: EventQueue<u64> = EventQueue::new();
+
+    // One event per virtual CPU, scheduled in reverse id order so the
+    // queue (not insertion order) must produce the ordering.
+    for id in (0..width).rev() {
+        q.schedule(SimTime::from_ns(1_000), id, id * 2);
+    }
+    assert_eq!(q.len(), MAX_CPUS as usize);
+
+    // Equal timestamps drain in id order, every payload intact.
+    for expect in 0..width {
+        let e = q.pop().expect("queue holds an event per CPU");
+        assert_eq!(e.at, SimTime::from_ns(1_000));
+        assert_eq!(e.id, expect);
+        assert_eq!(e.payload, expect * 2);
+    }
+    assert!(q.pop().is_none());
+}
+
+#[test]
+fn event_queue_interleaves_max_width_timestamp_spread() {
+    let width = MAX_CPUS as u64;
+    let mut q: EventQueue<()> = EventQueue::new();
+
+    // Two waves: ids ascending with descending times, so time must win
+    // over both id and insertion order across the whole width.
+    for id in 0..width {
+        q.schedule(SimTime::from_ns(2 * width - id), id, ());
+        q.schedule(SimTime::from_ns(4 * width - id), id, ());
+    }
+    assert_eq!(q.len(), 2 * MAX_CPUS as usize);
+
+    let mut prev = (SimTime::ZERO, 0u64);
+    let mut drained = 0usize;
+    while let Some(e) = q.pop() {
+        assert!(
+            (e.at, e.id) >= prev,
+            "event ({:?}, {}) popped after {prev:?}",
+            e.at,
+            e.id
+        );
+        prev = (e.at, e.id);
+        drained += 1;
+    }
+    assert_eq!(drained, 2 * MAX_CPUS as usize);
+}
+
+// ---------------------------------------------------------------------
+// CpuMask at the word boundaries
+// ---------------------------------------------------------------------
+
+#[test]
+fn cpu_mask_crosses_word_boundaries() {
+    // 63/64/65 straddle the first u64 word; 1023 is the last legal id.
+    let edges = [63u16, 64, 65, 1023];
+    let mut mask = CpuMask::EMPTY;
+    for &c in &edges {
+        assert!(!mask.contains(CpuId(c)));
+        mask.insert(CpuId(c));
+        assert!(mask.contains(CpuId(c)), "cpu {c} lost across word edge");
+    }
+    assert_eq!(mask.len(), edges.len() as u32);
+
+    // Neighbors were not disturbed.
+    for &c in &[62u16, 66, 127, 128, 1022] {
+        assert!(!mask.contains(CpuId(c)), "cpu {c} set spuriously");
+    }
+
+    // Iteration yields exactly the inserted ids, ascending.
+    let got: Vec<u16> = mask.iter().map(|c| c.0).collect();
+    assert_eq!(got, edges);
+
+    // Removing one side of a boundary leaves the other side alone.
+    mask.remove(CpuId(64));
+    assert!(!mask.contains(CpuId(64)));
+    assert!(mask.contains(CpuId(63)));
+    assert!(mask.contains(CpuId(65)));
+    assert_eq!(mask.len(), 3);
+
+    // Removal is idempotent, and out-of-range removal is a no-op.
+    mask.remove(CpuId(64));
+    mask.remove(CpuId(MAX_CPUS));
+    assert_eq!(mask.len(), 3);
+
+    // Out-of-range membership is simply false, not a panic.
+    assert!(!mask.contains(CpuId(MAX_CPUS)));
+    assert!(!mask.contains(CpuId(u16::MAX)));
+}
+
+#[test]
+fn cpu_mask_last_word_behaves_like_the_first() {
+    // Fill the whole last word (960..1024) and verify it round-trips.
+    let mut mask = CpuMask::EMPTY;
+    for c in 960..MAX_CPUS {
+        mask.insert(CpuId(c));
+    }
+    assert_eq!(mask.len(), 64);
+    assert_eq!(mask.iter().count(), 64);
+    assert!(mask.contains(CpuId(1023)));
+    assert!(!mask.contains(CpuId(959)));
+    for c in 960..MAX_CPUS {
+        mask.remove(CpuId(c));
+    }
+    assert!(mask.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "CpuMask supports CPU ids below 1024")]
+fn cpu_mask_rejects_ids_at_max_cpus() {
+    let mut mask = CpuMask::EMPTY;
+    mask.insert(CpuId(MAX_CPUS));
+}

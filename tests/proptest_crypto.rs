@@ -6,7 +6,7 @@
 mod common;
 
 use common::{check, prop_assert, prop_assert_eq, prop_assert_ne};
-use minimal_tcb::crypto::{BigUint, Drbg, Hmac, OaepLabel, RsaPrivateKey, Sha1, Sha256};
+use minimal_tcb::crypto::{BigUint, Drbg, Hmac, OaepLabel, RsaPrivateKey, Sha1, Sha256, Signature};
 
 /// Case count for the plain bignum/hash properties (matches the original
 /// `ProptestConfig::with_cases(64)`).
@@ -259,10 +259,82 @@ fn rsa_signature_binds_digest() {
     });
 }
 
+#[test]
+fn rsa_signature_rejects_tampered_message() {
+    check("rsa_signature_rejects_tampered_message", RSA_CASES, |t| {
+        let msg = t.bytes(1, 64);
+        let key = test_key();
+        let sig = key.sign_pkcs1v15(&Sha1::digest(&msg)).unwrap();
+        // Flip one bit of the message: its digest must stop verifying.
+        let mut tampered = msg.clone();
+        let byte = t.range(0, tampered.len());
+        let bit = t.range(0, 8) as u8;
+        tampered[byte] ^= 1 << bit;
+        prop_assert!(!key
+            .public_key()
+            .verify_pkcs1v15(&Sha1::digest(&tampered), &sig));
+        Ok(())
+    });
+}
+
+#[test]
+fn rsa_signature_rejects_tampered_signature() {
+    check("rsa_signature_rejects_tampered_signature", RSA_CASES, |t| {
+        let msg = t.bytes(0, 64);
+        let key = test_key();
+        let digest = Sha1::digest(&msg);
+        let sig = key.sign_pkcs1v15(&digest).unwrap();
+        // Flip one bit of the signature itself.
+        let mut bytes = sig.0.clone();
+        let byte = t.range(0, bytes.len());
+        let bit = t.range(0, 8) as u8;
+        bytes[byte] ^= 1 << bit;
+        prop_assert!(!key.public_key().verify_pkcs1v15(&digest, &Signature(bytes)));
+        Ok(())
+    });
+}
+
+#[test]
+fn rsa_signature_rejects_wrong_key() {
+    check("rsa_signature_rejects_wrong_key", RSA_CASES, |t| {
+        let msg = t.bytes(0, 64);
+        let digest = Sha1::digest(&msg);
+        let sig = test_key().sign_pkcs1v15(&digest).unwrap();
+        prop_assert!(!other_key().public_key().verify_pkcs1v15(&digest, &sig));
+        Ok(())
+    });
+}
+
+#[test]
+fn rsa_signature_rejects_truncated_signature() {
+    check(
+        "rsa_signature_rejects_truncated_signature",
+        RSA_CASES,
+        |t| {
+            let msg = t.bytes(0, 64);
+            let key = test_key();
+            let digest = Sha1::digest(&msg);
+            let sig = key.sign_pkcs1v15(&digest).unwrap();
+            // Any strict prefix — including the empty one — must fail.
+            let keep = t.range(0, sig.0.len());
+            let truncated = Signature(sig.0[..keep].to_vec());
+            prop_assert!(!key.public_key().verify_pkcs1v15(&digest, &truncated));
+            Ok(())
+        },
+    );
+}
+
 fn test_key() -> RsaPrivateKey {
     use std::sync::OnceLock;
     static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
     KEY.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::new(b"proptest key")).unwrap())
+        .clone()
+}
+
+fn other_key() -> RsaPrivateKey {
+    use std::sync::OnceLock;
+    static KEY: OnceLock<RsaPrivateKey> = OnceLock::new();
+    KEY.get_or_init(|| RsaPrivateKey::generate(512, &mut Drbg::new(b"proptest other key")).unwrap())
         .clone()
 }
 

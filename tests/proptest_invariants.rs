@@ -399,12 +399,12 @@ fn blob_and_quote_wire_formats_roundtrip() {
         prop_assert_eq!(&restored, &blob);
         prop_assert_eq!(tpm.unseal(&restored).unwrap().value, data);
 
-        let quote = tpm
+        let wire = tpm
             .quote(&nonce, &[PcrIndex(17), PcrIndex(0)])
             .unwrap()
             .value;
-        let received = Quote::from_bytes(&quote.to_bytes()).unwrap();
-        prop_assert_eq!(&received, &quote);
+        let received = Quote::from_bytes(wire.as_bytes()).unwrap();
+        prop_assert_eq!(&received.to_wire(), &wire);
         prop_assert!(received.verify_signature(tpm.aik_public()));
         Ok(())
     });
