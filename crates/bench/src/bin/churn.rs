@@ -1,0 +1,18 @@
+//! Churn-tolerant fleet attestation: request fates, retry cost, and
+//! adversarial rejection vs churn intensity — network fault injection,
+//! mid-sweep reboots, certificate rotation + re-enrollment, a staged
+//! TCB push, and replay/stale/bit-flip/forged-cert traffic, all from
+//! one seed.
+//!
+//! Usage: `churn [REQUESTS]`; `SEA_BENCH_SMOKE=1` shrinks the batch for CI.
+
+use sea_bench::driver::{render_churn, CHURN_RATES};
+use sea_bench::timing::smoke_mode;
+
+fn main() {
+    let requests = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke_mode() { 16 } else { 128 });
+    print!("{}", render_churn(&CHURN_RATES, requests));
+}

@@ -24,11 +24,11 @@ use sea_hw::{Layer, Obs, SimDuration};
 use sea_tpm::TpmOp;
 
 use crate::experiments::{
-    crash_sweep_with_obs, fault_sweep_with_obs, figure2_with_obs, figure3_tpms, figure3_with_obs,
-    fleet_sweep_with_obs, scale_with_obs, table1_with_obs, table2, throughput_with_obs,
-    CrashSweepPoint, FaultSweepPoint, Figure2Bar, Figure3Cell, FleetPoint, ScalePoint, Table1Row,
-    ThroughputPoint, CRASH_SWEEP_SEED, FAULT_SWEEP_SEED, FLEET_SEED, FLEET_SHARDS, PAL_SIZES,
-    SCALE_SEED,
+    churn_sweep_with_obs, crash_sweep_with_obs, fault_sweep_with_obs, figure2_with_obs,
+    figure3_tpms, figure3_with_obs, fleet_sweep_with_obs, scale_with_obs, table1_with_obs, table2,
+    throughput_with_obs, ChurnPoint, CrashSweepPoint, FaultSweepPoint, Figure2Bar, Figure3Cell,
+    FleetPoint, ScalePoint, Table1Row, ThroughputPoint, CHURN_PLATFORMS, CHURN_SEED,
+    CRASH_SWEEP_SEED, FAULT_SWEEP_SEED, FLEET_SEED, FLEET_SHARDS, PAL_SIZES, SCALE_SEED,
 };
 use crate::format::{ms, render_table, us};
 use crate::json::Json;
@@ -59,6 +59,10 @@ pub const CRASH_SWEEP_WORKERS: usize = 1;
 pub const SCALE_CPUS: [usize; 5] = [4, 16, 64, 256, 1024];
 /// Fleet sizes (platform counts) the fleet artifact sweeps.
 pub const FLEET_PLATFORMS: [usize; 4] = [1, 4, 16, 64];
+/// Churn intensities the churn artifact sweeps (parts per
+/// [`sea_hw::RATE_DENOM`]; every fault family scales with the
+/// intensity — see [`crate::experiments::churn_plan`]).
+pub const CHURN_RATES: [u32; 4] = [0, 2000, 8000, 20_000];
 
 /// Schema version of the `BENCH_suite.json` artifact. Bump on any
 /// field rename/removal; additions are backward-compatible.
@@ -81,6 +85,8 @@ pub struct SuiteConfig {
     pub scale_jobs: usize,
     /// Attestation requests per fleet in the fleet sweep.
     pub fleet_requests: usize,
+    /// Attestation requests per fleet in the churn sweep.
+    pub churn_requests: usize,
 }
 
 impl Default for SuiteConfig {
@@ -93,6 +99,7 @@ impl Default for SuiteConfig {
             crash_jobs: 16,
             scale_jobs: 2048,
             fleet_requests: 512,
+            churn_requests: 128,
         }
     }
 }
@@ -108,6 +115,7 @@ impl SuiteConfig {
             crash_jobs: 8,
             scale_jobs: 256,
             fleet_requests: 32,
+            churn_requests: 16,
         }
     }
 }
@@ -154,6 +162,7 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
         crash_jobs,
         scale_jobs,
         fleet_requests,
+        churn_requests,
     } = *cfg;
     vec![
         (
@@ -273,6 +282,20 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
                         ("requests", fleet_requests as u64),
                         ("shards", FLEET_SHARDS as u64),
                         ("seed", FLEET_SEED),
+                    ],
+                )
+            }),
+        ),
+        (
+            "Churn",
+            Box::new(move || {
+                observed(
+                    |obs| churn_sweep_with_obs(&CHURN_RATES, churn_requests, obs),
+                    |points| render_churn_points(points, churn_requests),
+                    &[
+                        ("requests", churn_requests as u64),
+                        ("platforms", CHURN_PLATFORMS as u64),
+                        ("seed", CHURN_SEED),
                     ],
                 )
             }),
@@ -428,6 +451,7 @@ pub fn suite_json(artifacts: &[Artifact], smoke: bool) -> String {
                 ("crash_sweep".to_string(), Json::UInt(CRASH_SWEEP_SEED)),
                 ("scale".to_string(), Json::UInt(SCALE_SEED)),
                 ("fleet".to_string(), Json::UInt(FLEET_SEED)),
+                ("churn".to_string(), Json::UInt(CHURN_SEED)),
             ]),
         ),
         (
@@ -926,6 +950,73 @@ pub fn render_fleet_points(points: &[FleetPoint], requests: usize) -> String {
     out
 }
 
+/// Renders the churn sweep: request fates, retry cost, and adversarial
+/// rejection vs churn intensity.
+pub fn render_churn(intensities: &[u32], requests: usize) -> String {
+    render_churn_points(
+        &crate::experiments::churn_sweep(intensities, requests),
+        requests,
+    )
+}
+
+/// Renders already-measured churn points.
+pub fn render_churn_points(points: &[ChurnPoint], requests: usize) -> String {
+    let mut out = format!(
+        "Churn: {requests} attestation requests across a fleet of {CHURN_PLATFORMS}\n\
+         platforms under seeded churn — dropped/delayed/duplicated/reordered\n\
+         wires, mid-sweep reboots, certificate rotation + re-enrollment, a\n\
+         staged TCB push, and adversarial traffic — by churn intensity\n\
+         (parts per 65536)\n\n"
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.intensity.to_string(),
+                p.accepted.to_string(),
+                p.rejected.to_string(),
+                p.timed_out.to_string(),
+                p.degraded.to_string(),
+                p.retries.to_string(),
+                format!("{}/{}", p.adversarial_rejected, p.adversarial),
+                format!("{:.2}%", p.wire_rejection_rate * 100.0),
+                ms(p.wall_ms),
+                ms(p.p95_ms),
+                format!("{:.2}", p.goodput_per_sec),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "churn",
+            "accepted",
+            "rejected",
+            "timed out",
+            "degraded",
+            "retries",
+            "adv rej",
+            "wire rej",
+            "wall (ms)",
+            "p95 (ms)",
+            "goodput/s",
+        ],
+        &rows,
+    ));
+    out.push_str(
+        "\nEach request's lifecycle — per-attempt timeout, bounded retries with\n\
+         exponential backoff, re-quoting under fresh nonces — runs against the\n\
+         remote verifier with finite nonce-freshness and session-ticket\n\
+         windows, so every row's accepted/rejected/timed-out split is a typed\n\
+         request fate. \"adv rej\" counts adversarial wires (replay,\n\
+         stale-nonce, bit-flip, forged-cert) the verifier turned away over\n\
+         those injected; the verifier accepts none of them. \"wire rej\" is\n\
+         the verifier's rejection share across all wires it saw. The whole\n\
+         sweep is byte-identical at any shard count, worker count,\n\
+         submission order, and executor backend.\n",
+    );
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -945,7 +1036,8 @@ mod tests {
                 "Fault sweep",
                 "Crash sweep",
                 "Scale",
-                "Fleet"
+                "Fleet",
+                "Churn"
             ]
         );
         for a in &arts {
@@ -1025,5 +1117,10 @@ mod tests {
         );
         let fl = render_fleet(&[2], 4);
         assert!(fl.contains("cert walks") && fl.contains("p99 (ms)"), "{fl}");
+        let ch = render_churn(&[0, 16_000], 8);
+        assert!(
+            ch.contains("goodput/s") && ch.contains("adv rej") && ch.contains("wire rej"),
+            "{ch}"
+        );
     }
 }

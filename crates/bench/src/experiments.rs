@@ -1215,6 +1215,151 @@ pub fn fleet_sweep_with_obs(
         .collect()
 }
 
+// ---------------------------------------------------------------------
+// Churn: the fleet under network faults, reboots, rotation, adversaries
+// ---------------------------------------------------------------------
+
+/// Seed of the churn sweep: one seed derives the network fault plan,
+/// reboot/rotation draws, adversarial schedule, and dispatch hashing.
+pub const CHURN_SEED: u64 = 0xC7A05;
+
+/// Platforms in the churn sweep's fleet.
+pub const CHURN_PLATFORMS: usize = 8;
+
+/// Verifier nonce-freshness window for the churn sweep. Finite (unlike
+/// the calm fleet sweep's unbounded window) so stale-nonce adversarial
+/// wires are actually distinguishable from honest retries, yet roomy
+/// enough that backed-off honest re-quotes stay fresh.
+pub const CHURN_FRESHNESS_NS: u64 = 100_000_000;
+
+/// Session-ticket TTL for the churn sweep's verifier.
+pub const CHURN_TICKET_TTL_NS: u64 = 50_000_000;
+
+/// One point of the churn sweep: the fleet at one churn intensity.
+#[derive(Debug, Clone)]
+pub struct ChurnPoint {
+    /// Churn intensity, parts per [`sea_hw::RATE_DENOM`]; the network,
+    /// reboot, rotation, and adversary rates all scale with it.
+    pub intensity: u32,
+    /// Attestation requests dispatched across the fleet.
+    pub requests: usize,
+    /// Requests whose fate is accepted (verified, retried, degraded).
+    pub accepted: usize,
+    /// Requests terminally rejected by the verifier.
+    pub rejected: usize,
+    /// Requests that exhausted their attempt budget without a verdict.
+    pub timed_out: usize,
+    /// Accepted requests that rode a TCB-rollout grace window.
+    pub degraded: usize,
+    /// Total retry wires sent beyond each request's first attempt.
+    pub retries: u64,
+    /// Adversarial wires injected alongside the honest traffic.
+    pub adversarial: usize,
+    /// Adversarial wires the verifier rejected (must equal
+    /// `adversarial`: the verifier never accepts forged traffic).
+    pub adversarial_rejected: usize,
+    /// Share of all wires reaching the verifier that it rejected
+    /// (adversarial traffic included, unlike the fate counts).
+    pub wire_rejection_rate: f64,
+    /// Virtual wall time until the last verdict (ms).
+    pub wall_ms: f64,
+    /// Median request latency, first send to settlement (ms).
+    pub p50_ms: f64,
+    /// 95th-percentile latency (ms).
+    pub p95_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Accepted attestations per virtual second of fleet wall time.
+    pub goodput_per_sec: f64,
+}
+
+/// The [`ChurnPlan`](sea_fleet::ChurnPlan) the churn sweep runs at one
+/// intensity: every fault family scales with `intensity` from a calm
+/// plan at 0, and any nonzero intensity also stages a mid-run TCB push
+/// with a bounded grace window.
+pub fn churn_plan(intensity: u32) -> sea_fleet::ChurnPlan {
+    let plan = sea_fleet::ChurnPlan::new(CHURN_SEED)
+        .with_net(
+            sea_hw::NetPlan::new(CHURN_SEED)
+                .with_drop_rate(intensity / 2)
+                .with_delay_rate(intensity)
+                .with_duplicate_rate(intensity / 2)
+                .with_reorder_rate(intensity / 2),
+        )
+        .with_reboots(intensity / 4, 1_000_000)
+        .with_rotation(intensity / 4, 2_000_000, 500_000)
+        .with_adversary(intensity / 2, intensity / 2, intensity / 2, intensity / 2);
+    if intensity == 0 {
+        plan
+    } else {
+        // Announced mid-run (the sweep's fleets run for hundreds of
+        // virtual milliseconds), propagating group by group, with a
+        // bounded grace window sized to outlast the rest of the run:
+        // requests settled before the push verify cleanly, later ones
+        // are accepted degraded rather than cut off wholesale.
+        plan.with_tcb_push(sea_fleet::TcbPush {
+            at_ns: 200_000_000,
+            groups: 4,
+            group_delay_ns: 50_000_000,
+            grace_ns: 10_000_000_000,
+        })
+    }
+}
+
+/// Churn tolerance: request fates, retry cost, and adversarial
+/// rejection vs churn intensity. Each point runs [`CHURN_PLATFORMS`]
+/// platforms under [`churn_plan`] with a resilient
+/// [`FleetPolicy`](sea_fleet::FleetPolicy) and finite verifier
+/// freshness/ticket windows, then charts how goodput degrades and what
+/// share of wire traffic the verifier turns away. Deterministic at
+/// every intensity, shard count, and executor.
+pub fn churn_sweep(intensities: &[u32], requests: usize) -> Vec<ChurnPoint> {
+    churn_sweep_with_obs(intensities, requests, Obs::null())
+}
+
+/// [`churn_sweep`] with an observability handle installed into every
+/// platform in every fleet.
+pub fn churn_sweep_with_obs(intensities: &[u32], requests: usize, obs: Obs) -> Vec<ChurnPoint> {
+    intensities
+        .iter()
+        .map(|&intensity| {
+            let cfg = sea_fleet::FleetConfig::new(CHURN_PLATFORMS, requests)
+                .with_shards(FLEET_SHARDS)
+                .with_policy(sea_os::DispatchPolicy::Hashed { seed: CHURN_SEED })
+                .with_lifecycle(sea_fleet::FleetPolicy::resilient().with_max_attempts(6))
+                .with_churn(churn_plan(intensity))
+                .with_freshness_window_ns(CHURN_FRESHNESS_NS)
+                .with_ticket_ttl_ns(CHURN_TICKET_TTL_NS);
+            let out = sea_fleet::run_fleet_with_obs(&cfg, obs.clone());
+            let lat = out.latencies_sorted_ns();
+            let pct = |p: f64| {
+                if lat.is_empty() {
+                    0.0
+                } else {
+                    crate::stats::percentile_sorted(&lat, p) as f64 / 1e6
+                }
+            };
+            ChurnPoint {
+                intensity,
+                requests,
+                accepted: out.accepted,
+                rejected: out.rejected,
+                timed_out: out.timed_out,
+                degraded: out.degraded,
+                retries: out.retries,
+                adversarial: out.adversarial.len(),
+                adversarial_rejected: out.adversarial_rejected,
+                wire_rejection_rate: out.stats.rejected as f64 / out.stats.requests.max(1) as f64,
+                wall_ms: out.wall_ns as f64 / 1e6,
+                p50_ms: pct(0.50),
+                p95_ms: pct(0.95),
+                p99_ms: pct(0.99),
+                goodput_per_sec: out.goodput_per_sec(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1487,6 +1632,37 @@ mod tests {
         assert_eq!(points[0].cert_walks, 1, "{points:?}");
         // More platforms never make the fleet slower overall.
         assert!(points[1].wall_ms <= points[0].wall_ms + 1e-9, "{points:?}");
+    }
+
+    #[test]
+    fn churn_sweep_baseline_is_clean_and_chaos_is_contained() {
+        let points = churn_sweep(&[0, 20_000], 12);
+        assert_eq!(points.len(), 2);
+        // Intensity 0 is the honest fleet: no retries, no adversaries,
+        // nothing rejected, everything verified first try.
+        let calm = &points[0];
+        assert_eq!(calm.accepted, 12, "{calm:?}");
+        assert_eq!(calm.rejected + calm.timed_out, 0, "{calm:?}");
+        assert_eq!(calm.retries, 0, "{calm:?}");
+        assert_eq!(calm.adversarial, 0, "{calm:?}");
+        assert_eq!(calm.wire_rejection_rate, 0.0, "{calm:?}");
+        // Under heavy churn the lifecycle works for its acceptances,
+        // and every forged wire is turned away.
+        let rough = &points[1];
+        assert_eq!(
+            rough.accepted + rough.rejected + rough.timed_out,
+            12,
+            "{rough:?}"
+        );
+        assert!(rough.retries > 0, "{rough:?}");
+        // The honest fleet substantially survives: retries and the
+        // TCB-push grace window keep churn from zeroing acceptance.
+        assert!(rough.accepted >= 9, "{rough:?}");
+        assert!(rough.degraded > 0, "{rough:?}");
+        assert!(rough.adversarial > 0, "{rough:?}");
+        assert_eq!(rough.adversarial_rejected, rough.adversarial, "{rough:?}");
+        assert!(rough.wire_rejection_rate > 0.0, "{rough:?}");
+        assert!(rough.p50_ms <= rough.p95_ms && rough.p95_ms <= rough.p99_ms);
     }
 
     #[test]

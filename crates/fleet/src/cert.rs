@@ -15,28 +15,54 @@ use sea_crypto::{CryptoError, RsaPrivateKey, RsaPublicKey, Sha1, Sha1Digest, Sig
 const CERT_TAG: &[u8] = b"SEA_AIK_CERT_v1";
 
 /// A privacy-CA certificate over one platform's AIK public key.
+///
+/// Certificates carry a validity bound (`not_after_ns`, virtual
+/// nanoseconds): a verifier must refuse quotes chained to an expired
+/// certificate even when its session-ticket cache would otherwise skip
+/// the walk. `u64::MAX` means "never expires" — the posture of the
+/// original, rotation-free fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AikCert {
     platform: u64,
+    not_after_ns: u64,
     aik_bytes: Vec<u8>,
     signature: Signature,
 }
 
 impl AikCert {
-    /// Issues a certificate: the CA signs `SHA1(tag || platform || aik)`.
+    /// Issues a never-expiring certificate: the CA signs
+    /// `SHA1(tag || platform || not_after || aik)`.
     ///
     /// # Panics
     ///
     /// Panics if the CA key is too small to sign a SHA-1 digest — a
     /// provisioning error, not a runtime condition.
     pub fn issue(ca: &RsaPrivateKey, platform: u64, aik: &RsaPublicKey) -> Self {
+        Self::issue_expiring(ca, platform, aik, u64::MAX)
+    }
+
+    /// Issues a certificate valid through `not_after_ns` (inclusive).
+    /// The expiry is bound into the signed digest, so it cannot be
+    /// stripped or extended in transit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the CA key is too small to sign a SHA-1 digest — a
+    /// provisioning error, not a runtime condition.
+    pub fn issue_expiring(
+        ca: &RsaPrivateKey,
+        platform: u64,
+        aik: &RsaPublicKey,
+        not_after_ns: u64,
+    ) -> Self {
         let aik_bytes = aik.to_bytes();
-        let digest = Self::digest(platform, &aik_bytes);
+        let digest = Self::digest(platform, not_after_ns, &aik_bytes);
         let signature = ca
             .sign_pkcs1v15(&digest)
             .expect("privacy-CA key must be able to sign a SHA-1 digest");
         AikCert {
             platform,
+            not_after_ns,
             aik_bytes,
             signature,
         }
@@ -45,6 +71,17 @@ impl AikCert {
     /// The platform this certificate vouches for.
     pub fn platform(&self) -> u64 {
         self.platform
+    }
+
+    /// Last virtual-time instant (inclusive) at which the certificate
+    /// is valid; `u64::MAX` means it never expires.
+    pub fn not_after_ns(&self) -> u64 {
+        self.not_after_ns
+    }
+
+    /// Whether the certificate is expired at `now_ns`.
+    pub fn is_expired(&self, now_ns: u64) -> bool {
+        now_ns > self.not_after_ns
     }
 
     /// The serialized AIK public key the certificate binds.
@@ -65,24 +102,27 @@ impl AikCert {
 
     /// Checks the CA signature over this certificate.
     pub fn verify(&self, ca: &RsaPublicKey) -> bool {
-        let digest = Self::digest(self.platform, &self.aik_bytes);
+        let digest = Self::digest(self.platform, self.not_after_ns, &self.aik_bytes);
         ca.verify_pkcs1v15(&digest, &self.signature)
     }
 
-    fn digest(platform: u64, aik_bytes: &[u8]) -> Sha1Digest {
+    fn digest(platform: u64, not_after_ns: u64, aik_bytes: &[u8]) -> Sha1Digest {
         let mut h = Sha1::new();
         h.update_bytes(CERT_TAG);
         h.update_bytes(&platform.to_be_bytes());
+        h.update_bytes(&not_after_ns.to_be_bytes());
         h.update_bytes(&(aik_bytes.len() as u32).to_be_bytes());
         h.update_bytes(aik_bytes);
         h.finalize_fixed()
     }
 
-    /// Canonical encoding: platform (u64 BE), then length-prefixed AIK
-    /// bytes and signature bytes (u32 BE lengths).
+    /// Canonical encoding: platform (u64 BE), validity bound (u64 BE),
+    /// then length-prefixed AIK bytes and signature bytes (u32 BE
+    /// lengths).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(&self.platform.to_be_bytes());
+        out.extend_from_slice(&self.not_after_ns.to_be_bytes());
         for field in [&self.aik_bytes, &self.signature.0] {
             out.extend_from_slice(&(field.len() as u32).to_be_bytes());
             out.extend_from_slice(field);
@@ -109,6 +149,8 @@ impl AikCert {
         }
         let mut cursor = bytes;
         let platform = u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("eight bytes"));
+        let not_after_ns =
+            u64::from_be_bytes(take(&mut cursor, 8)?.try_into().expect("eight bytes"));
         let mut fields = Vec::with_capacity(2);
         for _ in 0..2 {
             let len =
@@ -122,6 +164,7 @@ impl AikCert {
         let aik_bytes = fields.pop().expect("two fields");
         Ok(AikCert {
             platform,
+            not_after_ns,
             aik_bytes,
             signature,
         })
@@ -171,6 +214,33 @@ mod tests {
                 Err(e) => assert_eq!(e, CryptoError::InvalidCiphertext),
             }
         }
+    }
+
+    #[test]
+    fn expiry_is_bound_into_the_signature() {
+        let ca = keypair(b"cert test ca");
+        let aik = keypair(b"cert test aik");
+        let cert = AikCert::issue_expiring(&ca, 9, aik.public_key(), 1_000_000);
+        assert_eq!(cert.not_after_ns(), 1_000_000);
+        assert!(!cert.is_expired(1_000_000), "bound is inclusive");
+        assert!(cert.is_expired(1_000_001));
+        assert!(cert.verify(ca.public_key()));
+
+        // The bound survives the wire and cannot be extended: rewriting
+        // the not_after field breaks the CA signature.
+        let parsed = AikCert::from_bytes(&cert.to_bytes()).expect("parse");
+        assert_eq!(parsed, cert);
+        let mut stretched = cert.to_bytes();
+        stretched[8..16].copy_from_slice(&u64::MAX.to_be_bytes());
+        let forged = AikCert::from_bytes(&stretched).expect("structurally valid");
+        assert_eq!(forged.not_after_ns(), u64::MAX);
+        assert!(!forged.verify(ca.public_key()));
+
+        // Never-expiring issue() is the u64::MAX special case.
+        assert_eq!(
+            AikCert::issue(&ca, 9, aik.public_key()).not_after_ns(),
+            u64::MAX
+        );
     }
 
     #[test]

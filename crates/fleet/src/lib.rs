@@ -21,15 +21,24 @@
 //! * [`cert`] — privacy-CA certificates binding an AIK to a platform.
 //! * [`tcb`] — the versioned TCB-info table and composable acceptance
 //!   policy (`UpToDate` / `OutOfDate` / `Revoked`).
-//! * [`vault`] — process-cached deterministic key material so a
-//!   1000-platform fleet does not pay RSA keygen per run.
+//! * [`vault`] — process-cached deterministic key material (now with
+//!   AIK *generations* for rotation) so a 1000-platform fleet does not
+//!   pay RSA keygen per run.
+//! * [`policy`] — the client-side request lifecycle policy
+//!   ([`FleetPolicy`]: bounded attempts, per-attempt timeout,
+//!   exponential backoff) and the typed terminal [`RequestFate`].
+//! * [`churn`] — seeded platform churn and adversarial traffic
+//!   ([`ChurnPlan`]): network faults via `sea_hw::NetPlan`, mid-sweep
+//!   reboots, certificate rotation + re-enrollment, staged TCB pushes,
+//!   and replay / stale-nonce / bit-flip / forged-cert wires.
 //! * [`fleet`] — the fleet itself: per-request platform assignment via
 //!   `sea_os::Dispatcher`, sharded execution of per-platform
 //!   `SessionEngine`s, an `EventQueue` merge of completions, and the
-//!   verifier as a single queueing server in virtual time. The whole
-//!   pipeline is a pure function of its configuration:
-//!   [`FleetOutcome`] is byte-identical across shard counts, dispatch
-//!   orders, and executor backends.
+//!   verifier as a single queueing server in virtual time driving each
+//!   request's lifecycle to a typed fate. The whole pipeline is a pure
+//!   function of its configuration: [`FleetOutcome`] is byte-identical
+//!   across shard counts, dispatch orders, submission permutations,
+//!   and executor backends — with or without churn.
 //!
 //! # Example
 //!
@@ -47,19 +56,23 @@
 #![warn(missing_docs)]
 
 pub mod cert;
+pub mod churn;
 pub mod fleet;
+pub mod policy;
 pub mod tcb;
 pub mod vault;
 pub mod verifier;
 
 pub use cert::AikCert;
+pub use churn::{AdversaryKind, ChurnPlan, TcbPush};
 pub use fleet::{
-    run_fleet, run_fleet_with_obs, service_image, FleetConfig, FleetOutcome, RequestOutcome,
-    FLEET_SERVICE, NETWORK_RTT_NS,
+    run_fleet, run_fleet_with_obs, run_fleet_with_submission, service_image, AdversaryOutcome,
+    FleetConfig, FleetOutcome, RequestOutcome, FLEET_SERVICE, NETWORK_RTT_NS,
 };
-pub use tcb::{TcbInfo, TcbPolicy, TcbStatus, TcbVerdict};
+pub use policy::{FleetPolicy, RequestFate};
+pub use tcb::{TcbInfo, TcbPolicy, TcbRollout, TcbStatus, TcbVerdict};
 pub use vault::KeyVault;
 pub use verifier::{
-    expected_chain, parse_wire, Attestation, ParsedQuote, ParsedSource, RejectReason, Verdict,
-    VerifierService, VerifierStats,
+    expected_chain, parse_wire, Attestation, MissingKind, ParsedQuote, ParsedSource, RejectReason,
+    Verdict, VerifierService, VerifierStats,
 };

@@ -87,6 +87,75 @@ impl TcbInfo {
     }
 }
 
+/// A staged, mid-run push of a new [`TcbInfo`] table across a fleet.
+///
+/// Real TCB-info distribution is not atomic: the table reaches
+/// different parts of the fleet at different times. A rollout models
+/// that with *logical* propagation groups — platform `p` belongs to
+/// group `p % groups`, and group `g` sees the new table from
+/// `announced_ns + g * group_delay_ns`. Grouping is a pure function of
+/// the platform id, never of shard layout or worker count, which is
+/// what keeps a churned sweep byte-identical across execution shapes.
+///
+/// The rollout also carries a bounded *grace window*: for `grace_ns`
+/// after the table reaches a platform's group, a build the new table
+/// marks `OutOfDate` is still accepted (degraded) even under a strict
+/// policy, so a fleet mid-update degrades gracefully instead of
+/// cliff-rejecting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcbRollout {
+    table: TcbInfo,
+    announced_ns: u64,
+    groups: u64,
+    group_delay_ns: u64,
+    grace_ns: u64,
+}
+
+impl TcbRollout {
+    /// A rollout of `table` announced at `announced_ns`, propagating to
+    /// `groups` logical groups one `group_delay_ns` apart, with a
+    /// `grace_ns` stale-TCB grace window per group.
+    pub fn new(
+        table: TcbInfo,
+        announced_ns: u64,
+        groups: u64,
+        group_delay_ns: u64,
+        grace_ns: u64,
+    ) -> Self {
+        TcbRollout {
+            table,
+            announced_ns,
+            groups: groups.max(1),
+            group_delay_ns,
+            grace_ns,
+        }
+    }
+
+    /// The table being rolled out.
+    pub fn table(&self) -> &TcbInfo {
+        &self.table
+    }
+
+    /// When the new table reaches `platform`'s propagation group.
+    pub fn arrival_ns(&self, platform: u64) -> u64 {
+        self.announced_ns
+            .saturating_add((platform % self.groups).saturating_mul(self.group_delay_ns))
+    }
+
+    /// Whether `platform` already sees the new table at `now_ns`.
+    pub fn active_for(&self, platform: u64, now_ns: u64) -> bool {
+        now_ns >= self.arrival_ns(platform)
+    }
+
+    /// Whether `now_ns` is inside `platform`'s stale-TCB grace window
+    /// (the bounded span after arrival during which `OutOfDate` builds
+    /// are still accepted, degraded).
+    pub fn in_grace(&self, platform: u64, now_ns: u64) -> bool {
+        self.active_for(platform, now_ns)
+            && now_ns <= self.arrival_ns(platform).saturating_add(self.grace_ns)
+    }
+}
+
 /// What a policy decides about one status lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TcbVerdict {
@@ -208,6 +277,26 @@ mod tests {
                 TcbVerdict::Revoked
             );
         }
+    }
+
+    #[test]
+    fn rollout_propagates_by_logical_group_with_grace() {
+        let table = TcbInfo::new(2).with_status(IMG, TcbStatus::OutOfDate);
+        let r = TcbRollout::new(table, 1_000, 4, 100, 50);
+        // Group = platform % 4; arrival staggers by 100ns per group.
+        assert_eq!(r.arrival_ns(0), 1_000);
+        assert_eq!(r.arrival_ns(5), 1_100);
+        assert_eq!(r.arrival_ns(7), 1_300);
+        assert!(!r.active_for(7, 1_299));
+        assert!(r.active_for(7, 1_300));
+        // Grace is a bounded, inclusive window after arrival.
+        assert!(r.in_grace(7, 1_300));
+        assert!(r.in_grace(7, 1_350));
+        assert!(!r.in_grace(7, 1_351));
+        assert!(!r.in_grace(7, 1_299), "grace cannot precede arrival");
+        // Zero groups clamps to one (everything arrives together).
+        let flat = TcbRollout::new(TcbInfo::new(2), 500, 0, 100, 0);
+        assert_eq!(flat.arrival_ns(9), 500);
     }
 
     #[test]

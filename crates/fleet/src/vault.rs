@@ -10,6 +10,7 @@
 //! platform *i* has the same AIK in every run, shard layout, and
 //! dispatch order.
 
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use sea_crypto::{Drbg, RsaPrivateKey, RsaPublicKey};
@@ -22,10 +23,15 @@ use crate::cert::AikCert;
 const FLEET_KEY_BITS: usize = 512;
 
 /// Deterministic, process-cached key material for a simulated fleet.
+///
+/// AIKs are keyed by `(platform, generation)`: generation 0 is the key
+/// a platform is born with (and the one its vault TPM signs with);
+/// higher generations exist for certificate-rotation churn, where a
+/// platform re-enrolls under a fresh identity key mid-run.
 pub struct KeyVault {
     ca: RsaPrivateKey,
     srk: RsaPrivateKey,
-    aiks: Mutex<Vec<Option<RsaPrivateKey>>>,
+    aiks: Mutex<BTreeMap<(usize, u32), RsaPrivateKey>>,
 }
 
 static VAULT: OnceLock<KeyVault> = OnceLock::new();
@@ -42,7 +48,7 @@ impl KeyVault {
         VAULT.get_or_init(|| KeyVault {
             ca: derive_key(b"fleet/ca"),
             srk: derive_key(b"fleet/srk"),
-            aiks: Mutex::new(Vec::new()),
+            aiks: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -52,23 +58,51 @@ impl KeyVault {
         self.ca.public_key().clone()
     }
 
-    /// Platform `index`'s AIK, derived from a per-platform seed and
-    /// cached.
+    /// Platform `index`'s generation-0 AIK, derived from a
+    /// per-platform seed and cached.
     pub fn aik(&self, index: usize) -> RsaPrivateKey {
+        self.aik_generation(index, 0)
+    }
+
+    /// Platform `index`'s AIK at `generation`, derived from a
+    /// per-`(platform, generation)` seed and cached. Generation 0 uses
+    /// the original seed so pre-rotation key material is unchanged.
+    pub fn aik_generation(&self, index: usize, generation: u32) -> RsaPrivateKey {
         let mut aiks = self.aiks.lock().expect("vault lock");
-        if aiks.len() <= index {
-            aiks.resize(index + 1, None);
-        }
-        aiks[index]
-            .get_or_insert_with(|| {
-                derive_key(&[b"fleet/aik/".as_slice(), &(index as u64).to_le_bytes()].concat())
+        aiks.entry((index, generation))
+            .or_insert_with(|| {
+                let mut seed = [b"fleet/aik/".as_slice(), &(index as u64).to_le_bytes()].concat();
+                if generation > 0 {
+                    seed.extend_from_slice(b"/gen/");
+                    seed.extend_from_slice(&generation.to_le_bytes());
+                }
+                derive_key(&seed)
             })
             .clone()
     }
 
-    /// The privacy-CA certificate over platform `index`'s AIK.
+    /// The never-expiring privacy-CA certificate over platform
+    /// `index`'s generation-0 AIK.
     pub fn certificate(&self, index: usize) -> AikCert {
         AikCert::issue(&self.ca, index as u64, self.aik(index).public_key())
+    }
+
+    /// A privacy-CA certificate over platform `index`'s AIK at
+    /// `generation`, valid through `not_after_ns` (inclusive). This is
+    /// the rotation path: churn provisions generation 0 with a finite
+    /// bound, then re-enrolls generation 1 once it expires.
+    pub fn certificate_generation(
+        &self,
+        index: usize,
+        generation: u32,
+        not_after_ns: u64,
+    ) -> AikCert {
+        AikCert::issue_expiring(
+            &self.ca,
+            index as u64,
+            self.aik_generation(index, generation).public_key(),
+            not_after_ns,
+        )
     }
 
     /// A TPM for platform `index`, provisioned with the vault's shared
@@ -94,6 +128,31 @@ mod tests {
         assert_eq!(vault.aik(3).public_key(), vault.aik(3).public_key());
         assert_ne!(vault.aik(0).public_key(), vault.aik(1).public_key());
         assert_eq!(vault.ca_public(), KeyVault::global().ca_public());
+    }
+
+    #[test]
+    fn generations_are_distinct_and_generation_zero_is_the_original() {
+        let vault = KeyVault::global();
+        assert_eq!(
+            vault.aik(4).public_key(),
+            vault.aik_generation(4, 0).public_key()
+        );
+        assert_ne!(
+            vault.aik_generation(4, 0).public_key(),
+            vault.aik_generation(4, 1).public_key()
+        );
+        assert_ne!(
+            vault.aik_generation(4, 1).public_key(),
+            vault.aik_generation(5, 1).public_key()
+        );
+        let rotated = vault.certificate_generation(4, 1, 77);
+        assert_eq!(rotated.platform(), 4);
+        assert_eq!(rotated.not_after_ns(), 77);
+        assert!(rotated.verify(&vault.ca_public()));
+        assert_eq!(
+            &rotated.aik().expect("embedded key"),
+            vault.aik_generation(4, 1).public_key()
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ use std::fmt;
 use sea_crypto::{RsaPublicKey, Sha1, Sha1Digest, Signature};
 
 use crate::cert::AikCert;
-use crate::tcb::{TcbInfo, TcbPolicy, TcbStatus, TcbVerdict};
+use crate::tcb::{TcbInfo, TcbPolicy, TcbRollout, TcbStatus, TcbVerdict};
 
 // ---------------------------------------------------------------------------
 // The verifier's independent copy of the platform's public constants.
@@ -100,6 +100,31 @@ fn signed_digest(source_encoding: &[u8], nonce: &[u8]) -> Sha1Digest {
     h.finalize_fixed()
 }
 
+/// Why a session produced no quote at all — the platform-side outcome
+/// kinds a verifier can be told about out of band. Typed so verdict
+/// accounting cannot drift from the reject taxonomy the way a free-form
+/// string could.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum MissingKind {
+    /// The session fell back to the unmeasured legacy path.
+    Degraded,
+    /// The session was terminated by `SKILL` before quoting.
+    Killed,
+    /// The platform reported an outcome the verifier has no name for.
+    Unknown,
+}
+
+impl fmt::Display for MissingKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MissingKind::Degraded => write!(f, "degraded"),
+            MissingKind::Killed => write!(f, "killed"),
+            MissingKind::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
 /// Why the verifier rejected an attestation request. Every failure mode
 /// is typed: operators triage `PalKilled` very differently from
 /// `BadSignature`.
@@ -122,6 +147,10 @@ pub enum RejectReason {
     BadAikEncoding,
     /// The certificate chain does not walk back to the privacy-CA root.
     BadCertChain,
+    /// The enrolled certificate's validity bound has passed. Checked
+    /// before the session-ticket cache, so a cached walk can never mask
+    /// an expiry.
+    CertExpired,
     /// The AIK signature over the quoted state and nonce failed.
     BadSignature,
     /// The quote's nonce matches no outstanding challenge.
@@ -146,9 +175,25 @@ pub enum RejectReason {
     /// The matched build is not listed in the TCB table and policy
     /// requires listing.
     TcbUnlisted,
-    /// The session produced no quote at all; carries the session
-    /// outcome kind (e.g. `"degraded"`, `"killed"`).
-    MissingQuote(&'static str),
+    /// The session produced no quote at all; carries the typed session
+    /// outcome kind.
+    MissingQuote(MissingKind),
+}
+
+impl RejectReason {
+    /// Whether an honest client can plausibly succeed by re-quoting:
+    /// transient identity/freshness failures (an expired or mid-rotation
+    /// certificate, a timed-out challenge) heal on retry, while
+    /// structural, measurement, and TCB failures are terminal.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            RejectReason::CertExpired
+                | RejectReason::BadSignature
+                | RejectReason::StaleQuote
+                | RejectReason::UnknownNonce
+        )
+    }
 }
 
 impl fmt::Display for RejectReason {
@@ -162,6 +207,7 @@ impl fmt::Display for RejectReason {
             RejectReason::UnknownPlatform => write!(f, "no certificate for platform"),
             RejectReason::BadAikEncoding => write!(f, "certificate AIK does not decode"),
             RejectReason::BadCertChain => write!(f, "certificate chain invalid"),
+            RejectReason::CertExpired => write!(f, "certificate expired"),
             RejectReason::BadSignature => write!(f, "AIK signature invalid"),
             RejectReason::UnknownNonce => write!(f, "nonce matches no challenge"),
             RejectReason::ReplayedNonce => write!(f, "nonce already consumed"),
@@ -173,7 +219,9 @@ impl fmt::Display for RejectReason {
             RejectReason::TcbOutOfDate => write!(f, "TCB out of date"),
             RejectReason::TcbRevoked => write!(f, "TCB revoked"),
             RejectReason::TcbUnlisted => write!(f, "build not listed in TCB table"),
-            RejectReason::MissingQuote(kind) => write!(f, "session produced no quote ({kind})"),
+            RejectReason::MissingQuote(kind) => {
+                write!(f, "session produced no quote ({kind})")
+            }
         }
     }
 }
@@ -298,6 +346,10 @@ pub struct Verdict {
     pub cost_ns: u64,
     /// Whether the AIK session-ticket cache replaced the cert walk.
     pub ticket_hit: bool,
+    /// Whether the acceptance happened inside a TCB-rollout grace
+    /// window — accepted, but on a build the incoming table has already
+    /// superseded.
+    pub degraded: bool,
 }
 
 /// A cached result of a certificate-chain walk, keyed by AIK
@@ -340,6 +392,7 @@ pub struct VerifierService {
     certs: BTreeMap<u64, AikCert>,
     builds: Vec<TrustedBuild>,
     tcb: TcbInfo,
+    rollout: Option<TcbRollout>,
     policy: TcbPolicy,
     freshness_window_ns: u64,
     ticket_ttl_ns: u64,
@@ -360,6 +413,7 @@ impl VerifierService {
             certs: BTreeMap::new(),
             builds: Vec::new(),
             tcb: TcbInfo::new(0),
+            rollout: None,
             policy: TcbPolicy::strict(),
             freshness_window_ns: u64::MAX,
             ticket_ttl_ns: u64::MAX,
@@ -397,6 +451,23 @@ impl VerifierService {
         self.tcb.merge(table)
     }
 
+    /// Begins a staged rollout of a new TCB table: each platform's
+    /// logical propagation group switches to the rollout table at its
+    /// own arrival time, with the rollout's grace window softening
+    /// `OutOfDate` rejections just after the switch. Refuses rollback
+    /// against the currently installed table.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected table's version if older than the current.
+    pub fn push_tcb(&mut self, rollout: TcbRollout) -> Result<(), u32> {
+        if rollout.table().version() < self.tcb.version() {
+            return Err(rollout.table().version());
+        }
+        self.rollout = Some(rollout);
+        Ok(())
+    }
+
     /// Replaces the TCB acceptance policy.
     pub fn set_policy(&mut self, policy: TcbPolicy) {
         self.policy = policy;
@@ -426,8 +497,8 @@ impl VerifierService {
     }
 
     /// Rejects a session that produced no quote (degraded or killed on
-    /// the platform side); `outcome` names the session outcome kind.
-    pub fn reject_missing(&mut self, platform: u64, outcome: &'static str) -> Verdict {
+    /// the platform side); `outcome` is the typed session outcome kind.
+    pub fn reject_missing(&mut self, platform: u64, outcome: MissingKind) -> Verdict {
         self.stats.requests += 1;
         self.stats.rejected += 1;
         Verdict {
@@ -435,6 +506,7 @@ impl VerifierService {
             result: Err(RejectReason::MissingQuote(outcome)),
             cost_ns: REJECT_MISSING_COST_NS,
             ticket_hit: false,
+            degraded: false,
         }
     }
 
@@ -443,7 +515,15 @@ impl VerifierService {
     pub fn verify(&mut self, platform: u64, wire: &[u8], now_ns: u64) -> Verdict {
         let mut cost_ns = 0;
         let mut ticket_hit = false;
-        let result = self.verify_inner(platform, wire, now_ns, &mut cost_ns, &mut ticket_hit);
+        let mut degraded = false;
+        let result = self.verify_inner(
+            platform,
+            wire,
+            now_ns,
+            &mut cost_ns,
+            &mut ticket_hit,
+            &mut degraded,
+        );
         self.stats.requests += 1;
         match &result {
             Ok(_) => self.stats.accepted += 1,
@@ -454,6 +534,7 @@ impl VerifierService {
             result,
             cost_ns,
             ticket_hit,
+            degraded,
         }
     }
 
@@ -464,17 +545,23 @@ impl VerifierService {
         now_ns: u64,
         cost_ns: &mut u64,
         ticket_hit: &mut bool,
+        degraded: &mut bool,
     ) -> Result<Attestation, RejectReason> {
         // 1. Structure.
         *cost_ns += PARSE_COST_NS;
         let parsed = parse_wire(wire)?;
 
-        // 2. Certificate chain (or session-ticket cache).
+        // 2. Certificate chain (or session-ticket cache). Expiry is
+        // checked on every request — before the ticket cache, so a
+        // cached walk can never serve past the certificate's bound.
         let cert = self
             .certs
             .get(&platform)
             .ok_or(RejectReason::UnknownPlatform)?
             .clone();
+        if cert.is_expired(now_ns) {
+            return Err(RejectReason::CertExpired);
+        }
         let aik = cert.aik().map_err(|_| RejectReason::BadAikEncoding)?;
         let fingerprint = aik.fingerprint();
         let live_ticket = self
@@ -532,9 +619,35 @@ impl VerifierService {
             return Err(RejectReason::MeasurementMismatch);
         };
 
-        // 6. TCB-status policy.
+        // 6. TCB-status policy, against whichever table has reached
+        // this platform's propagation group.
         *cost_ns += POLICY_COST_NS;
-        match self.policy.evaluate(self.tcb.status(&build.image_digest)) {
+        let rollout_active = self
+            .rollout
+            .as_ref()
+            .is_some_and(|r| r.active_for(platform, now_ns));
+        let status = if rollout_active {
+            self.rollout
+                .as_ref()
+                .expect("rollout_active implies Some")
+                .table()
+                .status(&build.image_digest)
+        } else {
+            self.tcb.status(&build.image_digest)
+        };
+        let mut verdict = self.policy.evaluate(status);
+        if verdict == TcbVerdict::OutOfDate
+            && self
+                .rollout
+                .as_ref()
+                .is_some_and(|r| r.in_grace(platform, now_ns))
+        {
+            // The superseding table only just reached this group: accept
+            // the stale build, degraded, for the bounded grace window.
+            verdict = TcbVerdict::Accepted(TcbStatus::OutOfDate);
+            *degraded = true;
+        }
+        match verdict {
             TcbVerdict::Accepted(status) => Ok(Attestation {
                 platform,
                 service: build.service.clone(),
@@ -808,11 +921,81 @@ mod tests {
     fn missing_quote_rejection_counts() {
         let ca = key(b"verifier test ca");
         let mut v = VerifierService::new(ca.public_key().clone());
-        let verdict = v.reject_missing(7, "degraded");
-        assert_eq!(verdict.result, Err(RejectReason::MissingQuote("degraded")));
+        let verdict = v.reject_missing(7, MissingKind::Degraded);
+        assert_eq!(
+            verdict.result,
+            Err(RejectReason::MissingQuote(MissingKind::Degraded))
+        );
         assert_eq!(verdict.cost_ns, REJECT_MISSING_COST_NS);
         assert_eq!(v.stats().requests, 1);
         assert_eq!(v.stats().rejected, 1);
+    }
+
+    #[test]
+    fn expired_certificate_rejected_even_on_a_live_ticket() {
+        let ca = key(b"verifier test ca");
+        let aik = key(b"verifier test aik");
+        let image = b"trusted service image".to_vec();
+        let mut verifier = VerifierService::new(ca.public_key().clone());
+        verifier.enroll(AikCert::issue_expiring(&ca, 1, aik.public_key(), 1_000));
+        verifier.trust("svc", &image, &[]);
+        verifier
+            .ingest_tcb(TcbInfo::new(1).with_status(Sha1::digest(&image), TcbStatus::UpToDate))
+            .expect("fresh table");
+        let wire =
+            |nonce: &[u8]| wire_quote(&aik, &encode_sepcr(&expected_chain(&image, &[])), nonce);
+        verifier.challenge(1, b"a", 0);
+        verifier.challenge(1, b"b", 0);
+        verifier.challenge(1, b"c", 0);
+        // Inside validity: accepted (inclusive bound), ticket cached.
+        assert!(verifier.verify(1, &wire(b"a"), 500).result.is_ok());
+        assert!(verifier.verify(1, &wire(b"b"), 1_000).result.is_ok());
+        // Past the bound: the live ticket must NOT mask expiry.
+        let v = verifier.verify(1, &wire(b"c"), 1_001);
+        assert_eq!(v.result, Err(RejectReason::CertExpired));
+        assert!(!v.ticket_hit);
+        assert!(RejectReason::CertExpired.is_retryable());
+        // Re-enrolling a fresh certificate heals the platform.
+        verifier.enroll(AikCert::issue(&ca, 1, aik.public_key()));
+        verifier.challenge(1, b"d", 1_002);
+        assert!(verifier.verify(1, &wire(b"d"), 1_003).result.is_ok());
+    }
+
+    #[test]
+    fn tcb_rollout_staggers_groups_and_grace_degrades() {
+        let mut r = rig();
+        let digest = Sha1::digest(&r.image);
+        // New table marks the build OutOfDate; 2 groups, 1000ns apart,
+        // 500ns grace. Platform 1 is group 1 → arrival at 11_000.
+        r.verifier
+            .push_tcb(TcbRollout::new(
+                TcbInfo::new(2).with_status(digest, TcbStatus::OutOfDate),
+                10_000,
+                2,
+                1_000,
+                500,
+            ))
+            .expect("newer table");
+        for nonce in [b"1", b"2", b"3"] {
+            r.verifier.challenge(1, nonce, 0);
+        }
+        // Before the rollout reaches group 1: old table still rules.
+        let v = r.verifier.verify(1, &honest_wire(&r, b"1"), 10_500);
+        assert!(v.result.is_ok());
+        assert!(!v.degraded);
+        // Inside the grace window: accepted but degraded.
+        let v = r.verifier.verify(1, &honest_wire(&r, b"2"), 11_400);
+        assert_eq!(v.result.expect("grace accepts").tcb, TcbStatus::OutOfDate);
+        assert!(v.degraded);
+        // Past the grace window: strict policy rejects.
+        let v = r.verifier.verify(1, &honest_wire(&r, b"3"), 11_501);
+        assert_eq!(v.result, Err(RejectReason::TcbOutOfDate));
+        // Rollback pushes are refused.
+        assert_eq!(
+            r.verifier
+                .push_tcb(TcbRollout::new(TcbInfo::new(0), 0, 1, 0, 0)),
+            Err(0)
+        );
     }
 
     #[test]
@@ -837,7 +1020,10 @@ mod tests {
             RejectReason::TcbOutOfDate,
             RejectReason::TcbRevoked,
             RejectReason::TcbUnlisted,
-            RejectReason::MissingQuote("killed"),
+            RejectReason::CertExpired,
+            RejectReason::MissingQuote(MissingKind::Degraded),
+            RejectReason::MissingQuote(MissingKind::Killed),
+            RejectReason::MissingQuote(MissingKind::Unknown),
         ] {
             assert!(!r.to_string().is_empty());
         }

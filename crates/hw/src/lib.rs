@@ -51,6 +51,7 @@ mod fault;
 mod lpc;
 mod machine;
 mod memory;
+mod net;
 pub mod obs;
 mod platform;
 mod reset;
@@ -66,6 +67,7 @@ pub use fault::{FaultKind, FaultPlan, RATE_DENOM, TRANSPORT_FAULT_COST};
 pub use lpc::LpcBus;
 pub use machine::{Device, Machine, MachineBuilder};
 pub use memory::Memory;
+pub use net::{NetFault, NetPlan, NET_DELAY_SPREAD, NET_DUPLICATE_GAP, NET_REORDER_WINDOW};
 pub use obs::{
     check_well_nested, Layer, LayerHistogram, NullSink, Obs, ObsSnapshot, RecordingSink, Sink,
     SpanKind, SpanRecord, HISTOGRAM_BUCKETS, PLATFORM_TRACK,

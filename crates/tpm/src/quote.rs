@@ -6,7 +6,7 @@
 //! decides whether the reported values correspond to a genuine late
 //! launch of the expected PAL.
 
-use sea_crypto::{RsaPublicKey, Sha1, Sha1Digest, Signature};
+use sea_crypto::{RsaPrivateKey, RsaPublicKey, Sha1, Sha1Digest, Signature};
 
 use crate::error::TpmError;
 use crate::pcr::{PcrIndex, PcrValue};
@@ -197,6 +197,31 @@ impl Quote {
         aik.verify_pkcs1v15(&digest, &self.signature)
     }
 
+    /// Re-issues this quote over a fresh verifier nonce — the
+    /// platform-side retry path. The reported state is unchanged (the
+    /// sePCR value is whatever the session left it at); only the
+    /// anti-replay nonce and the signature differ, so a verifier whose
+    /// nonces are single-use can be answered again without replaying a
+    /// consumed challenge. The caller supplies the signing AIK, which
+    /// after a certificate rotation may be a newer generation than the
+    /// one that signed the original quote.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::InvalidBlob`] if the AIK is too small to sign a
+    /// SHA-1 digest.
+    pub fn reissue(&self, nonce: &[u8], aik: &RsaPrivateKey) -> Result<Quote, TpmError> {
+        let nonce = nonce.to_vec();
+        let signature = aik
+            .sign_pkcs1v15(&quote_digest(&self.source, &nonce))
+            .map_err(|_| TpmError::InvalidBlob)?;
+        Ok(Quote {
+            source: self.source.clone(),
+            nonce,
+            signature,
+        })
+    }
+
     /// Serializes the quote into the canonical wire format (see
     /// [`WireQuote`] for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -301,6 +326,25 @@ mod tests {
         let q = signed(&key, sample_source(), b"nonce-1");
         assert!(q.verify_signature(key.public_key()));
         assert_eq!(q.nonce(), b"nonce-1");
+    }
+
+    #[test]
+    fn reissue_carries_state_under_a_fresh_nonce() {
+        let key = aik();
+        let q = signed(&key, sample_source(), b"nonce-1");
+        let again = q.reissue(b"nonce-2", &key).expect("reissue");
+        assert_eq!(again.source(), q.source());
+        assert_eq!(again.nonce(), b"nonce-2");
+        assert!(again.verify_signature(key.public_key()));
+        // A different signing key produces a quote the original AIK
+        // no longer verifies — the rotation case.
+        let rotated = RsaPrivateKey::generate(512, &mut Drbg::new(b"rotated")).unwrap();
+        let under_new_key = q.reissue(b"nonce-3", &rotated).expect("reissue");
+        assert!(!under_new_key.verify_signature(key.public_key()));
+        assert!(under_new_key.verify_signature(rotated.public_key()));
+        // The wire roundtrip is unchanged.
+        let parsed = Quote::from_bytes(&again.to_bytes()).expect("roundtrip");
+        assert_eq!(parsed, again);
     }
 
     #[test]

@@ -68,6 +68,17 @@ if [ -n "$leaks" ]; then
   echo "$leaks" >&2
   exit 1
 fi
+# Everything the fleet decides — churn, retries, adversarial schedules —
+# must derive from explicit seeds: any ambient entropy or wall-clock
+# read would break the byte-identity contract across shards, executors,
+# and submission orders.
+entropy=$(grep -rn 'thread_rng\|rand::\|SystemTime\|Instant::now\|RandomState' \
+  crates/fleet/src --include='*.rs' || true)
+if [ -n "$entropy" ]; then
+  echo "ci.sh: unseeded randomness or wall-clock reads in crates/fleet/src:" >&2
+  echo "$entropy" >&2
+  exit 1
+fi
 
 echo "== engine examples (offline) =="
 cargo run -q --release --offline -p minimal-tcb --example multi_pal_server > /dev/null
@@ -94,6 +105,16 @@ SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin fleet
 # executors (the debug test binary is already built by the test phases).
 cargo test -q -p minimal-tcb --offline --test verifier_differential \
   fleet_outcome_is_executor_invariant
+
+echo "== churn bench: fleet under faults, rotation, and adversaries (smoke mode, offline) =="
+SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin churn
+# Churned outcomes must stay byte-identical across shard counts,
+# executors, and submission permutations, and every adversarial wire
+# must be rejected with a typed reason.
+cargo test -q -p minimal-tcb --offline --test verifier_differential \
+  churned_fleet_is_byte_identical_across_shards_executors_and_orders
+cargo test -q -p minimal-tcb --offline --test verifier_differential \
+  every_adversarial_wire_is_rejected_with_a_typed_reason
 
 echo "== suite + BENCH_suite.json (smoke mode, offline) =="
 SUITE_JSON=target/BENCH_suite.json

@@ -19,20 +19,28 @@
 //!   flips the verdict to a rejection.
 //! * **Fleet determinism**: a 1000-platform fleet produces a
 //!   byte-identical [`sea_fleet::FleetOutcome`] at every shard count
-//!   and under both dispatch policies' own re-runs, and the fleet
-//!   artifact is the suite's ninth, validating under `suite --validate`.
+//!   and under both dispatch policies' own re-runs — and a *churned*
+//!   fleet (network faults, reboots, rotation, adversarial wires) stays
+//!   byte-identical across shards, executors, and submission orders.
+//! * **Boundary agreement**: the freshness-window edge (`== window`
+//!   accepted, `window + 1` stale) behaves identically on the fleet
+//!   verifier and on `sea_core::AttestationService`; the session-ticket
+//!   TTL edge likewise on the fleet verifier.
+//! * **Churn artifact**: the churn experiment is the suite's tenth
+//!   artifact, validating under `suite --validate`.
 
 use sea_bench::driver::{run_suite_serial, suite_json, validate_suite_json, SuiteConfig};
 use sea_core::{
-    BatchPolicy, ConcurrentJob, Executor, FnPal, PalOutcome, RetryPolicy, SecurePlatform,
-    SessionEngine, SessionResult, Slaunch, Verifier,
+    AttestationService, BatchPolicy, ConcurrentJob, Executor, FnPal, PalOutcome, ProtocolError,
+    RetryPolicy, SecurePlatform, SessionEngine, SessionResult, Slaunch, TrustPolicy, Verifier,
 };
 use sea_crypto::Sha1;
 use sea_fleet::{
-    expected_chain, parse_wire, run_fleet, service_image, FleetConfig, KeyVault, ParsedSource,
-    RejectReason, TcbInfo, TcbPolicy, TcbStatus, VerifierService, FLEET_SERVICE,
+    expected_chain, parse_wire, run_fleet, run_fleet_with_submission, service_image, AdversaryKind,
+    ChurnPlan, FleetConfig, FleetPolicy, KeyVault, MissingKind, ParsedSource, RejectReason,
+    RequestFate, TcbInfo, TcbPolicy, TcbStatus, VerifierService, FLEET_SERVICE,
 };
-use sea_hw::{CpuId, FaultPlan, Platform, SimDuration, RATE_DENOM};
+use sea_hw::{CpuId, FaultPlan, NetPlan, Obs, Platform, SimDuration, SimTime, RATE_DENOM};
 use sea_os::DispatchPolicy;
 use sea_tpm::{PcrIndex, Quote, QuoteSource, SKILL_CONSTANT};
 
@@ -281,10 +289,10 @@ fn adversarial_degraded_and_killed_sessions_reject_typed() {
             .any(|s| matches!(s, SessionResult::Degraded { .. })),
         "no session degraded: {degraded:?}"
     );
-    let r = v.reject_missing(0, "degraded");
+    let r = v.reject_missing(0, MissingKind::Degraded);
     assert_eq!(
         r.result.unwrap_err(),
-        RejectReason::MissingQuote("degraded")
+        RejectReason::MissingQuote(MissingKind::Degraded)
     );
 
     // Killed sessions (fatal fault, SKILL teardown) likewise.
@@ -305,8 +313,11 @@ fn adversarial_degraded_and_killed_sessions_reject_typed() {
             .any(|s| matches!(s, SessionResult::Killed { .. })),
         "no session killed: {killed:?}"
     );
-    let r = v.reject_missing(1, "killed");
-    assert_eq!(r.result.unwrap_err(), RejectReason::MissingQuote("killed"));
+    let r = v.reject_missing(1, MissingKind::Killed);
+    assert_eq!(
+        r.result.unwrap_err(),
+        RejectReason::MissingQuote(MissingKind::Killed)
+    );
 }
 
 #[test]
@@ -409,14 +420,233 @@ fn fleet_outcome_is_executor_invariant() {
 }
 
 #[test]
-fn fleet_is_the_ninth_suite_artifact_and_validates() {
+fn churn_is_the_tenth_suite_artifact_and_validates() {
     let arts = run_suite_serial(&SuiteConfig::smoke());
-    assert_eq!(arts.len(), 9);
+    assert_eq!(arts.len(), 10);
     assert_eq!(arts[8].name, "Fleet");
     assert!(arts[8].rendered.contains("goodput/s"));
-    assert!(arts[8].metrics.total_virtual_ns > 0);
+    assert_eq!(arts[9].name, "Churn");
+    assert!(arts[9].rendered.contains("goodput/s"));
+    assert!(arts[9].metrics.total_virtual_ns > 0);
 
     let text = suite_json(&arts, true);
-    validate_suite_json(&text).expect("suite JSON with the fleet artifact validates");
+    validate_suite_json(&text).expect("suite JSON with the churn artifact validates");
     assert!(text.contains("\"fleet\""), "fleet seed missing: {text}");
+    assert!(text.contains("\"churn\""), "churn seed missing: {text}");
+}
+
+// ---------------------------------------------------------------------
+// Boundary agreement: acceptance-window edges on both implementations
+// ---------------------------------------------------------------------
+
+#[test]
+fn freshness_window_edge_agrees_on_both_verifiers() {
+    const WINDOW_NS: u64 = 1_000_000;
+    let vault = KeyVault::global();
+    let wire = honest_wires(0, 1).remove(0);
+    let quote = Quote::from_bytes(&wire).expect("own wire parses");
+
+    // Fleet verifier: a wire arriving exactly at issued + window is
+    // accepted; one nanosecond later it is stale.
+    let mut v = provisioned(1);
+    v.set_freshness_window_ns(WINDOW_NS);
+    v.challenge(0, &nonce(0), 0);
+    let at_edge = v.verify(0, &wire, WINDOW_NS);
+    assert!(at_edge.result.is_ok(), "{:?}", at_edge.result);
+    let late = quote
+        .reissue(&nonce(1), &vault.aik(0))
+        .expect("vault key signs")
+        .to_bytes();
+    v.challenge(0, &nonce(1), 0);
+    let past_edge = v.verify(0, &late, WINDOW_NS + 1);
+    assert_eq!(past_edge.result.unwrap_err(), RejectReason::StaleQuote);
+
+    // Platform-side protocol service: same `>` semantics at the same
+    // edge, per its own clock type.
+    let policy = TrustPolicy::new(Verifier::new(vault.tpm(0).aik_public().clone()));
+    let mut service = AttestationService::new(policy, SimDuration::from_ns(WINDOW_NS), b"boundary");
+    service.policy_mut().trust(FLEET_SERVICE, &service_image());
+    let t0 = SimTime::from_ns(0);
+    let c = service.issue(t0);
+    let answer = quote.reissue(c.nonce(), &vault.aik(0)).expect("signs");
+    assert_eq!(
+        service.consume(&answer, t0 + SimDuration::from_ns(WINDOW_NS)),
+        Ok(FLEET_SERVICE.to_owned()),
+        "exactly at the window is fresh on the platform side too"
+    );
+    let c2 = service.issue(t0);
+    let answer2 = quote.reissue(c2.nonce(), &vault.aik(0)).expect("signs");
+    assert_eq!(
+        service.consume(&answer2, t0 + SimDuration::from_ns(WINDOW_NS + 1)),
+        Err(ProtocolError::ChallengeExpired)
+    );
+}
+
+#[test]
+fn ticket_ttl_edge_hits_then_walks() {
+    const TTL_NS: u64 = 500_000;
+    let vault = KeyVault::global();
+    let wire = honest_wires(0, 1).remove(0);
+    let quote = Quote::from_bytes(&wire).expect("own wire parses");
+    let mut v = provisioned(1);
+    v.set_ticket_ttl_ns(TTL_NS);
+
+    // First verification walks the chain and mints a ticket at t=0.
+    v.challenge(0, &nonce(0), 0);
+    let first = v.verify(0, &wire, 0);
+    assert!(first.result.is_ok());
+    assert!(!first.ticket_hit);
+
+    // A ticket used exactly at its TTL still serves...
+    let w1 = quote.reissue(&nonce(1), &vault.aik(0)).expect("signs");
+    v.challenge(0, &nonce(1), 0);
+    let at_edge = v.verify(0, &w1.to_bytes(), TTL_NS);
+    assert!(at_edge.result.is_ok());
+    assert!(at_edge.ticket_hit, "exactly at the TTL is a hit");
+
+    // ...one nanosecond past it, the chain is walked again (and a
+    // fresh ticket minted).
+    let w2 = quote.reissue(&nonce(2), &vault.aik(0)).expect("signs");
+    v.challenge(0, &nonce(2), 0);
+    let past_edge = v.verify(0, &w2.to_bytes(), TTL_NS + 1);
+    assert!(past_edge.result.is_ok());
+    assert!(!past_edge.ticket_hit, "past the TTL walks the chain");
+    assert_eq!(v.stats().cert_walks, 2);
+    assert_eq!(v.stats().ticket_hits, 1);
+}
+
+// ---------------------------------------------------------------------
+// Churn: lossy delivery properties and fleet-level byte-identity
+// ---------------------------------------------------------------------
+
+/// A churn plan heavy on duplication and reordering, with replayed,
+/// bit-flipped, and forged adversarial wires riding along.
+fn lossy_churn(seed: u64) -> ChurnPlan {
+    ChurnPlan::new(seed)
+        .with_net(
+            NetPlan::new(seed)
+                .with_drop_rate(6_000)
+                .with_delay_rate(10_000)
+                .with_duplicate_rate(16_000)
+                .with_reorder_rate(16_000),
+        )
+        .with_adversary(16_000, 0, 16_000, 16_000)
+}
+
+#[test]
+fn duplicated_and_reordered_delivery_never_double_counts() {
+    // The property, at 1 and 4 workers on both executors: every request
+    // resolves to exactly one typed fate, duplicate wire copies are
+    // rejected at the verifier (never re-resolved), and no replayed
+    // single-use nonce is ever accepted.
+    for workers in [1u16, 4] {
+        let cfg = FleetConfig::new(3, 10)
+            .with_cpus(workers)
+            .with_churn(lossy_churn(0x10_55))
+            .with_lifecycle(FleetPolicy::resilient().with_max_attempts(8));
+        let des = run_fleet(&cfg);
+        let tp = run_fleet(&cfg.clone().with_executor(Executor::ThreadPool));
+        assert_eq!(des, tp, "executor-invariant at {workers} workers");
+
+        // Exactly one outcome per request id — no double resolution.
+        let mut seen: Vec<u64> = des.requests.iter().map(|r| r.request).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<u64>>());
+        assert_eq!(des.accepted + des.rejected + des.timed_out, 10);
+
+        // Duplicated copies reached the verifier and were rejected
+        // there (wire-level), without disturbing the fate-level counts.
+        assert!(
+            des.stats.requests > des.requests.iter().map(|r| r.attempts as u64).sum::<u64>()
+                || des.stats.rejected > 0,
+            "the lossy plan should have produced extra wire traffic"
+        );
+
+        // Replayed nonces never verify.
+        for adv in des
+            .adversarial
+            .iter()
+            .filter(|a| a.kind == AdversaryKind::Replay)
+        {
+            assert_eq!(
+                adv.verdict.clone().unwrap_err(),
+                RejectReason::ReplayedNonce
+            );
+        }
+    }
+}
+
+#[test]
+fn churned_fleet_is_byte_identical_across_shards_executors_and_orders() {
+    let churn = lossy_churn(0xC1_44)
+        .with_reboots(RATE_DENOM / 4, 400_000)
+        .with_rotation(RATE_DENOM / 3, 2_000_000, 600_000);
+    let cfg = FleetConfig::new(16, 32)
+        .with_churn(churn)
+        .with_lifecycle(FleetPolicy::resilient().with_max_attempts(6));
+
+    let base = run_fleet(&cfg);
+    assert_eq!(base.requests.len(), 32);
+    for shards in [4usize, 16] {
+        assert_eq!(
+            run_fleet(&cfg.clone().with_shards(shards)),
+            base,
+            "shards = {shards}"
+        );
+    }
+    assert_eq!(
+        run_fleet(&cfg.clone().with_executor(Executor::ThreadPool)),
+        base,
+        "executor backend"
+    );
+    let mut permuted: Vec<u64> = (0..32).rev().collect();
+    permuted.swap(3, 17);
+    permuted.swap(0, 31);
+    assert_eq!(
+        run_fleet_with_submission(&cfg, &permuted, Obs::null()),
+        base,
+        "submission permutation"
+    );
+}
+
+#[test]
+fn every_adversarial_wire_is_rejected_with_a_typed_reason() {
+    // A finite freshness window lets the stale-nonce adversary exist;
+    // it is generous enough that honest (even retried) wires stay
+    // fresh.
+    let churn = ChurnPlan::new(0xAD_17)
+        .with_net(NetPlan::new(0xAD_17).with_delay_rate(10_000))
+        .with_adversary(
+            RATE_DENOM / 2,
+            RATE_DENOM / 2,
+            RATE_DENOM / 2,
+            RATE_DENOM / 2,
+        );
+    let cfg = FleetConfig::new(4, 16)
+        .with_churn(churn)
+        .with_lifecycle(FleetPolicy::resilient())
+        .with_freshness_window_ns(50_000_000);
+    let out = run_fleet(&cfg);
+
+    assert_eq!(out.accepted, 16, "honest traffic unharmed");
+    assert!(!out.adversarial.is_empty());
+    assert_eq!(out.adversarial_rejected, out.adversarial.len());
+    let mut kinds_seen = std::collections::BTreeSet::new();
+    for adv in &out.adversarial {
+        kinds_seen.insert(adv.kind);
+        let reason = adv.verdict.clone().expect_err("adversarial wire rejected");
+        match adv.kind {
+            AdversaryKind::Replay => assert_eq!(reason, RejectReason::ReplayedNonce),
+            AdversaryKind::StaleNonce => assert_eq!(reason, RejectReason::StaleQuote),
+            AdversaryKind::ForgedCert => assert_eq!(reason, RejectReason::BadSignature),
+            AdversaryKind::BitFlip => {} // typed, but flip-position-dependent
+            _ => {}
+        }
+    }
+    assert_eq!(kinds_seen.len(), 4, "all four attack kinds fired");
+    // Fates stay typed under attack.
+    assert!(out
+        .requests
+        .iter()
+        .all(|r| r.fate == RequestFate::Verified || r.fate == RequestFate::Retried));
 }
