@@ -146,7 +146,8 @@ fn observed<T>(
 ) -> (String, ExperimentMetrics) {
     let (obs, sink) = Obs::recording();
     let data = run(obs);
-    let mut metrics = ExperimentMetrics::from_snapshot(&sink.snapshot());
+    let mut metrics =
+        ExperimentMetrics::from_snapshot(&sink.snapshot()).with_locks(&sink.lock_stats());
     for &(name, value) in scalars {
         metrics = metrics.with_scalar(name, value);
     }
@@ -424,6 +425,33 @@ fn experiment_json(a: &Artifact) -> Json {
                     .collect(),
             ),
         ),
+        ("lock_wait_ns".to_string(), Json::UInt(m.lock_wait_ns())),
+        ("lock_hold_ns".to_string(), Json::UInt(m.lock_hold_ns())),
+        (
+            "locks".to_string(),
+            Json::Obj(
+                m.locks
+                    .iter()
+                    .map(|l| {
+                        (
+                            l.class.clone(),
+                            Json::Obj(vec![
+                                ("layer".to_string(), Json::Str(l.layer.clone())),
+                                ("acquisitions".to_string(), Json::UInt(l.acquisitions)),
+                                ("wait_ns".to_string(), Json::UInt(l.wait_ns)),
+                                ("hold_ns".to_string(), Json::UInt(l.hold_ns)),
+                                (
+                                    "wait_buckets".to_string(),
+                                    Json::Arr(
+                                        l.wait_buckets.iter().map(|&b| Json::UInt(b)).collect(),
+                                    ),
+                                ),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -514,6 +542,58 @@ pub fn validate_suite_json(text: &str) -> Result<(), String> {
         if sum != total {
             return Err(format!(
                 "{name}: layers_ns sums to {sum} but total_virtual_ns is {total}"
+            ));
+        }
+        // Lock attribution sums the same way layers_ns does: the
+        // per-class rows must re-derive the experiment's totals.
+        let lock_wait = e
+            .get("lock_wait_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{name}: missing lock_wait_ns"))?;
+        let lock_hold = e
+            .get("lock_hold_ns")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("{name}: missing lock_hold_ns"))?;
+        let locks = e
+            .get("locks")
+            .and_then(Json::as_object)
+            .ok_or_else(|| format!("{name}: missing locks object"))?;
+        let (mut wait_sum, mut hold_sum) = (0u64, 0u64);
+        for (class, row) in locks {
+            wait_sum += row
+                .get("wait_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: locks.{class} missing wait_ns"))?;
+            hold_sum += row
+                .get("hold_ns")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: locks.{class} missing hold_ns"))?;
+            let acquisitions = row
+                .get("acquisitions")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("{name}: locks.{class} missing acquisitions"))?;
+            let bucket_count: u64 = row
+                .get("wait_buckets")
+                .and_then(Json::as_array)
+                .ok_or_else(|| format!("{name}: locks.{class} missing wait_buckets"))?
+                .iter()
+                .map(|b| b.as_u64().unwrap_or(0))
+                .sum();
+            if bucket_count != acquisitions {
+                return Err(format!(
+                    "{name}: locks.{class} wait_buckets count {bucket_count} != \
+                     acquisitions {acquisitions}"
+                ));
+            }
+        }
+        if wait_sum != lock_wait {
+            return Err(format!(
+                "{name}: locks wait_ns sums to {wait_sum} but lock_wait_ns is {lock_wait}"
+            ));
+        }
+        if hold_sum != lock_hold {
+            return Err(format!(
+                "{name}: locks hold_ns sums to {hold_sum} but lock_hold_ns is {lock_hold}"
             ));
         }
     }

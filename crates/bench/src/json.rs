@@ -64,6 +64,15 @@ impl Json {
         }
     }
 
+    /// The value as an object's fields (in document order), if it is
+    /// an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// The value as a bool, if it is one.
     pub fn as_bool(&self) -> Option<bool> {
         match self {

@@ -12,11 +12,14 @@
 //!
 //! * events fire in `(time, session id)` order, FIFO at exact ties —
 //!   the tie-break contract pinned by `tests/proptest_invariants.rs`;
-//! * the TPM command gate is the event-ordered arbiter
-//!   ([`EventOrderedTpmLock`]): a quote occupies the TPM for its
-//!   virtual duration, and contending quotes are granted by
-//!   `(request time, CPU)` instead of by whichever OS thread wins a
-//!   compare-and-swap;
+//! * the TPM command gate is the per-CPU-lane arbiter
+//!   ([`ShardedTpmArbiter`], grant-order-identical to the retired
+//!   `EventOrderedTpmLock` by `sea-tpm`'s differential test): a quote
+//!   occupies the TPM for its virtual duration, contending quotes are
+//!   granted by `(request time, CPU)` instead of by whichever OS
+//!   thread wins a compare-and-swap, and each grant carries its
+//!   request stamp so the queueing delay is charged to `tpm.gate`
+//!   lock-wait;
 //! * journal commit gates run at the committing session's terminal
 //!   event, in event order.
 //!
@@ -30,15 +33,16 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-use sea_hw::{CpuClockDomain, CpuId, EventQueue, Obs, SharedClock, SimDuration, SimTime};
-use sea_tpm::EventOrderedTpmLock;
+use sea_hw::{CpuClockDomain, CpuId, EventQueue, Layer, Obs, SharedClock, SimDuration, SimTime};
+use sea_tpm::ShardedTpmArbiter;
 
 use crate::concurrent::ConcurrentJob;
 use crate::driver::{DriveStep, SessionDriver};
-use crate::engine::{lock, Architecture, Attempt, WorkerMode};
+use crate::engine::{Architecture, Attempt, WorkerMode};
 use crate::error::SeaError;
+use crate::locks::{lock, OrderedLock};
 
 /// One scheduled cause on the virtual timeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,7 +74,7 @@ pub(crate) fn run_epoch<A: Architecture>(
     workers: usize,
     n_jobs: usize,
     pending: Vec<(usize, ConcurrentJob)>,
-    rt: &Arc<Mutex<A::Runtime>>,
+    rt: &Arc<OrderedLock<A::Runtime>>,
     obs: &Obs,
     clock: &Arc<SharedClock>,
     epoch: SimTime,
@@ -91,7 +95,7 @@ pub(crate) fn run_epoch<A: Architecture>(
 
     let mut attempts: Vec<Option<Attempt>> = (0..n_jobs).map(|_| None).collect();
     let mut events: EventQueue<Ev> = EventQueue::new();
-    let mut tpm_gate = EventOrderedTpmLock::new();
+    let mut tpm_gate = ShardedTpmArbiter::new();
 
     // The virtual timeline starts at zero each epoch; only its ordering
     // matters (busy/wall accounting uses intrinsic costs, exactly as
@@ -103,7 +107,7 @@ pub(crate) fn run_epoch<A: Architecture>(
     }
 
     /// Machine-clock reading for op-duration measurement.
-    fn machine_now<A: Architecture>(rt: &Mutex<A::Runtime>) -> SimTime {
+    fn machine_now<A: Architecture>(rt: &OrderedLock<A::Runtime>) -> SimTime {
         A::platform(&lock(rt)).machine().now()
     }
 
@@ -153,12 +157,12 @@ pub(crate) fn run_epoch<A: Architecture>(
                     // if the TPM is free the best-stamped waiter wins.
                     tpm_gate.request(t, cpu_id);
                     match tpm_gate.grant() {
-                        Some(winner) if winner == cpu_id => {} // proceed below
+                        Some(winner) if winner.cpu == cpu_id => {} // proceed below
                         Some(winner) => {
                             // Another CPU's earlier request wins; run
                             // its pending command now. Ours stays
                             // queued for a later grant.
-                            let w = winner.0 as usize;
+                            let w = winner.cpu.0 as usize;
                             if let Some(d) = &cpus[w].current {
                                 events.schedule(t, d.index() as u64, Ev::Op { cpu: w });
                             }
@@ -184,7 +188,25 @@ pub(crate) fn run_epoch<A: Architecture>(
                     DriveStep::Terminal(_) => SimDuration::ZERO,
                 };
                 let done_at = t + elapsed + local;
+                // Contention attribution, in virtual time: every op
+                // holds the runtime lock for its machine-clock charge.
+                // (Lock stats live outside the snapshot — see
+                // `sea_hw::RecordingSink::lock_stats` — so this cannot
+                // perturb snapshot parity with the thread pool, whose
+                // host-clock waits are unmeterable in virtual time.)
+                obs.lock_event("core.runtime", Layer::Core, SimDuration::ZERO, elapsed);
                 if gated {
+                    // The grant kept its request stamp: the gap from
+                    // request to this grant is pure arbiter queueing,
+                    // charged as `tpm.gate` lock-wait; the command then
+                    // holds the TPM until `done_at`.
+                    let requested = tpm_gate.granted().map(|g| g.requested).unwrap_or(t);
+                    obs.lock_event(
+                        "tpm.gate",
+                        Layer::Tpm,
+                        t.duration_since(requested),
+                        elapsed + local,
+                    );
                     // The command occupied the TPM for its virtual
                     // duration; free it when that interval ends.
                     events.schedule(done_at, index as u64, Ev::Release { cpu });
@@ -231,14 +253,14 @@ pub(crate) fn run_epoch<A: Architecture>(
             Ev::Release { cpu } => {
                 let _ = tpm_gate.release(CpuId(cpu as u16));
                 if let Some(winner) = tpm_gate.grant() {
-                    let w = winner.0 as usize;
+                    let w = winner.cpu.0 as usize;
                     if let Some(d) = &cpus[w].current {
                         events.schedule(t, d.index() as u64, Ev::Op { cpu: w });
                     } else {
                         // The winner's session ended between request
                         // and grant (killed at another op); hand the
                         // grant back.
-                        let _ = tpm_gate.release(winner);
+                        let _ = tpm_gate.release(winner.cpu);
                     }
                 }
             }

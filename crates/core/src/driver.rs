@@ -19,16 +19,15 @@
 //! suite pins this order byte-for-byte against the pre-refactor
 //! recordings.
 
-use std::sync::Mutex;
-
 use sea_hw::{CpuId, Layer, Obs, SimDuration, TraceEvent, TRANSPORT_FAULT_COST};
 use sea_tpm::TpmError;
 
 use crate::concurrent::{ConcurrentJob, JobResult, SessionResult};
-use crate::engine::{lock, Architecture};
+use crate::engine::Architecture;
 use crate::enhanced::PalStep;
 use crate::error::SeaError;
 use crate::journal::SessionJournal;
+use crate::locks::{lock, OrderedLock};
 use crate::recovery::RetryPolicy;
 use crate::report::SessionReport;
 
@@ -62,7 +61,7 @@ fn killed(index: usize, retries: u32, error: SeaError, wasted: SimDuration) -> S
 /// still serializes on it. (Backoff burns CPU-local time, never the
 /// shared machine clock, so it is not a `Machine::charge`.)
 fn record_retry<A: Architecture>(
-    rt: &Mutex<A::Runtime>,
+    rt: &OrderedLock<A::Runtime>,
     obs: &Obs,
     key: u64,
     attempt: u32,
@@ -191,7 +190,7 @@ impl<A: Architecture> SessionDriver<A> {
     /// session).
     fn try_absorb(
         &mut self,
-        rt: &Mutex<A::Runtime>,
+        rt: &OrderedLock<A::Runtime>,
         obs: &Obs,
         error: &SeaError,
     ) -> Option<SimDuration> {
@@ -214,7 +213,7 @@ impl<A: Architecture> SessionDriver<A> {
     /// the kill's own infrastructure error).
     fn kill_and_finish(
         &mut self,
-        rt: &Mutex<A::Runtime>,
+        rt: &OrderedLock<A::Runtime>,
         mut live: A::Live,
         error: SeaError,
     ) -> DriveStep {
@@ -238,9 +237,9 @@ impl<A: Architecture> SessionDriver<A> {
     /// `launched` record in the same advance as the successful launch.
     pub(crate) fn advance(
         &mut self,
-        rt: &Mutex<A::Runtime>,
+        rt: &OrderedLock<A::Runtime>,
         obs: &Obs,
-        journal: Option<&Mutex<SessionJournal>>,
+        journal: Option<&OrderedLock<SessionJournal>>,
     ) -> DriveStep {
         let key = self.key();
         match std::mem::replace(&mut self.phase, Phase::Done) {
@@ -406,9 +405,9 @@ impl<A: Architecture> SessionDriver<A> {
     /// executor's whole-job loop).
     pub(crate) fn run_to_terminal(
         &mut self,
-        rt: &Mutex<A::Runtime>,
+        rt: &OrderedLock<A::Runtime>,
         obs: &Obs,
-        journal: Option<&Mutex<SessionJournal>>,
+        journal: Option<&OrderedLock<SessionJournal>>,
     ) -> Result<SessionResult, SeaError> {
         loop {
             if let DriveStep::Terminal(result) = self.advance(rt, obs, journal) {

@@ -57,8 +57,8 @@
 //! gates, `PLATFORM_TRACK` spans — still serialize on it.
 
 use std::marker::PhantomData;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use sea_hw::{
     CpuId, FaultPlan, Layer, Obs, ResetPlan, SharedClock, SimDuration, SimTime, TraceEvent,
@@ -71,6 +71,7 @@ use crate::enhanced::{EnhancedSea, PalId, PalStep};
 use crate::error::SeaError;
 use crate::journal::SessionJournal;
 use crate::legacy::LegacySea;
+use crate::locks::{lock, LockRank, OrderedLock};
 use crate::pal::PalLogic;
 use crate::platform::SecurePlatform;
 use crate::recovery::RetryPolicy;
@@ -81,12 +82,6 @@ use crate::{des, threadpool};
 /// journal ("SJNL" in ASCII). One checkpoint blob lives here at a time;
 /// each terminal commit overwrites it.
 pub const JOURNAL_NV_INDEX: u32 = 0x534a_4e4c;
-
-/// Locks a mutex, riding through poison (a panicked worker must not
-/// wedge the batch driver).
-pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(|e| e.into_inner())
-}
 
 /// Which backend executes a batch epoch.
 ///
@@ -186,7 +181,7 @@ impl SessionTally {
 /// The engine drives every architecture through the same sequence —
 /// launch, step/resume to exit, report, quote — and the architecture
 /// maps each step onto its primitives. Operations take the runtime
-/// behind a [`Mutex`] and lock it **per operation**, so concurrent
+/// behind an [`OrderedLock`] and lock it **per operation**, so concurrent
 /// sessions genuinely interleave on a shared runtime.
 ///
 /// `key` is `Some` when the recovery layer drives the session (keyed
@@ -226,7 +221,7 @@ pub trait Architecture: Send + Sync + 'static {
 
     /// Launches a session for `logic` on `cpu`.
     fn launch(
-        rt: &Mutex<Self::Runtime>,
+        rt: &OrderedLock<Self::Runtime>,
         logic: &mut dyn PalLogic,
         input: &[u8],
         cpu: CpuId,
@@ -235,7 +230,7 @@ pub trait Architecture: Send + Sync + 'static {
 
     /// Runs the session until it yields or exits.
     fn step(
-        rt: &Mutex<Self::Runtime>,
+        rt: &OrderedLock<Self::Runtime>,
         live: &mut Self::Live,
         logic: &mut dyn PalLogic,
         key: Option<u64>,
@@ -243,31 +238,38 @@ pub trait Architecture: Send + Sync + 'static {
 
     /// Resumes a yielded session on `cpu`.
     fn resume(
-        rt: &Mutex<Self::Runtime>,
+        rt: &OrderedLock<Self::Runtime>,
         live: &mut Self::Live,
         cpu: CpuId,
         key: Option<u64>,
     ) -> Result<(), SeaError>;
 
     /// The exited session's cost breakdown.
-    fn report(rt: &Mutex<Self::Runtime>, live: &Self::Live) -> Result<SessionReport, SeaError>;
+    fn report(
+        rt: &OrderedLock<Self::Runtime>,
+        live: &Self::Live,
+    ) -> Result<SessionReport, SeaError>;
 
     /// Attests the exited session over `nonce` and retires it.
     fn quote(
-        rt: &Mutex<Self::Runtime>,
+        rt: &OrderedLock<Self::Runtime>,
         live: &mut Self::Live,
         nonce: &[u8],
         key: Option<u64>,
     ) -> Result<Timed<Quote>, SeaError>;
 
     /// Tears a session down mid-flight, reclaiming its resources.
-    fn kill(rt: &Mutex<Self::Runtime>, live: &mut Self::Live, key: u64) -> Result<(), SeaError>;
+    fn kill(
+        rt: &OrderedLock<Self::Runtime>,
+        live: &mut Self::Live,
+        key: u64,
+    ) -> Result<(), SeaError>;
 
     /// Runs `logic` to completion on the architecture's degraded slow
     /// path (no per-session attestation). Only reachable where session
     /// slots can saturate.
     fn degrade(
-        rt: &Mutex<Self::Runtime>,
+        rt: &OrderedLock<Self::Runtime>,
         logic: &mut dyn PalLogic,
         input: &[u8],
         cpu: CpuId,
@@ -311,7 +313,7 @@ impl Architecture for Slaunch {
     }
 
     fn launch(
-        rt: &Mutex<EnhancedSea>,
+        rt: &OrderedLock<EnhancedSea>,
         logic: &mut dyn PalLogic,
         input: &[u8],
         cpu: CpuId,
@@ -324,7 +326,7 @@ impl Architecture for Slaunch {
     }
 
     fn step(
-        rt: &Mutex<EnhancedSea>,
+        rt: &OrderedLock<EnhancedSea>,
         live: &mut PalId,
         logic: &mut dyn PalLogic,
         key: Option<u64>,
@@ -336,7 +338,7 @@ impl Architecture for Slaunch {
     }
 
     fn resume(
-        rt: &Mutex<EnhancedSea>,
+        rt: &OrderedLock<EnhancedSea>,
         live: &mut PalId,
         cpu: CpuId,
         key: Option<u64>,
@@ -347,12 +349,12 @@ impl Architecture for Slaunch {
         }
     }
 
-    fn report(rt: &Mutex<EnhancedSea>, live: &PalId) -> Result<SessionReport, SeaError> {
+    fn report(rt: &OrderedLock<EnhancedSea>, live: &PalId) -> Result<SessionReport, SeaError> {
         lock(rt).report(*live)
     }
 
     fn quote(
-        rt: &Mutex<EnhancedSea>,
+        rt: &OrderedLock<EnhancedSea>,
         live: &mut PalId,
         nonce: &[u8],
         key: Option<u64>,
@@ -363,12 +365,12 @@ impl Architecture for Slaunch {
         }
     }
 
-    fn kill(rt: &Mutex<EnhancedSea>, live: &mut PalId, key: u64) -> Result<(), SeaError> {
+    fn kill(rt: &OrderedLock<EnhancedSea>, live: &mut PalId, key: u64) -> Result<(), SeaError> {
         lock(rt).kill_session(*live, key)
     }
 
     fn degrade(
-        rt: &Mutex<EnhancedSea>,
+        rt: &OrderedLock<EnhancedSea>,
         logic: &mut dyn PalLogic,
         input: &[u8],
         cpu: CpuId,
@@ -437,7 +439,7 @@ impl Architecture for Skinit {
     }
 
     fn launch(
-        rt: &Mutex<LegacySea>,
+        rt: &OrderedLock<LegacySea>,
         logic: &mut dyn PalLogic,
         input: &[u8],
         cpu: CpuId,
@@ -455,7 +457,7 @@ impl Architecture for Skinit {
     }
 
     fn step(
-        _rt: &Mutex<LegacySea>,
+        _rt: &OrderedLock<LegacySea>,
         live: &mut SkinitLive,
         _logic: &mut dyn PalLogic,
         _key: Option<u64>,
@@ -466,7 +468,7 @@ impl Architecture for Skinit {
     }
 
     fn resume(
-        _rt: &Mutex<LegacySea>,
+        _rt: &OrderedLock<LegacySea>,
         _live: &mut SkinitLive,
         _cpu: CpuId,
         _key: Option<u64>,
@@ -475,12 +477,12 @@ impl Architecture for Skinit {
         Ok(())
     }
 
-    fn report(_rt: &Mutex<LegacySea>, live: &SkinitLive) -> Result<SessionReport, SeaError> {
+    fn report(_rt: &OrderedLock<LegacySea>, live: &SkinitLive) -> Result<SessionReport, SeaError> {
         Ok(live.report)
     }
 
     fn quote(
-        rt: &Mutex<LegacySea>,
+        rt: &OrderedLock<LegacySea>,
         _live: &mut SkinitLive,
         nonce: &[u8],
         _key: Option<u64>,
@@ -490,13 +492,17 @@ impl Architecture for Skinit {
         lock(rt).quote(nonce)
     }
 
-    fn kill(_rt: &Mutex<LegacySea>, _live: &mut SkinitLive, _key: u64) -> Result<(), SeaError> {
+    fn kill(
+        _rt: &OrderedLock<LegacySea>,
+        _live: &mut SkinitLive,
+        _key: u64,
+    ) -> Result<(), SeaError> {
         // Teardown already happened inside the atomic launch.
         Ok(())
     }
 
     fn degrade(
-        _rt: &Mutex<LegacySea>,
+        _rt: &OrderedLock<LegacySea>,
         _logic: &mut dyn PalLogic,
         _input: &[u8],
         _cpu: CpuId,
@@ -544,7 +550,7 @@ impl Stage for Sealed {}
 /// [`Session::step`] / [`Session::resume`] / [`Session::quote_and_free`].
 /// Transitions Figure 6 lacks do not compile.
 pub struct Session<'e, A: Architecture, S: Stage> {
-    rt: &'e Mutex<A::Runtime>,
+    rt: &'e OrderedLock<A::Runtime>,
     logic: &'e mut dyn PalLogic,
     live: A::Live,
     cpu: CpuId,
@@ -601,7 +607,7 @@ impl<'e, A: Architecture, S: Stage> Session<'e, A, S> {
 impl<'e, A: Architecture> Session<'e, A, Launched> {
     /// Launches a session: the entry edge of the lifecycle.
     fn start(
-        rt: &'e Mutex<A::Runtime>,
+        rt: &'e OrderedLock<A::Runtime>,
         logic: &'e mut dyn PalLogic,
         input: &[u8],
         cpu: CpuId,
@@ -684,6 +690,7 @@ pub struct BatchPolicy {
     retry: Option<RetryPolicy>,
     durability: Option<ResetPlan>,
     executor: Option<Executor>,
+    group_commit: usize,
 }
 
 impl BatchPolicy {
@@ -718,9 +725,27 @@ impl BatchPolicy {
         self
     }
 
+    /// Batches up to `sessions` terminal commits into one NVRAM seal
+    /// (group commit). Each terminal still enters the write-ahead
+    /// journal immediately — only the expensive `TPM_Seal` checkpoint
+    /// is deferred until the group fills. Buffered commits are durable
+    /// *only once sealed*: until then they are volatile attempts —
+    /// final if the epoch ends cleanly, relaunched (and
+    /// deterministically re-derived) if the power fails first. `0` and
+    /// `1` both mean "seal every commit", the pre-group behavior.
+    pub fn with_group_commit(mut self, sessions: usize) -> Self {
+        self.group_commit = sessions;
+        self
+    }
+
     /// The retry policy, if fault recovery was requested.
     pub fn retry(&self) -> Option<RetryPolicy> {
         self.retry
+    }
+
+    /// Commits batched per NVRAM seal (at least 1).
+    pub fn group_commit(&self) -> usize {
+        self.group_commit.max(1)
     }
 
     /// The reset plan, if durability was requested.
@@ -880,13 +905,19 @@ pub(crate) struct DurableCtx<'a> {
     /// Resets already survived (the power-loss roll's epoch key).
     pub(crate) reset_epoch: u64,
     /// The write-ahead journal.
-    pub(crate) journal: &'a Mutex<SessionJournal>,
+    pub(crate) journal: &'a OrderedLock<SessionJournal>,
     /// Power-loss decision state.
-    pub(crate) triggers: &'a Mutex<ResetTriggers>,
+    pub(crate) triggers: &'a OrderedLock<ResetTriggers>,
     /// Accumulated checkpoint-seal time.
-    pub(crate) journal_overhead: &'a Mutex<SimDuration>,
+    pub(crate) journal_overhead: &'a OrderedLock<SimDuration>,
     /// Set when the cord is yanked; later commits observe it and tear.
     pub(crate) crashed: &'a AtomicBool,
+    /// Terminal commits batched per NVRAM seal (group commit; ≥ 1).
+    pub(crate) group: usize,
+    /// Commits journaled since the last seal; sealing resets it. Lives
+    /// beside `crashed` in the epoch loop, so a crash discards the
+    /// buffer exactly as it discards unsealed journal state.
+    pub(crate) pending_seals: &'a AtomicUsize,
 }
 
 impl DurableCtx<'_> {
@@ -904,7 +935,7 @@ impl DurableCtx<'_> {
     /// in event order.
     pub(crate) fn commit_gate<A: Architecture>(
         &self,
-        rt: &Mutex<A::Runtime>,
+        rt: &OrderedLock<A::Runtime>,
         obs: &Obs,
         key: u64,
         session: SessionResult,
@@ -931,6 +962,20 @@ impl DurableCtx<'_> {
             drop(wal);
             return Ok(Attempt::Volatile(session, job));
         }
+        // Group commit: buffer journaled terminals until the group
+        // fills, then seal them all in one NVRAM checkpoint. A buffered
+        // commit exists only in volatile memory, so it reports
+        // `Volatile` — final if the epoch ends cleanly, relaunched (and
+        // deterministically re-derived) if the power fails first. At
+        // `group == 1` this branch is unreachable and every commit
+        // seals, byte-identical to the pre-group engine.
+        let buffered = self.pending_seals.fetch_add(1, Ordering::SeqCst) + 1;
+        if buffered < self.group {
+            drop(wal);
+            obs.add("journal.buffered", 1);
+            return Ok(Attempt::Volatile(session, job));
+        }
+        self.pending_seals.store(0, Ordering::SeqCst);
         let bytes = wal.to_bytes();
         drop(wal);
         // Seal to the empty PCR selection: the blob must unseal on the
@@ -945,6 +990,15 @@ impl DurableCtx<'_> {
         // session: platform track.
         obs.leaf_on(PLATFORM_TRACK, Layer::Tpm, "journal.seal", sealed.elapsed);
         obs.add("journal.commits", 1);
+        // Contention attribution: the seal is the long pole of the
+        // commit gate's engine-lock hold. Emitted on both executors
+        // (pure sums, so it cannot perturb snapshot parity).
+        obs.lock_event(
+            "journal.seal",
+            Layer::Tpm,
+            SimDuration::ZERO,
+            sealed.elapsed,
+        );
         *lock(self.journal_overhead) += sealed.elapsed;
         Ok(Attempt::Committed(session))
     }
@@ -994,7 +1048,7 @@ pub(crate) enum WorkerMode<'a> {
 /// assert!(outcome.speedup() > 1.0);
 /// ```
 pub struct SessionEngine<A: Architecture = Slaunch> {
-    rt: Arc<Mutex<A::Runtime>>,
+    rt: Arc<OrderedLock<A::Runtime>>,
     clock: Arc<SharedClock>,
     workers: usize,
     executor: Executor,
@@ -1038,7 +1092,7 @@ impl<A: Architecture> SessionEngine<A> {
         }
         let rt = A::boot(platform)?;
         Ok(SessionEngine {
-            rt: Arc::new(Mutex::new(rt)),
+            rt: Arc::new(OrderedLock::new(LockRank::Runtime, rt)),
             clock: Arc::new(SharedClock::new()),
             workers,
             executor: Executor::from_env(),
@@ -1174,11 +1228,11 @@ impl<A: Architecture> SessionEngine<A> {
         let retry = policy.retry();
         let exec = policy.executor().unwrap_or(self.executor);
 
-        let journal = Mutex::new(SessionJournal::new());
+        let journal = OrderedLock::new(LockRank::Journal, SessionJournal::new());
         let triggers = policy
             .durability()
-            .map(|plan| Mutex::new(ResetTriggers::new(plan.clone())));
-        let journal_overhead = Mutex::new(SimDuration::ZERO);
+            .map(|plan| OrderedLock::new(LockRank::Triggers, ResetTriggers::new(plan.clone())));
+        let journal_overhead = OrderedLock::new(LockRank::Accounting, SimDuration::ZERO);
         let mut cpu_busy = vec![SimDuration::ZERO; workers];
         let mut final_slots: Vec<Option<Result<SessionResult, SeaError>>> =
             (0..n_jobs).map(|_| None).collect();
@@ -1190,6 +1244,9 @@ impl<A: Architecture> SessionEngine<A> {
 
         loop {
             let crashed = AtomicBool::new(false);
+            // Per-epoch like `crashed`: a crash discards the unsealed
+            // group-commit buffer along with the rest of volatile state.
+            let pending_seals = AtomicUsize::new(0);
             // Every domain anchors at the epoch's start: reading the
             // clock inside each worker would skew late-spawned domains
             // by however far an early sibling had already published.
@@ -1207,6 +1264,8 @@ impl<A: Architecture> SessionEngine<A> {
                     triggers,
                     journal_overhead: &journal_overhead,
                     crashed: &crashed,
+                    group: policy.group_commit(),
+                    pending_seals: &pending_seals,
                 }),
                 (Some(retry), None) => WorkerMode::Recovered { retry },
                 (None, None) => WorkerMode::Plain,
@@ -1316,9 +1375,7 @@ impl<A: Architecture> SessionEngine<A> {
             }
         }
 
-        let journal_overhead = journal_overhead
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner());
+        let journal_overhead = journal_overhead.into_inner();
         let mut sessions = Vec::with_capacity(n_jobs);
         for slot in final_slots {
             let result = slot.ok_or(SeaError::EngineFault("job result slot left unfilled"))?;
@@ -1353,6 +1410,5 @@ impl<A: Architecture> SessionEngine<A> {
             .map_err(|_| ())
             .expect("no workers are live outside run")
             .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
     }
 }

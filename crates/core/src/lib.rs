@@ -69,6 +69,7 @@ mod enhanced;
 mod error;
 mod journal;
 mod legacy;
+pub mod locks;
 mod pal;
 mod pioneer;
 mod platform;
@@ -91,6 +92,7 @@ pub use enhanced::{EnhancedSea, PalDone, PalId, PalStep};
 pub use error::SeaError;
 pub use journal::{JournalEntry, SessionJournal};
 pub use legacy::{LegacySea, LegacySessionResult};
+pub use locks::{Held, LockRank, OrderedLock};
 pub use pal::{FnPal, PalCtx, PalLogic, PalOutcome};
 pub use pioneer::{
     checksum as pioneer_checksum, forged_duration, honest_duration, PioneerChallenge,

@@ -1,0 +1,226 @@
+//! The engine's lock hierarchy: ranked mutexes with debug-build
+//! ordering enforcement.
+//!
+//! The batch engine used to funnel everything through one
+//! `Mutex<EnhancedSea>`. Decomposing it leaves four distinct pieces of
+//! shared state, each behind its own short-hold leaf lock, and the only
+//! thing that keeps fine-grained locking honest is a *total order* on
+//! acquisition. [`OrderedLock`] encodes that order in the type: every
+//! lock is built with a [`LockRank`], and debug builds maintain a
+//! thread-local stack of held ranks, panicking the moment any thread
+//! acquires a lock whose rank is not strictly greater than everything
+//! it already holds. Release builds compile the bookkeeping away — an
+//! [`OrderedLock`] is then exactly a `std::sync::Mutex`.
+//!
+//! # The hierarchy
+//!
+//! | rank | lock | guards |
+//! |------|------|--------|
+//! | [`LockRank::Runtime`] (0)    | the architecture runtime | machine, TPM, trace — every architecture operation |
+//! | [`LockRank::Triggers`] (1)   | [`crate::engine::BatchPolicy`] reset triggers | the power-loss decision state |
+//! | [`LockRank::Journal`] (2)    | the write-ahead [`crate::SessionJournal`] | intents and terminal commits |
+//! | [`LockRank::Accounting`] (3) | pure accumulators | journal-seal overhead |
+//!
+//! The order matches the commit gate's nesting (runtime → triggers →
+//! journal → accounting) and the recovery path (runtime → journal); a
+//! leaf lock is never held across an acquisition of a lower rank, so
+//! the hierarchy is deadlock-free by construction. Same-rank nesting is
+//! also rejected — with `std::sync::Mutex` it would self-deadlock.
+//!
+//! scripts/ci.sh greps `crates/core/src` for stray `Mutex<` uses: this
+//! module is the only place in the crate allowed to name the raw type,
+//! so every future piece of shared state must declare its rank here.
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Mutex, MutexGuard};
+
+/// Position of one lock in the engine's total acquisition order.
+/// Within any one thread, ranks must strictly increase from acquisition
+/// to nested acquisition (enforced in debug builds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockRank {
+    /// The shared architecture runtime (machine, TPM, trace). Taken
+    /// first: every architecture operation starts here.
+    Runtime = 0,
+    /// The durable batch's power-loss trigger state, consulted at each
+    /// commit boundary while the runtime lock pins the trace counter.
+    Triggers = 1,
+    /// The write-ahead session journal (intents and terminal commits).
+    Journal = 2,
+    /// Pure accounting accumulators (journal-seal overhead); leaves of
+    /// the hierarchy, never held across any other acquisition.
+    Accounting = 3,
+}
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Ranks currently held by this thread, in acquisition order.
+    static HELD_RANKS: std::cell::RefCell<Vec<LockRank>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A mutex pinned to one [`LockRank`]. Debug builds assert the
+/// engine-wide acquisition order on every [`OrderedLock::lock`];
+/// release builds are plain mutexes. Poisoning is ridden through
+/// everywhere — a panicked worker must not wedge the batch driver.
+pub struct OrderedLock<T> {
+    rank: LockRank,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedLock<T> {
+    /// Wraps `value` in a lock at `rank`.
+    pub fn new(rank: LockRank, value: T) -> Self {
+        OrderedLock {
+            rank,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The lock's position in the acquisition order.
+    pub fn rank(&self) -> LockRank {
+        self.rank
+    }
+
+    /// Acquires the lock, riding through poison.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if this thread already holds a lock of
+    /// equal or greater rank (an acquisition-order violation).
+    pub fn lock(&self) -> Held<'_, T> {
+        #[cfg(debug_assertions)]
+        HELD_RANKS.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(&top) = held.iter().max() {
+                assert!(
+                    self.rank > top,
+                    "lock order violation: acquiring {:?} while holding {:?}",
+                    self.rank,
+                    top,
+                );
+            }
+            held.push(self.rank);
+        });
+        Held {
+            guard: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+            #[cfg(debug_assertions)]
+            rank: self.rank,
+        }
+    }
+
+    /// Consumes the lock, returning the value (riding through poison).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// Locks an [`OrderedLock`] — the crate-wide call-site idiom,
+/// predating the hierarchy (`lock(rt)` reads better than
+/// `rt.lock()` at ~50 sites).
+pub(crate) fn lock<T>(l: &OrderedLock<T>) -> Held<'_, T> {
+    l.lock()
+}
+
+/// An acquired [`OrderedLock`]: derefs to the value; dropping releases
+/// the lock and (in debug builds) retires its rank from the thread's
+/// held-rank stack.
+pub struct Held<'a, T> {
+    guard: MutexGuard<'a, T>,
+    #[cfg(debug_assertions)]
+    rank: LockRank,
+}
+
+impl<T> Deref for Held<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T> DerefMut for Held<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl<T> Drop for Held<'_, T> {
+    fn drop(&mut self) {
+        HELD_RANKS.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(pos) = held.iter().rposition(|r| *r == self.rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_rides_through_poison() {
+        let l = OrderedLock::new(LockRank::Runtime, 7u32);
+        let poisoned = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = l.lock();
+            panic!("poison the lock");
+        }));
+        assert!(poisoned.is_err());
+        assert_eq!(*l.lock(), 7);
+    }
+
+    #[test]
+    fn ascending_ranks_nest() {
+        let rt = OrderedLock::new(LockRank::Runtime, ());
+        let journal = OrderedLock::new(LockRank::Journal, 1u8);
+        let acct = OrderedLock::new(LockRank::Accounting, 2u8);
+        let _a = rt.lock();
+        let b = journal.lock();
+        let c = acct.lock();
+        assert_eq!(*b + *c, 3);
+    }
+
+    #[test]
+    fn ranks_release_in_any_order() {
+        let rt = OrderedLock::new(LockRank::Runtime, ());
+        let journal = OrderedLock::new(LockRank::Journal, ());
+        let a = rt.lock();
+        let b = journal.lock();
+        // Out-of-LIFO release must retire the right rank, so a fresh
+        // ascending acquisition still passes the debug assertion.
+        drop(a);
+        drop(b);
+        let _a = rt.lock();
+        let _b = journal.lock();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock order violation")]
+    fn descending_ranks_panic_in_debug() {
+        let rt = OrderedLock::new(LockRank::Runtime, ());
+        let journal = OrderedLock::new(LockRank::Journal, ());
+        let _b = journal.lock();
+        let _a = rt.lock();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "lock order violation")]
+    fn same_rank_nesting_panics_in_debug() {
+        let a = OrderedLock::new(LockRank::Journal, ());
+        let b = OrderedLock::new(LockRank::Journal, ());
+        let _a = a.lock();
+        let _b = b.lock();
+    }
+
+    #[test]
+    fn into_inner_returns_the_value() {
+        let l = OrderedLock::new(LockRank::Accounting, vec![1, 2, 3]);
+        assert_eq!(l.rank(), LockRank::Accounting);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+}

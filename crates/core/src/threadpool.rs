@@ -12,14 +12,15 @@
 //! threads (scripts/ci.sh greps for strays).
 
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use sea_hw::{CpuClockDomain, CpuId, Obs, SharedClock, SimDuration, SimTime};
 
 use crate::concurrent::ConcurrentJob;
 use crate::driver::SessionDriver;
-use crate::engine::{lock, Architecture, Attempt, WorkerMode};
+use crate::engine::{Architecture, Attempt, WorkerMode};
 use crate::error::SeaError;
+use crate::locks::{lock, OrderedLock};
 
 /// Drives one worker's statically-assigned jobs on CPU `k` under the
 /// epoch's mode. Returns per-job attempts plus the CPU's accumulated
@@ -28,7 +29,7 @@ use crate::error::SeaError;
 fn batch_worker<A: Architecture>(
     k: usize,
     assigned: Vec<(usize, ConcurrentJob)>,
-    rt: &Mutex<A::Runtime>,
+    rt: &OrderedLock<A::Runtime>,
     obs: &Obs,
     clock: &Arc<SharedClock>,
     epoch: SimTime,
@@ -88,7 +89,7 @@ pub(crate) fn run_epoch<A: Architecture>(
     workers: usize,
     n_jobs: usize,
     pending: Vec<(usize, ConcurrentJob)>,
-    rt: &Arc<Mutex<A::Runtime>>,
+    rt: &Arc<OrderedLock<A::Runtime>>,
     obs: &Obs,
     clock: &Arc<SharedClock>,
     epoch: SimTime,

@@ -541,7 +541,12 @@ impl Signed {
 }
 
 /// Montgomery multiplication context (CIOS method) for an odd modulus.
-struct Montgomery {
+///
+/// Crate-internal: [`BigUint::modexp`] builds one per call, and the RSA
+/// CRT/batch signing paths ([`crate::rsa`]) build one per prime half and
+/// reuse it across a whole batch of signatures, amortizing the `R^2 mod m`
+/// precomputation that dominates context setup.
+pub(crate) struct Montgomery {
     m: Vec<u64>,
     n0inv: u64,
     /// R^2 mod m, used to convert into Montgomery form.
@@ -550,7 +555,7 @@ struct Montgomery {
 }
 
 impl Montgomery {
-    fn new(modulus: &BigUint) -> Self {
+    pub(crate) fn new(modulus: &BigUint) -> Self {
         debug_assert!(!modulus.is_even());
         let m = modulus.limbs.clone();
         // n0inv = -m[0]^-1 mod 2^64 via Newton iteration.
@@ -624,7 +629,8 @@ impl Montgomery {
         out
     }
 
-    fn modexp(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+    /// `base^exponent mod m` for `base` already reduced below the modulus.
+    pub(crate) fn modexp(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         let k = self.m.len();
         let mut base_limbs = base.limbs.clone();
         base_limbs.resize(k, 0);

@@ -30,6 +30,13 @@ pub enum CryptoError {
     PrimeGenerationFailed,
     /// An operand was out of range (e.g. RSA input not below the modulus).
     ValueOutOfRange,
+    /// Supplied CRT parameters are inconsistent with the key (e.g.
+    /// `p * q != n`, an even factor, or a non-invertible `q mod p`).
+    CrtParamsInvalid,
+    /// A CRT private-key operation produced a result that fails the
+    /// public-exponent consistency check — the signature is withheld to
+    /// defeat Bellcore-style fault attacks on half-size exponentiations.
+    CrtFault,
 }
 
 impl fmt::Display for CryptoError {
@@ -47,6 +54,15 @@ impl fmt::Display for CryptoError {
                 write!(f, "prime generation did not converge")
             }
             CryptoError::ValueOutOfRange => write!(f, "operand out of range"),
+            CryptoError::CrtParamsInvalid => {
+                write!(f, "supplied CRT parameters do not match the key")
+            }
+            CryptoError::CrtFault => {
+                write!(
+                    f,
+                    "faulted CRT result withheld (public-exponent check failed)"
+                )
+            }
         }
     }
 }
@@ -66,6 +82,8 @@ mod tests {
             CryptoError::InvalidKeySize { bits: 8 },
             CryptoError::PrimeGenerationFailed,
             CryptoError::ValueOutOfRange,
+            CryptoError::CrtParamsInvalid,
+            CryptoError::CrtFault,
         ];
         for e in errors {
             let s = e.to_string();

@@ -16,7 +16,18 @@
 //! behaviour — deterministic signatures over digests, randomized
 //! non-malleable encryption, integrity-checked decryption — is real.
 
-use crate::bignum::BigUint;
+//!
+//! Private-key operations use the Chinese Remainder Theorem when the prime
+//! factorization is available (always, for generated keys): two half-size
+//! exponentiations over `p` and `q` replace one full-size exponentiation,
+//! and [`RsaPrivateKey::sign_pkcs1v15_batch`] amortizes the Montgomery
+//! context setup across a batch of same-key signatures. CRT results are
+//! checked against the public exponent before release (a Bellcore-style
+//! fault on either half yields [`CryptoError::CrtFault`], never a
+//! forgeable signature), so CRT and non-CRT paths are byte-identical on
+//! every input.
+
+use crate::bignum::{BigUint, Montgomery};
 use crate::digest::Digest;
 use crate::drbg::Drbg;
 use crate::error::CryptoError;
@@ -47,11 +58,46 @@ pub struct RsaPublicKey {
     e: BigUint,
 }
 
+/// Chinese-Remainder-Theorem acceleration parameters for a private key.
+///
+/// Kept alongside `d` when the factorization of `n` is known; every
+/// private-key operation then runs as two half-size exponentiations
+/// (`dp = d mod p-1`, `dq = d mod q-1`) recombined via Garner's formula
+/// with `qinv = q^-1 mod p`.
+#[derive(Clone)]
+struct CrtParams {
+    p: BigUint,
+    q: BigUint,
+    dp: BigUint,
+    dq: BigUint,
+    qinv: BigUint,
+}
+
+impl CrtParams {
+    /// Derives CRT parameters from `d` and the factors of `n`; `None` if
+    /// the factors are degenerate (`<= 1`, or `q` not invertible mod `p`).
+    fn derive(d: &BigUint, p: BigUint, q: BigUint) -> Option<CrtParams> {
+        let one = BigUint::one();
+        let pm1 = p.checked_sub(&one)?;
+        let qm1 = q.checked_sub(&one)?;
+        if pm1.is_zero() || qm1.is_zero() {
+            return None;
+        }
+        let dp = d.rem_ref(&pm1);
+        let dq = d.rem_ref(&qm1);
+        let qinv = q.mod_inverse(&p)?;
+        Some(CrtParams { p, q, dp, dq, qinv })
+    }
+}
+
 /// An RSA private key (with its embedded public half).
 #[derive(Clone)]
 pub struct RsaPrivateKey {
     public: RsaPublicKey,
     d: BigUint,
+    /// CRT acceleration; `None` for keys restored from the serialized
+    /// `(n, e, d)` form, which fall back to the full-size exponentiation.
+    crt: Option<CrtParams>,
 }
 
 impl std::fmt::Debug for RsaPrivateKey {
@@ -259,9 +305,12 @@ impl RsaPrivateKey {
                 continue;
             }
             let d = e.mod_inverse(&phi).expect("gcd checked above");
+            let crt = CrtParams::derive(&d, p, q);
+            debug_assert!(crt.is_some(), "distinct odd primes always derive");
             return Ok(RsaPrivateKey {
                 public: RsaPublicKey { n, e },
                 d,
+                crt,
             });
         }
     }
@@ -316,19 +365,96 @@ impl RsaPrivateKey {
         Ok(RsaPrivateKey {
             public: RsaPublicKey { n, e },
             d,
+            crt: None,
         })
     }
 
-    /// Raw RSA private operation `c^d mod n`.
+    /// Whether this key carries CRT acceleration parameters.
+    ///
+    /// Generated keys always do; keys restored by
+    /// [`RsaPrivateKey::from_bytes`] do not (the serialized form carries
+    /// only `(n, e, d)`) until re-armed with [`RsaPrivateKey::with_crt`].
+    pub fn has_crt(&self) -> bool {
+        self.crt.is_some()
+    }
+
+    /// Attaches CRT acceleration parameters derived from the prime
+    /// factors of the modulus.
     ///
     /// # Errors
     ///
-    /// Returns [`CryptoError::ValueOutOfRange`] if `c >= n`.
+    /// Returns [`CryptoError::CrtParamsInvalid`] if `p * q != n` or the
+    /// factors are degenerate (so a tampered factor can never silently
+    /// corrupt future signatures).
+    pub fn with_crt(mut self, p: BigUint, q: BigUint) -> Result<Self, CryptoError> {
+        if p.mul_ref(&q) != self.public.n {
+            return Err(CryptoError::CrtParamsInvalid);
+        }
+        let crt = CrtParams::derive(&self.d, p, q).ok_or(CryptoError::CrtParamsInvalid)?;
+        self.crt = Some(crt);
+        Ok(self)
+    }
+
+    /// Test hook: corrupts the stored CRT exponent `dp` in place, modeling
+    /// a hardware fault in one exponentiation half. Used by the fault-path
+    /// suites to prove the Bellcore check withholds the bad signature.
+    #[doc(hidden)]
+    pub fn with_faulted_crt(mut self) -> Self {
+        if let Some(crt) = &mut self.crt {
+            crt.dp = crt.dp.add_ref(&BigUint::one());
+        }
+        self
+    }
+
+    /// Runs the CRT private operation `c^d mod n` via Garner recombination
+    /// and verifies the result against the public exponent before release.
+    fn crt_private_op(
+        &self,
+        crt: &CrtParams,
+        mp: &Montgomery,
+        mq: &Montgomery,
+        c: &BigUint,
+    ) -> Result<BigUint, CryptoError> {
+        let m1 = mp.modexp(&c.rem_ref(&crt.p), &crt.dp);
+        let m2 = mq.modexp(&c.rem_ref(&crt.q), &crt.dq);
+        // h = qinv * (m1 - m2) mod p, lifting m1 by p to avoid underflow.
+        let m2p = m2.rem_ref(&crt.p);
+        let diff = m1
+            .add_ref(&crt.p)
+            .checked_sub(&m2p)
+            .expect("m2p < p <= m1 + p")
+            .rem_ref(&crt.p);
+        let h = crt.qinv.mul_ref(&diff).rem_ref(&crt.p);
+        let s = m2.add_ref(&h.mul_ref(&crt.q));
+        // Bellcore fault check: a fault in either half-exponentiation
+        // would leak a factor of n if the bad signature were released, so
+        // re-apply the public exponent and withhold on mismatch.
+        if s.modexp(&self.public.e, &self.public.n) != *c {
+            return Err(CryptoError::CrtFault);
+        }
+        Ok(s)
+    }
+
+    /// Raw RSA private operation `c^d mod n`, via CRT when the key carries
+    /// factorization parameters (byte-identical to the full-size path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::ValueOutOfRange`] if `c >= n`, and
+    /// [`CryptoError::CrtFault`] if a CRT result fails the public-exponent
+    /// consistency check.
     pub fn raw_decrypt(&self, c: &BigUint) -> Result<BigUint, CryptoError> {
         if c >= &self.public.n {
             return Err(CryptoError::ValueOutOfRange);
         }
-        Ok(c.modexp(&self.d, &self.public.n))
+        match &self.crt {
+            Some(crt) => {
+                let mp = Montgomery::new(&crt.p);
+                let mq = Montgomery::new(&crt.q);
+                self.crt_private_op(crt, &mp, &mq, c)
+            }
+            None => Ok(c.modexp(&self.d, &self.public.n)),
+        }
     }
 
     /// Signs a 20-byte SHA-1 `digest` with PKCS#1-v1.5-style encoding.
@@ -348,6 +474,48 @@ impl RsaPrivateKey {
         let m = BigUint::from_bytes_be(&em);
         let s = self.raw_decrypt(&m)?;
         Ok(Signature(s.to_bytes_be_padded(k)))
+    }
+
+    /// Signs a batch of 20-byte SHA-1 digests under this key, sharing the
+    /// per-prime Montgomery contexts across the whole batch.
+    ///
+    /// Output is element-for-element byte-identical to calling
+    /// [`RsaPrivateKey::sign_pkcs1v15`] on each digest; the batch form
+    /// exists so same-epoch quote signatures amortize the `R^2 mod p`
+    /// context setup instead of repeating it per signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CryptoError::InvalidKeySize`] if the modulus is too small
+    /// to hold the encoded digest, and [`CryptoError::CrtFault`] if any
+    /// CRT result fails the public-exponent consistency check (no partial
+    /// batch is returned).
+    pub fn sign_pkcs1v15_batch(
+        &self,
+        digests: &[[u8; SHA1_DIGEST_LEN]],
+    ) -> Result<Vec<Signature>, CryptoError> {
+        let k = self.public.modulus_len();
+        if k < SHA1_DIGEST_INFO_PREFIX.len() + SHA1_DIGEST_LEN + 11 {
+            return Err(CryptoError::InvalidKeySize {
+                bits: self.public.modulus_bits(),
+            });
+        }
+        let contexts = self
+            .crt
+            .as_ref()
+            .map(|crt| (crt, Montgomery::new(&crt.p), Montgomery::new(&crt.q)));
+        digests
+            .iter()
+            .map(|digest| {
+                // EMSA output starts 0x00 0x01, so m < n always holds.
+                let m = BigUint::from_bytes_be(&emsa_pkcs1_v15_encode(digest, k));
+                let s = match &contexts {
+                    Some((crt, mp, mq)) => self.crt_private_op(crt, mp, mq, &m)?,
+                    None => m.modexp(&self.d, &self.public.n),
+                };
+                Ok(Signature(s.to_bytes_be_padded(k)))
+            })
+            .collect()
     }
 
     /// Decrypts an OAEP-style ciphertext produced by
@@ -663,6 +831,111 @@ mod tests {
             zeros.push(0);
         }
         assert!(RsaPrivateKey::from_bytes(&zeros).is_err());
+    }
+
+    #[test]
+    fn generated_keys_carry_crt_and_restored_keys_do_not() {
+        let key = test_key();
+        assert!(key.has_crt());
+        let restored = RsaPrivateKey::from_bytes(&key.to_bytes()).unwrap();
+        assert!(!restored.has_crt());
+    }
+
+    #[test]
+    fn crt_signature_matches_full_exponentiation() {
+        let key = test_key();
+        // The serialized form drops the factors, so the restored key runs
+        // the classic full-size path — a differential oracle for CRT.
+        let classic = RsaPrivateKey::from_bytes(&key.to_bytes()).unwrap();
+        for msg in [b"quote".as_slice(), b"", b"composite pcr state"] {
+            let digest = Sha1::digest(msg);
+            assert_eq!(
+                key.sign_pkcs1v15(&digest).unwrap(),
+                classic.sign_pkcs1v15(&digest).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn crt_decrypt_matches_full_exponentiation() {
+        let key = test_key();
+        let classic = RsaPrivateKey::from_bytes(&key.to_bytes()).unwrap();
+        let c = BigUint::from_u64(0x0fee_d5ea_0000_0001);
+        assert_eq!(
+            key.raw_decrypt(&c).unwrap(),
+            classic.raw_decrypt(&c).unwrap()
+        );
+    }
+
+    #[test]
+    fn batch_signing_matches_individual_signatures() {
+        let key = test_key();
+        let digests = [
+            Sha1::digest(b"session 0"),
+            Sha1::digest(b"session 1"),
+            Sha1::digest(b"session 2"),
+        ];
+        let batch = key.sign_pkcs1v15_batch(&digests).unwrap();
+        assert_eq!(batch.len(), digests.len());
+        for (digest, sig) in digests.iter().zip(&batch) {
+            assert_eq!(&key.sign_pkcs1v15(digest).unwrap(), sig);
+            assert!(key.public_key().verify_pkcs1v15(digest, sig));
+        }
+        // A CRT-less key takes the fallback path to the same bytes.
+        let classic = RsaPrivateKey::from_bytes(&key.to_bytes()).unwrap();
+        assert_eq!(classic.sign_pkcs1v15_batch(&digests).unwrap(), batch);
+        assert!(key.sign_pkcs1v15_batch(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn with_crt_rearms_a_restored_key() {
+        let key = test_key();
+        let crt = key.crt.clone().unwrap();
+        let rearmed = RsaPrivateKey::from_bytes(&key.to_bytes())
+            .unwrap()
+            .with_crt(crt.p, crt.q)
+            .unwrap();
+        assert!(rearmed.has_crt());
+        let digest = Sha1::digest(b"rearmed");
+        assert_eq!(
+            rearmed.sign_pkcs1v15(&digest).unwrap(),
+            key.sign_pkcs1v15(&digest).unwrap()
+        );
+    }
+
+    #[test]
+    fn with_crt_rejects_tampered_factors() {
+        let key = test_key();
+        let crt = key.crt.clone().unwrap();
+        let two = BigUint::from_u64(2);
+        // p+2 no longer multiplies to n.
+        let bad_p = crt.p.add_ref(&two);
+        let stripped = RsaPrivateKey::from_bytes(&key.to_bytes()).unwrap();
+        assert_eq!(
+            stripped.clone().with_crt(bad_p, crt.q.clone()).err(),
+            Some(CryptoError::CrtParamsInvalid)
+        );
+        // Degenerate split 1 * n == n is rejected too.
+        assert_eq!(
+            stripped
+                .with_crt(BigUint::one(), key.public_key().modulus().clone())
+                .err(),
+            Some(CryptoError::CrtParamsInvalid)
+        );
+    }
+
+    #[test]
+    fn faulted_crt_half_is_detected_not_released() {
+        let key = test_key().with_faulted_crt();
+        let digest = Sha1::digest(b"faulted");
+        assert_eq!(
+            key.sign_pkcs1v15(&digest).err(),
+            Some(CryptoError::CrtFault)
+        );
+        assert_eq!(
+            key.sign_pkcs1v15_batch(&[digest]).err(),
+            Some(CryptoError::CrtFault)
+        );
     }
 
     #[test]

@@ -69,8 +69,8 @@ pub use machine::{Device, Machine, MachineBuilder};
 pub use memory::Memory;
 pub use net::{NetFault, NetPlan, NET_DELAY_SPREAD, NET_DUPLICATE_GAP, NET_REORDER_WINDOW};
 pub use obs::{
-    check_well_nested, Layer, LayerHistogram, NullSink, Obs, ObsSnapshot, RecordingSink, Sink,
-    SpanKind, SpanRecord, HISTOGRAM_BUCKETS, PLATFORM_TRACK,
+    check_well_nested, Layer, LayerHistogram, LockStats, NullSink, Obs, ObsSnapshot, RecordingSink,
+    Sink, SpanKind, SpanRecord, HISTOGRAM_BUCKETS, PLATFORM_TRACK,
 };
 pub use platform::{CpuVendor, LateLaunchModel, Platform, TpmKind, VirtTiming};
 pub use reset::{ResetPlan, RESET_REBOOT_COST};

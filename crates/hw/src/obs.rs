@@ -162,6 +162,43 @@ impl LayerHistogram {
     }
 }
 
+/// Accumulated contention statistics for one lock (or gate) class.
+///
+/// Lock events ride a side channel next to the span stream: they attribute
+/// *waiting* (virtual time queued behind another holder) separately from
+/// *holding* (virtual time the resource was occupied doing charged work).
+/// They deliberately do not appear in [`ObsSnapshot`] — hold times are
+/// already charged to layers through the ordinary leaf stream, so folding
+/// them into `layers` would double-count; read them through
+/// [`RecordingSink::lock_stats`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockStats {
+    /// The layer this lock class belongs to (e.g. the TPM command gate
+    /// charges to [`Layer::Tpm`]).
+    pub layer: Layer,
+    /// Number of acquisitions recorded.
+    pub acquisitions: u64,
+    /// Total virtual time spent queued before the grant.
+    pub wait: SimDuration,
+    /// Total virtual time the resource stayed occupied after the grant.
+    pub hold: SimDuration,
+    /// Log₂ histogram of individual wait durations (same bucketing as
+    /// [`LayerHistogram`]).
+    pub wait_hist: LayerHistogram,
+}
+
+impl LockStats {
+    fn new(layer: Layer) -> Self {
+        LockStats {
+            layer,
+            acquisitions: 0,
+            wait: SimDuration::ZERO,
+            hold: SimDuration::ZERO,
+            wait_hist: LayerHistogram::default(),
+        }
+    }
+}
+
 /// A point-in-time copy of everything a recording sink has gathered.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ObsSnapshot {
@@ -219,6 +256,12 @@ pub trait Sink: Send + Sync {
     fn leaf_on(&self, track: u64, layer: Layer, op: &'static str, d: SimDuration);
     /// Bumps a named counter.
     fn add(&self, counter: &'static str, n: u64);
+    /// Records one acquisition of lock class `class`: `wait` virtual time
+    /// queued before the grant, `hold` virtual time occupied after it.
+    /// Defaults to dropping the event so span-only sinks need no change.
+    fn lock_event(&self, class: &'static str, layer: Layer, wait: SimDuration, hold: SimDuration) {
+        let _ = (class, layer, wait, hold);
+    }
 }
 
 /// A sink that drops everything (the default wiring).
@@ -262,6 +305,7 @@ struct RecordingInner {
     tracks: BTreeMap<u64, TrackState>,
     counters: BTreeMap<&'static str, u64>,
     layers: [LayerHistogram; 4],
+    locks: BTreeMap<&'static str, LockStats>,
 }
 
 impl RecordingInner {
@@ -325,6 +369,21 @@ impl RecordingSink {
             layers: inner.layers.clone(),
         }
     }
+
+    /// Copies out the per-class lock statistics, ordered by class name.
+    ///
+    /// Kept out of [`ObsSnapshot`] on purpose: hold time is already
+    /// attributed through the leaf stream, so these are a parallel view
+    /// for contention analysis, not part of the charged-time identity the
+    /// snapshot equality tests pin.
+    pub fn lock_stats(&self) -> Vec<(String, LockStats)> {
+        let inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner
+            .locks
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect()
+    }
 }
 
 impl Sink for RecordingSink {
@@ -382,6 +441,18 @@ impl Sink for RecordingSink {
     fn add(&self, counter: &'static str, n: u64) {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         *inner.counters.entry(counter).or_insert(0) += n;
+    }
+
+    fn lock_event(&self, class: &'static str, layer: Layer, wait: SimDuration, hold: SimDuration) {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let stats = inner
+            .locks
+            .entry(class)
+            .or_insert_with(|| LockStats::new(layer));
+        stats.acquisitions += 1;
+        stats.wait += wait;
+        stats.hold += hold;
+        stats.wait_hist.record(wait);
     }
 }
 
@@ -454,6 +525,18 @@ impl Obs {
     /// Bumps a named counter.
     pub fn add(&self, counter: &'static str, n: u64) {
         self.0.add(counter, n);
+    }
+
+    /// Records one lock acquisition on class `class` (see
+    /// [`Sink::lock_event`]).
+    pub fn lock_event(
+        &self,
+        class: &'static str,
+        layer: Layer,
+        wait: SimDuration,
+        hold: SimDuration,
+    ) {
+        self.0.lock_event(class, layer, wait, hold);
     }
 }
 
@@ -637,6 +720,59 @@ mod tests {
             },
         ];
         assert!(check_well_nested(&bad).is_err());
+    }
+
+    #[test]
+    fn lock_events_accumulate_per_class_and_stay_out_of_snapshots() {
+        let (obs, sink) = Obs::recording();
+        obs.lock_event(
+            "tpm.gate",
+            Layer::Tpm,
+            SimDuration::from_us(3),
+            SimDuration::from_us(7),
+        );
+        obs.lock_event(
+            "tpm.gate",
+            Layer::Tpm,
+            SimDuration::ZERO,
+            SimDuration::from_us(5),
+        );
+        obs.lock_event(
+            "core.runtime",
+            Layer::Core,
+            SimDuration::ZERO,
+            SimDuration::from_us(1),
+        );
+
+        let stats = sink.lock_stats();
+        assert_eq!(stats.len(), 2);
+        // BTreeMap order: class names sorted.
+        assert_eq!(stats[0].0, "core.runtime");
+        assert_eq!(stats[1].0, "tpm.gate");
+        let gate = &stats[1].1;
+        assert_eq!(gate.layer, Layer::Tpm);
+        assert_eq!(gate.acquisitions, 2);
+        assert_eq!(gate.wait, SimDuration::from_us(3));
+        assert_eq!(gate.hold, SimDuration::from_us(12));
+        assert_eq!(gate.wait_hist.count, 2);
+        assert_eq!(gate.wait_hist.total, SimDuration::from_us(3));
+
+        // The side channel must not perturb the span/counter snapshot.
+        let snap = sink.snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert_eq!(snap.total(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn null_sink_drops_lock_events() {
+        let obs = Obs::null();
+        obs.lock_event(
+            "tpm.gate",
+            Layer::Tpm,
+            SimDuration::from_us(1),
+            SimDuration::from_us(1),
+        );
     }
 
     #[test]

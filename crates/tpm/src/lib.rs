@@ -56,6 +56,7 @@ mod quote;
 mod seal;
 mod sepcr;
 mod sepcr_set;
+mod shard;
 mod timing;
 mod tpm;
 mod transport;
@@ -69,6 +70,7 @@ pub use quote::{Quote, QuoteSource, WireQuote, WIRE_QUOTE_MAGIC, WIRE_QUOTE_VERS
 pub use seal::SealedBlob;
 pub use sepcr::{SePcrBank, SePcrHandle, SePcrState, SharedSePcrBank, SKILL_CONSTANT};
 pub use sepcr_set::{SePcrSetBank, SePcrSetHandle};
+pub use shard::{ShardedSePcrBank, ShardedTpmArbiter, TpmGrant};
 pub use timing::{TpmOp, TpmTimingModel};
 pub use tpm::{KeyStrength, Locality, Timed, Tpm};
 pub use transport::{establish as establish_transport, SealedMessage, TransportEndpoint};

@@ -57,6 +57,20 @@ if [ -n "$threads" ]; then
   echo "$threads" >&2
   exit 1
 fi
+# The engine lock decomposition is rank-checked: every shared-state
+# lock in sea-core must be an OrderedLock from the lock-hierarchy
+# module, so a raw std Mutex anywhere else would dodge the debug-build
+# ordering assertions. (The pattern is `Mutex<` so `MutexGuard` in
+# signatures stays legal.)
+mutexes=$(grep -rn 'Mutex<' crates/core/src \
+  --include='*.rs' \
+  | grep -v 'MutexGuard' \
+  | grep -v 'crates/core/src/locks.rs' || true)
+if [ -n "$mutexes" ]; then
+  echo "ci.sh: raw Mutex in sea-core outside src/locks.rs (use OrderedLock):" >&2
+  echo "$mutexes" >&2
+  exit 1
+fi
 # The remote verifier is the relying party: it re-implements the
 # attestation chain from wire bytes and sea-crypto alone, and must
 # never reach into the platform stack it is auditing (that independence
@@ -122,5 +136,22 @@ rm -f "$SUITE_JSON"
 SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin suite -- 2 --json "$SUITE_JSON" > /dev/null
 [ -s "$SUITE_JSON" ] || { echo "ci.sh: $SUITE_JSON missing or empty" >&2; exit 1; }
 cargo run -q --release -p sea-bench --offline --bin suite -- --validate "$SUITE_JSON"
+
+echo "== suite worker-count invariance: 1 vs 8 vs 16 workers (smoke mode, offline) =="
+# The decomposed engine lock must not cost determinism: the whole suite
+# — rendered report and BENCH_suite.json alike — is byte-identical at
+# every worker count.
+for w in 1 8 16; do
+  SEA_BENCH_SMOKE=1 cargo run -q --release -p sea-bench --offline --bin suite \
+    -- "$w" --json "target/BENCH_suite.w$w.json" > "target/BENCH_suite.w$w.txt"
+done
+for w in 8 16; do
+  cmp -s "target/BENCH_suite.w1.json" "target/BENCH_suite.w$w.json" \
+    || { echo "ci.sh: BENCH_suite.json differs between 1 and $w workers" >&2; exit 1; }
+  # The report's first line names the worker count; everything after it
+  # must match byte for byte.
+  cmp -s <(tail -n +2 "target/BENCH_suite.w1.txt") <(tail -n +2 "target/BENCH_suite.w$w.txt") \
+    || { echo "ci.sh: suite report differs between 1 and $w workers" >&2; exit 1; }
+done
 
 echo "== ci.sh: all green =="

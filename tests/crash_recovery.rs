@@ -237,6 +237,178 @@ fn crash_point_sweep_every_event_boundary_recovers() {
     assert_eq!(fired, total as u32 + 1);
 }
 
+/// Group size used by the group-commit sweeps: deliberately coprime to
+/// the batch size so the final group is partial (its commits stay
+/// buffered as `Volatile` until the epoch ends).
+const GROUP: usize = 3;
+
+/// Runs the durable batch under group commit with the cord yanked after
+/// `cut` trace events. The group-commit contract is the crash-point
+/// contract minus the full-checkpoint clause: buffered commits are
+/// volatile by design, so the final NVRAM seal may trail the batch —
+/// but sessions must still be byte-identical to the crash-free run,
+/// the recovery ledger must balance, and nothing may leak.
+fn check_group_cut(
+    seed: u64,
+    workers: usize,
+    group: usize,
+    cut: u64,
+    reference: &[SessionResult],
+) -> BatchOutcome {
+    let mut pool = engine(workers);
+    pool.set_fault_plan(Some(fault_plan(seed)));
+    let d = pool
+        .run(
+            batch(),
+            &BatchPolicy::plain()
+                .with_retry(RetryPolicy::default())
+                .with_durability(ResetPlan::reset_free().with_cut_after_events(cut))
+                .with_group_commit(group),
+        )
+        .unwrap_or_else(|e| panic!("seed {seed} group {group} cut {cut}: batch aborted: {e}"));
+
+    assert_eq!(
+        d.quoted() + d.degraded() + d.killed(),
+        JOBS,
+        "seed {seed} group {group} cut {cut}: session lost"
+    );
+    assert_eq!(
+        normalize(d.sessions.clone()),
+        normalize(reference.to_vec()),
+        "seed {seed} group {group} cut {cut}: sessions diverged from the crash-free run"
+    );
+
+    if d.resets > 0 {
+        assert_eq!(d.resets, 1, "seed {seed} group {group} cut {cut}");
+        assert_eq!(
+            d.committed.len() + d.relaunched.len(),
+            JOBS,
+            "seed {seed} group {group} cut {cut}: committed {:?} + relaunched {:?}",
+            d.committed,
+            d.relaunched
+        );
+        // The journal seals on exactly every `group`-th commit, so the
+        // checkpoint the recovery restored from can only ever hold a
+        // whole number of groups.
+        assert_eq!(
+            d.committed.len() % group,
+            0,
+            "seed {seed} group {group} cut {cut}: recovered a partial group {:?}",
+            d.committed
+        );
+    } else {
+        assert!(d.committed.is_empty() && d.relaunched.is_empty());
+    }
+
+    // No Exclusive sePCR or protected page survives the crash.
+    let mut sea = pool.into_inner();
+    let tpm = sea.platform().tpm().expect("tpm");
+    assert_eq!(
+        tpm.sepcrs().free_count(),
+        tpm.sepcrs().count(),
+        "seed {seed} group {group} cut {cut}: leaked an Exclusive sePCR"
+    );
+    let (_, cpus_pages, none_pages) = sea.platform().machine().controller().state_census();
+    assert_eq!(
+        (cpus_pages, none_pages),
+        (0, 0),
+        "seed {seed} group {group} cut {cut}: leaked protected pages"
+    );
+
+    // Whatever checkpoint the batch last sealed must still be intact:
+    // unsealable, parseable, and torn-free.
+    if let Some(bytes) = sea
+        .platform()
+        .tpm()
+        .expect("tpm")
+        .nvram()
+        .read_blob(JOURNAL_NV_INDEX)
+        .map(<[u8]>::to_vec)
+    {
+        let blob = SealedBlob::from_bytes(&bytes)
+            .unwrap_or_else(|e| panic!("seed {seed} group {group} cut {cut}: corrupt: {e}"));
+        let opened = sea
+            .platform_mut()
+            .tpm_mut()
+            .expect("tpm")
+            .unseal(&blob)
+            .unwrap_or_else(|e| panic!("seed {seed} group {group} cut {cut}: sealed shut: {e}"));
+        let journal = SessionJournal::from_bytes(&opened.value)
+            .unwrap_or_else(|e| panic!("seed {seed} group {group} cut {cut}: corrupt: {e}"));
+        // Unlike seal-every-commit, the final checkpoint may carry torn
+        // intents — sessions whose commits were still buffered past the
+        // last seal — but the terminals it does hold must replay, and
+        // only in whole groups (each seal lands on a `group`-th commit).
+        let restored = journal
+            .restore()
+            .unwrap_or_else(|e| panic!("seed {seed} group {group} cut {cut}: no replay: {e}"));
+        assert!(
+            restored.len() <= JOBS && restored.len().is_multiple_of(group),
+            "seed {seed} group {group} cut {cut}: checkpoint holds {} terminals",
+            restored.len()
+        );
+    }
+    d
+}
+
+/// Group-commit crash-point sweep: cut at **every** trace-event
+/// boundary of the reference batch — including every boundary interior
+/// to a batched NVRAM seal — and recover to the crash-free sessions
+/// each time, with the commit ledger balancing in whole groups.
+#[test]
+fn group_commit_crash_sweep_every_event_boundary_recovers() {
+    let seed = crash_seed();
+    let (reference, total) = reference(seed);
+    for cut in 0..=(total + 1) {
+        let d = check_group_cut(seed, WORKERS, GROUP, cut, &reference);
+        if cut <= total {
+            assert_eq!(d.resets, 1, "seed {seed} cut {cut} of {total}: no reset");
+        } else {
+            assert_eq!(
+                d.resets, 0,
+                "seed {seed} cut {cut} of {total}: phantom reset"
+            );
+        }
+    }
+}
+
+/// Without a crash, group commit is invisible: any group size yields
+/// sessions byte-identical to seal-every-commit, at any worker count,
+/// with every job quoted and no reset fired.
+#[test]
+fn group_commit_clean_run_matches_ungrouped() {
+    let seed = crash_seed();
+    let run = |workers: usize, group: usize| {
+        let mut pool = engine(workers);
+        pool.set_fault_plan(Some(fault_plan(seed)));
+        let d = pool
+            .run(
+                batch(),
+                &BatchPolicy::plain()
+                    .with_retry(RetryPolicy::default())
+                    .with_durability(ResetPlan::reset_free())
+                    .with_group_commit(group),
+            )
+            .expect("clean durable batch runs");
+        assert_eq!(d.quoted(), JOBS, "group {group}: session not quoted");
+        assert_eq!(d.resets, 0, "group {group}: phantom reset");
+        normalize(d.sessions)
+    };
+    let ungrouped = run(WORKERS, 1);
+    for group in [2, GROUP, 4, JOBS, JOBS + 1] {
+        assert_eq!(
+            run(WORKERS, group),
+            ungrouped,
+            "group {group}: clean run diverged from seal-every-commit"
+        );
+    }
+    assert_eq!(
+        run(1, GROUP),
+        ungrouped,
+        "group {GROUP}: serial clean run diverged"
+    );
+}
+
 /// Crash recovery is deterministic at any worker count: the same cut
 /// yields the same sessions whether one worker or four drive the batch.
 #[test]

@@ -6,7 +6,9 @@
 mod common;
 
 use common::{check, prop_assert, prop_assert_eq, prop_assert_ne};
-use minimal_tcb::crypto::{BigUint, Drbg, Hmac, OaepLabel, RsaPrivateKey, Sha1, Sha256, Signature};
+use minimal_tcb::crypto::{
+    BigUint, CryptoError, Drbg, Hmac, OaepLabel, RsaPrivateKey, Sha1, Sha256, Signature,
+};
 
 /// Case count for the plain bignum/hash properties (matches the original
 /// `ProptestConfig::with_cases(64)`).
@@ -319,6 +321,87 @@ fn rsa_signature_rejects_truncated_signature() {
             let keep = t.range(0, sig.0.len());
             let truncated = Signature(sig.0[..keep].to_vec());
             prop_assert!(!key.public_key().verify_pkcs1v15(&digest, &truncated));
+            Ok(())
+        },
+    );
+}
+
+// CRT differential properties: the accelerated signing path must be
+// byte-for-byte indistinguishable from the plain d-exponent path, and
+// every tampered-parameter route must refuse rather than emit a
+// Bellcore-leakable signature.
+
+#[test]
+fn crt_signing_matches_plain_exponent_path() {
+    check("crt_signing_matches_plain_exponent_path", RSA_CASES, |t| {
+        let msg = t.bytes(0, 64);
+        let digest = Sha1::digest(&msg);
+        let crt_key = test_key();
+        prop_assert!(crt_key.has_crt());
+        // Serialization drops the factorization, so the round-tripped
+        // key signs through the plain full-size exponent — a built-in
+        // differential oracle for the CRT path.
+        let plain_key = RsaPrivateKey::from_bytes(&crt_key.to_bytes()).unwrap();
+        prop_assert!(!plain_key.has_crt());
+        let via_crt = crt_key.sign_pkcs1v15(&digest).unwrap();
+        let via_d = plain_key.sign_pkcs1v15(&digest).unwrap();
+        prop_assert_eq!(via_crt.0, via_d.0);
+        Ok(())
+    });
+}
+
+#[test]
+fn batch_signing_matches_per_digest_signatures() {
+    check(
+        "batch_signing_matches_per_digest_signatures",
+        RSA_CASES,
+        |t| {
+            let key = test_key();
+            let digests: Vec<[u8; 20]> = t.vec(1, 6, |t| Sha1::digest(&t.bytes(0, 48)));
+            let batch = key.sign_pkcs1v15_batch(&digests).unwrap();
+            prop_assert_eq!(batch.len(), digests.len());
+            for (digest, sig) in digests.iter().zip(&batch) {
+                prop_assert_eq!(&key.sign_pkcs1v15(digest).unwrap().0, &sig.0);
+            }
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn tampered_crt_factors_are_rejected_on_attach() {
+    check(
+        "tampered_crt_factors_are_rejected_on_attach",
+        RSA_CASES,
+        |t| {
+            let key = RsaPrivateKey::from_bytes(&test_key().to_bytes()).unwrap();
+            // Arbitrary 16-byte "factors" multiply to at most 256 bits,
+            // never the 512-bit modulus, so re-arming must always refuse.
+            let p = big(t.bytes(1, 16));
+            let q = big(t.bytes(2, 16));
+            let err = key.with_crt(p, q).unwrap_err();
+            prop_assert!(matches!(err, CryptoError::CrtParamsInvalid));
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn faulted_crt_exponent_withholds_signatures() {
+    check(
+        "faulted_crt_exponent_withholds_signatures",
+        RSA_CASES,
+        |t| {
+            let msg = t.bytes(0, 64);
+            let digest = Sha1::digest(&msg);
+            // A corrupted half-exponentiation would leak a factor of n if
+            // released (the Bellcore attack); both signing paths must
+            // withhold the signature instead.
+            let key = test_key().with_faulted_crt();
+            let single = key.sign_pkcs1v15(&digest).unwrap_err();
+            prop_assert!(matches!(single, CryptoError::CrtFault));
+            let batch = key.sign_pkcs1v15_batch(&[digest]).unwrap_err();
+            prop_assert!(matches!(batch, CryptoError::CrtFault));
             Ok(())
         },
     );
