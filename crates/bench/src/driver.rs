@@ -26,9 +26,10 @@ use sea_tpm::TpmOp;
 use crate::experiments::{
     churn_sweep_with_obs, crash_sweep_with_obs, fault_sweep_with_obs, figure2_with_obs,
     figure3_tpms, figure3_with_obs, fleet_sweep_with_obs, scale_with_obs, table1_with_obs, table2,
-    throughput_with_obs, ChurnPoint, CrashSweepPoint, FaultSweepPoint, Figure2Bar, Figure3Cell,
-    FleetPoint, ScalePoint, Table1Row, ThroughputPoint, CHURN_PLATFORMS, CHURN_SEED,
-    CRASH_SWEEP_SEED, FAULT_SWEEP_SEED, FLEET_SEED, FLEET_SHARDS, PAL_SIZES, SCALE_SEED,
+    throughput_with_obs, vm_dispatch_with_obs, vm_quotes_identical_across_executors, ChurnPoint,
+    CrashSweepPoint, FaultSweepPoint, Figure2Bar, Figure3Cell, FleetPoint, ScalePoint, Table1Row,
+    ThroughputPoint, VmPoint, CHURN_PLATFORMS, CHURN_SEED, CRASH_SWEEP_SEED, FAULT_SWEEP_SEED,
+    FLEET_SEED, FLEET_SHARDS, PAL_SIZES, SCALE_SEED,
 };
 use crate::format::{ms, render_table, us};
 use crate::json::Json;
@@ -301,6 +302,17 @@ fn suite_jobs(cfg: &SuiteConfig) -> Vec<Job> {
                 )
             }),
         ),
+        (
+            "VM",
+            Box::new(|| {
+                let identical = vm_quotes_identical_across_executors();
+                observed(
+                    vm_dispatch_with_obs,
+                    |points| render_vm_points(points, identical),
+                    &[("executors_identical", identical as u64)],
+                )
+            }),
+        ),
     ]
 }
 
@@ -371,7 +383,20 @@ pub fn run_suite_parallel(cfg: &SuiteConfig, workers: usize) -> Vec<Artifact> {
         .collect()
 }
 
-/// Joins rendered artifacts into the one-document suite report.
+/// The artifact's hottest lock class — the per-class row with the
+/// largest total virtual wait, ties broken by class name so the line
+/// is deterministic. `None` when the experiment recorded no lock
+/// events at all.
+fn hottest_lock(m: &ExperimentMetrics) -> Option<&crate::metrics::LockRow> {
+    m.locks
+        .iter()
+        .max_by(|a, b| a.wait_ns.cmp(&b.wait_ns).then(b.class.cmp(&a.class)))
+}
+
+/// Joins rendered artifacts into the one-document suite report. Each
+/// artifact is followed by its hottest lock class (largest total
+/// virtual wait), so contention regressions are visible in the
+/// human-readable report without opening `BENCH_suite.json`.
 pub fn render_suite(artifacts: &[Artifact]) -> String {
     let mut out = String::new();
     for (i, a) in artifacts.iter().enumerate() {
@@ -381,6 +406,16 @@ pub fn render_suite(artifacts: &[Artifact]) -> String {
         out.push_str(&"=".repeat(72));
         out.push('\n');
         out.push_str(&a.rendered);
+        if let Some(l) = hottest_lock(&a.metrics) {
+            out.push_str(&format!(
+                "\nHottest lock: {} ({}) — {} acquisitions, {} ms waited, {} ms held\n",
+                l.class,
+                l.layer,
+                l.acquisitions,
+                ms(l.wait_ns as f64 / 1e6),
+                ms(l.hold_ns as f64 / 1e6),
+            ));
+        }
     }
     out
 }
@@ -1039,6 +1074,74 @@ pub fn render_churn(intensities: &[u32], requests: usize) -> String {
     )
 }
 
+/// Renders the VM dispatch experiment: the four paper PALs as executed
+/// bytecode, block chaining on vs off, plus the cross-executor quote
+/// pin.
+pub fn render_vm(executors_identical: bool) -> String {
+    render_vm_points(&crate::experiments::vm_dispatch(), executors_identical)
+}
+
+/// Renders already-measured VM dispatch points.
+pub fn render_vm_points(points: &[VmPoint], executors_identical: bool) -> String {
+    let mut out = String::from(
+        "VM: the paper's PALs as measured bytecode on the proposed hardware,\n\
+         direct block chaining vs block-cache lookup on every dispatch,\n\
+         virtual time\n\n",
+    );
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.pal.clone(),
+                p.sessions.to_string(),
+                p.retired.to_string(),
+                p.blocks.to_string(),
+                p.chain_hits.to_string(),
+                p.chained_dispatch_ns.to_string(),
+                p.lookup_dispatch_ns.to_string(),
+                format!("{:.2}x", p.dispatch_speedup),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(
+        &[
+            "PAL",
+            "sessions",
+            "retired",
+            "blocks",
+            "chain hits",
+            "chained (ns)",
+            "lookup (ns)",
+            "speedup",
+        ],
+        &rows,
+    ));
+
+    // A terminal rendition of the dispatch-speedup bars.
+    out.push_str("\n  dispatch speedup (1 char = 0.25x)\n");
+    for p in points {
+        out.push_str(&format!(
+            "  {:>22} |{}| {:.2}x\n",
+            p.pal,
+            "#".repeat((p.dispatch_speedup / 0.25).round() as usize),
+            p.dispatch_speedup
+        ));
+    }
+    out.push_str(&format!(
+        "\nQuotes byte-identical across 1/4-worker thread pools and the\n\
+         discrete-event executor: {}\n",
+        if executors_identical { "yes" } else { "NO" }
+    ));
+    out.push_str(
+        "\nEach PAL's measured identity is the SHA-1 of its serialized bytecode;\n\
+         gas retires to the virtual clock at every translation-block boundary.\n\
+         Chaining patches a block's successor in directly, skipping the block-\n\
+         cache lookup — same retired instructions, same outputs, cheaper\n\
+         dispatch. Loop-heavy PALs (factoring) benefit most.\n",
+    );
+    out
+}
+
 /// Renders already-measured churn points.
 pub fn render_churn_points(points: &[ChurnPoint], requests: usize) -> String {
     let mut out = format!(
@@ -1117,7 +1220,8 @@ mod tests {
                 "Crash sweep",
                 "Scale",
                 "Fleet",
-                "Churn"
+                "Churn",
+                "VM"
             ]
         );
         for a in &arts {
@@ -1150,6 +1254,11 @@ mod tests {
             "{:?}",
             crash.metrics.counters
         );
+        // The human-readable report surfaces each artifact's hottest
+        // lock class, deterministically.
+        let report = render_suite(&arts);
+        assert!(report.contains("Hottest lock: "), "{report}");
+        assert_eq!(report, render_suite(&arts));
     }
 
     #[test]
@@ -1202,5 +1311,38 @@ mod tests {
             ch.contains("goodput/s") && ch.contains("adv rej") && ch.contains("wire rej"),
             "{ch}"
         );
+    }
+
+    #[test]
+    fn vm_artifact_shows_chaining_speedup() {
+        let points = crate::experiments::vm_dispatch();
+        assert_eq!(points.len(), 4);
+        for p in &points {
+            assert!(p.retired > 0, "{p:?}");
+            assert!(
+                p.dispatch_speedup > 1.0,
+                "{}: chaining showed no dispatch speedup: {p:?}",
+                p.pal
+            );
+        }
+        // The loop-heavy PAL chains on nearly every dispatch.
+        let factoring = points
+            .iter()
+            .find(|p| p.pal == "distributed-factoring")
+            .unwrap();
+        assert!(
+            factoring.chain_hits * 10 > factoring.blocks * 9,
+            "{factoring:?}"
+        );
+        let rendered = render_vm_points(&points, true);
+        assert!(
+            rendered.contains("speedup") && rendered.contains("yes"),
+            "{rendered}"
+        );
+    }
+
+    #[test]
+    fn vm_quotes_pin_across_executors() {
+        assert!(vm_quotes_identical_across_executors());
     }
 }

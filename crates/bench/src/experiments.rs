@@ -9,7 +9,7 @@ use sea_hw::{
     CpuId, FaultPlan, Obs, PageIndex, PageRange, Platform, ResetPlan, SimDuration, TpmKind,
 };
 use sea_os::{LegacyBatch, Scheduler};
-use sea_tpm::{KeyStrength, PcrIndex, Tpm, TpmOp, TpmTimingModel};
+use sea_tpm::{KeyStrength, PcrIndex, Quote, Tpm, TpmOp, TpmTimingModel};
 
 /// The PAL sizes Table 1 sweeps (bytes).
 pub const PAL_SIZES: [usize; 6] = [0, 4 * 1024, 8 * 1024, 16 * 1024, 32 * 1024, 64 * 1024];
@@ -1358,6 +1358,204 @@ pub fn churn_sweep_with_obs(intensities: &[u32], requests: usize, obs: Obs) -> V
             }
         })
         .collect()
+}
+
+// ---------------------------------------------------------------------
+// VM: the measured PAL bytecode VM — direct block chaining vs lookup
+// ---------------------------------------------------------------------
+
+/// Prime factor *p* of the semiprime the VM factoring workload cracks.
+pub const VM_FACTOR_P: u64 = 65_519;
+/// Prime factor *q* of the semiprime the VM factoring workload cracks.
+pub const VM_FACTOR_Q: u64 = 65_521;
+/// Trial-division candidates per execution quantum in the VM factoring
+/// workload — sized so the session suspends and resumes several times.
+pub const VM_FACTOR_QUANTUM: u64 = 8_192;
+
+/// One point of the VM dispatch experiment: a paper PAL's canonical
+/// workload executed as measured bytecode twice — once with direct
+/// block chaining, once forced through the block-cache lookup on every
+/// dispatch — on the proposed hardware's session engine.
+#[derive(Debug, Clone)]
+pub struct VmPoint {
+    /// PAL name (also its measured identity's program).
+    pub pal: String,
+    /// Sessions the workload ran.
+    pub sessions: usize,
+    /// Instructions retired (identical in both runs by construction).
+    pub retired: u64,
+    /// Translation blocks dispatched.
+    pub blocks: u64,
+    /// Dispatches served through a patched chain edge (chained run).
+    pub chain_hits: u64,
+    /// Virtual ns spent on dispatch + decode with chaining on.
+    pub chained_dispatch_ns: u64,
+    /// Virtual ns spent on dispatch + decode with chaining off.
+    pub lookup_dispatch_ns: u64,
+    /// `lookup_dispatch_ns / chained_dispatch_ns`.
+    pub dispatch_speedup: f64,
+}
+
+/// Drives `pal` through `inputs` as one attested session each on a
+/// fresh proposed-hardware platform, returning the session outputs.
+/// The per-invocation block cache resets between sessions; the PAL's
+/// slot state and cumulative [`sea_core::VmStats`] carry across them,
+/// which is exactly what the multi-session workloads (SSH enroll →
+/// verify, CA generate → sign) need.
+fn run_vm_workload(pal: &mut sea_core::VmPal, inputs: &[Vec<u8>], obs: Obs) -> Vec<Vec<u8>> {
+    let mut p = platform(Platform::recommended(2), b"vm");
+    p.install_obs(obs);
+    let mut sea = EnhancedSea::new(p).expect("proposed platform");
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let id = sea.slaunch(pal, input, CpuId(0), None).expect("launch");
+            let done = sea.run_to_exit(pal, id, CpuId(0)).expect("run");
+            let nonce = (i as u64).to_le_bytes();
+            sea.quote_and_free(id, &nonce).expect("quote");
+            done.output
+        })
+        .collect()
+}
+
+/// One bench workload: `(name, constructor, session inputs)`.
+type VmWorkload = (&'static str, Box<dyn Fn() -> sea_core::VmPal>, Vec<Vec<u8>>);
+
+/// The four paper PALs as bench workloads.
+fn vm_workloads() -> Vec<VmWorkload> {
+    use sea_pals::vm::{vm_ca, vm_factoring, vm_rootkit, vm_ssh};
+    use sea_pals::{CaRequest, PersistMode, SshRequest};
+    let kernel = vec![0xC3u8; 4096];
+    let other = vec![0x90u8; 4096];
+    vec![
+        (
+            "ssh-password",
+            Box::new(vm_ssh),
+            vec![
+                SshRequest::Enroll(b"correct horse".to_vec()).to_bytes(),
+                SshRequest::Verify(b"correct horse".to_vec()).to_bytes(),
+                SshRequest::Verify(b"battery staple".to_vec()).to_bytes(),
+            ],
+        ),
+        (
+            "certificate-authority",
+            Box::new(vm_ca),
+            vec![
+                CaRequest::Generate.to_bytes(),
+                CaRequest::Sign(b"vm bench csr".to_vec()).to_bytes(),
+            ],
+        ),
+        (
+            "distributed-factoring",
+            Box::new(move || {
+                vm_factoring(
+                    VM_FACTOR_P * VM_FACTOR_Q,
+                    VM_FACTOR_QUANTUM,
+                    PersistMode::InRegion,
+                )
+            }),
+            vec![Vec::new()],
+        ),
+        (
+            "rootkit-detector",
+            {
+                let kernel = kernel.clone();
+                Box::new(move || vm_rootkit(&[&kernel, &other]))
+            },
+            vec![kernel],
+        ),
+    ]
+}
+
+/// The VM experiment without instrumentation.
+pub fn vm_dispatch() -> Vec<VmPoint> {
+    vm_dispatch_with_obs(Obs::null())
+}
+
+/// Runs each paper PAL's canonical workload as executed bytecode twice
+/// — chaining on, then chaining off — and reports what direct block
+/// chaining saves in dispatch gas. Outputs and retired-instruction
+/// counts are asserted identical between the two runs (chaining is a
+/// dispatch optimization, never a semantic one), so the speedup column
+/// measures dispatch alone.
+pub fn vm_dispatch_with_obs(obs: Obs) -> Vec<VmPoint> {
+    vm_workloads()
+        .into_iter()
+        .map(|(name, make, inputs)| {
+            let mut chained = make();
+            let chained_out = run_vm_workload(&mut chained, &inputs, obs.clone());
+            let c = chained.stats();
+
+            let mut lookup = make().with_chaining(false);
+            let lookup_out = run_vm_workload(&mut lookup, &inputs, obs.clone());
+            let l = lookup.stats();
+
+            assert_eq!(chained_out, lookup_out, "{name}: chaining changed outputs");
+            assert_eq!(c.retired, l.retired, "{name}: chaining changed execution");
+            assert_eq!(l.chain_hits, 0, "{name}: disabled chaining still chained");
+
+            VmPoint {
+                pal: name.to_string(),
+                sessions: inputs.len(),
+                retired: c.retired,
+                blocks: c.blocks_executed,
+                chain_hits: c.chain_hits,
+                chained_dispatch_ns: c.dispatch_gas,
+                lookup_dispatch_ns: l.dispatch_gas,
+                dispatch_speedup: l.dispatch_gas as f64 / c.dispatch_gas.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// Cross-executor pin for the VM artifact: a batch of four VM PALs
+/// (one session each) run through the session engine on the one- and
+/// four-worker thread pools and the discrete-event executor. Returns
+/// whether every job's attestation quote was byte-identical across all
+/// three schedules — the engine's determinism contract extended to
+/// executed bytecode.
+pub fn vm_quotes_identical_across_executors() -> bool {
+    use sea_pals::vm::{vm_ca, vm_factoring, vm_rootkit, vm_ssh};
+    use sea_pals::{CaRequest, PersistMode, SshRequest};
+    let batch = || -> Vec<ConcurrentJob> {
+        let kernel = vec![0xC3u8; 4096];
+        vec![
+            ConcurrentJob::new(
+                Box::new(vm_ssh()),
+                SshRequest::Enroll(b"pw".to_vec()).to_bytes(),
+            ),
+            ConcurrentJob::new(Box::new(vm_ca()), CaRequest::Generate.to_bytes()),
+            ConcurrentJob::new(
+                Box::new(vm_factoring(65_519 * 3, 4_096, PersistMode::InRegion)),
+                b"",
+            ),
+            ConcurrentJob::new(Box::new(vm_rootkit(&[&kernel])), kernel.clone()),
+        ]
+    };
+    let quotes = |workers: usize, executor: Executor| -> Vec<Quote> {
+        let mut sea = SessionEngine::<sea_core::Slaunch>::new(
+            platform(Platform::recommended(workers as u16), b"vm-exec"),
+            workers,
+        )
+        .expect("pool fits platform")
+        .with_executor(executor);
+        let out = sea
+            .run(
+                batch(),
+                &BatchPolicy::plain().with_retry(RetryPolicy::default()),
+            )
+            .expect("batch runs");
+        out.sessions
+            .into_iter()
+            .map(|s| match s {
+                SessionResult::Quoted { quote, .. } => quote,
+                other => panic!("VM session did not quote: {other:?}"),
+            })
+            .collect()
+    };
+    let reference = quotes(1, Executor::ThreadPool);
+    quotes(4, Executor::ThreadPool) == reference && quotes(4, Executor::DiscreteEvent) == reference
 }
 
 #[cfg(test)]

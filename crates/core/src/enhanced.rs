@@ -556,6 +556,39 @@ impl EnhancedSea {
         Ok(wire.map(|_| quote))
     }
 
+    /// Batch pre-signing for a cohort of PALs all sitting at the quote
+    /// edge: resolves each `Done` PAL's sePCR handle and asks the TPM
+    /// to prepare the cohort's quote signatures in one shared-context
+    /// batch ([`sea_tpm::Tpm::prepare_sepcr_quotes`]).
+    ///
+    /// Best-effort and semantically invisible — [`EnhancedSea::quote_and_free`]
+    /// consumes a prepared signature when its digest matches and signs
+    /// on its own otherwise, and the batch signer is byte-identical to
+    /// the one-at-a-time signer, so attestation bytes and virtual-time
+    /// costs are unchanged either way.
+    pub(crate) fn prepare_quotes(&mut self, cohort: &[(&PalId, [u8; 8])]) {
+        let mut requests: Vec<(sea_tpm::SePcrHandle, [u8; 8])> = Vec::new();
+        for (id, nonce) in cohort {
+            let Some(run) = self.pals.get(&id.0) else {
+                continue;
+            };
+            if run.secb.lifecycle() != PalLifecycle::Done {
+                continue;
+            }
+            let Some(handle) = run.secb.sepcr() else {
+                continue;
+            };
+            requests.push((handle, *nonce));
+        }
+        if requests.is_empty() {
+            return;
+        }
+        let (_, tpm) = self.platform.parts_mut();
+        if let Some(tpm) = tpm {
+            tpm.prepare_sepcr_quotes(&requests);
+        }
+    }
+
     /// §6 *Multicore PALs*: joins `new_cpu` to a PAL currently in the
     /// `Execute` state, granting it access to the PAL's pages so the
     /// application can parallelize internally ("a mechanism is needed to

@@ -78,6 +78,7 @@ mod recovery;
 mod report;
 mod secb;
 mod threadpool;
+pub mod vm;
 
 pub use attest::{TrustPolicy, Verifier, VerifyError};
 pub use concurrent::{
@@ -103,3 +104,4 @@ pub use protocol::{AttestationService, Challenge, ProtocolError};
 pub use recovery::RetryPolicy;
 pub use report::SessionReport;
 pub use secb::{InterruptPolicy, PalLifecycle, Secb};
+pub use vm::{Insn, Program, VmPal, VmStats};

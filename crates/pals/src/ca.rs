@@ -1,4 +1,4 @@
-//! The certificate-authority PAL (§4.1).
+//! Wire protocol of the certificate-authority PAL (§4.1).
 //!
 //! "We also use the architecture to protect the confidentiality of a
 //! certificate authority's private signing key." The CA keypair is
@@ -10,11 +10,14 @@
 //! the Gen session (ends with a Seal), `Sign` is the Use session (starts
 //! with an Unseal; "this example would not require a subsequent seal,
 //! since the unsealed key could simply be erased", §4.1).
+//!
+//! Two implementations share this protocol: the executed-bytecode PAL
+//! ([`crate::vm::vm_ca`]) and, behind the `cost-model` feature, the
+//! original constant-cost twin ([`crate::CertAuthority`]).
 
-use sea_core::{PalCtx, PalLogic, PalOutcome, SeaError};
-use sea_crypto::{BigUint, Drbg, RsaPrivateKey, RsaPublicKey, Sha1, Signature};
-use sea_hw::SimDuration;
-use sea_tpm::SealedBlob;
+#[cfg(any(test, feature = "cost-model"))]
+use sea_core::SeaError;
+use sea_crypto::{BigUint, RsaPublicKey, Sha1, Signature};
 
 /// A request to the CA PAL, encoded into the session input.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +42,8 @@ impl CaRequest {
         }
     }
 
-    fn parse(input: &[u8]) -> Result<CaRequest, SeaError> {
+    #[cfg(any(test, feature = "cost-model"))]
+    pub(crate) fn parse(input: &[u8]) -> Result<CaRequest, SeaError> {
         match input.split_first() {
             Some((0x00, [])) => Ok(CaRequest::Generate),
             Some((0x01, csr)) => Ok(CaRequest::Sign(csr.to_vec())),
@@ -49,6 +53,7 @@ impl CaRequest {
 }
 
 /// Encodes an RSA public key as length-prefixed `n`, `e`.
+#[cfg(any(test, feature = "cost-model"))]
 pub(crate) fn encode_public_key(key: &RsaPublicKey) -> Vec<u8> {
     let n = key.modulus().to_bytes_be();
     // The public exponent is always 65537 in this implementation.
@@ -73,76 +78,7 @@ pub fn decode_public_key(bytes: &[u8]) -> Option<RsaPublicKey> {
 /// RSA modulus size for CA keys. 512 bits keeps simulated sessions fast;
 /// the virtual-time cost of the Seal/Unseal is what the paper measures
 /// and comes from the TPM timing model regardless.
-const CA_KEY_BITS: usize = 512;
-
-/// Modelled compute time for in-PAL RSA key generation.
-const KEYGEN_WORK: SimDuration = SimDuration::from_ms(150);
-
-/// Modelled compute time for one in-PAL RSA signature.
-const SIGN_WORK: SimDuration = SimDuration::from_ms(5);
-
-/// The certificate-authority PAL.
-///
-/// The sealed private key is held (opaquely) by this struct between
-/// sessions, playing the untrusted OS's role of blob custodian.
-#[derive(Debug, Default)]
-pub struct CertAuthority {
-    sealed_key: Option<SealedBlob>,
-}
-
-impl CertAuthority {
-    /// Creates a CA with no key material yet.
-    pub fn new() -> Self {
-        CertAuthority { sealed_key: None }
-    }
-
-    /// Whether a sealed signing key exists.
-    pub fn has_key(&self) -> bool {
-        self.sealed_key.is_some()
-    }
-}
-
-impl PalLogic for CertAuthority {
-    fn name(&self) -> &str {
-        "certificate-authority"
-    }
-
-    fn image(&self) -> Vec<u8> {
-        b"PAL:certificate-authority:v1".to_vec()
-    }
-
-    fn run(&mut self, ctx: &mut PalCtx<'_>) -> Result<PalOutcome, SeaError> {
-        match CaRequest::parse(ctx.input())? {
-            CaRequest::Generate => {
-                // Key generation from TPM randomness, inside the TCB.
-                let seed = ctx.random(32)?;
-                let mut rng = Drbg::new(&seed);
-                let key = RsaPrivateKey::generate(CA_KEY_BITS, &mut rng)
-                    .map_err(|e| SeaError::PalFailed(format!("keygen failed: {e}")))?;
-                ctx.work(KEYGEN_WORK);
-                self.sealed_key = Some(ctx.seal(&key.to_bytes())?);
-                Ok(PalOutcome::Exit(encode_public_key(key.public_key())))
-            }
-            CaRequest::Sign(csr) => {
-                let blob = self
-                    .sealed_key
-                    .as_ref()
-                    .ok_or_else(|| SeaError::PalFailed("CA key not generated".into()))?;
-                let key_bytes = ctx.unseal(blob)?;
-                let key = RsaPrivateKey::from_bytes(&key_bytes)
-                    .map_err(|e| SeaError::PalFailed(format!("corrupt sealed key: {e}")))?;
-                let digest = Sha1::digest(&csr);
-                let sig = key
-                    .sign_pkcs1v15(&digest)
-                    .map_err(|e| SeaError::PalFailed(format!("signing failed: {e}")))?;
-                ctx.work(SIGN_WORK);
-                // The unsealed key is simply erased on exit (it lives
-                // only in the protected session); no reseal needed.
-                Ok(PalOutcome::Exit(sig.0))
-            }
-        }
-    }
-}
+pub(crate) const CA_KEY_BITS: usize = 512;
 
 /// Verifies a CA signature produced by a `Sign` session.
 pub fn verify_ca_signature(public: &RsaPublicKey, csr: &[u8], signature: &[u8]) -> bool {
@@ -152,67 +88,7 @@ pub fn verify_ca_signature(public: &RsaPublicKey, csr: &[u8], signature: &[u8]) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sea_core::{LegacySea, SecurePlatform, SessionReport};
-    use sea_hw::Platform;
-    use sea_tpm::KeyStrength;
-
-    fn sea() -> LegacySea {
-        LegacySea::new(SecurePlatform::new(
-            Platform::hp_dc5750(),
-            KeyStrength::Demo512,
-            b"ca",
-        ))
-        .unwrap()
-    }
-
-    fn run(
-        sea: &mut LegacySea,
-        ca: &mut CertAuthority,
-        req: &CaRequest,
-    ) -> (Vec<u8>, SessionReport) {
-        let r = sea.run_session(ca, &req.to_bytes()).unwrap();
-        (r.output.unwrap(), r.report)
-    }
-
-    #[test]
-    fn generate_then_sign_end_to_end() {
-        let mut sea = sea();
-        let mut ca = CertAuthority::new();
-        let (pub_bytes, gen_report) = run(&mut sea, &mut ca, &CaRequest::Generate);
-        assert!(ca.has_key());
-        // Gen session: Seal but no Unseal (Figure 2's PAL Gen shape).
-        assert!(gen_report.seal > SimDuration::ZERO);
-        assert_eq!(gen_report.unseal, SimDuration::ZERO);
-
-        let public = decode_public_key(&pub_bytes).expect("valid public key");
-        let csr = b"CN=example.org";
-        let (sig, use_report) = run(&mut sea, &mut ca, &CaRequest::Sign(csr.to_vec()));
-        // Use session: Unseal but no re-Seal (§4.1).
-        assert!(use_report.unseal > SimDuration::ZERO);
-        assert_eq!(use_report.seal, SimDuration::ZERO);
-
-        assert!(verify_ca_signature(&public, csr, &sig));
-        assert!(!verify_ca_signature(&public, b"CN=evil.org", &sig));
-    }
-
-    #[test]
-    fn sign_before_generate_fails() {
-        let mut sea = sea();
-        let mut ca = CertAuthority::new();
-        let err = sea
-            .run_session(&mut ca, &CaRequest::Sign(b"csr".to_vec()).to_bytes())
-            .unwrap_err();
-        assert!(matches!(err, SeaError::PalFailed(_)));
-    }
-
-    #[test]
-    fn malformed_request_rejected() {
-        let mut sea = sea();
-        let mut ca = CertAuthority::new();
-        for bad in [&b""[..], &[0x02][..], &[0x00, 0xFF][..]] {
-            assert!(sea.run_session(&mut ca, bad).is_err());
-        }
-    }
+    use sea_crypto::{Drbg, RsaPrivateKey};
 
     #[test]
     fn request_encoding_roundtrip() {

@@ -1,0 +1,145 @@
+//! Cost-model twin of the certificate-authority PAL: native Rust logic
+//! with `ctx.work` charges standing in for the RSA compute time.
+
+use sea_core::{PalCtx, PalLogic, PalOutcome, SeaError};
+use sea_crypto::{Drbg, RsaPrivateKey, Sha1};
+use sea_hw::SimDuration;
+use sea_tpm::SealedBlob;
+
+use crate::ca::{encode_public_key, CaRequest, CA_KEY_BITS};
+
+/// Modelled compute time for in-PAL RSA key generation.
+const KEYGEN_WORK: SimDuration = SimDuration::from_ms(150);
+
+/// Modelled compute time for one in-PAL RSA signature.
+const SIGN_WORK: SimDuration = SimDuration::from_ms(5);
+
+/// The certificate-authority PAL.
+///
+/// The sealed private key is held (opaquely) by this struct between
+/// sessions, playing the untrusted OS's role of blob custodian.
+#[derive(Debug, Default)]
+pub struct CertAuthority {
+    sealed_key: Option<SealedBlob>,
+}
+
+impl CertAuthority {
+    /// Creates a CA with no key material yet.
+    pub fn new() -> Self {
+        CertAuthority { sealed_key: None }
+    }
+
+    /// Whether a sealed signing key exists.
+    pub fn has_key(&self) -> bool {
+        self.sealed_key.is_some()
+    }
+}
+
+impl PalLogic for CertAuthority {
+    fn name(&self) -> &str {
+        "certificate-authority"
+    }
+
+    fn image(&self) -> Vec<u8> {
+        b"PAL:certificate-authority:v1".to_vec()
+    }
+
+    fn run(&mut self, ctx: &mut PalCtx<'_>) -> Result<PalOutcome, SeaError> {
+        match CaRequest::parse(ctx.input())? {
+            CaRequest::Generate => {
+                // Key generation from TPM randomness, inside the TCB.
+                let seed = ctx.random(32)?;
+                let mut rng = Drbg::new(&seed);
+                let key = RsaPrivateKey::generate(CA_KEY_BITS, &mut rng)
+                    .map_err(|e| SeaError::PalFailed(format!("keygen failed: {e}")))?;
+                ctx.work(KEYGEN_WORK);
+                self.sealed_key = Some(ctx.seal(&key.to_bytes())?);
+                Ok(PalOutcome::Exit(encode_public_key(key.public_key())))
+            }
+            CaRequest::Sign(csr) => {
+                let blob = self
+                    .sealed_key
+                    .as_ref()
+                    .ok_or_else(|| SeaError::PalFailed("CA key not generated".into()))?;
+                let key_bytes = ctx.unseal(blob)?;
+                let key = RsaPrivateKey::from_bytes(&key_bytes)
+                    .map_err(|e| SeaError::PalFailed(format!("corrupt sealed key: {e}")))?;
+                let digest = Sha1::digest(&csr);
+                let sig = key
+                    .sign_pkcs1v15(&digest)
+                    .map_err(|e| SeaError::PalFailed(format!("signing failed: {e}")))?;
+                ctx.work(SIGN_WORK);
+                // The unsealed key is simply erased on exit (it lives
+                // only in the protected session); no reseal needed.
+                Ok(PalOutcome::Exit(sig.0))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ca::{decode_public_key, verify_ca_signature};
+    use sea_core::{LegacySea, SeaError, SecurePlatform, SessionReport};
+    use sea_hw::Platform;
+    use sea_tpm::KeyStrength;
+
+    fn sea() -> LegacySea {
+        LegacySea::new(SecurePlatform::new(
+            Platform::hp_dc5750(),
+            KeyStrength::Demo512,
+            b"ca",
+        ))
+        .unwrap()
+    }
+
+    fn run(
+        sea: &mut LegacySea,
+        ca: &mut CertAuthority,
+        req: &CaRequest,
+    ) -> (Vec<u8>, SessionReport) {
+        let r = sea.run_session(ca, &req.to_bytes()).unwrap();
+        (r.output.unwrap(), r.report)
+    }
+
+    #[test]
+    fn generate_then_sign_end_to_end() {
+        let mut sea = sea();
+        let mut ca = CertAuthority::new();
+        let (pub_bytes, gen_report) = run(&mut sea, &mut ca, &CaRequest::Generate);
+        assert!(ca.has_key());
+        // Gen session: Seal but no Unseal (Figure 2's PAL Gen shape).
+        assert!(gen_report.seal > SimDuration::ZERO);
+        assert_eq!(gen_report.unseal, SimDuration::ZERO);
+
+        let public = decode_public_key(&pub_bytes).expect("valid public key");
+        let csr = b"CN=example.org";
+        let (sig, use_report) = run(&mut sea, &mut ca, &CaRequest::Sign(csr.to_vec()));
+        // Use session: Unseal but no re-Seal (§4.1).
+        assert!(use_report.unseal > SimDuration::ZERO);
+        assert_eq!(use_report.seal, SimDuration::ZERO);
+
+        assert!(verify_ca_signature(&public, csr, &sig));
+        assert!(!verify_ca_signature(&public, b"CN=evil.org", &sig));
+    }
+
+    #[test]
+    fn sign_before_generate_fails() {
+        let mut sea = sea();
+        let mut ca = CertAuthority::new();
+        let err = sea
+            .run_session(&mut ca, &CaRequest::Sign(b"csr".to_vec()).to_bytes())
+            .unwrap_err();
+        assert!(matches!(err, SeaError::PalFailed(_)));
+    }
+
+    #[test]
+    fn malformed_request_rejected() {
+        let mut sea = sea();
+        let mut ca = CertAuthority::new();
+        for bad in [&b""[..], &[0x02][..], &[0x00, 0xFF][..]] {
+            assert!(sea.run_session(&mut ca, bad).is_err());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Cost-model twin of the distributed-factoring PAL: native Rust trial
+//! division with a `ctx.work` charge per tested candidate.
+
+use sea_core::{PalCtx, PalLogic, PalOutcome, SeaError};
+use sea_hw::SimDuration;
+use sea_tpm::SealedBlob;
+
+use crate::factoring::{decode_progress, encode_progress, PersistMode};
+
+/// Modelled cost of testing one candidate divisor.
+const NS_PER_CANDIDATE: u64 = 10;
+
+/// The factoring worker PAL.
+///
+/// Construct with [`FactoringPal::new`], then drive it repeatedly under
+/// a SEA runtime; [`FactoringPal::factors`] yields the result once a
+/// session returns them.
+///
+/// # Example
+///
+/// See `examples/distributed_factoring.rs` for the full workflow.
+#[derive(Debug)]
+pub struct FactoringPal {
+    n: u64,
+    candidates_per_quantum: u64,
+    mode: PersistMode,
+    /// The opaque sealed progress blob, held *by the untrusted OS*
+    /// between baseline sessions.
+    sealed_progress: Option<SealedBlob>,
+    factors: Option<(u64, u64)>,
+}
+
+impl FactoringPal {
+    /// Creates a worker that factors `n`, testing at most
+    /// `candidates_per_quantum` divisors per invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4` or `candidates_per_quantum == 0`.
+    pub fn new(n: u64, candidates_per_quantum: u64, mode: PersistMode) -> Self {
+        assert!(n >= 4, "nothing to factor");
+        assert!(candidates_per_quantum > 0, "quantum must make progress");
+        FactoringPal {
+            n,
+            candidates_per_quantum,
+            mode,
+            sealed_progress: None,
+            factors: None,
+        }
+    }
+
+    /// The factors, once found.
+    pub fn factors(&self) -> Option<(u64, u64)> {
+        self.factors
+    }
+
+    /// Whether a sealed progress blob is currently held (baseline mode).
+    pub fn has_sealed_progress(&self) -> bool {
+        self.sealed_progress.is_some()
+    }
+
+    fn search(&self, mut candidate: u64) -> (u64, Option<(u64, u64)>, u64) {
+        let mut tested = 0u64;
+        while tested < self.candidates_per_quantum {
+            if candidate.saturating_mul(candidate) > self.n {
+                // Exhausted: n is prime; report (1, n).
+                return (candidate, Some((1, self.n)), tested);
+            }
+            if self.n.is_multiple_of(candidate) {
+                return (candidate, Some((candidate, self.n / candidate)), tested + 1);
+            }
+            candidate += 1;
+            tested += 1;
+        }
+        (candidate, None, tested)
+    }
+}
+
+impl PalLogic for FactoringPal {
+    fn name(&self) -> &str {
+        "distributed-factoring"
+    }
+
+    fn image(&self) -> Vec<u8> {
+        // The target n and quantum are configuration compiled into the
+        // worker image: sealing binds progress to this exact job.
+        let mut image = b"PAL:factoring:v1:".to_vec();
+        image.extend_from_slice(&self.n.to_le_bytes());
+        image.extend_from_slice(&self.candidates_per_quantum.to_le_bytes());
+        image
+    }
+
+    fn run(&mut self, ctx: &mut PalCtx<'_>) -> Result<PalOutcome, SeaError> {
+        // Recover progress.
+        let start = match self.mode {
+            PersistMode::InRegion => {
+                if ctx.state().is_empty() {
+                    2
+                } else {
+                    decode_progress(ctx.state())?
+                }
+            }
+            PersistMode::TpmSeal => match &self.sealed_progress {
+                None => 2,
+                Some(blob) => decode_progress(&ctx.unseal(blob)?)?,
+            },
+        };
+
+        let (next, found, tested) = self.search(start);
+        ctx.work(SimDuration::from_ns(tested * NS_PER_CANDIDATE));
+
+        if let Some((p, q)) = found {
+            self.factors = Some((p, q));
+            self.sealed_progress = None;
+            ctx.set_state(Vec::new());
+            let mut out = p.to_le_bytes().to_vec();
+            out.extend_from_slice(&q.to_le_bytes());
+            return Ok(PalOutcome::Exit(out));
+        }
+
+        // Not done: persist progress per mode and relinquish the CPU.
+        match self.mode {
+            PersistMode::InRegion => {
+                ctx.set_state(encode_progress(next));
+                Ok(PalOutcome::Yield)
+            }
+            PersistMode::TpmSeal => {
+                self.sealed_progress = Some(ctx.seal(&encode_progress(next))?);
+                // On baseline hardware, "yielding" is exiting: the next
+                // quantum is a fresh late launch.
+                Ok(PalOutcome::Exit(Vec::new()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::factoring::decode_factors;
+    use sea_core::{EnhancedSea, LegacySea, SecurePlatform};
+    use sea_hw::{CpuId, Platform};
+    use sea_tpm::KeyStrength;
+
+    const N: u64 = 101 * 103; // 10403
+
+    #[test]
+    fn factors_on_proposed_hardware_without_sealing() {
+        let mut sea = EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(2),
+            KeyStrength::Demo512,
+            b"fact",
+        ))
+        .unwrap();
+        let mut pal = FactoringPal::new(N, 10, PersistMode::InRegion);
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap();
+        assert_eq!(decode_factors(&done.output), Some((101, 103)));
+        // ~100 candidates at 10/quantum → ~10 suspend/resume cycles, and
+        // zero TPM sealing.
+        assert_eq!(done.report.seal, SimDuration::ZERO);
+        assert_eq!(done.report.unseal, SimDuration::ZERO);
+        assert!(done.report.context_switch > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn factors_on_baseline_with_sealed_progress() {
+        let mut sea = LegacySea::new(SecurePlatform::new(
+            Platform::hp_dc5750(),
+            KeyStrength::Demo512,
+            b"fact-legacy",
+        ))
+        .unwrap();
+        let mut pal = FactoringPal::new(N, 40, PersistMode::TpmSeal);
+        let mut sessions = 0;
+        let factors = loop {
+            sessions += 1;
+            let r = sea.run_session(&mut pal, b"").unwrap();
+            let out = r.output.expect("baseline PALs always exit");
+            if let Some(f) = decode_factors(&out) {
+                break f;
+            }
+            assert!(pal.has_sealed_progress());
+            // Every non-final session paid for a Seal; every session
+            // after the first paid for an Unseal.
+            assert!(r.report.seal > SimDuration::ZERO);
+            if sessions > 1 {
+                assert!(r.report.unseal > SimDuration::ZERO);
+            }
+            assert!(sessions < 100, "runaway");
+        };
+        assert_eq!(factors, (101, 103));
+        assert!(sessions >= 3, "work was actually split across sessions");
+        assert_eq!(pal.factors(), Some((101, 103)));
+    }
+
+    #[test]
+    fn prime_input_reports_trivial_factorization() {
+        let mut sea = EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(2),
+            KeyStrength::Demo512,
+            b"fact-prime",
+        ))
+        .unwrap();
+        let mut pal = FactoringPal::new(10007, 10_000, PersistMode::InRegion);
+        let id = sea.slaunch(&mut pal, b"", CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap();
+        assert_eq!(decode_factors(&done.output), Some((1, 10007)));
+    }
+
+    #[test]
+    fn even_number_factors_immediately() {
+        let (next, found, tested) = FactoringPal::new(1000, 5, PersistMode::InRegion).search(2);
+        assert_eq!(found, Some((2, 500)));
+        assert_eq!(tested, 1);
+        assert_eq!(next, 2);
+    }
+
+    #[test]
+    fn image_is_job_specific() {
+        let a = FactoringPal::new(N, 10, PersistMode::InRegion);
+        let b = FactoringPal::new(N + 2, 10, PersistMode::InRegion);
+        assert_ne!(a.image(), b.image());
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to factor")]
+    fn tiny_n_panics() {
+        let _ = FactoringPal::new(3, 10, PersistMode::InRegion);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantum must make progress")]
+    fn zero_quantum_panics() {
+        let _ = FactoringPal::new(100, 0, PersistMode::InRegion);
+    }
+}

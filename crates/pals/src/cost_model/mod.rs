@@ -1,0 +1,20 @@
+//! The original cost-model PALs: native Rust logic whose runtime is a
+//! `ctx.work` charge and whose measured image is a name-derived byte
+//! string.
+//!
+//! These are the *twins* of the executed-bytecode programs in
+//! [`crate::vm`]. They remain the timing reference (their charges came
+//! straight from the paper's figures) and the behavioural oracle the
+//! differential suite pins the VM programs against; the VM programs are
+//! the measured-identity reference. New PAL logic should be written as
+//! bytecode — CI rejects new `ctx.work` calls outside this module.
+
+mod ca;
+mod factoring;
+mod rootkit;
+mod ssh;
+
+pub use ca::CertAuthority;
+pub use factoring::FactoringPal;
+pub use rootkit::RootkitDetector;
+pub use ssh::SshPassword;

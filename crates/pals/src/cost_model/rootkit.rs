@@ -1,0 +1,166 @@
+//! Cost-model twin of the rootkit-detector PAL: native Rust hashing
+//! with a `ctx.work` charge modelling the scan throughput.
+
+use sea_core::{PalCtx, PalLogic, PalOutcome, SeaError};
+use sea_crypto::{Sha1, Sha1Digest};
+use sea_hw::SimDuration;
+
+use crate::rootkit::RootkitVerdict;
+
+/// The rootkit-detector PAL.
+///
+/// # Example
+///
+/// ```
+/// use sea_pals::{RootkitDetector, RootkitVerdict};
+/// use sea_core::{LegacySea, SecurePlatform};
+/// use sea_hw::Platform;
+/// use sea_tpm::KeyStrength;
+///
+/// # fn main() -> Result<(), sea_core::SeaError> {
+/// let kernel = b"vmlinuz-2.6.23 text segment".to_vec();
+/// let mut detector = RootkitDetector::new(&[&kernel]);
+///
+/// let platform = SecurePlatform::new(Platform::hp_dc5750(), KeyStrength::Demo512, b"rk");
+/// let mut sea = LegacySea::new(platform)?;
+/// let result = sea.run_session(&mut detector, &kernel)?;
+/// assert_eq!(
+///     RootkitVerdict::from_byte(result.output.unwrap()[0]),
+///     Some(RootkitVerdict::Clean)
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RootkitDetector {
+    whitelist: Vec<Sha1Digest>,
+}
+
+/// Modelled hashing throughput of the PAL over the snapshot: ~1 GB/s
+/// (1 ns per byte) of SHA-1 on a 2007-class core.
+const HASH_NS_PER_BYTE: u64 = 1;
+
+impl RootkitDetector {
+    /// Creates a detector trusting exactly the given kernel images.
+    pub fn new(known_good_kernels: &[&[u8]]) -> Self {
+        RootkitDetector {
+            whitelist: known_good_kernels.iter().map(|k| Sha1::digest(k)).collect(),
+        }
+    }
+
+    /// Creates a detector from precomputed whitelist digests.
+    pub fn from_digests(whitelist: Vec<Sha1Digest>) -> Self {
+        RootkitDetector { whitelist }
+    }
+
+    /// Number of whitelisted builds.
+    pub fn whitelist_len(&self) -> usize {
+        self.whitelist.len()
+    }
+}
+
+impl PalLogic for RootkitDetector {
+    fn name(&self) -> &str {
+        "rootkit-detector"
+    }
+
+    fn image(&self) -> Vec<u8> {
+        // The whitelist is part of the measured code+data image: a
+        // detector trusting different kernels is *different code* to the
+        // attestation machinery.
+        let mut image = b"PAL:rootkit-detector:v1:".to_vec();
+        for d in &self.whitelist {
+            image.extend_from_slice(d);
+        }
+        image
+    }
+
+    fn run(&mut self, ctx: &mut PalCtx<'_>) -> Result<PalOutcome, SeaError> {
+        let snapshot = ctx.input().to_vec();
+        let digest = Sha1::digest(&snapshot);
+        // Account the hashing work.
+        ctx.work(SimDuration::from_ns(
+            snapshot.len() as u64 * HASH_NS_PER_BYTE,
+        ));
+        // Bind the scanned snapshot into the attestation: the verifier
+        // learns which snapshot the verdict refers to.
+        ctx.measure_input(&digest)?;
+        let verdict = if self.whitelist.contains(&digest) {
+            RootkitVerdict::Clean
+        } else {
+            RootkitVerdict::Tampered
+        };
+        Ok(PalOutcome::Exit(vec![verdict.to_byte()]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sea_core::{EnhancedSea, SecurePlatform, Verifier};
+    use sea_hw::{CpuId, Platform};
+    use sea_tpm::KeyStrength;
+
+    fn enhanced() -> EnhancedSea {
+        EnhancedSea::new(SecurePlatform::new(
+            Platform::recommended(2),
+            KeyStrength::Demo512,
+            b"rootkit",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn clean_kernel_reported_clean() {
+        let kernel = b"known good kernel".to_vec();
+        let mut det = RootkitDetector::new(&[&kernel]);
+        let mut sea = enhanced();
+        let id = sea.slaunch(&mut det, &kernel, CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut det, id, CpuId(0)).unwrap();
+        assert_eq!(done.output, vec![RootkitVerdict::Clean.to_byte()]);
+    }
+
+    #[test]
+    fn tampered_kernel_detected() {
+        let kernel = b"known good kernel".to_vec();
+        let mut rooted = kernel.clone();
+        rooted.extend_from_slice(b" + evil hook");
+        let mut det = RootkitDetector::new(&[&kernel]);
+        let mut sea = enhanced();
+        let id = sea.slaunch(&mut det, &rooted, CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(&mut det, id, CpuId(0)).unwrap();
+        assert_eq!(done.output, vec![RootkitVerdict::Tampered.to_byte()]);
+    }
+
+    #[test]
+    fn verdict_is_attestable_with_snapshot_binding() {
+        let kernel = b"kernel v3".to_vec();
+        let mut det = RootkitDetector::new(&[&kernel]);
+        let image = det.image();
+        let mut sea = enhanced();
+        let id = sea.slaunch(&mut det, &kernel, CpuId(0), None).unwrap();
+        sea.run_to_exit(&mut det, id, CpuId(0)).unwrap();
+        let quote = sea.quote_and_free(id, b"challenge").unwrap().value;
+        let verifier = Verifier::new(sea.platform().tpm().unwrap().aik_public().clone());
+        // The quote verifies only against the scanned snapshot's digest.
+        assert!(verifier
+            .verify_sepcr_quote(&quote, b"challenge", &image, &[Sha1::digest(&kernel)])
+            .is_ok());
+        assert!(verifier
+            .verify_sepcr_quote(
+                &quote,
+                b"challenge",
+                &image,
+                &[Sha1::digest(b"other snapshot")]
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn different_whitelists_are_different_code() {
+        let a = RootkitDetector::new(&[b"kernel-a".as_slice()]);
+        let b = RootkitDetector::new(&[b"kernel-b".as_slice()]);
+        assert_ne!(a.image(), b.image());
+        assert_eq!(a.whitelist_len(), 1);
+    }
+}

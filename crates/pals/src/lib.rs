@@ -9,20 +9,25 @@
 //! > the confidentiality of a certificate authority's private signing
 //! > key, and to secure an SSH server's password handling routines."
 //!
-//! * [`RootkitDetector`] — hashes a kernel-text snapshot against a
-//!   whitelist, measuring the scanned snapshot into the attestation so a
-//!   verifier knows *what* was deemed clean.
-//! * [`FactoringPal`] — resumable trial-division factoring: a distributed-
-//!   computing worker (the paper's SETI@Home analogy) that persists its
-//!   progress between quanta — by TPM sealing on baseline hardware, or
-//!   in its protected pages on the proposed hardware.
-//! * [`CertAuthority`] — generates an RSA signing key inside the TCB,
-//!   seals the private half, and signs certificate requests on demand;
-//!   the private key never exists outside TPM-protected storage.
-//! * [`SshPassword`] — stores a salted password digest under seal and
-//!   verifies login attempts inside the TCB.
+//! Each application exists in two forms that share one wire protocol:
 //!
-//! Each PAL works under both [`sea_core::LegacySea`] and
+//! * **Executed bytecode** ([`vm`]) — the real thing: programs for the
+//!   measured PAL VM ([`sea_core::VmPal`]), whose attested identity is
+//!   the hash of the serialized bytecode the interpreter executes.
+//!   [`vm::vm_rootkit`] hashes a kernel-text snapshot against a
+//!   whitelist baked into its data segment, [`vm::vm_factoring`] is the
+//!   resumable trial-division worker (the paper's SETI@Home analogy),
+//!   [`vm::vm_ca`] generates and wields an RSA signing key entirely
+//!   inside the TCB, and [`vm::vm_ssh`] checks login attempts against a
+//!   sealed salted digest.
+//! * **Cost-model twins** (feature `cost-model`, on by default) — the
+//!   original closure PALs whose runtime is a constant `ctx.work`
+//!   charge: [`RootkitDetector`], [`FactoringPal`], [`CertAuthority`],
+//!   [`SshPassword`]. They remain the timing reference and the
+//!   behavioural oracle the differential suite pins the VM programs
+//!   against.
+//!
+//! Every PAL works under both [`sea_core::LegacySea`] and
 //! [`sea_core::EnhancedSea`]; the performance difference between those
 //! two runs *is* the paper's argument.
 
@@ -30,11 +35,16 @@
 #![warn(missing_docs)]
 
 mod ca;
+#[cfg(feature = "cost-model")]
+mod cost_model;
 mod factoring;
 mod rootkit;
 mod ssh;
+pub mod vm;
 
-pub use ca::{decode_public_key, verify_ca_signature, CaRequest, CertAuthority};
-pub use factoring::{decode_factors, FactoringPal, PersistMode};
-pub use rootkit::{RootkitDetector, RootkitVerdict};
-pub use ssh::{SshPassword, SshRequest};
+pub use ca::{decode_public_key, verify_ca_signature, CaRequest};
+#[cfg(feature = "cost-model")]
+pub use cost_model::{CertAuthority, FactoringPal, RootkitDetector, SshPassword};
+pub use factoring::{decode_factors, PersistMode};
+pub use rootkit::RootkitVerdict;
+pub use ssh::SshRequest;

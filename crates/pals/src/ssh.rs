@@ -1,15 +1,19 @@
-//! The SSH password-handling PAL (§4.1).
+//! Wire protocol of the SSH password-handling PAL (§4.1).
 //!
 //! "...and to secure an SSH server's password handling routines." The
-//! server's password database entry (salted digest) is sealed to this
+//! server's password database entry (salted digest) is sealed to the
 //! PAL, and login attempts are checked *inside* the protected session —
 //! a compromised sshd or kernel never sees the stored verifier or a
 //! timing-usable comparison.
+//!
+//! Two implementations share this protocol: the executed-bytecode PAL
+//! ([`crate::vm::vm_ssh`]) and, behind the `cost-model` feature, the
+//! original constant-cost twin ([`crate::SshPassword`]).
 
-use sea_core::{PalCtx, PalLogic, PalOutcome, SeaError};
+#[cfg(any(test, feature = "cost-model"))]
+use sea_core::SeaError;
+#[cfg(feature = "cost-model")]
 use sea_crypto::Sha1;
-use sea_hw::SimDuration;
-use sea_tpm::SealedBlob;
 
 /// A request to the SSH-password PAL.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,7 +41,8 @@ impl SshRequest {
         }
     }
 
-    fn parse(input: &[u8]) -> Result<SshRequest, SeaError> {
+    #[cfg(any(test, feature = "cost-model"))]
+    pub(crate) fn parse(input: &[u8]) -> Result<SshRequest, SeaError> {
         match input.split_first() {
             Some((0x00, pw)) => Ok(SshRequest::Enroll(pw.to_vec())),
             Some((0x01, pw)) => Ok(SshRequest::Verify(pw.to_vec())),
@@ -46,196 +51,23 @@ impl SshRequest {
     }
 }
 
-const SALT_LEN: usize = 16;
+/// Salt length of the enrolled password record (`salt ‖ digest`).
+#[cfg(feature = "cost-model")]
+pub(crate) const SALT_LEN: usize = 16;
 
-/// Modelled compute time for salting + hashing a password.
-const HASH_WORK: SimDuration = SimDuration::from_us(50);
-
-/// The SSH password PAL. Holds the sealed verifier record between
-/// sessions (the untrusted OS's custodial role).
-#[derive(Debug, Default)]
-pub struct SshPassword {
-    sealed_record: Option<SealedBlob>,
-}
-
-impl SshPassword {
-    /// Creates the PAL with no enrolled password.
-    pub fn new() -> Self {
-        SshPassword {
-            sealed_record: None,
-        }
-    }
-
-    /// Whether a password has been enrolled.
-    pub fn has_record(&self) -> bool {
-        self.sealed_record.is_some()
-    }
-}
-
-fn salted_digest(salt: &[u8], password: &[u8]) -> [u8; 20] {
+/// The salted verifier digest both implementations compute:
+/// `SHA-1(salt ‖ password)`.
+#[cfg(feature = "cost-model")]
+pub(crate) fn salted_digest(salt: &[u8], password: &[u8]) -> [u8; 20] {
     let mut h = Sha1::new();
     h.update_bytes(salt);
     h.update_bytes(password);
     h.finalize_fixed()
 }
 
-impl PalLogic for SshPassword {
-    fn name(&self) -> &str {
-        "ssh-password"
-    }
-
-    fn image(&self) -> Vec<u8> {
-        b"PAL:ssh-password:v1".to_vec()
-    }
-
-    fn run(&mut self, ctx: &mut PalCtx<'_>) -> Result<PalOutcome, SeaError> {
-        match SshRequest::parse(ctx.input())? {
-            SshRequest::Enroll(password) => {
-                let salt = ctx.random(SALT_LEN)?;
-                let digest = salted_digest(&salt, &password);
-                ctx.work(HASH_WORK);
-                let mut record = salt;
-                record.extend_from_slice(&digest);
-                self.sealed_record = Some(ctx.seal(&record)?);
-                Ok(PalOutcome::Exit(vec![1]))
-            }
-            SshRequest::Verify(attempt) => {
-                let blob = self
-                    .sealed_record
-                    .as_ref()
-                    .ok_or_else(|| SeaError::PalFailed("no password enrolled".into()))?;
-                let record = ctx.unseal(blob)?;
-                if record.len() != SALT_LEN + 20 {
-                    return Err(SeaError::PalFailed("corrupt password record".into()));
-                }
-                let (salt, stored) = record.split_at(SALT_LEN);
-                let candidate = salted_digest(salt, &attempt);
-                ctx.work(HASH_WORK);
-                // Full-scan comparison: no early exit on first mismatch.
-                let mut diff = 0u8;
-                for (a, b) in candidate.iter().zip(stored) {
-                    diff |= a ^ b;
-                }
-                Ok(PalOutcome::Exit(vec![u8::from(diff == 0)]))
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sea_core::{EnhancedSea, LegacySea, SecurePlatform};
-    use sea_hw::{CpuId, Platform};
-    use sea_tpm::KeyStrength;
-
-    fn legacy() -> LegacySea {
-        LegacySea::new(SecurePlatform::new(
-            Platform::hp_dc5750(),
-            KeyStrength::Demo512,
-            b"ssh",
-        ))
-        .unwrap()
-    }
-
-    #[test]
-    fn enroll_then_verify_legacy() {
-        let mut sea = legacy();
-        let mut pal = SshPassword::new();
-        let r = sea
-            .run_session(
-                &mut pal,
-                &SshRequest::Enroll(b"hunter2".to_vec()).to_bytes(),
-            )
-            .unwrap();
-        assert_eq!(r.output, Some(vec![1]));
-        assert!(pal.has_record());
-
-        let good = sea
-            .run_session(
-                &mut pal,
-                &SshRequest::Verify(b"hunter2".to_vec()).to_bytes(),
-            )
-            .unwrap();
-        assert_eq!(good.output, Some(vec![1]));
-        // Verify sessions unseal but never reseal.
-        assert!(good.report.unseal > SimDuration::ZERO);
-        assert_eq!(good.report.seal, SimDuration::ZERO);
-
-        let bad = sea
-            .run_session(
-                &mut pal,
-                &SshRequest::Verify(b"letmein".to_vec()).to_bytes(),
-            )
-            .unwrap();
-        assert_eq!(bad.output, Some(vec![0]));
-    }
-
-    #[test]
-    fn enroll_then_verify_enhanced() {
-        let mut sea = EnhancedSea::new(SecurePlatform::new(
-            Platform::recommended(2),
-            KeyStrength::Demo512,
-            b"ssh-e",
-        ))
-        .unwrap();
-        let mut pal = SshPassword::new();
-        let id = sea
-            .slaunch(
-                &mut pal,
-                &SshRequest::Enroll(b"pw".to_vec()).to_bytes(),
-                CpuId(0),
-                None,
-            )
-            .unwrap();
-        let done = sea.run_to_exit(&mut pal, id, CpuId(0)).unwrap();
-        assert_eq!(done.output, vec![1]);
-        sea.quote_and_free(id, b"n").unwrap();
-
-        let id = sea
-            .slaunch(
-                &mut pal,
-                &SshRequest::Verify(b"pw".to_vec()).to_bytes(),
-                CpuId(1),
-                None,
-            )
-            .unwrap();
-        let done = sea.run_to_exit(&mut pal, id, CpuId(1)).unwrap();
-        assert_eq!(done.output, vec![1]);
-    }
-
-    #[test]
-    fn verify_without_enrollment_fails() {
-        let mut sea = legacy();
-        let mut pal = SshPassword::new();
-        assert!(sea
-            .run_session(&mut pal, &SshRequest::Verify(b"x".to_vec()).to_bytes())
-            .is_err());
-    }
-
-    #[test]
-    fn empty_password_is_enrollable_and_distinct() {
-        let mut sea = legacy();
-        let mut pal = SshPassword::new();
-        sea.run_session(&mut pal, &SshRequest::Enroll(Vec::new()).to_bytes())
-            .unwrap();
-        let good = sea
-            .run_session(&mut pal, &SshRequest::Verify(Vec::new()).to_bytes())
-            .unwrap();
-        assert_eq!(good.output, Some(vec![1]));
-        let bad = sea
-            .run_session(&mut pal, &SshRequest::Verify(b"a".to_vec()).to_bytes())
-            .unwrap();
-        assert_eq!(bad.output, Some(vec![0]));
-    }
-
-    #[test]
-    fn malformed_request_rejected() {
-        let mut sea = legacy();
-        let mut pal = SshPassword::new();
-        assert!(sea.run_session(&mut pal, b"").is_err());
-        assert!(sea.run_session(&mut pal, &[0x07, 1, 2]).is_err());
-    }
 
     #[test]
     fn request_encoding_roundtrip() {

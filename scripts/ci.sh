@@ -93,6 +93,16 @@ if [ -n "$entropy" ]; then
   echo "$entropy" >&2
   exit 1
 fi
+# PAL logic is executed bytecode now: its runtime is charged by the VM's
+# gas accounting, not hand-modelled. New `ctx.work(` charges in
+# sea-pals belong only to the feature-gated cost-model twins.
+costs=$(grep -rn 'ctx\.work(' crates/pals/src --include='*.rs' \
+  | grep -v 'crates/pals/src/cost_model/' || true)
+if [ -n "$costs" ]; then
+  echo "ci.sh: ctx.work( in crates/pals/src outside the cost-model twins:" >&2
+  echo "$costs" >&2
+  exit 1
+fi
 
 echo "== engine examples (offline) =="
 cargo run -q --release --offline -p minimal-tcb --example multi_pal_server > /dev/null
@@ -129,6 +139,19 @@ cargo test -q -p minimal-tcb --offline --test verifier_differential \
   churned_fleet_is_byte_identical_across_shards_executors_and_orders
 cargo test -q -p minimal-tcb --offline --test verifier_differential \
   every_adversarial_wire_is_rejected_with_a_typed_reason
+
+echo "== vm bench: measured bytecode PALs, chained vs lookup dispatch (offline) =="
+# The artifact itself asserts chained and lookup runs produce identical
+# outputs and retire identical instruction counts, and that the quote
+# set is byte-identical across 1/4-worker thread pools and the
+# discrete-event executor.
+cargo run -q --release -p sea-bench --offline --bin vm > /dev/null
+# The executed-bytecode PALs must stay behaviourally pinned to their
+# cost-model twins (the debug test binary is built by the test phases).
+cargo test -q -p minimal-tcb --offline --test vm_differential
+# And sea-pals must stand alone without the twins: the VM programs are
+# the product, the cost-model feature is optional.
+cargo build -q -p sea-pals --offline --no-default-features
 
 echo "== suite + BENCH_suite.json (smoke mode, offline) =="
 SUITE_JSON=target/BENCH_suite.json

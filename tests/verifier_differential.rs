@@ -422,12 +422,14 @@ fn fleet_outcome_is_executor_invariant() {
 #[test]
 fn churn_is_the_tenth_suite_artifact_and_validates() {
     let arts = run_suite_serial(&SuiteConfig::smoke());
-    assert_eq!(arts.len(), 10);
+    assert_eq!(arts.len(), 11);
     assert_eq!(arts[8].name, "Fleet");
     assert!(arts[8].rendered.contains("goodput/s"));
     assert_eq!(arts[9].name, "Churn");
     assert!(arts[9].rendered.contains("goodput/s"));
     assert!(arts[9].metrics.total_virtual_ns > 0);
+    assert_eq!(arts[10].name, "VM");
+    assert!(arts[10].rendered.contains("speedup"));
 
     let text = suite_json(&arts, true);
     validate_suite_json(&text).expect("suite JSON with the churn artifact validates");

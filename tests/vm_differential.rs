@@ -1,0 +1,277 @@
+//! Differential suite: the executed-bytecode PALs pinned against their
+//! cost-model twins.
+//!
+//! The four VM programs in `sea_pals::vm` claim to speak the *exact*
+//! protocol of the native-Rust twins they replaced: same request
+//! encodings, same outputs, same TPM-operation sequences, same error
+//! surface. This suite runs twin and program side by side on
+//! identically-seeded platforms and demands byte-level agreement:
+//!
+//! * **SSH**: enroll/verify-good/verify-bad outputs are byte-equal.
+//! * **CA**: the generated public key *and* the CSR signature are
+//!   byte-equal — both implementations draw the same 32 TPM bytes and
+//!   feed the same DRBG, so key material itself must agree.
+//! * **Factoring**: factors agree, and so does the session shape — the
+//!   same number of in-region yields (proposed hardware) and the same
+//!   number of seal-resume sessions (baseline hardware).
+//! * **Rootkit**: verdict bytes agree, and the attestation layer tells
+//!   the two implementations apart — each quote verifies only against
+//!   its own image, because the VM's measured identity is the serialized
+//!   bytecode, not the twin's name-derived string.
+//! * **Errors**: every malformed or premature request that fails on the
+//!   twin fails on the program, and vice versa.
+
+use minimal_tcb::core::{
+    EnhancedSea, LegacySea, PalLogic, PalStep, SecurePlatform, TrustPolicy, Verifier, VerifyError,
+};
+use minimal_tcb::crypto::Sha1;
+use minimal_tcb::hw::{CpuId, Platform};
+use minimal_tcb::pals::vm::{vm_ca, vm_factoring, vm_rootkit, vm_ssh};
+use minimal_tcb::pals::{
+    decode_factors, decode_public_key, verify_ca_signature, CaRequest, CertAuthority, FactoringPal,
+    PersistMode, RootkitDetector, SshPassword, SshRequest,
+};
+use minimal_tcb::tpm::KeyStrength;
+
+fn legacy(seed: &[u8]) -> LegacySea {
+    LegacySea::new(SecurePlatform::new(
+        Platform::hp_dc5750(),
+        KeyStrength::Demo512,
+        seed,
+    ))
+    .unwrap()
+}
+
+fn enhanced(seed: &[u8]) -> EnhancedSea {
+    EnhancedSea::new(SecurePlatform::new(
+        Platform::recommended(2),
+        KeyStrength::Demo512,
+        seed,
+    ))
+    .unwrap()
+}
+
+/// Runs one legacy session and returns the output (None on yield).
+fn run(sea: &mut LegacySea, pal: &mut dyn PalLogic, input: &[u8]) -> Option<Vec<u8>> {
+    sea.run_session(pal, input).unwrap().output
+}
+
+#[test]
+fn ssh_outputs_are_byte_equal() {
+    // Identical platform seeds: both implementations draw the same salt
+    // from the TPM DRBG, so even the sealed record agrees.
+    let mut sea_t = legacy(b"vmdiff-ssh");
+    let mut sea_v = legacy(b"vmdiff-ssh");
+    let mut twin = SshPassword::new();
+    let mut prog = vm_ssh();
+
+    let requests = [
+        SshRequest::Enroll(b"correct horse".to_vec()),
+        SshRequest::Verify(b"correct horse".to_vec()),
+        SshRequest::Verify(b"battery staple".to_vec()),
+        SshRequest::Verify(Vec::new()),
+    ];
+    for req in &requests {
+        let t = run(&mut sea_t, &mut twin, &req.to_bytes());
+        let v = run(&mut sea_v, &mut prog, &req.to_bytes());
+        assert_eq!(t, v, "twin and program disagree on {req:?}");
+    }
+}
+
+#[test]
+fn ca_key_material_and_signatures_are_byte_equal() {
+    // The twin seeds a DRBG with ctx.random(32); the program's RSAGEN
+    // does the same from its RANDOM draw. Same platform seed → same TPM
+    // stream → the *same RSA key*, so public keys and signatures must
+    // be byte-identical, not merely cross-verifiable.
+    let mut sea_t = legacy(b"vmdiff-ca");
+    let mut sea_v = legacy(b"vmdiff-ca");
+    let mut twin = CertAuthority::new();
+    let mut prog = vm_ca();
+
+    let pub_t = run(&mut sea_t, &mut twin, &CaRequest::Generate.to_bytes()).unwrap();
+    let pub_v = run(&mut sea_v, &mut prog, &CaRequest::Generate.to_bytes()).unwrap();
+    assert_eq!(pub_t, pub_v, "generated public keys diverge");
+    let public = decode_public_key(&pub_t).expect("valid public key");
+
+    let csr = b"CN=differential.example".to_vec();
+    let sig_t = run(
+        &mut sea_t,
+        &mut twin,
+        &CaRequest::Sign(csr.clone()).to_bytes(),
+    )
+    .unwrap();
+    let sig_v = run(
+        &mut sea_v,
+        &mut prog,
+        &CaRequest::Sign(csr.clone()).to_bytes(),
+    )
+    .unwrap();
+    assert_eq!(sig_t, sig_v, "signatures diverge");
+    assert!(verify_ca_signature(&public, &csr, &sig_t));
+}
+
+#[test]
+fn factoring_agrees_on_factors_and_session_shape() {
+    const N: u64 = 101 * 103;
+    const QUANTUM: u64 = 10;
+
+    // Proposed hardware, in-region persistence: same factors after the
+    // same number of SYIELDs.
+    let drive = |pal: &mut dyn PalLogic| -> (Vec<u8>, u32) {
+        let mut sea = enhanced(b"vmdiff-fact");
+        let id = sea.slaunch(pal, b"", CpuId(0), None).unwrap();
+        let mut yields = 0u32;
+        loop {
+            match sea.step(pal, id).unwrap() {
+                PalStep::Exited { output } => return (output, yields),
+                PalStep::Yielded => {
+                    yields += 1;
+                    sea.resume(id, CpuId(0)).unwrap();
+                }
+            }
+        }
+    };
+    let (out_t, yields_t) = drive(&mut FactoringPal::new(N, QUANTUM, PersistMode::InRegion));
+    let (out_v, yields_v) = drive(&mut vm_factoring(N, QUANTUM, PersistMode::InRegion));
+    assert_eq!(out_t, out_v, "in-region outputs diverge");
+    assert_eq!(decode_factors(&out_t), Some((101, 103)));
+    assert_eq!(yields_t, yields_v, "yield counts diverge");
+    assert!(yields_t > 0, "the quantum must actually split the search");
+
+    // Baseline hardware, TPM-sealed persistence: same factors after the
+    // same number of full late-launch sessions.
+    let drive_legacy = |pal: &mut dyn PalLogic| -> (Vec<u8>, u32) {
+        let mut sea = legacy(b"vmdiff-fact-seal");
+        let mut sessions = 0u32;
+        loop {
+            sessions += 1;
+            assert!(sessions < 100, "runaway factoring loop");
+            let out = run(&mut sea, pal, b"").expect("baseline PALs always exit");
+            if decode_factors(&out).is_some() {
+                return (out, sessions);
+            }
+        }
+    };
+    let (out_t, n_t) = drive_legacy(&mut FactoringPal::new(N, 40, PersistMode::TpmSeal));
+    let (out_v, n_v) = drive_legacy(&mut vm_factoring(N, 40, PersistMode::TpmSeal));
+    assert_eq!(out_t, out_v, "sealed outputs diverge");
+    assert_eq!(n_t, n_v, "session counts diverge");
+    assert!(n_t >= 3, "work must span sessions");
+
+    // Prime n: both report the trivial pair.
+    let (out_t, _) = drive(&mut FactoringPal::new(10007, 20_000, PersistMode::InRegion));
+    let (out_v, _) = drive(&mut vm_factoring(10007, 20_000, PersistMode::InRegion));
+    assert_eq!(out_t, out_v);
+    assert_eq!(decode_factors(&out_t), Some((1, 10007)));
+}
+
+#[test]
+fn rootkit_verdicts_agree_and_identities_differ() {
+    let kernel = b"production kernel text".to_vec();
+    let mut rooted = kernel.clone();
+    rooted.extend_from_slice(b" + hook");
+
+    // Verdict parity on clean and tampered snapshots, and quote parity:
+    // each implementation's quote verifies against its own image (with
+    // the snapshot digest as the extra extend) and is rejected as a
+    // measurement mismatch against the other's — the VM program *is
+    // different code* to the attestation machinery.
+    let drive = |pal: &mut dyn PalLogic, snapshot: &[u8]| {
+        let mut sea = enhanced(b"vmdiff-rk");
+        let id = sea.slaunch(pal, snapshot, CpuId(0), None).unwrap();
+        let done = sea.run_to_exit(pal, id, CpuId(0)).unwrap();
+        let quote = sea.quote_and_free(id, b"rk-nonce").unwrap().value;
+        let verifier = Verifier::new(sea.platform().tpm().unwrap().aik_public().clone());
+        (done.output, quote, verifier)
+    };
+
+    let mut twin = RootkitDetector::new(&[&kernel]);
+    let mut prog = vm_rootkit(&[&kernel]);
+    for (snapshot, expected) in [(&kernel, 1u8), (&rooted, 0u8)] {
+        let (out_t, quote_t, verifier) = drive(&mut twin, snapshot);
+        let (out_v, quote_v, _) = drive(&mut prog, snapshot);
+        assert_eq!(out_t, out_v, "verdicts diverge");
+        assert_eq!(out_t, vec![expected]);
+
+        let extends = [Sha1::digest(snapshot)];
+        verifier
+            .verify_sepcr_quote(&quote_t, b"rk-nonce", &twin.image(), &extends)
+            .expect("twin quote verifies against the twin image");
+        verifier
+            .verify_sepcr_quote(&quote_v, b"rk-nonce", &prog.image(), &extends)
+            .expect("program quote verifies against the bytecode image");
+        assert_eq!(
+            verifier.verify_sepcr_quote(&quote_t, b"rk-nonce", &prog.image(), &extends),
+            Err(VerifyError::MeasurementMismatch),
+            "twin quote must not pass as the bytecode build"
+        );
+        assert_eq!(
+            verifier.verify_sepcr_quote(&quote_v, b"rk-nonce", &twin.image(), &extends),
+            Err(VerifyError::MeasurementMismatch),
+            "bytecode quote must not pass as the twin build"
+        );
+
+        // A whitelist trusting both builds names each correctly.
+        let mut policy = TrustPolicy::new(verifier);
+        policy.trust("rootkit-twin", &twin.image());
+        policy.trust("rootkit-vm", &prog.image());
+        assert_eq!(
+            policy.identify_sepcr_quote(&quote_t, b"rk-nonce", &extends),
+            Ok("rootkit-twin")
+        );
+        assert_eq!(
+            policy.identify_sepcr_quote(&quote_v, b"rk-nonce", &extends),
+            Ok("rootkit-vm")
+        );
+    }
+}
+
+#[test]
+fn error_surfaces_agree() {
+    // Every request that the twin rejects, the program rejects — checked
+    // on fresh platforms so no earlier session masks a failure.
+    type Mk = fn() -> (Box<dyn PalLogic>, Box<dyn PalLogic>);
+    let ssh: Mk = || (Box::new(SshPassword::new()), Box::new(vm_ssh()));
+    let ca: Mk = || (Box::new(CertAuthority::new()), Box::new(vm_ca()));
+
+    let cases: [(Mk, Vec<u8>, &str); 7] = [
+        (ssh, Vec::new(), "ssh: empty request"),
+        (ssh, vec![0x07, 1, 2], "ssh: unknown tag"),
+        (
+            ssh,
+            SshRequest::Verify(b"x".to_vec()).to_bytes(),
+            "ssh: verify before enroll",
+        ),
+        (ca, Vec::new(), "ca: empty request"),
+        (ca, vec![0x02], "ca: unknown tag"),
+        (ca, vec![0x00, 0xFF], "ca: generate with payload"),
+        (
+            ca,
+            CaRequest::Sign(b"csr".to_vec()).to_bytes(),
+            "ca: sign before generate",
+        ),
+    ];
+    for (mk, input, what) in cases {
+        let (mut twin, mut prog) = mk();
+        let t = legacy(b"vmdiff-err").run_session(twin.as_mut(), &input);
+        let v = legacy(b"vmdiff-err").run_session(prog.as_mut(), &input);
+        assert!(t.is_err(), "{what}: twin accepted");
+        assert!(v.is_err(), "{what}: program accepted");
+    }
+}
+
+#[test]
+fn vm_identity_is_the_serialized_bytecode() {
+    // The measured chain of a VM PAL is a pure function of the bytes the
+    // interpreter executes: re-assembling the program reproduces it, and
+    // it never collides with the twin's name-derived identity.
+    let prog = vm_ssh();
+    assert_eq!(prog.image(), vm_ssh().image(), "assembly is deterministic");
+    assert_eq!(&prog.image()[..4], b"SVM1");
+    assert_ne!(
+        Verifier::expected_chain(&prog.image(), &[]),
+        Verifier::expected_chain(&SshPassword::new().image(), &[]),
+        "attestation must distinguish the builds"
+    );
+}
